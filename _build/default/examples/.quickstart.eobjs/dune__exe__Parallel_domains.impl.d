@@ -1,0 +1,1 @@
+examples/parallel_domains.ml: Array List Ompsim Polymath Printf Trahrhe Unix Zmath

@@ -1,0 +1,1 @@
+examples/pluto_lite.ml: Codegen Format List Looptrans Polymath Printf Trahrhe Zmath

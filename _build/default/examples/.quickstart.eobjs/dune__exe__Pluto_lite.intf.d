@@ -1,0 +1,1 @@
+examples/pluto_lite.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Codegen Polymath Printf Symx Trahrhe Zmath

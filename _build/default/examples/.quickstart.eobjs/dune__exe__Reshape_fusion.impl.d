@@ -1,0 +1,1 @@
+examples/reshape_fusion.ml: Array Codegen List Polymath Printf Trahrhe Zmath

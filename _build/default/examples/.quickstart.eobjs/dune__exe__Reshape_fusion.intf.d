@@ -1,0 +1,1 @@
+examples/reshape_fusion.mli:

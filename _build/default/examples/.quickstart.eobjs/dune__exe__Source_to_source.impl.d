@@ -1,0 +1,1 @@
+examples/source_to_source.ml: Cfront List Printf

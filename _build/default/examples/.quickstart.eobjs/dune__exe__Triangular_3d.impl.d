@@ -1,0 +1,1 @@
+examples/triangular_3d.ml: Array Codegen List Polymath Printf Symx Trahrhe Zmath

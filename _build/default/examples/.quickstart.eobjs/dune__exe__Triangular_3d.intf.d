@@ -1,0 +1,1 @@
+examples/triangular_3d.mli:

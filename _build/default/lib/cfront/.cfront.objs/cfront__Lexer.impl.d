@@ -1,0 +1,1 @@
+lib/cfront/lexer.ml: Printf String Token

@@ -1,0 +1,1 @@
+lib/cfront/parser.ml: Lexer List Polymath Printf String Token Trahrhe Zmath

@@ -1,0 +1,1 @@
+lib/cfront/parser.mli: Lexer Polymath Trahrhe

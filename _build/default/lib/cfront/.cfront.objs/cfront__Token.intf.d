@@ -1,0 +1,1 @@
+lib/cfront/token.mli:

@@ -1,0 +1,1 @@
+lib/cfront/transform.ml: Buffer Codegen Lexer List Parser Polymath Printf String Symx Token Trahrhe

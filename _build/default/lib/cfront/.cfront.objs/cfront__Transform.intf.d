@@ -1,0 +1,1 @@
+lib/cfront/transform.mli: Polymath Trahrhe

@@ -1,0 +1,104 @@
+type t = {
+  src : string;
+  mutable cur : int;  (** next unread char *)
+  mutable tok_start : int;  (** start offset of the lookahead token *)
+  mutable lookahead : Token.t option;
+}
+
+let create src ~pos = { src; cur = pos; tok_start = pos; lookahead = None }
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_ws l =
+  let n = String.length l.src in
+  while l.cur < n && (l.src.[l.cur] = ' ' || l.src.[l.cur] = '\t' || l.src.[l.cur] = '\n' || l.src.[l.cur] = '\r') do
+    l.cur <- l.cur + 1
+  done;
+  (* skip comments *)
+  if l.cur + 1 < n && l.src.[l.cur] = '/' && l.src.[l.cur + 1] = '*' then begin
+    let close = ref (l.cur + 2) in
+    while !close + 1 < n && not (l.src.[!close] = '*' && l.src.[!close + 1] = '/') do incr close done;
+    l.cur <- min n (!close + 2);
+    skip_ws l
+  end
+  else if l.cur + 1 < n && l.src.[l.cur] = '/' && l.src.[l.cur + 1] = '/' then begin
+    while l.cur < n && l.src.[l.cur] <> '\n' do l.cur <- l.cur + 1 done;
+    skip_ws l
+  end
+
+let scan l =
+  skip_ws l;
+  l.tok_start <- l.cur;
+  let n = String.length l.src in
+  if l.cur >= n then Token.Eof
+  else begin
+    let c = l.src.[l.cur] in
+    let two = if l.cur + 1 < n then String.sub l.src l.cur 2 else "" in
+    if is_ident_start c then begin
+      let e = ref l.cur in
+      while !e < n && is_ident l.src.[!e] do incr e done;
+      let s = String.sub l.src l.cur (!e - l.cur) in
+      l.cur <- !e;
+      Token.Ident s
+    end
+    else if is_digit c then begin
+      let e = ref l.cur in
+      while !e < n && is_digit l.src.[!e] do incr e done;
+      let s = String.sub l.src l.cur (!e - l.cur) in
+      l.cur <- !e;
+      Token.Int (int_of_string s)
+    end
+    else begin
+      let tok, len =
+        match two with
+        | "++" -> (Token.PlusPlus, 2)
+        | "+=" -> (Token.PlusEq, 2)
+        | "<=" -> (Token.Le, 2)
+        | ">=" -> (Token.Ge, 2)
+        | _ -> (
+          match c with
+          | '+' -> (Token.Plus, 1)
+          | '-' -> (Token.Minus, 1)
+          | '*' -> (Token.Star, 1)
+          | '/' -> (Token.Slash, 1)
+          | '(' -> (Token.LParen, 1)
+          | ')' -> (Token.RParen, 1)
+          | '{' -> (Token.LBrace, 1)
+          | '}' -> (Token.RBrace, 1)
+          | ';' -> (Token.Semi, 1)
+          | ',' -> (Token.Comma, 1)
+          | '=' -> (Token.Assign, 1)
+          | '<' -> (Token.Lt, 1)
+          | '>' -> (Token.Gt, 1)
+          | c -> failwith (Printf.sprintf "Cfront.Lexer: unexpected character %C at offset %d" c l.cur))
+      in
+      l.cur <- l.cur + len;
+      tok
+    end
+  end
+
+let peek l =
+  match l.lookahead with
+  | Some tok -> tok
+  | None ->
+    let tok = scan l in
+    l.lookahead <- Some tok;
+    tok
+
+let next l =
+  match l.lookahead with
+  | Some tok ->
+    l.lookahead <- None;
+    tok
+  | None -> scan l
+
+let pos l = match l.lookahead with Some _ -> l.tok_start | None -> l.cur
+
+let expect l tok =
+  let got = next l in
+  if got <> tok then
+    failwith
+      (Printf.sprintf "Cfront: expected %s but found %s near offset %d" (Token.to_string tok)
+         (Token.to_string got) l.tok_start)

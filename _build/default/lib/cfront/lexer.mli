@@ -1,0 +1,23 @@
+(** Tokenizer over a substring of a C source file.
+
+    Operates on a window of the original text so the transformer can
+    splice generated code back at exact byte offsets. *)
+
+type t
+
+(** [create source ~pos] starts lexing [source] at byte offset [pos]. *)
+val create : string -> pos:int -> t
+
+(** [peek l] is the next token without consuming it. *)
+val peek : t -> Token.t
+
+(** [next l] consumes and returns the next token. *)
+val next : t -> Token.t
+
+(** [pos l] is the byte offset of the first unconsumed character
+    (after [peek], the offset of the peeked token's start). *)
+val pos : t -> int
+
+(** [expect l tok] consumes the next token and checks it.
+    @raise Failure with a location message on mismatch. *)
+val expect : t -> Token.t -> unit

@@ -1,0 +1,156 @@
+module A = Polymath.Affine
+module Q = Zmath.Rat
+
+type for_header = { var : string; lower : A.t; upper : A.t; stride : int }
+
+(* expr := term (('+'|'-') term)* ; term := factor ('*' factor)* ;
+   factor := Int | Ident | '(' expr ')' | '-' factor *)
+let rec affine l =
+  let t = term l in
+  let rec tail acc =
+    match Lexer.peek l with
+    | Token.Plus ->
+      ignore (Lexer.next l);
+      tail (A.add acc (term l))
+    | Token.Minus ->
+      ignore (Lexer.next l);
+      tail (A.sub acc (term l))
+    | _ -> acc
+  in
+  tail t
+
+and term l =
+  let f = factor l in
+  let rec tail acc =
+    match Lexer.peek l with
+    | Token.Star ->
+      ignore (Lexer.next l);
+      let g = factor l in
+      let prod =
+        match (A.is_const acc, A.is_const g) with
+        | Some c, _ -> A.scale c g
+        | _, Some c -> A.scale c acc
+        | None, None -> failwith "Cfront: non-affine product in loop bound"
+      in
+      tail prod
+    | Token.Slash -> failwith "Cfront: division in loop bounds is not supported (non-integer Ehrhart coefficients)"
+    | _ -> acc
+  in
+  tail f
+
+and factor l =
+  match Lexer.next l with
+  | Token.Int n -> A.of_int n
+  | Token.Ident x -> A.var x
+  | Token.LParen ->
+    let e = affine l in
+    Lexer.expect l Token.RParen;
+    e
+  | Token.Minus -> A.neg (factor l)
+  | tok -> failwith ("Cfront: unexpected token in bound: " ^ Token.to_string tok)
+
+let iterator_types = [ "int"; "long"; "unsigned"; "size_t"; "short" ]
+
+let for_header l =
+  (match Lexer.next l with
+  | Token.Ident "for" -> ()
+  | tok -> failwith ("Cfront: expected 'for', found " ^ Token.to_string tok));
+  Lexer.expect l Token.LParen;
+  (* optional iterator declaration *)
+  let first = Lexer.next l in
+  let var =
+    match first with
+    | Token.Ident ty when List.mem ty iterator_types -> (
+      match Lexer.next l with
+      | Token.Ident v -> v
+      | tok -> failwith ("Cfront: expected iterator name, found " ^ Token.to_string tok))
+    | Token.Ident v -> v
+    | tok -> failwith ("Cfront: expected iterator, found " ^ Token.to_string tok)
+  in
+  Lexer.expect l Token.Assign;
+  let lower = affine l in
+  Lexer.expect l Token.Semi;
+  (match Lexer.next l with
+  | Token.Ident v when v = var -> ()
+  | tok -> failwith ("Cfront: condition must test the iterator, found " ^ Token.to_string tok));
+  let upper =
+    match Lexer.next l with
+    | Token.Lt -> affine l
+    | Token.Le -> A.add_const Q.one (affine l)
+    | tok -> failwith ("Cfront: only < and <= conditions are supported, found " ^ Token.to_string tok)
+  in
+  Lexer.expect l Token.Semi;
+  (* increment: i++ | ++i | i += c (constant positive stride) *)
+  let stride =
+    match Lexer.next l with
+    | Token.Ident v when v = var -> (
+      match Lexer.next l with
+      | Token.PlusPlus -> 1
+      | Token.PlusEq -> (
+        match Lexer.next l with
+        | Token.Int c when c > 0 -> c
+        | _ -> failwith "Cfront: stride must be a positive integer constant")
+      | tok -> failwith ("Cfront: unsupported increment " ^ Token.to_string tok))
+    | Token.PlusPlus -> (
+      match Lexer.next l with
+      | Token.Ident v when v = var -> 1
+      | _ -> failwith "Cfront: increment must target the iterator")
+    | tok -> failwith ("Cfront: unsupported increment " ^ Token.to_string tok)
+  in
+  Lexer.expect l Token.RParen;
+  { var; lower; upper; stride }
+
+let normalize_strides headers =
+  (* outermost-in: track substitutions original -> lo + c * surrogate *)
+  let q_of = Q.of_int in
+  let rec go subs recon acc = function
+    | [] -> (List.rev acc, List.rev recon)
+    | h :: rest ->
+      let lower = List.fold_left (fun a (x, b) -> A.subst x b a) h.lower subs in
+      let upper = List.fold_left (fun a (x, b) -> A.subst x b a) h.upper subs in
+      if h.stride = 1 then go subs recon ({ h with lower; upper } :: acc) rest
+      else begin
+        let c = q_of h.stride in
+        let extent = A.sub upper lower in
+        (* split extent = c * q(x) + d0: variable coefficients must be
+           divisible by the stride for the trip count to stay affine *)
+        List.iter
+          (fun (x, k) ->
+            if not (Q.is_integer (Q.div k c)) then
+              failwith
+                (Printf.sprintf
+                   "Cfront: stride %d of %s does not divide the coefficient of %s in the loop \
+                    extent"
+                   h.stride h.var x))
+          (A.terms extent);
+        let d0 = A.const_part extent in
+        let var_part = A.sub extent (A.const d0) in
+        (* ceil((c*q + d0)/c) = q + ceil(d0/c) *)
+        let trips =
+          A.add_const
+            (Q.of_bigint (Q.ceil (Q.div d0 c)))
+            (A.scale (Q.inv c) var_part)
+        in
+        let surrogate = h.var ^ "__u" in
+        let recon_expr = A.add lower (A.scale c (A.var surrogate)) in
+        go
+          ((h.var, recon_expr) :: subs)
+          ((h.var, recon_expr) :: recon)
+          ({ var = surrogate; lower = A.zero; upper = trips; stride = 1 } :: acc)
+          rest
+      end
+  in
+  go [] [] [] headers
+
+let nest_of_headers headers =
+  List.iter
+    (fun h -> if h.stride <> 1 then failwith "Cfront: normalize_strides must run first")
+    headers;
+  let loop_vars = List.map (fun h -> h.var) headers in
+  let params =
+    List.concat_map (fun h -> A.vars h.lower @ A.vars h.upper) headers
+    |> List.filter (fun x -> not (List.mem x loop_vars))
+    |> List.sort_uniq String.compare
+  in
+  Trahrhe.Nest.make ~params
+    (List.map (fun h -> { Trahrhe.Nest.var = h.var; lower = h.lower; upper = h.upper }) headers)

@@ -1,0 +1,43 @@
+(** Recursive-descent parser for the loop-header subset of C. *)
+
+module A = Polymath.Affine
+
+type for_header = {
+  var : string;
+  lower : A.t;  (** inclusive *)
+  upper : A.t;  (** exclusive (normalized from [<] / [<=]) *)
+  stride : int;  (** positive; 1 for [i++], [c] for [i += c] *)
+}
+
+(** [affine l] parses an affine expression (identifiers, integer
+    literals, [+ - *], parentheses; products must have at most one
+    non-constant factor).
+    @raise Failure on syntax errors or non-affine expressions. *)
+val affine : Lexer.t -> A.t
+
+(** [for_header l] parses
+    [for (i = lo; i < hi; i += c)] (also [<=], [i++], [++i], and an
+    optional [int]/[long]/[size_t] declaration of the iterator).
+    @raise Failure on unsupported forms ([>] conditions, non-constant
+    or non-positive strides, ...). *)
+val for_header : Lexer.t -> for_header
+
+(** [normalize_strides headers] rewrites strided loops onto unit-stride
+    surrogate iterators (extension over the paper's unit-stride model):
+    a level [for (i = lo; i < up; i += c)] becomes
+    [for (i' = 0; i' < ceil((up - lo)/c); i'++)] with the original
+    iterator reconstructed as [i = lo + c*i'], and that substitution is
+    applied to every inner bound. Returns the normalized headers plus
+    the reconstruction assignments [(original, affine over surrogates)]
+    in nest order (empty when all strides are 1).
+    @raise Failure when a variable coefficient of [up - lo] is not
+    divisible by the stride (the trip count would not be affine). *)
+val normalize_strides : for_header list -> for_header list * (string * A.t) list
+
+(** [nest_of_headers headers] builds the {!Trahrhe.Nest.t}: iterator
+    names come from the headers, every other identifier becomes a size
+    parameter. Headers must be unit-stride (apply {!normalize_strides}
+    first).
+    @raise Invalid_argument when the bounds violate the Fig. 5 model.
+    @raise Failure on a non-unit stride. *)
+val nest_of_headers : for_header list -> Trahrhe.Nest.t

@@ -1,0 +1,43 @@
+type t =
+  | Ident of string
+  | Int of int
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | LParen
+  | RParen
+  | LBrace
+  | RBrace
+  | Semi
+  | Comma
+  | Assign
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | PlusPlus
+  | PlusEq
+  | Eof
+
+let to_string = function
+  | Ident s -> s
+  | Int n -> string_of_int n
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | LParen -> "("
+  | RParen -> ")"
+  | LBrace -> "{"
+  | RBrace -> "}"
+  | Semi -> ";"
+  | Comma -> ","
+  | Assign -> "="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | PlusPlus -> "++"
+  | PlusEq -> "+="
+  | Eof -> "<eof>"

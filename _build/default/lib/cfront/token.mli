@@ -1,0 +1,25 @@
+(** Tokens of the C-subset recognized in loop headers and pragmas. *)
+
+type t =
+  | Ident of string
+  | Int of int
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | LParen
+  | RParen
+  | LBrace
+  | RBrace
+  | Semi
+  | Comma
+  | Assign  (** [=] *)
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | PlusPlus
+  | PlusEq
+  | Eof
+
+val to_string : t -> string

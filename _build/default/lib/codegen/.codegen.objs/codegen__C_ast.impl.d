@@ -1,0 +1,1 @@
+lib/codegen/c_ast.ml:

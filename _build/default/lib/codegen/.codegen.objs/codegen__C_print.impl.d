@@ -1,0 +1,1 @@
+lib/codegen/c_print.ml: Buffer C_ast Format List Printf String

@@ -1,0 +1,1 @@
+lib/codegen/c_print.mli: C_ast Format

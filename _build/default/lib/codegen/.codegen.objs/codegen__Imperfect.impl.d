@@ -1,0 +1,1 @@
+lib/codegen/imperfect.ml: Array C_ast List Polymath Printf Schemes String Symx Trahrhe

@@ -1,0 +1,1 @@
+lib/codegen/imperfect.mli: C_ast Schemes Trahrhe

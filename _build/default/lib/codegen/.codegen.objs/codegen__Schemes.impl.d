@@ -1,0 +1,1 @@
+lib/codegen/schemes.ml: Array C_ast List Polymath Printf String Symx Trahrhe

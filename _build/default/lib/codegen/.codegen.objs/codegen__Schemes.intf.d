@@ -1,0 +1,1 @@
+lib/codegen/schemes.mli: C_ast Trahrhe

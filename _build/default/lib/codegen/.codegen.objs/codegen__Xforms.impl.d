@@ -1,0 +1,1 @@
+lib/codegen/xforms.ml: Array C_ast List Polyhedral Polymath Printf Schemes String Symx Trahrhe

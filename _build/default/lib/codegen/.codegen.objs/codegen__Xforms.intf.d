@@ -1,0 +1,1 @@
+lib/codegen/xforms.mli: C_ast Schemes Trahrhe

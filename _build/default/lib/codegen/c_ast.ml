@@ -1,0 +1,10 @@
+type stmt =
+  | Raw of string
+  | Decl of { ty : string; name : string; init : string option }
+  | Assign of string * string
+  | If of { cond : string; then_ : stmt list; else_ : stmt list }
+  | For of { init : string; cond : string; step : string; body : stmt list }
+  | While of { cond : string; body : stmt list }
+  | Pragma of string
+  | Comment of string
+  | Block of stmt list

@@ -1,0 +1,7 @@
+(** Pretty-printing of the C statement AST. *)
+
+(** [to_string ?indent stmts] renders the statements with 2-space
+    indentation starting at level [indent] (default 0). *)
+val to_string : ?indent:int -> C_ast.stmt list -> string
+
+val pp : Format.formatter -> C_ast.stmt list -> unit

@@ -1,0 +1,249 @@
+open C_ast
+module P = Polymath.Polynomial
+module A = Polymath.Affine
+module Cemit = Symx.Cemit
+
+type config = {
+  counter_ty : string;
+  schedule : string;
+  extra_private : string list;
+  guarded : bool;
+  declare_indices : bool;
+}
+
+let default_config =
+  { counter_ty = "long";
+    schedule = "static";
+    extra_private = [];
+    guarded = false;
+    declare_indices = true }
+
+let trip_count_expr (inv : Trahrhe.Inversion.t) ~ty =
+  Cemit.emit_poly_int inv.Trahrhe.Inversion.trip_count ~ty
+
+let bound_expr ~ty a = Cemit.emit_poly_int (A.to_poly a) ~ty
+
+let nest_levels (inv : Trahrhe.Inversion.t) =
+  Array.of_list inv.Trahrhe.Inversion.nest.Trahrhe.Nest.levels
+
+(* exact adjustment of one floored index (library extension):
+   clamp into bounds, then nudge until
+   r_sub(prefix, v) <= pc < r_sub(prefix, v+1) *)
+let guard_stmts ~ty (inv : Trahrhe.Inversion.t) k =
+  let levels = nest_levels inv in
+  let l = levels.(k) in
+  let v = l.Trahrhe.Nest.var in
+  let pc = inv.Trahrhe.Inversion.pc_var in
+  let r_sub = inv.Trahrhe.Inversion.r_sub.(k) in
+  let r_at_next = P.subst v (P.add (P.var v) P.one) r_sub in
+  let lb = Printf.sprintf "lb_%s" v and ub = Printf.sprintf "ub_%s" v in
+  [ Comment (Printf.sprintf "exact adjustment of %s against the ranking" v);
+    Block
+      [ Decl { ty; name = lb; init = Some (bound_expr ~ty l.Trahrhe.Nest.lower) };
+        Decl
+          { ty;
+            name = ub;
+            init = Some (Printf.sprintf "(%s) - 1" (bound_expr ~ty l.Trahrhe.Nest.upper)) };
+        Raw (Printf.sprintf "if (%s < %s) %s = %s;" v lb v lb);
+        Raw (Printf.sprintf "if (%s > %s) %s = %s;" v ub v ub);
+        While
+          { cond = Printf.sprintf "%s < %s && %s <= %s" v ub (Cemit.emit_poly_int r_at_next ~ty) pc;
+            body = [ Raw (v ^ "++;") ] };
+        While
+          { cond = Printf.sprintf "%s > %s && %s > %s" v lb (Cemit.emit_poly_int r_sub ~ty) pc;
+            body = [ Raw (v ^ "--;") ] } ] ]
+
+let recovery_stmts ?(config = default_config) (inv : Trahrhe.Inversion.t) =
+  let ty = config.counter_ty in
+  Array.to_list inv.Trahrhe.Inversion.recoveries
+  |> List.concat_map (fun r ->
+         match r with
+         | Trahrhe.Inversion.Root { var; expr; mode } ->
+           Assign (var, Cemit.emit_floor ~mode expr)
+           :: (if config.guarded then
+                 let k =
+                   let levels = nest_levels inv in
+                   let rec find i = if levels.(i).Trahrhe.Nest.var = var then i else find (i + 1) in
+                   find 0
+                 in
+                 guard_stmts ~ty inv k
+               else [])
+         | Trahrhe.Inversion.Last { var; poly } ->
+           [ Assign (var, Cemit.emit_poly_int poly ~ty) ])
+
+let increment_stmts ?(config = default_config) (inv : Trahrhe.Inversion.t) =
+  let ty = config.counter_ty in
+  let levels = nest_levels inv in
+  let d = Array.length levels in
+  (* v_{d-1}++; cascading overflow checks outward, resets inward *)
+  let rec cascade k =
+    let l = levels.(k) in
+    let bump = Raw (l.Trahrhe.Nest.var ^ "++;") in
+    if k = 0 then [ bump ]
+    else
+      [ bump;
+        If
+          { cond =
+              Printf.sprintf "%s >= %s" l.Trahrhe.Nest.var
+                (bound_expr ~ty l.Trahrhe.Nest.upper);
+            then_ =
+              cascade (k - 1)
+              @ [ Assign (l.Trahrhe.Nest.var, bound_expr ~ty l.Trahrhe.Nest.lower) ];
+            else_ = [] } ]
+  in
+  cascade (d - 1)
+
+let index_decls ~config (inv : Trahrhe.Inversion.t) =
+  if not config.declare_indices then []
+  else
+    List.map
+      (fun v -> Decl { ty = config.counter_ty; name = v; init = None })
+      (Trahrhe.Nest.level_vars inv.Trahrhe.Inversion.nest)
+
+let private_clause ~config (inv : Trahrhe.Inversion.t) =
+  String.concat ", " (Trahrhe.Nest.level_vars inv.Trahrhe.Inversion.nest @ config.extra_private)
+
+let pc_loop ~config (inv : Trahrhe.Inversion.t) ?(step) body =
+  let ty = config.counter_ty in
+  let pc = inv.Trahrhe.Inversion.pc_var in
+  let step = match step with None -> pc ^ "++" | Some s -> s in
+  For
+    { init = Printf.sprintf "%s %s = 1" ty pc;
+      cond = Printf.sprintf "%s <= %s" pc (trip_count_expr inv ~ty);
+      step;
+      body }
+
+let naive ?(config = default_config) inv ~body =
+  index_decls ~config inv
+  @ [ Pragma
+        (Printf.sprintf "omp parallel for private(%s) schedule(%s)" (private_clause ~config inv)
+           config.schedule);
+      pc_loop ~config inv (recovery_stmts ~config inv @ body) ]
+
+let per_thread ?(config = default_config) inv ~body =
+  index_decls ~config inv
+  @ [ Decl { ty = "int"; name = "first_iteration"; init = Some "1" };
+      Pragma
+        (Printf.sprintf
+           "omp parallel for private(%s) firstprivate(first_iteration) schedule(%s)"
+           (private_clause ~config inv) config.schedule);
+      pc_loop ~config inv
+        (If
+           { cond = "first_iteration";
+             then_ = recovery_stmts ~config inv @ [ Assign ("first_iteration", "0") ];
+             else_ = [] }
+        :: (body @ increment_stmts ~config inv)) ]
+
+let chunked ?(config = default_config) ~chunk inv ~body =
+  let pc = inv.Trahrhe.Inversion.pc_var in
+  index_decls ~config inv
+  @ [ Pragma
+        (Printf.sprintf "omp parallel for private(%s) schedule(static, %d)"
+           (private_clause ~config inv) chunk);
+      pc_loop ~config inv
+        (If
+           { cond = Printf.sprintf "(%s - 1) %% %d == 0" pc chunk;
+             then_ = recovery_stmts ~config inv;
+             else_ = [] }
+        :: (body @ increment_stmts ~config inv)) ]
+
+let simd ?(config = default_config) ~vlength inv ~body_of =
+  let ty = config.counter_ty in
+  let pc = inv.Trahrhe.Inversion.pc_var in
+  let vars = Trahrhe.Nest.level_vars inv.Trahrhe.Inversion.nest in
+  let buf v = "T_" ^ v in
+  let trip = trip_count_expr inv ~ty in
+  let upper = Printf.sprintf "(%s + %d - 1 < %s ? %s + %d - 1 : %s)" pc vlength trip pc vlength trip in
+  let buffers =
+    List.map (fun v -> Decl { ty; name = Printf.sprintf "%s[%d]" (buf v) vlength; init = None }) vars
+  in
+  let privates =
+    String.concat ", " (vars @ List.map buf vars @ [ "v" ] @ config.extra_private)
+  in
+  index_decls ~config inv
+  @ [ Decl { ty; name = "v"; init = None };
+      Decl { ty = "int"; name = "first_iteration"; init = Some "1" } ]
+  @ buffers
+  @ [ Pragma
+        (Printf.sprintf
+           "omp parallel for private(%s) firstprivate(first_iteration) schedule(%s)" privates
+           config.schedule);
+      pc_loop ~config inv ~step:(Printf.sprintf "%s += %d" pc vlength)
+        ([ If
+             { cond = "first_iteration";
+               then_ = recovery_stmts ~config inv @ [ Assign ("first_iteration", "0") ];
+               else_ = [] };
+           For
+             { init = Printf.sprintf "v = %s" pc;
+               cond = Printf.sprintf "v <= %s" upper;
+               step = "v++";
+               body =
+                 List.map
+                   (fun x -> Assign (Printf.sprintf "%s[v - %s]" (buf x) pc, x))
+                   vars
+                 @ increment_stmts ~config inv };
+           Pragma "omp simd";
+           For
+             { init = Printf.sprintf "v = %s" pc;
+               cond = Printf.sprintf "v <= %s" upper;
+               step = "v++";
+               body = body_of (fun x -> Printf.sprintf "%s[v - %s]" (buf x) pc) } ]) ]
+
+let gpu_warp ?(config = default_config) ~warp inv ~body =
+  let ty = config.counter_ty in
+  let pc = inv.Trahrhe.Inversion.pc_var in
+  let trip = trip_count_expr inv ~ty in
+  index_decls ~config inv
+  @ [ Decl { ty; name = "thread"; init = None };
+      Decl { ty; name = "inc"; init = None };
+      Comment (Printf.sprintf "emulation of one warp of %d threads, memory-coalesced" warp);
+      For
+        { init = "thread = 0";
+          cond = Printf.sprintf "thread < %d" warp;
+          step = "thread++";
+          body =
+            [ For
+                { init = Printf.sprintf "%s %s = thread + 1" ty pc;
+                  cond = Printf.sprintf "%s <= %s" pc trip;
+                  step = Printf.sprintf "%s += %d" pc warp;
+                  body =
+                    If
+                      { cond = Printf.sprintf "%s == thread + 1" pc;
+                        then_ = recovery_stmts ~config inv;
+                        else_ = [] }
+                    :: body
+                    @ [ For
+                          { init = "inc = 0";
+                            cond = Printf.sprintf "inc < %d" warp;
+                            step = "inc++";
+                            body = increment_stmts ~config inv } ] } ] } ]
+
+let original ?(config = default_config) (nest : Trahrhe.Nest.t) ~parallel ~schedule ~body =
+  let ty = config.counter_ty in
+  let rec loops = function
+    | [] -> body
+    | (l : Trahrhe.Nest.level) :: rest ->
+      [ For
+          { init = Printf.sprintf "%s = %s" l.var (bound_expr ~ty l.lower);
+            cond = Printf.sprintf "%s < %s" l.var (bound_expr ~ty l.upper);
+            step = l.var ^ "++";
+            body = loops rest } ]
+  in
+  let decls =
+    if config.declare_indices then
+      List.map (fun v -> Decl { ty; name = v; init = None }) (Trahrhe.Nest.level_vars nest)
+    else []
+  in
+  let pragma =
+    if parallel then begin
+      match Trahrhe.Nest.level_vars nest with
+      | _outer :: privates when privates <> [] || config.extra_private <> [] ->
+        [ Pragma
+            (Printf.sprintf "omp parallel for private(%s) schedule(%s)"
+               (String.concat ", " (privates @ config.extra_private))
+               schedule) ]
+      | _ -> [ Pragma (Printf.sprintf "omp parallel for schedule(%s)" schedule) ]
+    end
+    else []
+  in
+  decls @ pragma @ loops nest.Trahrhe.Nest.levels

@@ -1,0 +1,23 @@
+(** C generation for the §IX extension transformations: reshaped and
+    fused nests (runtime counterparts live in {!Trahrhe.Reshape} and
+    {!Trahrhe.Fusion}). *)
+
+(** [reshape ?config r ~body] emits the *target* nest's loops — e.g. a
+    plain rectangular nest, which OpenMP can itself [collapse] —
+    executing the *source* nest's statement instances in rank order:
+    at each thread's first iteration the fused rank
+    [pc = r_target(target indices)] is computed exactly and the source
+    indices are recovered from it; afterwards both index sets advance
+    by §V incrementation. [body] refers to the source iterator names.
+    @raise Invalid_argument if source and target share iterator
+    names. *)
+val reshape :
+  ?config:Schemes.config -> Trahrhe.Reshape.t -> body:C_ast.stmt list -> C_ast.stmt list
+
+(** [fused ?config f ~bodies] emits one collapsed parallel loop running
+    the concatenation of all fused segments; [bodies] gives each
+    segment's statement list (same order as the fusion). Iterator
+    names must be pairwise distinct across segments.
+    @raise Invalid_argument on name clashes or arity mismatch. *)
+val fused :
+  ?config:Schemes.config -> Trahrhe.Fusion.t -> bodies:C_ast.stmt list list -> C_ast.stmt list

@@ -1,0 +1,1 @@
+lib/core/fusion.ml: Inversion List Polymath Recovery Zmath

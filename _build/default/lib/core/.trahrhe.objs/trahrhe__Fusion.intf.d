@@ -1,0 +1,1 @@
+lib/core/fusion.mli: Inversion Polymath

@@ -1,0 +1,1 @@
+lib/core/inversion.ml: Array Complex Float List Nest Polyhedral Polymath Printf Ranking Rootsolve Symx Zmath

@@ -1,0 +1,1 @@
+lib/core/inversion.mli: Nest Polymath Symx

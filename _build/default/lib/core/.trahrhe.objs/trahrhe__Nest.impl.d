@@ -1,0 +1,1 @@
+lib/core/nest.ml: Array Format Hashtbl List Polyhedral Polymath Printf String Zmath

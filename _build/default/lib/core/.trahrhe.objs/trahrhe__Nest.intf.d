@@ -1,0 +1,1 @@
+lib/core/nest.mli: Format Polyhedral Polymath

@@ -1,0 +1,1 @@
+lib/core/ranking.ml: Array List Nest Polyhedral Polymath Zmath

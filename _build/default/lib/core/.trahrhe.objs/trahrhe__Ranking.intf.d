@@ -1,0 +1,1 @@
+lib/core/ranking.mli: Nest Polymath Zmath

@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Array Complex Float Inversion List Nest Polymath Symx Zmath

@@ -1,0 +1,1 @@
+lib/core/reshape.ml: Inversion Recovery

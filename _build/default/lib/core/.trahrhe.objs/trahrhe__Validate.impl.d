@@ -1,0 +1,1 @@
+lib/core/validate.ml: Array Format Inversion List Nest Recovery

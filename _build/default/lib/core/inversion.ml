@@ -1,0 +1,172 @@
+module P = Polymath.Polynomial
+module A = Polymath.Affine
+module Q = Zmath.Rat
+module E = Symx.Expr
+
+type level_recovery =
+  | Root of { var : string; expr : E.t; mode : Symx.Cemit.mode }
+  | Last of { var : string; poly : P.t }
+
+type t = {
+  nest : Nest.t;
+  pc_var : string;
+  ranking : P.t;
+  trip_count : P.t;
+  r_sub : P.t array;
+  recoveries : level_recovery array;
+}
+
+type error =
+  | Degree_too_high of { var : string; degree : int }
+  | No_valid_root of { var : string; candidates : int }
+  | No_samples
+
+let error_to_string = function
+  | Degree_too_high { var; degree } ->
+    Printf.sprintf
+      "index %s occurs with degree %d > 4 in the ranking polynomial: no closed-form root (paper \
+       §IV-B); use binary-search recovery instead"
+      var degree
+  | No_valid_root { var; candidates } ->
+    Printf.sprintf "none of the %d symbolic candidate roots for index %s validated" candidates var
+  | No_samples -> "all sampled parameter valuations yield an empty iteration domain"
+
+(* substituted rankings: r_sub.(k) = ranking[ i_q := tail minimum, q > k ] *)
+let substituted_rankings nest ranking =
+  let count_levels = Nest.to_count_levels nest in
+  let d = Nest.depth nest in
+  Array.init d (fun k ->
+      let minima = Polyhedral.Lexmin.tail_minima count_levels ~prefix:(k + 1) in
+      (* each minimum is affine over i_0..i_k and parameters only, so
+         sequential substitution is simultaneous here *)
+      List.fold_left (fun p (x, m) -> P.subst x (A.to_poly m) p) ranking minima)
+
+(* sampled concrete instances used to select the convenient root *)
+type sample = { param : string -> int; points : int array list; ranks : int list }
+
+let build_samples nest ~sample_sizes =
+  let rank_cache = Ranking.ranking nest in
+  let vars = Array.of_list (Nest.level_vars nest) in
+  List.filter_map
+    (fun size ->
+      let param =
+        let assoc = List.mapi (fun i p -> (p, size + (3 * i))) nest.Nest.params in
+        fun x ->
+          match List.assoc_opt x assoc with
+          | Some v -> v
+          | None -> invalid_arg ("unknown parameter " ^ x)
+      in
+      let points = ref [] in
+      (try Nest.iterate nest ~param (fun idx -> points := idx :: !points)
+       with Invalid_argument _ -> ());
+      let points = List.rev !points in
+      if points = [] || List.length points > 4000 then None
+      else begin
+        let rank_of idx =
+          let env x =
+            let rec find j =
+              if j >= Array.length vars then Q.of_int (param x)
+              else if vars.(j) = x then Q.of_int idx.(j)
+              else find (j + 1)
+            in
+            find 0
+          in
+          Zmath.Bigint.to_int_exn (Q.to_bigint_exn (P.eval env rank_cache))
+        in
+        Some { param; points; ranks = List.map rank_of points }
+      end)
+    sample_sizes
+
+(* Does floor of candidate [expr] reproduce index k on every sampled
+   iteration? Tolerates tiny float noise the same way the generated C
+   does (plus a one-ulp nudge before floor). *)
+let candidate_valid nest ~pc_var ~k expr samples =
+  let vars = Array.of_list (Nest.level_vars nest) in
+  List.for_all
+    (fun { param; points; ranks } ->
+      List.for_all2
+        (fun idx rank ->
+          let env x =
+            if x = pc_var then { Complex.re = float_of_int rank; im = 0.0 }
+            else begin
+              let rec find j =
+                if j >= k then { Complex.re = float_of_int (param x); im = 0.0 }
+                else if vars.(j) = x then { Complex.re = float_of_int idx.(j); im = 0.0 }
+                else find (j + 1)
+              in
+              find 0
+            end
+          in
+          let z = E.eval_complex env expr in
+          Float.is_finite z.Complex.re
+          && Float.abs z.Complex.im <= 1e-6 *. Float.max 1.0 (Float.abs z.Complex.re)
+          && int_of_float (Float.floor (z.Complex.re +. 1e-9)) = idx.(k))
+        points ranks)
+    samples
+
+(* expression size, for preferring the simplest valid root *)
+let rec expr_size = function
+  | E.Const _ | E.I | E.Var _ -> 1
+  | E.Sum es | E.Prod es -> List.fold_left (fun a e -> a + expr_size e) 1 es
+  | E.Pow (b, _) -> 1 + expr_size b
+
+let invert ?(pc_var = "pc") ?(sample_sizes = [ 3; 4; 6 ]) nest =
+  if List.mem pc_var (Nest.level_vars nest) || List.mem pc_var nest.Nest.params then
+    invalid_arg ("Inversion.invert: pc variable " ^ pc_var ^ " collides with the nest");
+  let ranking = Ranking.ranking nest in
+  let trip_count = Ranking.trip_count nest in
+  let r_sub = substituted_rankings nest ranking in
+  let d = Nest.depth nest in
+  let vars = Array.of_list (Nest.level_vars nest) in
+  let levels = Array.of_list nest.Nest.levels in
+  let samples = build_samples nest ~sample_sizes in
+  if samples = [] then Error No_samples
+  else begin
+    let exception Fail of error in
+    try
+      let recoveries =
+        Array.init d (fun k ->
+            let var = vars.(k) in
+            if k = d - 1 then begin
+              (* ik = lb + pc - r(prefix, lb): exact integer polynomial *)
+              let lb = A.to_poly levels.(k).Nest.lower in
+              let rank_at_lb = P.subst var lb r_sub.(k) in
+              let poly = P.add lb (P.sub (P.var pc_var) rank_at_lb) in
+              Last { var; poly }
+            end
+            else begin
+              let equation = P.sub r_sub.(k) (P.var pc_var) in
+              let u = Rootsolve.Solver.of_poly ~unknown:var equation in
+              let deg = Rootsolve.Solver.degree u in
+              if deg > 4 then raise (Fail (Degree_too_high { var; degree = deg }));
+              if deg < 1 then raise (Fail (No_valid_root { var; candidates = 0 }));
+              let cands = Rootsolve.Solver.candidates u in
+              let valid =
+                List.filter (fun e -> candidate_valid nest ~pc_var ~k e samples) cands
+              in
+              match
+                List.sort
+                  (fun a b ->
+                    (* prefer real-emittable, then structurally smaller *)
+                    let ma = Symx.Cemit.classify a and mb = Symx.Cemit.classify b in
+                    if ma <> mb then if ma = Symx.Cemit.Real then -1 else 1
+                    else compare (expr_size a) (expr_size b))
+                  valid
+              with
+              | [] ->
+                raise (Fail (No_valid_root { var; candidates = List.length cands }))
+              | best :: _ ->
+                (* expand polynomial subtrees so the emitted C shows the
+                   flat discriminants the paper prints *)
+                let best = Symx.Simplify.normalize best in
+                Root { var; expr = best; mode = Symx.Cemit.classify best }
+            end)
+      in
+      Ok { nest; pc_var; ranking; trip_count; r_sub; recoveries }
+    with Fail e -> Error e
+  end
+
+let invert_exn ?pc_var ?sample_sizes nest =
+  match invert ?pc_var ?sample_sizes nest with
+  | Ok t -> t
+  | Error e -> failwith (error_to_string e)

@@ -1,0 +1,59 @@
+(** Inversion of ranking polynomials (paper §IV).
+
+    For each level k of the nest, the unknown index [ik] is recovered
+    from the collapsed index [pc] by solving
+    [r(i1,..,ik, lexmin tail) - pc = 0] symbolically: the trailing
+    indices are set to their parametric lexicographic minima, making the
+    equation univariate in [ik] with degree <= 4 for the supported
+    nests. Among the symbolic candidate roots, the convenient one is
+    selected by checking the values it produces on sampled concrete
+    instances — never by its real/complex type (paper §IV-C) — and the
+    last index is recovered by an exact polynomial formula. *)
+
+module P = Polymath.Polynomial
+
+type level_recovery =
+  | Root of {
+      var : string;
+      expr : Symx.Expr.t;  (** closed-form root; floor it to get the index *)
+      mode : Symx.Cemit.mode;  (** how the generated C must evaluate it *)
+    }
+      (** all levels but the innermost *)
+  | Last of { var : string; poly : P.t }
+      (** innermost level: an exact integer polynomial in the prefix
+          indices and [pc] *)
+
+type t = {
+  nest : Nest.t;
+  pc_var : string;
+  ranking : P.t;
+  trip_count : P.t;  (** in the parameters only *)
+  r_sub : P.t array;
+      (** [r_sub.(k)] is the ranking with levels > k at their tail
+          minima: the rank of the first iteration with a given
+          [i0..ik] prefix. Exactly the polynomials whose roots are the
+          closed forms; also the monotone functions used by guarded and
+          binary-search recovery. *)
+  recoveries : level_recovery array;  (** one per level, outermost first *)
+}
+
+type error =
+  | Degree_too_high of { var : string; degree : int }
+      (** more than 4 nested loops depend on this index (paper §IV-B) *)
+  | No_valid_root of { var : string; candidates : int }
+      (** no symbolic candidate reproduced the sampled iterations *)
+  | No_samples
+      (** every sampled parameter valuation gave an empty nest *)
+
+val error_to_string : error -> string
+
+(** [invert ?pc_var ?sample_sizes nest] runs the full inversion.
+    [pc_var] (default ["pc"]) names the collapsed index;
+    [sample_sizes] (default [[3; 4; 6]]) are the parameter values used
+    to validate and select candidate roots (each sample assigns
+    parameter number [i] the value [size + 3*i]). *)
+val invert :
+  ?pc_var:string -> ?sample_sizes:int list -> Nest.t -> (t, error) result
+
+(** [invert_exn] is {!invert}, raising [Failure] on error. *)
+val invert_exn : ?pc_var:string -> ?sample_sizes:int list -> Nest.t -> t

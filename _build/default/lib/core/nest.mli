@@ -1,0 +1,59 @@
+(** The loop-nest model of the paper (Fig. 5).
+
+    A nest is a perfect chain of unit-stride loops
+    [for (ik = lk(i1..ik-1); ik < uk(i1..ik-1); ik++)] whose bounds are
+    affine in the surrounding iterators and in free integer size
+    parameters. The loops to be collapsed must carry no dependence —
+    dependence analysis is the caller's responsibility (as it is for
+    the paper's tool, which trusts the user-written [collapse]
+    clause). *)
+
+module A = Polymath.Affine
+
+type level = {
+  var : string;
+  lower : A.t;  (** inclusive lower bound, C-style [ik = lower] *)
+  upper : A.t;  (** exclusive upper bound, C-style [ik < upper] *)
+}
+
+type t = private { params : string list; levels : level list }
+
+(** [make ~params levels] validates and builds a nest: level variables
+    must be distinct, disjoint from [params], and each bound may only
+    mention parameters and strictly-outer level variables.
+    @raise Invalid_argument when the model is violated. *)
+val make : params:string list -> level list -> t
+
+val depth : t -> int
+
+(** [level_vars n] is the list of iterator names, outermost first. *)
+val level_vars : t -> string list
+
+(** [prefix n c] is the sub-nest of the [c] outermost loops (the loops
+    being collapsed when [c < depth]); bounds of the remaining inner
+    loops are unaffected by collapsing.
+    @raise Invalid_argument unless [1 <= c <= depth n]. *)
+val prefix : t -> int -> t
+
+(** [to_count_levels n] is the inclusive-bounds form used by the
+    counting and lexmin machinery. *)
+val to_count_levels : t -> Polyhedral.Count.level list
+
+(** [max_dependence_degree n] is the largest number of loops whose
+    trip count depends (transitively) on any single index — the degree
+    bound of the univariate equations to solve, which the method
+    requires to be at most 4 (paper §IV-B). *)
+val max_dependence_degree : t -> int
+
+(** [is_rectangular n] is true when every bound is parameter-only (the
+    case OpenMP's own [collapse] already handles). *)
+val is_rectangular : t -> bool
+
+(** [iterate n ~param f] drives [f] over all iterations in
+    lexicographic order, with concrete parameter values; for testing
+    and reference execution.
+    @raise Invalid_argument if a bound evaluates to a non-integer. *)
+val iterate : t -> param:(string -> int) -> (int array -> unit) -> unit
+
+(** [pp] prints the nest as C-style loop headers. *)
+val pp : Format.formatter -> t -> unit

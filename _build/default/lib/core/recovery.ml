@@ -1,0 +1,194 @@
+module P = Polymath.Polynomial
+module A = Polymath.Affine
+module Q = Zmath.Rat
+module E = Symx.Expr
+
+(* polynomial compiled to native-int term evaluation:
+   value = (sum_t coeff_t * prod (slot ^ exp)) / den, exactly *)
+type cpoly = { den : int; cterms : (int * (int * int) array) array }
+
+(* slot assignment: level k -> k, pc -> depth *)
+
+let compile_poly ~slot p =
+  let den = Zmath.Bigint.to_int_exn (P.denominator_lcm p) in
+  let scaled = P.scale (Q.of_int den) p in
+  let cterms =
+    P.terms scaled
+    |> List.map (fun (c, m) ->
+           let coeff = Zmath.Bigint.to_int_exn (Q.to_bigint_exn c) in
+           let exps =
+             Polymath.Monomial.to_list m
+             |> List.map (fun (x, e) -> (slot x, e))
+             |> Array.of_list
+           in
+           (coeff, exps))
+    |> Array.of_list
+  in
+  { den; cterms }
+
+let eval_cpoly cp lookup =
+  let acc = ref 0 in
+  Array.iter
+    (fun (coeff, exps) ->
+      let v = ref coeff in
+      Array.iter
+        (fun (slot, e) ->
+          let base = lookup slot in
+          for _ = 1 to e do
+            v := !v * base
+          done)
+        exps;
+      acc := !acc + !v)
+    cp.cterms;
+  if cp.den = 1 then !acc
+  else begin
+    assert (!acc mod cp.den = 0);
+    !acc / cp.den
+  end
+
+type t = {
+  inv : Inversion.t;
+  d : int;
+  param : string -> int;
+  trip : int;
+  crank : cpoly;
+  cr_sub : cpoly array;
+  clo : cpoly array;  (** inclusive lower bounds, vars = outer levels *)
+  cup : cpoly array;  (** exclusive upper bounds *)
+  root_envs : (int array -> int -> string -> Complex.t) array;
+      (** env builder for level k: takes idx prefix and pc *)
+}
+
+let make (inv : Inversion.t) ~param =
+  let nest = inv.Inversion.nest in
+  let d = Nest.depth nest in
+  let vars = Array.of_list (Nest.level_vars nest) in
+  let pc_var = inv.Inversion.pc_var in
+  let slot x =
+    if x = pc_var then d
+    else begin
+      let rec find j =
+        if j >= d then invalid_arg ("Recovery: unbound variable " ^ x) else if vars.(j) = x then j else find (j + 1)
+      in
+      find 0
+    end
+  in
+  let fold_params p =
+    List.fold_left
+      (fun p x ->
+        if x = pc_var || Array.exists (fun v -> v = x) vars then p
+        else P.subst x (P.const (Q.of_int (param x))) p)
+      p (P.vars p)
+  in
+  let cpoly_of p = compile_poly ~slot (fold_params p) in
+  let trip =
+    let tp = fold_params inv.Inversion.trip_count in
+    match P.is_const tp with
+    | Some c -> Zmath.Bigint.to_int_exn (Q.to_bigint_exn c)
+    | None -> invalid_arg "Recovery.make: trip count not constant under the given parameters"
+  in
+  if trip < 0 then invalid_arg "Recovery.make: negative trip count";
+  let levels = Array.of_list nest.Nest.levels in
+  let crank = cpoly_of inv.Inversion.ranking in
+  let cr_sub = Array.map cpoly_of inv.Inversion.r_sub in
+  let clo = Array.map (fun (l : Nest.level) -> cpoly_of (A.to_poly l.lower)) levels in
+  let cup = Array.map (fun (l : Nest.level) -> cpoly_of (A.to_poly l.upper)) levels in
+  let root_envs =
+    Array.init d (fun k idx pc x ->
+        if x = pc_var then { Complex.re = float_of_int pc; im = 0.0 }
+        else begin
+          let rec find j =
+            if j >= k then { Complex.re = float_of_int (param x); im = 0.0 }
+            else if vars.(j) = x then { Complex.re = float_of_int idx.(j); im = 0.0 }
+            else find (j + 1)
+          in
+          find 0
+        end)
+  in
+  { inv; d; param; trip; crank; cr_sub; clo; cup; root_envs }
+
+let depth t = t.d
+let trip_count t = t.trip
+let rank t idx = eval_cpoly t.crank (fun s -> idx.(s))
+
+let rank_prefix t ~level v prefix =
+  eval_cpoly t.cr_sub.(level) (fun s -> if s = level then v else prefix.(s))
+
+let lower_bound t ~level prefix = eval_cpoly t.clo.(level) (fun s -> prefix.(s))
+let upper_bound t ~level prefix = eval_cpoly t.cup.(level) (fun s -> prefix.(s))
+
+let recover_level_raw t idx pc k =
+  match t.inv.Inversion.recoveries.(k) with
+  | Inversion.Last { poly = _; _ } ->
+    (* exact integer formula; use the compiled substituted ranking:
+       ik = lb + pc - rank_prefix(lb) *)
+    let lb = lower_bound t ~level:k idx in
+    lb + pc - rank_prefix t ~level:k lb idx
+  | Inversion.Root { expr; _ } ->
+    let z = E.eval_complex (t.root_envs.(k) idx pc) expr in
+    int_of_float (Float.floor z.Complex.re)
+
+let recover t pc =
+  let idx = Array.make t.d 0 in
+  for k = 0 to t.d - 1 do
+    idx.(k) <- recover_level_raw t idx pc k
+  done;
+  idx
+
+let adjust_level t idx pc k =
+  (* exact fix-up: find ik with rank_prefix(ik) <= pc < rank_prefix(ik+1),
+     clamping into the level's bounds first *)
+  let lo = lower_bound t ~level:k idx in
+  let hi = upper_bound t ~level:k idx - 1 in
+  let v = ref (max lo (min hi idx.(k))) in
+  while !v < hi && rank_prefix t ~level:k (!v + 1) idx <= pc do incr v done;
+  while !v > lo && rank_prefix t ~level:k !v idx > pc do decr v done;
+  idx.(k) <- !v
+
+let recover_guarded t pc =
+  let idx = Array.make t.d 0 in
+  for k = 0 to t.d - 1 do
+    idx.(k) <- recover_level_raw t idx pc k;
+    adjust_level t idx pc k
+  done;
+  idx
+
+let recover_binsearch t pc =
+  let idx = Array.make t.d 0 in
+  for k = 0 to t.d - 1 do
+    let lo = lower_bound t ~level:k idx in
+    let hi = upper_bound t ~level:k idx - 1 in
+    (* largest v with rank_prefix v <= pc; rank_prefix is monotone in v *)
+    let a = ref lo and b = ref hi in
+    while !a < !b do
+      let mid = !a + ((!b - !a + 1) / 2) in
+      if rank_prefix t ~level:k mid idx <= pc then a := mid else b := mid - 1
+    done;
+    idx.(k) <- !a
+  done;
+  idx
+
+let increment t idx =
+  let rec go k =
+    if k < 0 then false
+    else begin
+      let next = idx.(k) + 1 in
+      if next < upper_bound t ~level:k idx then begin
+        idx.(k) <- next;
+        for q = k + 1 to t.d - 1 do
+          idx.(q) <- lower_bound t ~level:q idx
+        done;
+        true
+      end
+      else go (k - 1)
+    end
+  in
+  go (t.d - 1)
+
+let first t =
+  if t.trip = 0 then failwith "Recovery.first: empty iteration domain";
+  let idx = Array.make t.d 0 in
+  for k = 0 to t.d - 1 do
+    idx.(k) <- lower_bound t ~level:k idx
+  done;
+  idx

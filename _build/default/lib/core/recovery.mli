@@ -1,0 +1,77 @@
+(** Runtime index recovery — the OCaml analogue of the code the tool
+    generates in C.
+
+    A {!t} is an inversion specialized to concrete parameter values,
+    with the ranking machinery compiled down to native-int Horner-free
+    term evaluation (exact, since ranking values fit 63 bits for all
+    realistic sizes). Three recovery strategies are provided:
+
+    - {!recover}: the paper's closed forms — complex floating
+      evaluation + [floor] per level (Figures 3/7);
+    - {!recover_guarded}: closed forms followed by an exact
+      monotonicity-based adjustment of each index, immune to floating
+      rounding at any size (an extension over the paper);
+    - {!recover_binsearch}: fully exact binary search on the monotone
+      substituted rankings, needing no closed form at all and hence no
+      degree <= 4 restriction (extension; also the fallback the library
+      uses when symbolic inversion fails).
+
+    It also implements the §V incremental walk ([increment]) used to
+    advance indices cheaply after one costly recovery per chunk.
+
+    A {!t} is immutable after {!make}: all recovery and bound queries
+    are safe to call concurrently from multiple domains (the parallel
+    executors hand the same value to every worker). *)
+
+type t
+
+(** [make inv ~param] specializes an inversion to parameter values.
+    @raise Invalid_argument when a needed parameter is missing or the
+    trip count is negative. *)
+val make : Inversion.t -> param:(string -> int) -> t
+
+val depth : t -> int
+
+(** [trip_count t] is the total number of collapsed iterations. *)
+val trip_count : t -> int
+
+(** [rank t idx] is the exact 1-based rank of iteration [idx]. *)
+val rank : t -> int array -> int
+
+(** [rank_prefix t ~level v prefix] is the exact rank of the first
+    iteration whose indices up to [level] are [prefix.(0..level-1), v]
+    — the monotone function inverted by every recovery strategy. *)
+val rank_prefix : t -> level:int -> int -> int array -> int
+
+(** [lower_bound t ~level prefix] (resp. {!upper_bound}) evaluates the
+    level's inclusive lower (exclusive upper) bound under [prefix]. *)
+val lower_bound : t -> level:int -> int array -> int
+
+val upper_bound : t -> level:int -> int array -> int
+
+(** [recover t pc] recovers all indices by the closed forms, writing
+    into a fresh array. Raw floating [floor] semantics, as in the
+    paper's generated C.
+    @raise Failure if the inversion had no closed form for some level
+    (use {!recover_binsearch}). *)
+val recover : t -> int -> int array
+
+(** [recover_guarded t pc] is {!recover} plus exact adjustment: each
+    floored index is nudged until
+    [rank_prefix ik <= pc < rank_prefix (ik+1)]. *)
+val recover_guarded : t -> int -> int array
+
+(** [recover_binsearch t pc] recovers indices exactly with binary
+    search only. *)
+val recover_binsearch : t -> int -> int array
+
+(** [increment t idx] advances [idx] in place to the next iteration in
+    lexicographic order, recomputing inner lower bounds as the original
+    nest would (§V incrementation); returns [false] when [idx] was the
+    last iteration. *)
+val increment : t -> int array -> bool
+
+(** [first t] is the first iteration (the nest's lexicographic
+    minimum).
+    @raise Failure when the domain is empty. *)
+val first : t -> int array

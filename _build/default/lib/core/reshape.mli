@@ -1,0 +1,44 @@
+(** Executing one loop nest through the shape of another (paper §IX:
+    "the computation of a loop nest from another loop nest of a
+    different shape").
+
+    Both nests are collapsed to their common rank space [1..T]: the
+    iteration of rank [pc] in the target shape executes the statement
+    instance of rank [pc] of the source nest. Because both nests
+    enumerate their iterations in lexicographic = rank order, a walk of
+    the target shape advances the source indices by plain §V
+    incrementation — one costly recovery per chunk, exactly like
+    ordinary collapsing. Typical use: execute a triangular computation
+    through a rectangular nest (e.g. for devices and runtimes that only
+    schedule rectangular grids).
+
+    The mapping is only meaningful where the trip counts agree; this is
+    checked per parameter valuation (the polynomial counts may differ
+    as polynomials yet agree at the sizes of interest). *)
+
+type t
+
+(** [make ~source ~target] pairs two inversions. Iterator names may
+    overlap freely (the two nests live in separate spaces); parameters
+    are shared by name.
+    @raise Invalid_argument when the two inversions use different pc
+    variable names. *)
+val make : source:Inversion.t -> target:Inversion.t -> t
+
+val source : t -> Inversion.t
+val target : t -> Inversion.t
+
+(** [compatible_at t ~param] checks that both trip counts agree under
+    the given parameter valuation. *)
+val compatible_at : t -> param:(string -> int) -> bool
+
+(** [map_point t ~param target_idx] is the source iteration executed at
+    target iteration [target_idx] (rank-preserving bijection).
+    @raise Invalid_argument when the trip counts disagree. *)
+val map_point : t -> param:(string -> int) -> int array -> int array
+
+(** [iter t ~param f] drives [f target_idx source_idx] over the whole
+    common rank space in rank order, advancing both sides by
+    incrementation (no per-iteration recovery). C generation for
+    reshaped nests lives in {!Codegen.Xforms.reshape}. *)
+val iter : t -> param:(string -> int) -> (int array -> int array -> unit) -> unit

@@ -1,0 +1,1 @@
+lib/kernels/kernel.ml: Hashtbl List Trahrhe

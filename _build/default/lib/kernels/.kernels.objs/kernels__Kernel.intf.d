@@ -1,0 +1,1 @@
+lib/kernels/kernel.mli: Trahrhe

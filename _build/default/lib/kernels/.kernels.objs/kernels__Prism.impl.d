@@ -1,0 +1,1 @@
+lib/kernels/prism.ml: Array Kernel List Option Shape Trahrhe

@@ -1,0 +1,1 @@
+lib/kernels/registry.ml: Kernel List Prism Shapes2 Tiled Triangular

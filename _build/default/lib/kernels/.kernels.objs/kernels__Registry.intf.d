@@ -1,0 +1,1 @@
+lib/kernels/registry.mli: Kernel

@@ -1,0 +1,1 @@
+lib/kernels/shape.ml: Array Kernel List Polymath Trahrhe Zmath

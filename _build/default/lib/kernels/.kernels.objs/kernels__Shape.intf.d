@@ -1,0 +1,1 @@
+lib/kernels/shape.mli: Polymath Trahrhe

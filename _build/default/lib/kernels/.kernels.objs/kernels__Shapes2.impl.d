@@ -1,0 +1,1 @@
+lib/kernels/shapes2.ml: Array Kernel List Option Shape Trahrhe

@@ -1,0 +1,1 @@
+lib/kernels/tiled.ml: Array Kernel List Option Shape Trahrhe

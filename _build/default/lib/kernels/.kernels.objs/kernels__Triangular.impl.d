@@ -1,0 +1,1 @@
+lib/kernels/triangular.ml: Array Kernel List Option Shape Trahrhe

@@ -1,0 +1,15 @@
+let kernels =
+  [ Triangular.correlation;
+    Tiled.correlation_tiled;
+    Prism.covariance;
+    Tiled.covariance_tiled;
+    Prism.symm;
+    Triangular.syrk;
+    Triangular.syr2k;
+    Shapes2.dynprog;
+    Shapes2.fdtd_skewed;
+    Triangular.utma;
+    Triangular.ltmp ]
+
+let find name = List.find_opt (fun (k : Kernel.t) -> k.name = name) kernels
+let names = List.map (fun (k : Kernel.t) -> k.name) kernels

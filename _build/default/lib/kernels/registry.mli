@@ -1,0 +1,13 @@
+(** Forces linkage of every kernel module and lists them.
+
+    OCaml only initializes library modules that are referenced, so the
+    registry names each kernel value explicitly; [kernels] is the
+    paper's Figure 9 bar order. *)
+
+val kernels : Kernel.t list
+
+(** [find name] is the kernel registered under [name]. *)
+val find : string -> Kernel.t option
+
+(** [names] lists kernel names in bar order. *)
+val names : string list

@@ -1,0 +1,1 @@
+lib/looptrans/skew.ml: Array Polymath Printf Trahrhe Zmath

@@ -1,0 +1,1 @@
+lib/looptrans/skew.mli: Trahrhe

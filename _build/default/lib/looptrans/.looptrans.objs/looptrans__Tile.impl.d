@@ -1,0 +1,1 @@
+lib/looptrans/tile.ml: Array Codegen List Polymath Printf Symx Trahrhe Zmath

@@ -1,0 +1,1 @@
+lib/looptrans/tile.mli: Codegen Trahrhe

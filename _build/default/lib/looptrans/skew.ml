@@ -1,0 +1,39 @@
+module A = Polymath.Affine
+module Q = Zmath.Rat
+
+let check nest ~level ~wrt ~factor =
+  let d = Trahrhe.Nest.depth nest in
+  if level <= 0 || level >= d || wrt < 0 || wrt >= level then
+    invalid_arg "Skew.skew: need 0 <= wrt < level < depth";
+  if factor = 0 then invalid_arg "Skew.skew: zero factor"
+
+let skew (nest : Trahrhe.Nest.t) ~level ~wrt ~factor =
+  check nest ~level ~wrt ~factor;
+  let levels = Array.of_list nest.Trahrhe.Nest.levels in
+  let v = levels.(level).Trahrhe.Nest.var in
+  let w = levels.(wrt).Trahrhe.Nest.var in
+  let shift = A.make [ (w, Q.of_int factor) ] Q.zero in
+  (* new bounds of the skewed level: old bounds + s*w *)
+  let skewed =
+    { levels.(level) with
+      Trahrhe.Nest.lower = A.add levels.(level).Trahrhe.Nest.lower shift;
+      upper = A.add levels.(level).Trahrhe.Nest.upper shift }
+  in
+  levels.(level) <- skewed;
+  (* inner bounds referencing the old iterator: i_old = i_new - s*w *)
+  let old_of_new = A.sub (A.var v) shift in
+  for k = level + 1 to Array.length levels - 1 do
+    levels.(k) <-
+      { (levels.(k)) with
+        Trahrhe.Nest.lower = A.subst v old_of_new levels.(k).Trahrhe.Nest.lower;
+        upper = A.subst v old_of_new levels.(k).Trahrhe.Nest.upper }
+  done;
+  Trahrhe.Nest.make ~params:nest.Trahrhe.Nest.params (Array.to_list levels)
+
+let unskew_expr (nest : Trahrhe.Nest.t) ~level ~wrt ~factor =
+  check nest ~level ~wrt ~factor;
+  let levels = Array.of_list nest.Trahrhe.Nest.levels in
+  let v = levels.(level).Trahrhe.Nest.var in
+  let w = levels.(wrt).Trahrhe.Nest.var in
+  if factor > 0 then Printf.sprintf "(%s - %d*%s)" v factor w
+  else Printf.sprintf "(%s + %d*%s)" v (-factor) w

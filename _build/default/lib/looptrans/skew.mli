@@ -1,0 +1,22 @@
+(** Loop skewing (the Pluto time-skew substitute).
+
+    Skewing replaces an iterator [i_k] by [i_k' = i_k + s * i_w] for
+    some outer iterator [i_w] — the unimodular transformation Pluto
+    applies to stencils before parallelizing; on a rectangular nest it
+    produces exactly the rhomboidal domains of the paper's §I list.
+    The transformed nest stays in the Fig. 5 model: the level's bounds
+    gain a [+ s*i_w] term and every inner bound mentioning [i_k]
+    substitutes [i_k := i_k' - s*i_w]. *)
+
+(** [skew nest ~level ~wrt ~factor] skews iterator [level] (0-based,
+    outermost first) by [factor] times iterator [wrt].
+    The iterator keeps its name; bodies must rewrite uses of the old
+    iterator as [i_k - factor * i_w] (see {!unskew_expr}).
+    @raise Invalid_argument unless [wrt < level] are valid indices and
+    [factor <> 0]. *)
+val skew : Trahrhe.Nest.t -> level:int -> wrt:int -> factor:int -> Trahrhe.Nest.t
+
+(** [unskew_expr nest ~level ~wrt ~factor] is the C expression of the
+    original iterator value in terms of the skewed one, e.g.
+    ["(i - 2*t)"]. *)
+val unskew_expr : Trahrhe.Nest.t -> level:int -> wrt:int -> factor:int -> string

@@ -1,0 +1,56 @@
+(** Loop tiling (the Pluto `--tile` substitute).
+
+    The paper evaluates nests "transformed by tiling the loops (using
+    flag --tile of Pluto), since tiling often yields incomplete tiles
+    that affect load balancing". This module reproduces that setup: it
+    splits each level of a Fig. 5 nest into a tile loop and an
+    intra-tile loop, with one uniform tile size.
+
+    The tile-coordinate nest is itself a Fig. 5 nest — iterator terms
+    divide exactly by the uniform size, and each size parameter [P] is
+    replaced by a derived parameter [Pt = P / size] ([P] is assumed to
+    be a multiple of the tile size, the usual benchmark convention;
+    {!iterate} checks it at run time). The tile loops can therefore be
+    collapsed by the ordinary machinery. Intra-tile loops need
+    [max]/[min] bounds (incomplete tiles!) and stay ordinary loops
+    inside the body; {!emit_intra} writes them with ternary operators.
+
+    Boundary tiles whose intersection with the original domain is empty
+    simply execute zero intra-tile iterations. *)
+
+type t = private {
+  original : Trahrhe.Nest.t;
+  tile_nest : Trahrhe.Nest.t;  (** tile coordinates, iterator [v] ↦ [v ^ "t"] *)
+  size : int;
+  derived_params : (string * string) list;  (** [(P, Pt)] with [Pt = P / size] *)
+}
+
+(** [tile nest ~size] tiles every level with edge [size].
+    @raise Invalid_argument if [size <= 0] or some bound has a
+    non-integer coefficient. *)
+val tile : Trahrhe.Nest.t -> size:int -> t
+
+(** [intra_bounds t ~ty] lists, for each level, [(var, lower, upper)]
+    C expressions of the intra-tile loop on the original iterator:
+    [max(lo_k, vt*size)] and [min(up_k, vt*size + size)] (upper
+    exclusive), written with ternary operators. *)
+val intra_bounds : t -> ty:string -> (string * string * string) list
+
+(** [emit_intra t ~ty ~body] wraps [body] in the intra-tile loops
+    (outermost original level first), declaring the original
+    iterators. *)
+val emit_intra : t -> ty:string -> body:Codegen.C_ast.stmt list -> Codegen.C_ast.stmt list
+
+(** [collapse_tiles ?config t ~body] is the whole §VII "tiled" setup in
+    one call: declarations of the derived parameters, then the
+    collapsed tile-coordinate loop (per-thread recovery scheme) whose
+    body is the intra-tile nest around [body]. *)
+val collapse_tiles :
+  ?config:Codegen.Schemes.config -> t -> body:Codegen.C_ast.stmt list -> Codegen.C_ast.stmt list
+
+(** [iterate t ~param f] runs [f idx] over every original iteration in
+    tile-major order (tiles lexicographically, row-major inside each
+    tile) — the execution order of the tiled code; for testing.
+    @raise Invalid_argument when a parameter is not a multiple of the
+    tile size. *)
+val iterate : t -> param:(string -> int) -> (int array -> unit) -> unit

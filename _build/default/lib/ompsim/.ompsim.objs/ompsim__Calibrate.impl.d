@@ -1,0 +1,1 @@
+lib/ompsim/calibrate.ml: Float Unix

@@ -1,0 +1,1 @@
+lib/ompsim/gpu.ml: Float Hashtbl

@@ -1,0 +1,1 @@
+lib/ompsim/par.ml: Array Atomic Domain List Schedule

@@ -1,0 +1,1 @@
+lib/ompsim/sim.ml: Array Float List Schedule

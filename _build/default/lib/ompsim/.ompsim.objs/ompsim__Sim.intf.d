@@ -1,0 +1,1 @@
+lib/ompsim/sim.mli: Schedule

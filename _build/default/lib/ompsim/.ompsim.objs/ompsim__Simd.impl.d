@@ -1,0 +1,1 @@
+lib/ompsim/simd.ml: Array Float

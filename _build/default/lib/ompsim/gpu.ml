@@ -1,0 +1,37 @@
+type mapping = Coalesced | Blocked
+
+type result = { batches : int; compute : float; transactions : int; time : float }
+
+let run ~n ~warp ~mapping ~cost ~address ~line ~transaction_cost =
+  if warp <= 0 || line <= 0 then invalid_arg "Gpu.run";
+  let per_lane = (n + warp - 1) / warp in
+  let iteration ~batch ~lane =
+    match mapping with
+    | Coalesced ->
+      let q = (batch * warp) + lane in
+      if q < n then Some q else None
+    | Blocked ->
+      let q = (lane * per_lane) + batch in
+      if q < n && batch < per_lane then Some q else None
+  in
+  let batches = per_lane in
+  let compute = ref 0.0 in
+  let transactions = ref 0 in
+  let lines = Hashtbl.create 64 in
+  for batch = 0 to batches - 1 do
+    Hashtbl.reset lines;
+    let slowest = ref 0.0 in
+    for lane = 0 to warp - 1 do
+      match iteration ~batch ~lane with
+      | None -> ()
+      | Some q ->
+        slowest := Float.max !slowest (cost q);
+        Hashtbl.replace lines (address q / line) ()
+    done;
+    compute := !compute +. !slowest;
+    transactions := !transactions + Hashtbl.length lines
+  done;
+  { batches;
+    compute = !compute;
+    transactions = !transactions;
+    time = !compute +. (transaction_cost *. float_of_int !transactions) }

@@ -1,0 +1,42 @@
+(** GPU warp-execution model (paper §VI-B).
+
+    The container has no GPU, so the §VI-B claim — distributing
+    consecutive collapsed iterations across the threads of a warp
+    achieves memory coalescing while recovery stays once-per-thread —
+    is evaluated on a warp-level cost model: iterations execute in
+    lockstep batches of [warp] lanes; a batch costs its slowest lane
+    plus one memory transaction per distinct cache line touched. Two
+    iteration-to-lane mappings are compared:
+
+    - [Coalesced]: lane [l] of batch [b] runs collapsed iteration
+      [b*W + l] (the paper's scheme — consecutive ranks in a warp);
+    - [Blocked]: lane [l] runs iterations [l*ceil(n/W) + b] (contiguous
+      per-lane blocks, the natural but uncoalesced mapping).
+
+    With a row-major access function, coalesced mapping touches W
+    consecutive addresses per batch (few transactions); blocked mapping
+    touches W scattered rows (up to W transactions). *)
+
+type mapping = Coalesced | Blocked
+
+type result = {
+  batches : int;  (** lockstep steps executed *)
+  compute : float;  (** sum over batches of the slowest lane's cost *)
+  transactions : int;  (** memory transactions issued *)
+  time : float;  (** compute + transaction_cost * transactions *)
+}
+
+(** [run ~n ~warp ~mapping ~cost ~address ~line ~transaction_cost]
+    simulates one warp executing [n] collapsed iterations.
+    [cost q] is the compute cost of iteration [q] (0-based);
+    [address q] its memory address; [line] the cache-line size in
+    address units. *)
+val run :
+  n:int ->
+  warp:int ->
+  mapping:mapping ->
+  cost:(int -> float) ->
+  address:(int -> int) ->
+  line:int ->
+  transaction_cost:float ->
+  result

@@ -1,0 +1,20 @@
+(** Real shared-memory parallel-for on OCaml 5 domains.
+
+    This is the execution counterpart of {!Sim}: an OpenMP-like
+    [parallel for] whose schedules match {!Schedule}'s assignment
+    exactly. On the single-core container it demonstrates correctness
+    (iterations are distributed and executed exactly once) rather than
+    speedup; on a multicore machine it parallelizes for real.
+
+    Iterations must be independent — the same precondition the paper's
+    transformation requires of the loops being collapsed. *)
+
+(** [parallel_for ~nthreads ~schedule ~n f] runs [f q] for every
+    [q] in [0..n-1] across [nthreads] domains. *)
+val parallel_for : nthreads:int -> schedule:Schedule.t -> n:int -> (int -> unit) -> unit
+
+(** [parallel_for_chunks ~nthreads ~schedule ~n f] hands out whole
+    chunks: [f ~thread ~start ~len], letting the §V schemes perform
+    one costly recovery per chunk then increment. *)
+val parallel_for_chunks :
+  nthreads:int -> schedule:Schedule.t -> n:int -> (thread:int -> start:int -> len:int -> unit) -> unit

@@ -1,0 +1,40 @@
+type t =
+  | Static
+  | Static_chunk of int
+  | Dynamic of int
+  | Guided of int
+
+let to_string = function
+  | Static -> "static"
+  | Static_chunk c -> Printf.sprintf "static, %d" c
+  | Dynamic 1 -> "dynamic"
+  | Dynamic c -> Printf.sprintf "dynamic, %d" c
+  | Guided 1 -> "guided"
+  | Guided c -> Printf.sprintf "guided, %d" c
+
+let static_blocks ~nthreads ~n =
+  let q = n / nthreads and r = n mod nthreads in
+  let blocks = Array.make nthreads (0, 0) in
+  let start = ref 0 in
+  for t = 0 to nthreads - 1 do
+    let len = if t < r then q + 1 else q in
+    blocks.(t) <- (!start, len);
+    start := !start + len
+  done;
+  blocks
+
+let round_robin_chunks ~chunk ~nthreads ~n =
+  if chunk <= 0 then invalid_arg "Schedule.round_robin_chunks";
+  let lists = Array.make nthreads [] in
+  let start = ref 0 in
+  let t = ref 0 in
+  while !start < n do
+    let len = min chunk (n - !start) in
+    lists.(!t) <- (!start, len) :: lists.(!t);
+    start := !start + len;
+    t := (!t + 1) mod nthreads
+  done;
+  Array.map List.rev lists
+
+let next_guided ~chunk ~nthreads ~remaining =
+  max (min chunk remaining) (min remaining ((remaining + (2 * nthreads) - 1) / (2 * nthreads)))

@@ -1,0 +1,28 @@
+(** OpenMP loop schedules.
+
+    Chunk assignment reproduces libgomp's behaviour: [Static] deals one
+    contiguous block per thread (first [n mod t] threads get one extra
+    iteration); [Static_chunk c] deals [c]-sized chunks round-robin;
+    [Dynamic c] is first-come-first-served; [Guided c] halves the
+    remaining work over the thread count with a floor of [c]. *)
+
+type t =
+  | Static
+  | Static_chunk of int
+  | Dynamic of int
+  | Guided of int
+
+(** [to_string s] is the OpenMP clause text, e.g. ["static, 64"]. *)
+val to_string : t -> string
+
+(** [static_blocks ~nthreads ~n] is the per-thread contiguous
+    [(start, len)] assignment of [Static] (len 0 for idle threads). *)
+val static_blocks : nthreads:int -> n:int -> (int * int) array
+
+(** [round_robin_chunks ~chunk ~nthreads ~n] lists each thread's
+    [(start, len)] chunks under [Static_chunk chunk]. *)
+val round_robin_chunks : chunk:int -> nthreads:int -> n:int -> (int * int) list array
+
+(** [next_guided ~chunk ~nthreads ~remaining] is the size of the next
+    guided chunk. *)
+val next_guided : chunk:int -> nthreads:int -> remaining:int -> int

@@ -1,0 +1,50 @@
+(** Discrete simulation of OpenMP parallel-for execution.
+
+    The container running this reproduction has a single CPU, so the
+    paper's 12-thread wall-clock measurements (Figure 9) cannot be
+    taken natively. This simulator replaces them: given the cost of
+    every scheduled iteration (which for non-rectangular nests is where
+    all the load imbalance lives) and a schedule, it computes each
+    thread's busy time and the loop's makespan exactly — static
+    schedules by direct partitioning, dynamic/guided by event-driven
+    simulation with a per-dispatch overhead, mirroring the runtime
+    costs the paper attributes to [schedule(dynamic)].
+
+    Cost units are arbitrary (call them "work units"); overheads are
+    expressed in the same units. *)
+
+type overheads = {
+  fork_join : float;  (** one-time parallel region cost *)
+  dispatch : float;  (** cost charged per dynamically acquired chunk *)
+  chunk_start : float;
+      (** cost charged at each chunk start — the collapsed schemes'
+          costly index recovery (§V) *)
+  per_iter : float;
+      (** cost added to every iteration — incrementation overhead of
+          the §V scheme, or full recovery cost for the naive scheme *)
+}
+
+val no_overheads : overheads
+
+type result = {
+  makespan : float;  (** parallel execution time *)
+  busy : float array;  (** per-thread busy time *)
+  total_work : float;  (** sum of iteration costs without overheads *)
+  chunks_dispatched : int;
+  imbalance : float;
+      (** makespan / (ideal distribution of the executed work),
+          >= 1.0; 1.0 means perfectly balanced *)
+}
+
+(** [run ~costs ~schedule ~nthreads ~overheads] simulates one parallel
+    loop whose iteration [q] costs [costs.(q)]. *)
+val run :
+  costs:float array -> schedule:Schedule.t -> nthreads:int -> overheads:overheads -> result
+
+(** [serial ~costs ~overheads] is the 1-thread reference time (no
+    fork/join, single chunk). *)
+val serial : costs:float array -> overheads:overheads -> float
+
+(** [gain ~baseline ~improved] is the paper's Figure 9 metric
+    [(t_baseline - t_improved) / t_baseline]. *)
+val gain : baseline:float -> improved:float -> float

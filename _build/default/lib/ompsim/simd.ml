@@ -1,0 +1,20 @@
+type result = { scalar_time : float; vector_time : float; speedup : float }
+
+let run ~costs ~vlength ~fill =
+  if vlength <= 0 then invalid_arg "Simd.run";
+  let n = Array.length costs in
+  let scalar = Array.fold_left ( +. ) 0.0 costs in
+  let vector = ref 0.0 in
+  let q = ref 0 in
+  while !q < n do
+    let len = min vlength (n - !q) in
+    let widest = ref 0.0 in
+    for l = 0 to len - 1 do
+      widest := Float.max !widest costs.(!q + l)
+    done;
+    vector := !vector +. !widest +. (fill *. float_of_int len);
+    q := !q + len
+  done;
+  { scalar_time = scalar;
+    vector_time = !vector;
+    speedup = (if !vector = 0.0 then 1.0 else scalar /. !vector) }

@@ -1,0 +1,20 @@
+(** Vectorization model for the §VI-A scheme.
+
+    The collapsed loop is executed in groups of [vlength] consecutive
+    iterations: a scalar prologue materializes the [vlength] index
+    tuples by incrementation (cost [fill] each), then the group's
+    statements run vectorized — one vector operation per [vlength]
+    lanes, i.e. [group_cost = max lane cost + vlength * fill]. The
+    scalar baseline pays each iteration in full. Recovery is charged
+    once per thread as usual. *)
+
+type result = {
+  scalar_time : float;
+  vector_time : float;
+  speedup : float;
+}
+
+(** [run ~costs ~vlength ~fill] models one thread executing the whole
+    cost array. [fill] is the per-iteration cost of materializing one
+    index tuple in the §VI-A buffer (incrementation + store). *)
+val run : costs:float array -> vlength:int -> fill:float -> result

@@ -1,0 +1,1 @@
+lib/polyhedral/constraint.ml: Format Polymath Zmath

@@ -1,0 +1,1 @@
+lib/polyhedral/constraint.mli: Format Polymath Zmath

@@ -1,0 +1,1 @@
+lib/polyhedral/count.ml: Constraint Fourier_motzkin Hashtbl List Polyhedron Polymath Printf Zmath

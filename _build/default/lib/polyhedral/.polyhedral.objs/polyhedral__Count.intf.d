@@ -1,0 +1,1 @@
+lib/polyhedral/count.mli: Polyhedron Polymath

@@ -1,0 +1,1 @@
+lib/polyhedral/fourier_motzkin.ml: Constraint List Polyhedron Polymath Zmath

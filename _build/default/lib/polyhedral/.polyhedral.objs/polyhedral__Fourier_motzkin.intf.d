@@ -1,0 +1,1 @@
+lib/polyhedral/fourier_motzkin.mli: Constraint Polyhedron Polymath

@@ -1,0 +1,1 @@
+lib/polyhedral/lexmin.ml: Count List Polymath

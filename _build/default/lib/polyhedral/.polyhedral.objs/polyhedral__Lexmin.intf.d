@@ -1,0 +1,1 @@
+lib/polyhedral/lexmin.mli: Count Polymath

@@ -1,0 +1,1 @@
+lib/polyhedral/polyhedron.ml: Constraint Format List String

@@ -1,0 +1,1 @@
+lib/polyhedral/polyhedron.mli: Constraint Format Polymath Zmath

@@ -1,0 +1,21 @@
+module A = Polymath.Affine
+module Q = Zmath.Rat
+
+type kind = Ge | Eq
+
+type t = { expr : A.t; kind : kind }
+
+let ge a b = { expr = A.sub a b; kind = Ge }
+let le a b = ge b a
+let lt_int a b = { expr = A.add_const Q.minus_one (A.sub b a); kind = Ge }
+let eq a b = { expr = A.sub a b; kind = Eq }
+
+let holds env c =
+  let v = A.eval env c.expr in
+  match c.kind with Ge -> Q.sign v >= 0 | Eq -> Q.is_zero v
+
+let subst x b c = { c with expr = A.subst x b c.expr }
+let vars c = A.vars c.expr
+
+let pp fmt c =
+  Format.fprintf fmt "%a %s 0" A.pp c.expr (match c.kind with Ge -> ">=" | Eq -> "=")

@@ -1,0 +1,33 @@
+(** Affine constraints over named variables.
+
+    A constraint is either [e >= 0] or [e = 0] for an affine expression
+    [e]. Integer-order comparisons of the loop world ([i < u], [i <= u],
+    ...) are provided as constructors that normalize to this form. *)
+
+module A = Polymath.Affine
+
+type kind = Ge  (** [e >= 0] *) | Eq  (** [e = 0] *)
+
+type t = { expr : A.t; kind : kind }
+
+(** [ge a b] is the constraint [a >= b]. *)
+val ge : A.t -> A.t -> t
+
+(** [le a b] is the constraint [a <= b]. *)
+val le : A.t -> A.t -> t
+
+(** [lt_int a b] is the integer constraint [a < b], i.e.
+    [b - a - 1 >= 0]. *)
+val lt_int : A.t -> A.t -> t
+
+(** [eq a b] is the constraint [a = b]. *)
+val eq : A.t -> A.t -> t
+
+(** [holds env c] checks [c] at a rational point. *)
+val holds : (string -> Zmath.Rat.t) -> t -> bool
+
+(** [subst x b c] substitutes affine [b] for variable [x]. *)
+val subst : string -> A.t -> t -> t
+
+val vars : t -> string list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+module A = Polymath.Affine
+module Q = Zmath.Rat
+module C = Constraint
+
+let bounds_for x p =
+  let lowers = ref [] and uppers = ref [] and rest = ref [] in
+  List.iter
+    (fun (c : C.t) ->
+      let coef = A.coeff x c.expr in
+      if Q.is_zero coef then rest := c :: !rest
+      else begin
+        (* c.expr = coef*x + r; the bound on x is -r/coef *)
+        let r = A.subst x A.zero c.expr in
+        let bound = A.scale (Q.neg (Q.inv coef)) r in
+        match c.kind with
+        | C.Eq ->
+          lowers := bound :: !lowers;
+          uppers := bound :: !uppers
+        | C.Ge ->
+          (* coef*x + r >= 0  <=>  x >= -r/coef (coef>0) or x <= -r/coef *)
+          if Q.sign coef > 0 then lowers := bound :: !lowers
+          else uppers := bound :: !uppers
+      end)
+    (Polyhedron.constraints p);
+  (!lowers, !uppers, List.rev !rest)
+
+let eliminate x p =
+  let lowers, uppers, rest = bounds_for x p in
+  let pairs =
+    List.concat_map (fun lo -> List.map (fun hi -> C.ge hi lo) uppers) lowers
+  in
+  Polyhedron.make (pairs @ rest)
+
+let eliminate_all xs p = List.fold_left (fun p x -> eliminate x p) p xs
+
+let is_rationally_empty p =
+  let residual = eliminate_all (Polyhedron.vars p) p in
+  not (Polyhedron.mem (fun _ -> Q.zero) residual)

@@ -1,0 +1,31 @@
+(** Fourier–Motzkin variable elimination.
+
+    Rational projection of a polyhedron: eliminating [x] yields the
+    exact shadow of the rational polyhedron on the remaining variables.
+    Used for emptiness checks and for extracting per-variable bounds
+    from a constraint-form iteration domain. (Integer emptiness is
+    over-approximated: a rationally-nonempty polyhedron may contain no
+    integer point; the nest model used by the collapser never needs the
+    integer-exact test.) *)
+
+(** [eliminate x p] projects [x] away. *)
+val eliminate : string -> Polyhedron.t -> Polyhedron.t
+
+(** [eliminate_all xs p] projects all of [xs] away, in order. *)
+val eliminate_all : string list -> Polyhedron.t -> Polyhedron.t
+
+(** [is_rationally_empty p] decides emptiness over the rationals by
+    eliminating every variable and checking the residual constant
+    constraints. *)
+val is_rationally_empty : Polyhedron.t -> bool
+
+(** [bounds_for x p] splits the constraints of [p] that mention [x]
+    into lower and upper bounds on [x]: returns [(lowers, uppers,
+    rest)] where each element of [lowers] (resp. [uppers]) is an affine
+    expression [e] free of [x] such that the constraint says [x >= e]
+    (resp. [x <= e]), and [rest] are the constraints not mentioning
+    [x]. Equalities contribute to both sides.
+    @raise Invalid_argument if a constraint mentions [x] nonlinearly
+    (cannot happen for affine constraints). *)
+val bounds_for :
+  string -> Polyhedron.t -> Polymath.Affine.t list * Polymath.Affine.t list * Constraint.t list

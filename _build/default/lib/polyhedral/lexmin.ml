@@ -1,0 +1,13 @@
+let tail_minima (levels : Count.level list) ~prefix =
+  if prefix < 0 || prefix > List.length levels then invalid_arg "Lexmin.tail_minima";
+  let tail = List.filteri (fun i _ -> i >= prefix) levels in
+  let _, acc =
+    List.fold_left
+      (fun (subs, acc) (l : Count.level) ->
+        let m = List.fold_left (fun a (x, b) -> Polymath.Affine.subst x b a) l.lo subs in
+        ((l.var, m) :: subs, (l.var, m) :: acc))
+      ([], []) tail
+  in
+  List.rev acc
+
+let first_point levels = tail_minima levels ~prefix:0

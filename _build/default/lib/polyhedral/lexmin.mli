@@ -1,0 +1,21 @@
+(** Parametric lexicographic minima of nest-form domains.
+
+    For a nest whose level lower bounds are affine in the outer
+    iterators, the lexicographically smallest point with a fixed prefix
+    [i_0..i_{n-1}] is obtained by transitively substituting lower
+    bounds: level n sits at its lower bound, level n+1 at its lower
+    bound evaluated there, and so on. This is the parametric-lexmin
+    computation the paper delegates to ISL (Section IV-A), specialized
+    to the Fig. 5 loop model. *)
+
+(** [tail_minima levels ~prefix:n] is, for each level [n, n+1, ...]
+    (0-indexed, outermost first), its variable paired with its
+    lexicographic minimum as an affine expression over the variables of
+    levels [0..n-1] and the free parameters.
+    @raise Invalid_argument when [n] exceeds the nest depth. *)
+val tail_minima : Count.level list -> prefix:int -> (string * Polymath.Affine.t) list
+
+(** [first_point levels] is the lexicographic minimum of the whole
+    domain ([tail_minima ~prefix:0]): the first iteration of the nest,
+    parametrized by the size parameters only. *)
+val first_point : Count.level list -> (string * Polymath.Affine.t) list

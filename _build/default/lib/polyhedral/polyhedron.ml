@@ -1,0 +1,15 @@
+type t = Constraint.t list
+
+let make cs = cs
+let constraints p = p
+let add c p = c :: p
+let inter p q = p @ q
+let universe = []
+let vars p = List.concat_map Constraint.vars p |> List.sort_uniq String.compare
+let mem env p = List.for_all (Constraint.holds env) p
+let subst x b p = List.map (Constraint.subst x b) p
+
+let pp fmt p =
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.pp_print_string fmt " && ")
+    Constraint.pp fmt p

@@ -1,0 +1,27 @@
+(** Convex polyhedra as conjunctions of affine constraints. *)
+
+type t
+
+(** [make cs] is the polyhedron defined by the conjunction of [cs]. *)
+val make : Constraint.t list -> t
+
+val constraints : t -> Constraint.t list
+
+(** [add c p] conjoins one more constraint. *)
+val add : Constraint.t -> t -> t
+
+(** [inter p q] is the intersection. *)
+val inter : t -> t -> t
+
+val universe : t
+
+(** [vars p] is the sorted list of variables constrained by [p]. *)
+val vars : t -> string list
+
+(** [mem env p] checks membership of a rational point. *)
+val mem : (string -> Zmath.Rat.t) -> t -> bool
+
+(** [subst x b p] substitutes affine [b] for variable [x] everywhere. *)
+val subst : string -> Polymath.Affine.t -> t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/polymath/affine.ml: Format List Map Monomial Option Polynomial String Zmath

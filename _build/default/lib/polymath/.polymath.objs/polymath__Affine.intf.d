@@ -1,0 +1,1 @@
+lib/polymath/affine.mli: Format Polynomial Zmath

@@ -1,0 +1,1 @@
+lib/polymath/monomial.ml: Format Hashtbl List Option Stdlib String

@@ -1,0 +1,1 @@
+lib/polymath/monomial.mli: Format

@@ -1,0 +1,1 @@
+lib/polymath/polynomial.ml: Buffer Format Hashtbl List Map Monomial Option String Zmath

@@ -1,0 +1,1 @@
+lib/polymath/polynomial.mli: Format Monomial Zmath

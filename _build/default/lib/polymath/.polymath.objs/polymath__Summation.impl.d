@@ -1,0 +1,1 @@
+lib/polymath/summation.ml: List Polynomial Zmath

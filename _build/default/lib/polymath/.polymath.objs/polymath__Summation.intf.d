@@ -1,0 +1,1 @@
+lib/polymath/summation.mli: Polynomial

@@ -1,0 +1,70 @@
+module Q = Zmath.Rat
+module SMap = Map.Make (String)
+
+type t = { terms : Q.t SMap.t; const : Q.t } (* no zero coefficients *)
+
+let zero = { terms = SMap.empty; const = Q.zero }
+let const c = { terms = SMap.empty; const = c }
+let of_int n = const (Q.of_int n)
+let var x = { terms = SMap.singleton x Q.one; const = Q.zero }
+
+let add_term x c m =
+  SMap.update x
+    (fun cur ->
+      let s = Q.add (Option.value ~default:Q.zero cur) c in
+      if Q.is_zero s then None else Some s)
+    m
+
+let make terms const =
+  { terms = List.fold_left (fun m (x, c) -> add_term x c m) SMap.empty terms; const }
+
+let terms a = SMap.bindings a.terms
+let const_part a = a.const
+let coeff x a = Option.value ~default:Q.zero (SMap.find_opt x a.terms)
+
+let add a b =
+  { terms = SMap.fold add_term b.terms a.terms; const = Q.add a.const b.const }
+
+let neg a = { terms = SMap.map Q.neg a.terms; const = Q.neg a.const }
+let sub a b = add a (neg b)
+
+let scale c a =
+  if Q.is_zero c then zero
+  else { terms = SMap.map (Q.mul c) a.terms; const = Q.mul c a.const }
+
+let add_const c a = { a with const = Q.add a.const c }
+let equal a b = SMap.equal Q.equal a.terms b.terms && Q.equal a.const b.const
+let is_const a = if SMap.is_empty a.terms then Some a.const else None
+let vars a = List.map fst (SMap.bindings a.terms)
+
+let subst x b a =
+  match SMap.find_opt x a.terms with
+  | None -> a
+  | Some c -> add { a with terms = SMap.remove x a.terms } (scale c b)
+
+let eval env a =
+  SMap.fold (fun x c acc -> Q.add acc (Q.mul c (env x))) a.terms a.const
+
+let eval_float env a =
+  SMap.fold (fun x c acc -> acc +. (Q.to_float c *. env x)) a.terms (Q.to_float a.const)
+
+let to_poly a =
+  SMap.fold
+    (fun x c acc -> Polynomial.add acc (Polynomial.scale c (Polynomial.var x)))
+    a.terms
+    (Polynomial.const a.const)
+
+let of_poly p =
+  if Polynomial.degree p > 1 then None
+  else
+    Some
+      (List.fold_left
+         (fun acc (c, m) ->
+           match Monomial.to_list m with
+           | [] -> add_const c acc
+           | [ (x, 1) ] -> add acc (scale c (var x))
+           | _ -> assert false)
+         zero (Polynomial.terms p))
+
+let to_string a = Polynomial.to_string (to_poly a)
+let pp fmt a = Format.pp_print_string fmt (to_string a)

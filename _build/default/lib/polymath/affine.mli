@@ -1,0 +1,50 @@
+(** Affine (degree-1) expressions over named variables.
+
+    Loop bounds in the paper's model (Fig. 5) are affine combinations of
+    surrounding iterators and size parameters; constraints of the
+    iteration polyhedron are affine inequalities. *)
+
+type t
+
+module Q = Zmath.Rat
+
+val zero : t
+val const : Q.t -> t
+val of_int : int -> t
+val var : string -> t
+
+(** [make terms const] builds [sum c_i * x_i + const]. *)
+val make : (string * Q.t) list -> Q.t -> t
+
+(** [terms a] is the sorted nonzero [(var, coeff)] list. *)
+val terms : t -> (string * Q.t) list
+
+(** [const_part a] is the constant term. *)
+val const_part : t -> Q.t
+
+(** [coeff x a] is the coefficient of [x] in [a]. *)
+val coeff : string -> t -> Q.t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : Q.t -> t -> t
+val add_const : Q.t -> t -> t
+val equal : t -> t -> bool
+val is_const : t -> Q.t option
+val vars : t -> string list
+
+(** [subst x b a] substitutes affine [b] for [x] in [a] (stays affine). *)
+val subst : string -> t -> t -> t
+
+val eval : (string -> Q.t) -> t -> Q.t
+val eval_float : (string -> float) -> t -> float
+
+(** [to_poly a] is the same expression as a {!Polynomial.t}. *)
+val to_poly : t -> Polynomial.t
+
+(** [of_poly p] is [Some a] when [p] has degree at most 1. *)
+val of_poly : Polynomial.t -> t option
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+type t = (string * int) list (* sorted by variable, exponents > 0 *)
+
+let one = []
+let var x = [ (x, 1) ]
+
+let of_list l =
+  List.iter (fun (_, e) -> if e < 0 then invalid_arg "Monomial.of_list: negative exponent") l;
+  let tbl = Hashtbl.create 4 in
+  List.iter
+    (fun (x, e) -> Hashtbl.replace tbl x (e + Option.value ~default:0 (Hashtbl.find_opt tbl x)))
+    l;
+  Hashtbl.fold (fun x e acc -> if e = 0 then acc else (x, e) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let to_list m = m
+
+let mul a b =
+  let rec go a b =
+    match (a, b) with
+    | [], m | m, [] -> m
+    | (xa, ea) :: ta, (xb, eb) :: tb ->
+      let c = String.compare xa xb in
+      if c < 0 then (xa, ea) :: go ta b
+      else if c > 0 then (xb, eb) :: go a tb
+      else (xa, ea + eb) :: go ta tb
+  in
+  go a b
+
+let pow m k =
+  if k < 0 then invalid_arg "Monomial.pow";
+  if k = 0 then one else List.map (fun (x, e) -> (x, e * k)) m
+
+let degree m = List.fold_left (fun acc (_, e) -> acc + e) 0 m
+let degree_in x m = Option.value ~default:0 (List.assoc_opt x m)
+let remove x m = List.filter (fun (y, _) -> y <> x) m
+let vars m = List.map fst m
+let is_one m = m = []
+let compare = Stdlib.compare
+let equal a b = a = b
+
+let pp fmt m =
+  if is_one m then Format.pp_print_string fmt "1"
+  else
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt "*")
+      (fun fmt (x, e) ->
+        if e = 1 then Format.pp_print_string fmt x else Format.fprintf fmt "%s^%d" x e)
+      fmt m

@@ -1,0 +1,45 @@
+(** Power products of named variables (the keys of a polynomial).
+
+    A monomial is a canonical, variable-sorted list of [(variable,
+    exponent)] pairs with strictly positive exponents; the empty list is
+    the unit monomial 1. *)
+
+type t
+
+(** The unit monomial (degree 0). *)
+val one : t
+
+(** [var x] is the monomial [x^1]. *)
+val var : string -> t
+
+(** [of_list l] canonicalizes an arbitrary [(var, exp)] list (merging
+    repeats, dropping zero exponents).
+    @raise Invalid_argument on a negative exponent. *)
+val of_list : (string * int) list -> t
+
+(** [to_list m] is the canonical [(var, exp)] list, variables sorted. *)
+val to_list : t -> (string * int) list
+
+val mul : t -> t -> t
+
+(** [pow m k] is [m^k] for [k >= 0]. *)
+val pow : t -> int -> t
+
+(** [degree m] is the total degree. *)
+val degree : t -> int
+
+(** [degree_in x m] is the exponent of [x] in [m] (0 when absent). *)
+val degree_in : string -> t -> int
+
+(** [remove x m] is [m] with every power of [x] removed. *)
+val remove : string -> t -> t
+
+(** [vars m] is the sorted list of variables occurring in [m]. *)
+val vars : t -> string list
+
+val is_one : t -> bool
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+(** [pp] prints e.g. [i^2*j] ([1] for the unit monomial). *)
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,158 @@
+module Q = Zmath.Rat
+module MMap = Map.Make (Monomial)
+
+type t = Q.t MMap.t (* no zero coefficients *)
+
+let zero = MMap.empty
+let const c = if Q.is_zero c then zero else MMap.singleton Monomial.one c
+let one = const Q.one
+let of_int n = const (Q.of_int n)
+let var x = MMap.singleton (Monomial.var x) Q.one
+
+let add_term m c p =
+  if Q.is_zero c then p
+  else
+    MMap.update m
+      (fun cur ->
+        let s = Q.add (Option.value ~default:Q.zero cur) c in
+        if Q.is_zero s then None else Some s)
+      p
+
+let of_terms l = List.fold_left (fun p (c, m) -> add_term m c p) zero l
+
+let terms p =
+  MMap.bindings p
+  |> List.map (fun (m, c) -> (c, m))
+  |> List.sort (fun (_, m1) (_, m2) ->
+         let d = compare (Monomial.degree m2) (Monomial.degree m1) in
+         if d <> 0 then d else Monomial.compare m1 m2)
+
+let add p q = MMap.fold (fun m c acc -> add_term m c acc) q p
+let neg p = MMap.map Q.neg p
+let sub p q = add p (neg q)
+let scale c p = if Q.is_zero c then zero else MMap.map (Q.mul c) p
+
+let mul p q =
+  MMap.fold
+    (fun mp cp acc ->
+      MMap.fold (fun mq cq acc -> add_term (Monomial.mul mp mq) (Q.mul cp cq) acc) q acc)
+    p zero
+
+let pow p k =
+  if k < 0 then invalid_arg "Polynomial.pow";
+  let rec go acc b k = if k = 0 then acc else go (if k land 1 = 1 then mul acc b else acc) (mul b b) (k lsr 1) in
+  go one p k
+
+let equal p q = MMap.equal Q.equal p q
+let is_zero p = MMap.is_empty p
+
+let is_const p =
+  if is_zero p then Some Q.zero
+  else
+    match MMap.bindings p with
+    | [ (m, c) ] when Monomial.is_one m -> Some c
+    | _ -> None
+
+let coeff p m = Option.value ~default:Q.zero (MMap.find_opt m p)
+
+let vars p =
+  MMap.fold (fun m _ acc -> List.fold_left (fun acc x -> x :: acc) acc (Monomial.vars m)) p []
+  |> List.sort_uniq String.compare
+
+let degree p = MMap.fold (fun m _ acc -> max acc (Monomial.degree m)) p (-1)
+let degree_in x p = MMap.fold (fun m _ acc -> max acc (Monomial.degree_in x m)) p 0
+
+let as_univariate x p =
+  let tbl = Hashtbl.create 8 in
+  MMap.iter
+    (fun m c ->
+      let e = Monomial.degree_in x m in
+      let rest = Monomial.remove x m in
+      let cur = Option.value ~default:zero (Hashtbl.find_opt tbl e) in
+      Hashtbl.replace tbl e (add_term rest c cur))
+    p;
+  Hashtbl.fold (fun e q acc -> if is_zero q then acc else (e, q) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare b a)
+
+let subst x q p =
+  List.fold_left
+    (fun acc (e, cpoly) -> add acc (mul cpoly (pow q e)))
+    zero (as_univariate x p)
+
+let subst_all bindings p =
+  (* simultaneous: rename target variables to fresh names first so a
+     binding image mentioning another bound variable is not re-bound *)
+  let fresh x = "%tmp%" ^ x in
+  let renamed = List.fold_left (fun acc (x, _) -> subst x (var (fresh x)) acc) p bindings in
+  List.fold_left (fun acc (x, q) -> subst (fresh x) q acc) renamed bindings
+
+let eval env p =
+  MMap.fold
+    (fun m c acc ->
+      let v =
+        List.fold_left
+          (fun v (x, e) -> Q.mul v (Q.pow (env x) e))
+          c (Monomial.to_list m)
+      in
+      Q.add acc v)
+    p Q.zero
+
+let eval_float env p =
+  MMap.fold
+    (fun m c acc ->
+      let v =
+        List.fold_left
+          (fun v (x, e) -> v *. (env x ** float_of_int e))
+          (Q.to_float c) (Monomial.to_list m)
+      in
+      acc +. v)
+    p 0.0
+
+let derivative x p =
+  MMap.fold
+    (fun m c acc ->
+      let e = Monomial.degree_in x m in
+      if e = 0 then acc
+      else begin
+        let m' = Monomial.mul (Monomial.remove x m) (Monomial.pow (Monomial.var x) (e - 1)) in
+        add_term m' (Q.mul c (Q.of_int e)) acc
+      end)
+    p zero
+
+let denominator_lcm p =
+  let module B = Zmath.Bigint in
+  MMap.fold
+    (fun _ c acc ->
+      let d = Q.den c in
+      let g = B.gcd acc d in
+      fst (B.divmod (B.mul acc d) g))
+    p B.one
+
+let to_string p =
+  if is_zero p then "0"
+  else begin
+    let buf = Buffer.create 64 in
+    let first = ref true in
+    List.iter
+      (fun (c, m) ->
+        let neg_p = Q.sign c < 0 in
+        let c_abs = Q.abs c in
+        if !first then begin
+          if neg_p then Buffer.add_string buf "-";
+          first := false
+        end
+        else Buffer.add_string buf (if neg_p then " - " else " + ");
+        let unit_coeff = Q.equal c_abs Q.one in
+        if Monomial.is_one m then Buffer.add_string buf (Q.to_string c_abs)
+        else begin
+          if not unit_coeff then begin
+            Buffer.add_string buf (Q.to_string c_abs);
+            Buffer.add_string buf "*"
+          end;
+          Buffer.add_string buf (Format.asprintf "%a" Monomial.pp m)
+        end)
+      (terms p);
+    Buffer.contents buf
+  end
+
+let pp fmt p = Format.pp_print_string fmt (to_string p)

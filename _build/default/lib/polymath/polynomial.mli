@@ -1,0 +1,92 @@
+(** Multivariate polynomials with exact rational coefficients.
+
+    This is the workhorse of the collapser: ranking Ehrhart polynomials,
+    trip-count polynomials and the coefficients of the univariate
+    equations to invert are all values of this type. Variables are
+    named; the representation is a canonical monomial-to-coefficient map
+    with no zero coefficients. *)
+
+type t
+
+module Q = Zmath.Rat
+
+val zero : t
+val one : t
+
+(** [const c] is the constant polynomial [c]. *)
+val const : Q.t -> t
+
+val of_int : int -> t
+
+(** [var x] is the polynomial [x]. *)
+val var : string -> t
+
+(** [of_terms l] builds a polynomial from [(coefficient, monomial)]
+    pairs (summing duplicates). *)
+val of_terms : (Q.t * Monomial.t) list -> t
+
+(** [terms p] is the canonical term list, monomials in decreasing
+    lexicographic-degree order, zero coefficients absent. *)
+val terms : t -> (Q.t * Monomial.t) list
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val scale : Q.t -> t -> t
+
+(** [pow p k] is [p^k] for [k >= 0]. *)
+val pow : t -> int -> t
+
+val equal : t -> t -> bool
+val is_zero : t -> bool
+
+(** [is_const p] is [Some c] when [p] is the constant [c]. *)
+val is_const : t -> Q.t option
+
+(** [coeff p m] is the coefficient of monomial [m] in [p]. *)
+val coeff : t -> Monomial.t -> Q.t
+
+(** [vars p] is the sorted list of variables occurring in [p]. *)
+val vars : t -> string list
+
+(** [degree p] is the total degree ([-1] for the zero polynomial). *)
+val degree : t -> int
+
+(** [degree_in x p] is the degree of [p] seen as univariate in [x]. *)
+val degree_in : string -> t -> int
+
+(** [subst x q p] substitutes polynomial [q] for every occurrence of
+    variable [x] in [p]. *)
+val subst : string -> t -> t -> t
+
+(** [subst_all bindings p] substitutes simultaneously (bindings are
+    applied to the original variables of [p], not chained). *)
+val subst_all : (string * t) list -> t -> t
+
+(** [as_univariate x p] writes [p] as a univariate polynomial in [x]:
+    a list of [(exponent, coefficient-polynomial)] pairs, descending
+    exponents, coefficients free of [x], no zero coefficients. *)
+val as_univariate : string -> t -> (int * t) list
+
+(** [eval env p] evaluates [p] exactly; [env] must cover {!vars}.
+    @raise Not_found when a variable is unbound. *)
+val eval : (string -> Q.t) -> t -> Q.t
+
+(** [eval_float env p] evaluates in floating point. *)
+val eval_float : (string -> float) -> t -> float
+
+(** [derivative x p] is [dp/dx]. *)
+val derivative : string -> t -> t
+
+(** [denominator_lcm p] is the positive LCM of all coefficient
+    denominators: [scale (of that) p] has integer coefficients. Used to
+    evaluate ranking polynomials in exact integer arithmetic at run
+    time. *)
+val denominator_lcm : t -> Zmath.Bigint.t
+
+(** [to_string p] is a human-readable form, e.g.
+    ["1/2*i^2 + 3/2*i + 1"]. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+module P = Polynomial
+module Q = Zmath.Rat
+
+(* S_k as a polynomial evaluated at an arbitrary polynomial argument:
+   S_k(arg) = sum_{(e,c) in faulhaber k} c * arg^e. *)
+let power_sum_at k arg =
+  List.fold_left
+    (fun acc (e, c) -> P.add acc (P.scale c (P.pow arg e)))
+    P.zero (Zmath.Faulhaber.power_sum k)
+
+let sum ~var p ~lo ~hi =
+  if List.mem var (P.vars lo) || List.mem var (P.vars hi) then
+    invalid_arg "Summation.sum: bound mentions the summation variable";
+  let lo_minus_1 = P.sub lo P.one in
+  List.fold_left
+    (fun acc (e, c) ->
+      let s = P.sub (power_sum_at e hi) (power_sum_at e lo_minus_1) in
+      P.add acc (P.mul c s))
+    P.zero (P.as_univariate var p)
+
+let count ~var ~lo ~hi = sum ~var P.one ~lo ~hi

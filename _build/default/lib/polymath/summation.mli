@@ -1,0 +1,25 @@
+(** Exact symbolic summation of polynomials over parametric ranges.
+
+    [sum ~var p ~lo ~hi] is the polynomial identically equal to
+    [sum_{var = lo}^{hi} p] whenever [hi >= lo - 1] (the empty range
+    [hi = lo - 1] sums to zero, as required when counting iterations of
+    loops that may execute zero times). Outside that validity region the
+    returned polynomial extrapolates Faulhaber's formula and is {e not}
+    a count.
+
+    This is the replacement for ISL/barvinok counting in this repo: for
+    the paper's loop model the iteration counts and ranking polynomials
+    are obtained by summing 1 (resp. inner counts) over each loop range,
+    innermost first. *)
+
+(** [sum ~var p ~lo ~hi] symbolically sums [p] over integer values
+    [lo <= var <= hi]. [lo] and [hi] may be arbitrary polynomials in
+    other variables (and may mention [var] only if you really mean a
+    range whose bound moves with the summation variable — they are
+    composed as given, so normally they must not mention [var]).
+    @raise Invalid_argument if [lo] or [hi] mentions [var]. *)
+val sum :
+  var:string -> Polynomial.t -> lo:Polynomial.t -> hi:Polynomial.t -> Polynomial.t
+
+(** [count ~var ~lo ~hi] is [sum ~var 1 ~lo ~hi = hi - lo + 1]. *)
+val count : var:string -> lo:Polynomial.t -> hi:Polynomial.t -> Polynomial.t

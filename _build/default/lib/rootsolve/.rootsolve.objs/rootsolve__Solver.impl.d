@@ -1,0 +1,1 @@
+lib/rootsolve/solver.ml: List Polymath Printf Symx Zmath

@@ -1,0 +1,1 @@
+lib/rootsolve/solver.mli: Polymath Symx

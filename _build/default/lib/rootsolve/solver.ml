@@ -1,0 +1,154 @@
+module P = Polymath.Polynomial
+module Q = Zmath.Rat
+module E = Symx.Expr
+
+type univariate = (int * P.t) list
+
+let of_poly ~unknown p =
+  let u = P.as_univariate unknown p in
+  List.iter
+    (fun (_, c) ->
+      if List.mem unknown (P.vars c) then
+        invalid_arg "Solver.of_poly: nonlinear occurrence of the unknown")
+    u;
+  u
+
+let degree u = List.fold_left (fun acc (e, c) -> if P.is_zero c then acc else max acc e) (-1) u
+
+let coeff u k =
+  match List.assoc_opt k u with Some c -> c | None -> P.zero
+
+(* expression form of a coefficient *)
+let ce u k = E.of_poly (coeff u k)
+
+(* primitive cube roots of unity: w = (-1 + i*sqrt 3)/2, w2 = conjugate *)
+let omega =
+  E.prod [ E.of_rat Q.half; E.sum [ E.of_int (-1); E.prod [ E.I; E.sqrt (E.of_int 3) ] ] ]
+
+let omega2 =
+  E.prod [ E.of_rat Q.half; E.sum [ E.of_int (-1); E.neg (E.prod [ E.I; E.sqrt (E.of_int 3) ]) ] ]
+
+let linear_roots u =
+  (* a x + b = 0 *)
+  let a = ce u 1 and b = ce u 0 in
+  [ E.neg (E.div b a) ]
+
+let quadratic_roots u =
+  (* x = (-b +- sqrt(b^2 - 4ac)) / 2a *)
+  let a = ce u 2 and b = ce u 1 and c = ce u 0 in
+  let disc = E.sub (E.mul b b) (E.prod [ E.of_int 4; a; c ]) in
+  let s = E.sqrt disc in
+  let half_inv_a = E.div E.one (E.mul (E.of_int 2) a) in
+  [ E.mul (E.sub s b) half_inv_a; E.mul (E.sub (E.neg s) b) half_inv_a ]
+
+(* Cardano on the depressed cubic t^3 + p t + q = 0: candidates
+   t_k = w^k * u0 - p / (3 w^k u0) with u0 = cbrt(-q/2 + sqrt(q^2/4 + p^3/27)). *)
+let depressed_cubic_roots p q =
+  let disc = E.add (E.div (E.mul q q) (E.of_int 4)) (E.div (E.pow p (Q.of_int 3)) (E.of_int 27)) in
+  let u0 = E.cbrt (E.add (E.neg (E.div q (E.of_int 2))) (E.sqrt disc)) in
+  let root w =
+    let uw = E.mul w u0 in
+    E.sub uw (E.div p (E.mul (E.of_int 3) uw))
+  in
+  [ root E.one; root omega; root omega2 ]
+
+let cubic_roots u =
+  (* a x^3 + b x^2 + c x + d; substitute x = t - b/(3a) *)
+  let a = ce u 3 and b = ce u 2 and c = ce u 1 and d = ce u 0 in
+  let a2 = E.mul a a in
+  let a3 = E.mul a2 a in
+  let b2 = E.mul b b in
+  let p = E.div (E.sub (E.prod [ E.of_int 3; a; c ]) b2) (E.mul (E.of_int 3) a2) in
+  let q =
+    E.div
+      (E.sum
+         [ E.prod [ E.of_int 2; b2; b ];
+           E.neg (E.prod [ E.of_int 9; a; b; c ]);
+           E.prod [ E.of_int 27; a2; d ] ])
+      (E.mul (E.of_int 27) a3)
+  in
+  let shift = E.neg (E.div b (E.mul (E.of_int 3) a)) in
+  List.map (fun t -> E.add t shift) (depressed_cubic_roots p q)
+
+let quartic_roots u =
+  (* a x^4 + b x^3 + c x^2 + d x + e; substitute x = t - b/(4a) giving
+     t^4 + p t^2 + q t + r, then Descartes' factorization
+     (t^2 + u t + s)(t^2 - u t + s') with z = u^2 a root of
+     z^3 + 2p z^2 + (p^2 - 4r) z - q^2 = 0. *)
+  let a = ce u 4 and b = ce u 3 and c = ce u 2 and d = ce u 1 and e = ce u 0 in
+  let a2 = E.mul a a in
+  let a3 = E.mul a2 a in
+  let a4 = E.mul a2 a2 in
+  let b2 = E.mul b b in
+  let p = E.sub (E.div c a) (E.div (E.prod [ E.of_rat (Q.of_ints 3 8); b2 ]) a2) in
+  let q =
+    E.sum
+      [ E.div (E.mul b2 b) (E.mul (E.of_int 8) a3);
+        E.neg (E.div (E.mul b c) (E.mul (E.of_int 2) a2));
+        E.div d a ]
+  in
+  let r =
+    E.sum
+      [ E.neg (E.div (E.prod [ E.of_rat (Q.of_ints 3 256); E.mul b2 b2 ]) a4);
+        E.div (E.prod [ E.of_rat (Q.of_ints 1 16); b2; c ]) a3;
+        E.neg (E.div (E.prod [ E.of_rat (Q.of_ints 1 4); b; d ]) a2);
+        E.div e a ]
+  in
+  let shift = E.neg (E.div b (E.mul (E.of_int 4) a)) in
+  (* biquadratic special case: q may be identically zero as a polynomial
+     only when d and the b-derived part cancel; we detect it on the
+     original coefficients to keep the test exact *)
+  let q_poly_zero =
+    (* q = b^3/8a^3 - bc/2a^2 + d/a == 0 symbolically iff
+       b^3 - 4abc + 8a^2 d == 0 *)
+    P.is_zero
+      (P.sub
+         (P.add (P.pow (coeff u 3) 3) (P.scale (Q.of_int 8) (P.mul (P.pow (coeff u 4) 2) (coeff u 1))))
+         (P.scale (Q.of_int 4) (P.mul (coeff u 4) (P.mul (coeff u 3) (coeff u 2)))))
+  in
+  if q_poly_zero then begin
+    (* t^4 + p t^2 + r = 0: t^2 = (-p +- sqrt(p^2 - 4r))/2 *)
+    let s = E.sqrt (E.sub (E.mul p p) (E.mul (E.of_int 4) r)) in
+    let t2_a = E.div (E.add (E.neg p) s) (E.of_int 2) in
+    let t2_b = E.div (E.sub (E.neg p) s) (E.of_int 2) in
+    List.concat_map
+      (fun t2 -> [ E.add (E.sqrt t2) shift; E.add (E.neg (E.sqrt t2)) shift ])
+      [ t2_a; t2_b ]
+  end
+  else begin
+    let resolvent_roots =
+      depressed_cubic_roots
+        (* depress z^3 + 2p z^2 + (p^2-4r) z - q^2: substitute z = y - 2p/3 *)
+        (E.sub (E.sub (E.mul p p) (E.mul (E.of_int 4) r))
+           (E.div (E.prod [ E.of_int 4; p; p ]) (E.of_int 3)))
+        (E.sum
+           [ E.div (E.prod [ E.of_int 16; p; p; p ]) (E.of_int 27);
+             E.neg
+               (E.div
+                  (E.prod [ E.of_int 2; p; E.sub (E.mul p p) (E.mul (E.of_int 4) r) ])
+                  (E.of_int 3));
+             E.neg (E.mul q q) ])
+      |> List.map (fun y -> E.sub y (E.div (E.mul (E.of_int 2) p) (E.of_int 3)))
+    in
+    List.concat_map
+      (fun z ->
+        let uu = E.sqrt z in
+        let s = E.div (E.sub (E.add p z) (E.div q uu)) (E.of_int 2) in
+        let s' = E.div (E.add (E.add p z) (E.div q uu)) (E.of_int 2) in
+        let quad u0 s0 =
+          (* t^2 + u0 t + s0 = 0 *)
+          let disc = E.sqrt (E.sub (E.mul u0 u0) (E.mul (E.of_int 4) s0)) in
+          [ E.div (E.add (E.neg u0) disc) (E.of_int 2);
+            E.div (E.sub (E.neg u0) disc) (E.of_int 2) ]
+        in
+        List.map (fun t -> E.add t shift) (quad uu s @ quad (E.neg uu) s'))
+      resolvent_roots
+  end
+
+let candidates u =
+  match degree u with
+  | 1 -> linear_roots u
+  | 2 -> quadratic_roots u
+  | 3 -> cubic_roots u
+  | 4 -> quartic_roots u
+  | d -> invalid_arg (Printf.sprintf "Solver.candidates: unsupported degree %d" d)

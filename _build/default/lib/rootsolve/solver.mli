@@ -1,0 +1,36 @@
+(** Closed-form symbolic roots of low-degree univariate polynomials.
+
+    The collapser inverts a ranking polynomial level by level; each
+    level yields one univariate polynomial equation in the unknown
+    index whose coefficients are polynomials in the parameters, the
+    outer indices, and the collapsed index [pc]. Degrees up to 4 admit
+    closed-form roots (paper §IV-B); this module produces the full list
+    of {e candidate} symbolic roots — the caller selects the convenient
+    one by checking the values it produces (paper §IV-C: selection must
+    not be made on the real/complex type of the root but on the
+    correctness of its values).
+
+    Evaluation caveat: the candidates are built for principal-branch
+    complex evaluation ({!Symx.Expr.eval_complex} or C [cpow]/[csqrt]),
+    exactly as the paper's generated code. *)
+
+module P = Polymath.Polynomial
+
+(** A univariate polynomial [sum_k coeff_k x^k] given as a sparse
+    descending [(exponent, coefficient)] list; coefficients are
+    polynomials that must not mention the unknown. *)
+type univariate = (int * P.t) list
+
+(** [of_poly ~unknown p] views [p] as univariate in [unknown].
+    @raise Invalid_argument if some coefficient mentions [unknown]. *)
+val of_poly : unknown:string -> P.t -> univariate
+
+(** [degree u] is the degree (coefficients identically zero are
+    dropped; [-1] for the zero polynomial). *)
+val degree : univariate -> int
+
+(** [candidates u] is the list of symbolic candidate roots.
+    @raise Invalid_argument when the degree is 0, negative, or > 4
+    (the paper's method does not apply; callers fall back to exact
+    binary-search recovery). *)
+val candidates : univariate -> Symx.Expr.t list

@@ -1,0 +1,1 @@
+lib/symx/cemit.ml: Buffer Expr List Polymath Printf String Zmath

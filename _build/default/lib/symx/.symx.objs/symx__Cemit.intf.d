@@ -1,0 +1,1 @@
+lib/symx/cemit.mli: Expr Polymath Zmath

@@ -1,0 +1,1 @@
+lib/symx/expr.ml: Complex Float Format List Polymath String Zmath

@@ -1,0 +1,1 @@
+lib/symx/expr.mli: Complex Format Polymath Zmath

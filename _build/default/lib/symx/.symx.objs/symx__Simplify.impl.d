@@ -1,0 +1,1 @@
+lib/symx/simplify.ml: Expr List Polymath Zmath

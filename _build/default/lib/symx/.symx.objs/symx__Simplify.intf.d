@@ -1,0 +1,1 @@
+lib/symx/simplify.mli: Expr Polymath

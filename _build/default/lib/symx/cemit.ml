@@ -1,0 +1,85 @@
+module Q = Zmath.Rat
+module B = Zmath.Bigint
+
+type mode = Real | Complex
+
+let classify e =
+  let rec go = function
+    | Expr.Const _ | Expr.Var _ -> false
+    | Expr.I -> true
+    | Expr.Sum es | Expr.Prod es -> List.exists go es
+    | Expr.Pow (b, k) ->
+      go b || (not (Q.is_integer k) && not (Q.equal (Q.abs k) Q.half))
+  in
+  if go e then Complex else Real
+
+let rat_literal q =
+  if Q.is_integer q then B.to_string (Q.num q) ^ ".0"
+  else Printf.sprintf "(%s.0/%s.0)" (B.to_string (Q.num q)) (B.to_string (Q.den q))
+
+(* precedence levels: 0 = additive, 1 = multiplicative, 2 = atom *)
+let rec emit_prec ~mode prec e =
+  let paren lvl s = if prec > lvl then "(" ^ s ^ ")" else s in
+  match e with
+  | Expr.Const c ->
+    if Q.sign c < 0 || not (Q.is_integer c) then paren 1 (rat_literal c) else rat_literal c
+  | Expr.I -> "I"
+  | Expr.Var x -> "(double)" ^ x
+  | Expr.Sum es -> paren 0 (String.concat " + " (List.map (emit_prec ~mode 1) es))
+  | Expr.Prod es -> paren 1 (String.concat "*" (List.map (emit_prec ~mode 2) es))
+  | Expr.Pow (b, k) -> emit_pow ~mode b k
+
+and emit_pow ~mode b k =
+  let pow_name = match mode with Real -> "pow" | Complex -> "cpow" in
+  let sqrt_name = match mode with Real -> "sqrt" | Complex -> "csqrt" in
+  let arg = emit_prec ~mode 0 b in
+  if Q.equal k Q.half then Printf.sprintf "%s(%s)" sqrt_name arg
+  else if Q.equal k Q.minus_one then Printf.sprintf "(1.0/(%s))" arg
+  else if Q.equal k (Q.of_ints 1 3) && mode = Real then Printf.sprintf "cbrt(%s)" arg
+  else Printf.sprintf "%s(%s, %s)" pow_name arg (rat_literal k)
+
+let emit ~mode e = emit_prec ~mode 0 e
+
+let emit_floor ~mode e =
+  match mode with
+  | Real -> Printf.sprintf "floor(%s)" (emit ~mode e)
+  | Complex -> Printf.sprintf "floor(creal(%s))" (emit ~mode e)
+
+let emit_poly_int p ~ty =
+  let module P = Polymath.Polynomial in
+  if P.is_zero p then "0"
+  else begin
+    let d = P.denominator_lcm p in
+    let scaled = P.scale (Q.of_bigint d) p in
+    let term (c, m) =
+      let c = Q.to_bigint_exn c in
+      let mono =
+        List.concat_map
+          (fun (x, e) -> List.init e (fun _ -> x))
+          (Polymath.Monomial.to_list m)
+      in
+      (* promote the first factor to [ty] so int-typed parameters cannot
+         overflow in intermediate products *)
+      let parts =
+        if B.is_one (B.abs c) && mono <> [] then
+          (("(" ^ ty ^ ")" ^ List.hd mono) :: List.tl mono)
+        else ("(" ^ ty ^ ")" ^ B.to_string (B.abs c)) :: mono
+      in
+      (B.sign c < 0, String.concat "*" parts)
+    in
+    let terms = List.map term (P.terms scaled) in
+    let buf = Buffer.create 64 in
+    List.iteri
+      (fun i (neg, s) ->
+        if i = 0 then begin
+          if neg then Buffer.add_string buf "-";
+          Buffer.add_string buf s
+        end
+        else begin
+          Buffer.add_string buf (if neg then " - " else " + ");
+          Buffer.add_string buf s
+        end)
+      terms;
+    let num = Buffer.contents buf in
+    if B.is_one d then num else Printf.sprintf "(%s)/%s" num (B.to_string d)
+  end

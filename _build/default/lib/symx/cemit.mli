@@ -1,0 +1,36 @@
+(** Emission of symbolic expressions as C code.
+
+    Two modes mirror the paper's generated code (Figures 3 and 7):
+    real-double emission using [sqrt]/[pow], and complex emission using
+    [csqrt]/[cpow] wrapped in [creal] — required because symbolic roots
+    can transit through complex intermediates whose imaginary part
+    cancels (paper §IV-C). *)
+
+type mode = Real | Complex
+
+(** [classify e] picks the emission mode the way the paper's examples
+    do: square roots alone are emitted real (their radicand is a
+    discriminant, non-negative on the iteration domain), while any
+    other fractional power (cube roots etc.) forces complex emission
+    since the radicand may be negative inside the domain. *)
+val classify : Expr.t -> mode
+
+(** [rat_literal q] is a C double expression evaluating to [q] exactly
+    when [q] is representable, e.g. ["3.0"] or ["(3.0/2.0)"]. *)
+val rat_literal : Zmath.Rat.t -> string
+
+(** [emit ~mode e] renders [e] as a C expression of type [double]
+    ([mode = Real]) or [double complex] ([mode = Complex]). Variables
+    are cast to [(double)] as in the paper's output. *)
+val emit : mode:mode -> Expr.t -> string
+
+(** [emit_floor ~mode e] renders [floor(e)] (with [creal] inserted in
+    complex mode) — the index-recovery statement shape. *)
+val emit_floor : mode:mode -> Expr.t -> string
+
+(** [emit_poly_int p ~ty] renders polynomial [p] as an exact integer C
+    expression of type [ty] (e.g. ["long"]): the integer-coefficient
+    numerator divided by the coefficient-denominator LCM. The division
+    is exact whenever [p] takes integer values on integer points (true
+    of ranking polynomials). *)
+val emit_poly_int : Polymath.Polynomial.t -> ty:string -> string

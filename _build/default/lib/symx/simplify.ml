@@ -1,0 +1,57 @@
+module P = Polymath.Polynomial
+module Q = Zmath.Rat
+
+let rec to_polynomial (e : Expr.t) =
+  match e with
+  | Expr.Const c -> Some (P.const c)
+  | Expr.I -> None
+  | Expr.Var x -> Some (P.var x)
+  | Expr.Sum es ->
+    List.fold_left
+      (fun acc e ->
+        match (acc, to_polynomial e) with
+        | Some p, Some q -> Some (P.add p q)
+        | _ -> None)
+      (Some P.zero) es
+  | Expr.Prod es ->
+    List.fold_left
+      (fun acc e ->
+        match (acc, to_polynomial e) with
+        | Some p, Some q -> Some (P.mul p q)
+        | _ -> None)
+      (Some P.one) es
+  | Expr.Pow (b, k) ->
+    if Q.is_integer k && Q.sign k >= 0 then
+      match to_polynomial b with
+      | Some p -> Some (P.pow p (Zmath.Bigint.to_int_exn (Q.num k)))
+      | None -> None
+    else None
+
+let rec normalize (e : Expr.t) =
+  match to_polynomial e with
+  | Some p -> Expr.of_poly p
+  | None -> (
+    match e with
+    | Expr.Const _ | Expr.I | Expr.Var _ -> e
+    | Expr.Sum es -> Expr.sum (normalize_group es ~ident:P.zero ~combine:P.add)
+    | Expr.Prod es -> Expr.prod (normalize_group es ~ident:P.one ~combine:P.mul)
+    | Expr.Pow (b, k) -> Expr.pow (normalize b) k)
+
+(* normalize a list of operands: polynomial members are folded together
+   into one canonical term, the rest are normalized recursively *)
+and normalize_group es ~ident ~combine =
+  let polys, others =
+    List.fold_left
+      (fun (polys, others) e ->
+        match to_polynomial e with
+        | Some p -> (combine polys p, others)
+        | None -> (polys, normalize e :: others))
+      (ident, []) es
+  in
+  if P.equal polys ident then List.rev others else Expr.of_poly polys :: List.rev others
+
+let rec size (e : Expr.t) =
+  match e with
+  | Expr.Const _ | Expr.I | Expr.Var _ -> 1
+  | Expr.Sum es | Expr.Prod es -> List.fold_left (fun a e -> a + size e) 1 es
+  | Expr.Pow (b, _) -> 1 + size b

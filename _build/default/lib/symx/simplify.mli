@@ -1,0 +1,21 @@
+(** Algebraic normalization of symbolic expressions.
+
+    The closed-form roots built by the solvers contain nested
+    polynomial subexpressions in raw form (e.g. the correlation
+    discriminant appears as [(N - 1/2)*(N - 1/2) + 2*(1 - pc)]).
+    Normalization expands every radical-free subtree into a canonical
+    expanded polynomial, yielding the flat forms the paper prints
+    ([N^2 - N - 2 pc + 9/4]) and removing redundant structure before C
+    emission. Evaluation semantics are preserved exactly (the rewrite
+    only uses ring identities on radical-free subtrees). *)
+
+(** [to_polynomial e] is [Some p] when [e] is a polynomial expression:
+    no imaginary unit, and only non-negative integer exponents. *)
+val to_polynomial : Expr.t -> Polymath.Polynomial.t option
+
+(** [normalize e] expands maximal polynomial subtrees bottom-up and
+    reassembles the rest unchanged. *)
+val normalize : Expr.t -> Expr.t
+
+(** [size e] is the node count (used to report simplification). *)
+val size : Expr.t -> int

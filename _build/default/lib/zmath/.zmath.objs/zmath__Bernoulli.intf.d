@@ -1,0 +1,1 @@
+lib/zmath/bernoulli.mli: Rat

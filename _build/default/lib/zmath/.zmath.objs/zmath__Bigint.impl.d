@@ -1,0 +1,1 @@
+lib/zmath/bigint.ml: Array Buffer Char Format Hashtbl List Stdlib String

@@ -1,0 +1,1 @@
+lib/zmath/bigint.mli: Format

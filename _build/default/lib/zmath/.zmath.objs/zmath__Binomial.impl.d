@@ -1,0 +1,1 @@
+lib/zmath/binomial.ml: Bigint Rat Stdlib

@@ -1,0 +1,1 @@
+lib/zmath/binomial.mli: Bigint Rat

@@ -1,0 +1,1 @@
+lib/zmath/faulhaber.ml: Bernoulli Bigint Binomial List Rat

@@ -1,0 +1,1 @@
+lib/zmath/faulhaber.mli: Bigint Rat

@@ -1,0 +1,1 @@
+lib/zmath/rat.ml: Bigint Format Hashtbl String

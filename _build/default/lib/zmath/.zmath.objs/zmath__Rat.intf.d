@@ -1,0 +1,1 @@
+lib/zmath/rat.mli: Bigint Format

@@ -1,0 +1,28 @@
+(* Recurrence for the B_1 = +1/2 ("second") Bernoulli numbers:
+   B_n = n/ (n+1) * ... we use the standard identity
+   sum_{j=0}^{n} C(n+1, j) B_j^- = 0 for n >= 1 on the B_1 = -1/2 kind,
+   then flip the sign of B_1. All other values coincide since odd
+   Bernoulli numbers beyond B_1 vanish. *)
+
+let table : (int, Rat.t) Hashtbl.t = Hashtbl.create 16
+
+let rec minus_kind j =
+  if j < 0 then invalid_arg "Bernoulli.number";
+  match Hashtbl.find_opt table j with
+  | Some v -> v
+  | None ->
+    let v =
+      if j = 0 then Rat.one
+      else begin
+        (* B_j^- = -1/(j+1) * sum_{i=0}^{j-1} C(j+1, i) B_i^- *)
+        let sum = ref Rat.zero in
+        for i = 0 to j - 1 do
+          sum := Rat.add !sum (Rat.mul (Binomial.binomial_rat (j + 1) i) (minus_kind i))
+        done;
+        Rat.mul (Rat.of_ints (-1) (j + 1)) !sum
+      end
+    in
+    Hashtbl.add table j v;
+    v
+
+let number j = if j = 1 then Rat.half else minus_kind j

@@ -1,0 +1,11 @@
+(** Bernoulli numbers with the [B_1 = +1/2] convention.
+
+    This is the convention under which the Faulhaber formula gives the
+    {e inclusive} power sum [sum_{i=0}^{n} i^k], the building block of
+    symbolic summation over loop ranges (used to construct ranking
+    Ehrhart polynomials). Values are memoized. *)
+
+(** [number j] is the Bernoulli number B_j (B_0 = 1, B_1 = 1/2,
+    B_2 = 1/6, B_3 = 0, B_4 = -1/30, ...).
+    @raise Invalid_argument when [j < 0]. *)
+val number : int -> Rat.t

@@ -1,0 +1,274 @@
+(* Sign-magnitude big integers over base-2^30 limbs (little-endian,
+   no trailing zero limbs; the magnitude is empty iff the number is 0). *)
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let base_mask = base - 1
+
+type t = { sign : int; mag : int array }
+
+let zero = { sign = 0; mag = [||] }
+
+let normalize sign mag =
+  let n = ref (Array.length mag) in
+  while !n > 0 && mag.(!n - 1) = 0 do decr n done;
+  if !n = 0 then zero
+  else if !n = Array.length mag then { sign; mag }
+  else { sign; mag = Array.sub mag 0 !n }
+
+let of_int n =
+  if n = 0 then zero
+  else if n = min_int then
+    (* |min_int| = 2^62 overflows native abs; 2^62 = [0; 0; 4] base 2^30 *)
+    { sign = -1; mag = [| 0; 0; 4 |] }
+  else begin
+    let sign = if n < 0 then -1 else 1 in
+    let rec limbs acc v =
+      if v = 0 then List.rev acc else limbs ((v land base_mask) :: acc) (v lsr base_bits)
+    in
+    { sign; mag = Array.of_list (limbs [] (Stdlib.abs n)) }
+  end
+
+let sign x = x.sign
+let is_zero x = x.sign = 0
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let compare x y =
+  if x.sign <> y.sign then compare x.sign y.sign
+  else if x.sign >= 0 then cmp_mag x.mag y.mag
+  else cmp_mag y.mag x.mag
+
+let equal x y = compare x y = 0
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let l = max la lb + 1 in
+  let r = Array.make l 0 in
+  let carry = ref 0 in
+  for i = 0 to l - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land base_mask;
+    carry := s lsr base_bits
+  done;
+  r
+
+(* requires |a| >= |b| *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
+  done;
+  assert (!borrow = 0);
+  r
+
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then neg x else x
+
+let add x y =
+  if x.sign = 0 then y
+  else if y.sign = 0 then x
+  else if x.sign = y.sign then normalize x.sign (add_mag x.mag y.mag)
+  else begin
+    let c = cmp_mag x.mag y.mag in
+    if c = 0 then zero
+    else if c > 0 then normalize x.sign (sub_mag x.mag y.mag)
+    else normalize y.sign (sub_mag y.mag x.mag)
+  end
+
+let sub x y = add x (neg y)
+
+let mul x y =
+  if x.sign = 0 || y.sign = 0 then zero
+  else begin
+    let la = Array.length x.mag and lb = Array.length y.mag in
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let xi = x.mag.(i) in
+      for j = 0 to lb - 1 do
+        let v = r.(i + j) + (xi * y.mag.(j)) + !carry in
+        r.(i + j) <- v land base_mask;
+        carry := v lsr base_bits
+      done;
+      r.(i + lb) <- r.(i + lb) + !carry
+    done;
+    normalize (x.sign * y.sign) r
+  end
+
+let one = of_int 1
+let minus_one = of_int (-1)
+let two = of_int 2
+let is_one x = equal x one
+
+let nbits_mag mag =
+  let l = Array.length mag in
+  if l = 0 then 0
+  else begin
+    let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+    ((l - 1) * base_bits) + bits mag.(l - 1) 0
+  end
+
+let bit_mag mag i =
+  let limb = i / base_bits and off = i mod base_bits in
+  if limb >= Array.length mag then 0 else (mag.(limb) lsr off) land 1
+
+(* Shift-subtract long division on magnitudes. Quadratic in the bit
+   length, which is fine: the collapser only divides small coefficients.
+   The remainder always stays below |b|, so [lb + 1] limbs suffice. *)
+let divmod_mag a b =
+  let nb = nbits_mag a in
+  let lb = Array.length b in
+  let q = Array.make (Array.length a) 0 in
+  let r = Array.make (lb + 1) 0 in
+  let shift_in_bit bit =
+    let carry = ref bit in
+    for i = 0 to lb do
+      let v = (r.(i) lsl 1) lor !carry in
+      r.(i) <- v land base_mask;
+      carry := v lsr base_bits
+    done;
+    assert (!carry = 0)
+  in
+  let r_ge_b () =
+    if r.(lb) <> 0 then true
+    else begin
+      let rec go i =
+        if i < 0 then true else if r.(i) <> b.(i) then r.(i) > b.(i) else go (i - 1)
+      in
+      go (lb - 1)
+    end
+  in
+  let r_sub_b () =
+    let borrow = ref 0 in
+    for i = 0 to lb do
+      let d = r.(i) - (if i < lb then b.(i) else 0) - !borrow in
+      if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+      else begin r.(i) <- d; borrow := 0 end
+    done;
+    assert (!borrow = 0)
+  in
+  for i = nb - 1 downto 0 do
+    shift_in_bit (bit_mag a i);
+    if r_ge_b () then begin
+      r_sub_b ();
+      q.(i / base_bits) <- q.(i / base_bits) lor (1 lsl (i mod base_bits))
+    end
+  done;
+  (q, r)
+
+(* short division by a single limb: O(number of limbs) *)
+let divmod_mag_small a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let rem = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!rem lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (q, [| !rem |])
+
+let divmod x y =
+  if y.sign = 0 then raise Division_by_zero
+  else if x.sign = 0 then (zero, zero)
+  else begin
+    let q_mag, r_mag =
+      if Array.length y.mag = 1 then divmod_mag_small x.mag y.mag.(0)
+      else divmod_mag x.mag y.mag
+    in
+    (normalize (x.sign * y.sign) q_mag, normalize x.sign r_mag)
+  end
+
+let ediv_rem x y =
+  let q, r = divmod x y in
+  if r.sign >= 0 then (q, r)
+  else if y.sign > 0 then (sub q one, add r y)
+  else (add q one, sub r y)
+
+let rec gcd x y =
+  let x = abs x and y = abs y in
+  if is_zero y then x
+  else begin
+    let _, r = divmod x y in
+    gcd y r
+  end
+
+let pow x k =
+  if k < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b k =
+    if k = 0 then acc
+    else go (if k land 1 = 1 then mul acc b else acc) (mul b b) (k lsr 1)
+  in
+  go one x k
+
+let to_int x =
+  if x.sign = 0 then Some 0
+  else begin
+    let nb = nbits_mag x.mag in
+    if nb <= 62 then begin
+      let v = Array.fold_right (fun limb acc -> (acc lsl base_bits) lor limb) x.mag 0 in
+      Some (if x.sign < 0 then -v else v)
+    end
+    else if nb = 63 && x.sign < 0 && x.mag = [| 0; 0; 4 |] then Some min_int
+    else None
+  end
+
+let to_int_exn x =
+  match to_int x with Some n -> n | None -> failwith "Bigint.to_int_exn: overflow"
+
+let to_float x =
+  let v = ref 0.0 in
+  for i = Array.length x.mag - 1 downto 0 do
+    v := (!v *. float_of_int base) +. float_of_int x.mag.(i)
+  done;
+  if x.sign < 0 then -. !v else !v
+
+let ten = of_int 10
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bigint.of_string: empty";
+  let neg_p, start =
+    match s.[0] with '-' -> (true, 1) | '+' -> (false, 1) | _ -> (false, 0)
+  in
+  if start >= n then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  for i = start to n - 1 do
+    let c = s.[i] in
+    if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit";
+    acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+  done;
+  if neg_p then neg !acc else !acc
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 16 in
+    let rec go v =
+      if not (is_zero v) then begin
+        let q, r = divmod v ten in
+        go q;
+        Buffer.add_char buf (Char.chr (Char.code '0' + to_int_exn r))
+      end
+    in
+    go (abs x);
+    (if x.sign < 0 then "-" else "") ^ Buffer.contents buf
+  end
+
+let hash x = Hashtbl.hash (x.sign, x.mag)
+let pp fmt x = Format.pp_print_string fmt (to_string x)

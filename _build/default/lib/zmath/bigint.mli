@@ -1,0 +1,69 @@
+(** Arbitrary-precision signed integers.
+
+    The container provides no [zarith], so this module implements the
+    arbitrary-precision arithmetic needed by exact Ehrhart/ranking
+    polynomial computations: sign-magnitude representation over base-2^30
+    limbs, with schoolbook multiplication and shift-subtract division.
+    The integers manipulated by the collapser are small (coefficients of
+    low-degree polynomials), so asymptotic performance is irrelevant;
+    correctness and clarity are what matter. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+val two : t
+
+(** [of_int n] is the big integer equal to the native integer [n]. *)
+val of_int : int -> t
+
+(** [to_int x] is [Some n] when [x] fits in a native [int]. *)
+val to_int : t -> int option
+
+(** [to_int_exn x] is [x] as a native int.
+    @raise Failure when [x] does not fit. *)
+val to_int_exn : t -> int
+
+(** [of_string s] parses an optionally-signed decimal literal.
+    @raise Invalid_argument on malformed input. *)
+val of_string : string -> t
+
+(** [to_string x] is the decimal representation of [x]. *)
+val to_string : t -> string
+
+(** [sign x] is -1, 0 or 1. *)
+val sign : t -> int
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [q] truncated toward
+    zero and [sign r = sign a] (C semantics).
+    @raise Division_by_zero when [b] is zero. *)
+val divmod : t -> t -> t * t
+
+(** [ediv_rem a b] is Euclidean division: [a = q*b + r] with
+    [0 <= r < |b|]. *)
+val ediv_rem : t -> t -> t * t
+
+(** [gcd a b] is the non-negative greatest common divisor. *)
+val gcd : t -> t -> t
+
+(** [pow x k] is [x] raised to the non-negative exponent [k].
+    @raise Invalid_argument when [k < 0]. *)
+val pow : t -> int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val is_one : t -> bool
+
+(** [to_float x] is the nearest float (may overflow to infinity). *)
+val to_float : t -> float
+
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+module B = Bigint
+
+let factorial n =
+  if n < 0 then invalid_arg "Binomial.factorial";
+  let rec go acc i = if i > n then acc else go (B.mul acc (B.of_int i)) (i + 1) in
+  go B.one 1
+
+let binomial n k =
+  if n < 0 then invalid_arg "Binomial.binomial";
+  if k < 0 || k > n then B.zero
+  else begin
+    let k = Stdlib.min k (n - k) in
+    (* multiplicative form keeps intermediates integral:
+       C(n,k) = prod_{i=1..k} (n-k+i)/i, exact at each step *)
+    let rec go acc i =
+      if i > k then acc
+      else go (fst (B.divmod (B.mul acc (B.of_int (n - k + i))) (B.of_int i))) (i + 1)
+    in
+    go B.one 1
+  end
+
+let binomial_rat n k = Rat.of_bigint (binomial n k)

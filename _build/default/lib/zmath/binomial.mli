@@ -1,0 +1,13 @@
+(** Binomial coefficients and factorials over {!Bigint}. *)
+
+(** [factorial n] is [n!].
+    @raise Invalid_argument when [n < 0]. *)
+val factorial : int -> Bigint.t
+
+(** [binomial n k] is the binomial coefficient C(n, k); zero when
+    [k < 0] or [k > n].
+    @raise Invalid_argument when [n < 0]. *)
+val binomial : int -> int -> Bigint.t
+
+(** [binomial_rat n k] is {!binomial} as a rational. *)
+val binomial_rat : int -> int -> Rat.t

@@ -1,0 +1,23 @@
+(* Faulhaber with the B_1 = +1/2 convention:
+     sum_{i=1}^{n} i^k = 1/(k+1) * sum_{j=0}^{k} C(k+1, j) B_j n^{k+1-j}.
+   For k >= 1 the i = 0 term vanishes so the same polynomial equals the
+   inclusive-from-zero sum; k = 0 needs the extra constant 1. *)
+
+let power_sum k =
+  if k < 0 then invalid_arg "Faulhaber.power_sum";
+  if k = 0 then [ (1, Rat.one); (0, Rat.one) ]
+  else begin
+    let inv = Rat.of_ints 1 (k + 1) in
+    let terms = ref [] in
+    for j = k downto 0 do
+      let c = Rat.mul inv (Rat.mul (Binomial.binomial_rat (k + 1) j) (Bernoulli.number j)) in
+      if not (Rat.is_zero c) then terms := (k + 1 - j, c) :: !terms
+    done;
+    List.sort (fun (a, _) (b, _) -> compare b a) !terms
+  end
+
+let eval_power_sum k n =
+  let coeffs = power_sum k in
+  List.fold_left
+    (fun acc (e, c) -> Rat.add acc (Rat.mul c (Rat.of_bigint (Bigint.pow n e))))
+    Rat.zero coeffs

@@ -1,0 +1,16 @@
+(** Faulhaber power-sum polynomials.
+
+    [power_sum k] is the univariate polynomial S_k with
+    [S_k(n) = sum_{i=0}^{n} i^k] for every integer [n >= -1]
+    (in particular [S_k(-1) = 0], which makes interval sums
+    [sum_{i=a}^{b} i^k = S_k(b) - S_k(a-1)] correct for empty ranges
+    [b = a-1]). This identity is the engine of exact symbolic summation
+    of polynomials over parametric loop ranges. *)
+
+(** [power_sum k] is the coefficient list [(exponent, coefficient)] of
+    S_k, highest exponent first, zero coefficients omitted.
+    @raise Invalid_argument when [k < 0]. *)
+val power_sum : int -> (int * Rat.t) list
+
+(** [eval_power_sum k n] is [S_k(n)] evaluated exactly. *)
+val eval_power_sum : int -> Bigint.t -> Rat.t

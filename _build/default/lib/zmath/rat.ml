@@ -1,0 +1,67 @@
+module B = Bigint
+
+type t = { n : B.t; d : B.t }
+
+let make num den =
+  if B.is_zero den then raise Division_by_zero;
+  if B.is_zero num then { n = B.zero; d = B.one }
+  else begin
+    let num, den = if B.sign den < 0 then (B.neg num, B.neg den) else (num, den) in
+    let g = B.gcd num den in
+    if B.is_one g then { n = num; d = den }
+    else { n = fst (B.divmod num g); d = fst (B.divmod den g) }
+  end
+
+let of_bigint n = { n; d = B.one }
+let of_int n = of_bigint (B.of_int n)
+let of_ints num den = make (B.of_int num) (B.of_int den)
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+let two = of_int 2
+let half = of_ints 1 2
+let num x = x.n
+let den x = x.d
+let neg x = { x with n = B.neg x.n }
+let abs x = { x with n = B.abs x.n }
+let add x y = make (B.add (B.mul x.n y.d) (B.mul y.n x.d)) (B.mul x.d y.d)
+let sub x y = add x (neg y)
+let mul x y = make (B.mul x.n y.n) (B.mul x.d y.d)
+let inv x = make x.d x.n
+let div x y = mul x (inv y)
+
+let pow x k =
+  if k >= 0 then { n = B.pow x.n k; d = B.pow x.d k }
+  else inv { n = B.pow x.n (-k); d = B.pow x.d (-k) }
+
+let compare x y = B.compare (B.mul x.n y.d) (B.mul y.n x.d)
+let equal x y = B.equal x.n y.n && B.equal x.d y.d
+let sign x = B.sign x.n
+let is_zero x = B.is_zero x.n
+let is_integer x = B.is_one x.d
+
+let floor x =
+  let q, _ = B.ediv_rem x.n x.d in
+  q
+
+let ceil x = B.neg (floor (neg x))
+
+let to_bigint_exn x =
+  if is_integer x then x.n else failwith "Rat.to_bigint_exn: not an integer"
+
+let to_float x = B.to_float x.n /. B.to_float x.d
+
+let of_string s =
+  match String.index_opt s '/' with
+  | None -> of_bigint (B.of_string s)
+  | Some i ->
+    make (B.of_string (String.sub s 0 i)) (B.of_string (String.sub s (i + 1) (String.length s - i - 1)))
+
+let to_string x =
+  if is_integer x then B.to_string x.n
+  else B.to_string x.n ^ "/" ^ B.to_string x.d
+
+let min x y = if compare x y <= 0 then x else y
+let max x y = if compare x y >= 0 then x else y
+let hash x = Hashtbl.hash (B.hash x.n, B.hash x.d)
+let pp fmt x = Format.pp_print_string fmt (to_string x)

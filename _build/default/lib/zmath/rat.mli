@@ -1,0 +1,72 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept normalized: the denominator is positive and coprime
+    with the numerator; zero is [0/1]. These are the coefficients of
+    every polynomial manipulated by the collapser (ranking Ehrhart
+    polynomials have rational coefficients with denominator dividing
+    [c!] for a depth-[c] nest). *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+val two : t
+val half : t
+
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero when [den] is zero. *)
+val make : Bigint.t -> Bigint.t -> t
+
+(** [of_ints num den] is [num/den] from native ints. *)
+val of_ints : int -> int -> t
+
+val of_int : int -> t
+val of_bigint : Bigint.t -> t
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+(** @raise Division_by_zero when dividing by zero. *)
+val div : t -> t -> t
+
+(** @raise Division_by_zero when inverting zero. *)
+val inv : t -> t
+
+(** [pow x k] is [x^k]; negative [k] inverts ([x] must be nonzero). *)
+val pow : t -> int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+
+(** [floor x] is the greatest integer [<= x]. *)
+val floor : t -> Bigint.t
+
+(** [ceil x] is the least integer [>= x]. *)
+val ceil : t -> Bigint.t
+
+(** [to_bigint_exn x] is [x] as an integer.
+    @raise Failure when [x] is not an integer. *)
+val to_bigint_exn : t -> Bigint.t
+
+val to_float : t -> float
+
+(** [of_string s] parses ["a"], ["a/b"], or ["-a/b"] decimal forms. *)
+val of_string : string -> t
+
+(** [to_string x] is ["a"] when integral, else ["a/b"]. *)
+val to_string : t -> string
+
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

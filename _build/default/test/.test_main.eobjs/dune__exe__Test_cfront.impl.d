@@ -1,0 +1,1 @@
+test/test_cfront.ml: Alcotest Cfront Filename Fun List Polymath String Sys Trahrhe Zmath

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest C_ast C_print Codegen Imperfect Lazy List Polymath Printf Schemes String Trahrhe Zmath

@@ -1,0 +1,1 @@
+test/test_figures.ml: Alcotest Array Float Kernels List Ompsim Option Polymath Printf Trahrhe Zmath

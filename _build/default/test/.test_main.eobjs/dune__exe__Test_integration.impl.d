@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Cfront Codegen Filename Fun Lazy List Looptrans Polymath Printf String Sys Trahrhe Unix Zmath

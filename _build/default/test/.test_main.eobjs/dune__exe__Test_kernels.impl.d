@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Float Hashtbl Kernels List Ompsim Option Printf Trahrhe

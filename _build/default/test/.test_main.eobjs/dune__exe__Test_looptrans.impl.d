@@ -1,0 +1,1 @@
+test/test_looptrans.ml: Alcotest Array Codegen Hashtbl List Looptrans Polymath Printf String Trahrhe Zmath

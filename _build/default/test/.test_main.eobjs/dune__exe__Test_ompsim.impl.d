@@ -1,0 +1,1 @@
+test/test_ompsim.ml: Alcotest Array Float Fun List Ompsim Printf QCheck QCheck_alcotest

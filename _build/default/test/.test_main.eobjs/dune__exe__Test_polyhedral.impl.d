@@ -1,0 +1,1 @@
+test/test_polyhedral.ml: Alcotest List Polyhedral Polymath Printf QCheck QCheck_alcotest String Zmath

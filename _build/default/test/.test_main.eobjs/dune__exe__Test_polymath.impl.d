@@ -1,0 +1,1 @@
+test/test_polymath.ml: Alcotest Format List Option Polymath QCheck QCheck_alcotest Zmath

@@ -1,0 +1,1 @@
+test/test_rootsolve.ml: Alcotest Complex Float List Polymath QCheck QCheck_alcotest Rootsolve Symx Zmath

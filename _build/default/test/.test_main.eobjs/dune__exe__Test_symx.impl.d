@@ -1,0 +1,1 @@
+test/test_symx.ml: Alcotest Complex Float List Polymath QCheck QCheck_alcotest Symx Zmath

@@ -1,0 +1,1 @@
+test/test_trahrhe.ml: Alcotest Array Float Format Kernels List Polymath Printf QCheck QCheck_alcotest Symx Trahrhe Zmath

@@ -1,0 +1,1 @@
+test/test_xforms.ml: Alcotest Array Complex Float Hashtbl List Ompsim Polymath Printf QCheck QCheck_alcotest Symx Trahrhe Zmath

@@ -1,0 +1,1 @@
+test/test_zmath.ml: Alcotest List Printf QCheck QCheck_alcotest Zmath

@@ -1,0 +1,339 @@
+(* Tests for the C front-end: lexer, loop-header parser, region finding
+   and source rewriting. *)
+
+module A = Polymath.Affine
+module Q = Zmath.Rat
+
+let aff terms c = A.make (List.map (fun (x, k) -> (x, Q.of_int k)) terms) (Q.of_int c)
+let affine = Alcotest.testable A.pp A.equal
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* -------- lexer -------- *)
+
+let test_lexer_tokens () =
+  let l = Cfront.Lexer.create "for (i = 0; i <= N_1 - 2; i += 1)" ~pos:0 in
+  let toks = ref [] in
+  let rec drain () =
+    match Cfront.Lexer.next l with
+    | Cfront.Token.Eof -> ()
+    | t ->
+      toks := t :: !toks;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list string))
+    "token stream"
+    [ "for"; "("; "i"; "="; "0"; ";"; "i"; "<="; "N_1"; "-"; "2"; ";"; "i"; "+="; "1"; ")" ]
+    (List.rev_map Cfront.Token.to_string !toks |> List.rev |> List.rev)
+
+let test_lexer_comments () =
+  let l = Cfront.Lexer.create "a /* skip */ + // line\n b" ~pos:0 in
+  Alcotest.(check string) "a" "a" (Cfront.Token.to_string (Cfront.Lexer.next l));
+  Alcotest.(check string) "+" "+" (Cfront.Token.to_string (Cfront.Lexer.next l));
+  Alcotest.(check string) "b" "b" (Cfront.Token.to_string (Cfront.Lexer.next l))
+
+let test_lexer_peek_pos () =
+  let l = Cfront.Lexer.create "  foo bar" ~pos:0 in
+  Alcotest.(check string) "peek" "foo" (Cfront.Token.to_string (Cfront.Lexer.peek l));
+  Alcotest.(check int) "pos at token start" 2 (Cfront.Lexer.pos l);
+  ignore (Cfront.Lexer.next l);
+  ignore (Cfront.Lexer.peek l);
+  Alcotest.(check int) "pos at next token" 6 (Cfront.Lexer.pos l)
+
+(* -------- affine parsing -------- *)
+
+let parse_affine s =
+  let l = Cfront.Lexer.create s ~pos:0 in
+  Cfront.Parser.affine l
+
+let test_parse_affine () =
+  Alcotest.check affine "i + 1" (aff [ ("i", 1) ] 1) (parse_affine "i + 1");
+  Alcotest.check affine "N - 2*i" (aff [ ("N", 1); ("i", -2) ] 0) (parse_affine "N - 2*i");
+  Alcotest.check affine "2*(i + 3) - i" (aff [ ("i", 1) ] 6) (parse_affine "2*(i + 3) - i");
+  Alcotest.check affine "-i + -2" (aff [ ("i", -1) ] (-2)) (parse_affine "-i + -2");
+  Alcotest.check affine "i*3" (aff [ ("i", 3) ] 0) (parse_affine "i*3")
+
+let test_parse_affine_rejects () =
+  Alcotest.(check bool) "i*j rejected" true
+    (try
+       ignore (parse_affine "i*j");
+       false
+     with Failure _ -> true);
+  Alcotest.(check bool) "division rejected" true
+    (try
+       ignore (parse_affine "i/2");
+       false
+     with Failure _ -> true)
+
+(* -------- for headers -------- *)
+
+let parse_header s =
+  let l = Cfront.Lexer.create s ~pos:0 in
+  Cfront.Parser.for_header l
+
+let test_parse_header_forms () =
+  let h = parse_header "for (i = 0; i < N; i++)" in
+  Alcotest.(check string) "var" "i" h.Cfront.Parser.var;
+  Alcotest.check affine "lower" (aff [] 0) h.Cfront.Parser.lower;
+  Alcotest.check affine "upper" (aff [ ("N", 1) ] 0) h.Cfront.Parser.upper;
+  (* <= normalizes to exclusive upper + 1 *)
+  let le = parse_header "for (j = i + 1; j <= N - 1; j++)" in
+  Alcotest.check affine "<= upper" (aff [ ("N", 1) ] 0) le.Cfront.Parser.upper;
+  (* declaration, pre-increment, += 1 *)
+  let decl = parse_header "for (long k = j; k < i + 1; ++k)" in
+  Alcotest.(check string) "declared var" "k" decl.Cfront.Parser.var;
+  let pluseq = parse_header "for (t = 0; t < T; t += 1)" in
+  Alcotest.(check string) "plus-eq var" "t" pluseq.Cfront.Parser.var;
+  Alcotest.(check int) "unit stride" 1 pluseq.Cfront.Parser.stride;
+  let strided = parse_header "for (t = 0; t < T; t += 4)" in
+  Alcotest.(check int) "stride 4" 4 strided.Cfront.Parser.stride
+
+let test_parse_header_rejects () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) (src ^ " rejected") true
+        (try
+           ignore (parse_header src);
+           false
+         with Failure _ -> true))
+    [ "for (i = 0; i < N; i -= 1)" (* negative direction *);
+      "for (i = 0; i > N; i++)" (* > condition *);
+      "for (i = 0; j < N; i++)" (* condition on wrong var *);
+      "while (1)" ]
+
+let test_normalize_strides () =
+  (* for (i = 0; i < 4*N; i += 4) -> i__u in [0, N), i = 4*i__u *)
+  let headers = [ parse_header "for (i = 0; i < 4*N; i += 4)" ] in
+  let normalized, recon = Cfront.Parser.normalize_strides headers in
+  (match normalized with
+  | [ h ] ->
+    Alcotest.(check string) "surrogate name" "i__u" h.Cfront.Parser.var;
+    Alcotest.(check int) "stride gone" 1 h.Cfront.Parser.stride;
+    Alcotest.check affine "unit lower" (aff [] 0) h.Cfront.Parser.lower;
+    Alcotest.check affine "trip upper" (aff [ ("N", 1) ] 0) h.Cfront.Parser.upper
+  | _ -> Alcotest.fail "expected one header");
+  (match recon with
+  | [ (v, a) ] ->
+    Alcotest.(check string) "reconstructed var" "i" v;
+    Alcotest.check affine "i = 4*i__u" (aff [ ("i__u", 4) ] 0) a
+  | _ -> Alcotest.fail "expected one reconstruction");
+  (* constant remainder: for (i = 1; i < 10; i += 4) covers 1,5,9 -> 3 trips *)
+  let h2, _ = Cfront.Parser.normalize_strides [ parse_header "for (i = 1; i < 10; i += 4)" ] in
+  Alcotest.check affine "ceil(9/4) = 3" (aff [] 3) (List.hd h2).Cfront.Parser.upper;
+  (* inner bound referencing the strided outer gets substituted *)
+  let hs =
+    [ parse_header "for (i = 0; i < 2*N; i += 2)"; parse_header "for (j = i; j < 2*N; j++)" ]
+  in
+  let normalized, _ = Cfront.Parser.normalize_strides hs in
+  (match normalized with
+  | [ _; hj ] -> Alcotest.check affine "j lower = 2*i__u" (aff [ ("i__u", 2) ] 0) hj.Cfront.Parser.lower
+  | _ -> Alcotest.fail "expected two headers");
+  (* indivisible coefficient rejected *)
+  Alcotest.(check bool) "N not divisible by 3" true
+    (try
+       ignore (Cfront.Parser.normalize_strides [ parse_header "for (i = 0; i < N; i += 3)" ]);
+       false
+     with Failure _ -> true)
+
+let test_nest_of_headers () =
+  let headers =
+    [ parse_header "for (i = 0; i < N - 1; i++)"; parse_header "for (j = i + 1; j < N; j++)" ]
+  in
+  let nest = Cfront.Parser.nest_of_headers headers in
+  Alcotest.(check (list string)) "params inferred" [ "N" ] nest.Trahrhe.Nest.params;
+  Alcotest.(check (list string)) "iterators" [ "i"; "j" ] (Trahrhe.Nest.level_vars nest)
+
+(* -------- regions -------- *)
+
+let sample_source =
+  {|
+int main(void) {
+  long i, j;
+  /* rectangular: must be left to OpenMP itself */
+  #pragma omp parallel for collapse(2)
+  for (i = 0; i < N; i++)
+    for (j = 0; j < M; j++)
+      a[i][j] = 0;
+
+  #pragma omp parallel for schedule(static) collapse(2)
+  for (i = 0; i < N - 1; i++)
+    for (j = i + 1; j < N; j++) {
+      a[i][j] += 1;
+    }
+
+  #pragma omp parallel for
+  for (i = 0; i < N; i++)
+    b[i] = 0;
+  return 0;
+}
+|}
+
+let test_find_regions () =
+  let regions = Cfront.Transform.find_regions sample_source in
+  Alcotest.(check int) "only the non-rectangular collapse" 1 (List.length regions);
+  let r = List.hd regions in
+  Alcotest.(check int) "collapse arg" 2 r.Cfront.Transform.collapse;
+  Alcotest.(check (list string)) "params" [ "N" ] r.Cfront.Transform.nest.Trahrhe.Nest.params;
+  Alcotest.(check string) "body extracted" "a[i][j] += 1;" r.Cfront.Transform.body
+
+let test_transform_source () =
+  let out, count = Cfront.Transform.transform_source sample_source in
+  Alcotest.(check int) "one construct" 1 count;
+  Alcotest.(check bool) "marker" true (contains ~needle:"collapsed by nonrect-collapse" out);
+  Alcotest.(check bool) "pc loop" true (contains ~needle:"pc <= ((long)N*N - (long)N)/2" out);
+  Alcotest.(check bool) "rectangular untouched" true
+    (contains ~needle:"for (j = 0; j < M; j++)" out);
+  Alcotest.(check bool) "plain loop untouched" true (contains ~needle:"b[i] = 0;" out);
+  Alcotest.(check bool) "original construct replaced" true
+    (not (contains ~needle:"for (j = i + 1; j < N; j++)" out))
+
+let test_transform_idempotent_on_plain () =
+  let src = "int f(void) { return 1; }\n" in
+  let out, count = Cfront.Transform.transform_source src in
+  Alcotest.(check int) "no regions" 0 count;
+  Alcotest.(check string) "unchanged" src out
+
+let test_transform_single_statement_body () =
+  let src =
+    "#pragma omp for collapse(2)\nfor (i = 0; i < N; i++)\n  for (j = i; j < N; j++)\n    a[i] += j;\n"
+  in
+  let regions = Cfront.Transform.find_regions src in
+  Alcotest.(check int) "found" 1 (List.length regions);
+  Alcotest.(check string) "unbraced body" "a[i] += j;"
+    (List.hd regions).Cfront.Transform.body
+
+let test_transform_schemes_differ () =
+  let naive, _ =
+    Cfront.Transform.transform_source
+      ~options:{ Cfront.Transform.default_options with scheme = Cfront.Transform.Naive }
+      sample_source
+  in
+  let pt, _ = Cfront.Transform.transform_source sample_source in
+  Alcotest.(check bool) "naive has no flag" true (not (contains ~needle:"first_iteration" naive));
+  Alcotest.(check bool) "per-thread has flag" true (contains ~needle:"first_iteration" pt)
+
+let test_multiple_regions () =
+  let src =
+    {|
+#pragma omp parallel for collapse(2)
+for (i = 0; i < N; i++)
+  for (j = i; j < N; j++)
+    a[i] += j;
+
+#pragma omp parallel for collapse(3)
+for (x = 0; x < P; x++)
+  for (y = 0; y < x + 1; y++)
+    for (z = y; z < x + 1; z++)
+      b[x] += z;
+|}
+  in
+  let regions = Cfront.Transform.find_regions src in
+  Alcotest.(check int) "two regions" 2 (List.length regions);
+  Alcotest.(check (list int)) "collapse args" [ 2; 3 ]
+    (List.map (fun r -> r.Cfront.Transform.collapse) regions);
+  let out, count = Cfront.Transform.transform_source src in
+  Alcotest.(check int) "both transformed" 2 count;
+  (* both constructs replaced: no residual inner loop headers *)
+  Alcotest.(check bool) "no residual loops" true
+    (not (contains ~needle:"for (z = y" out))
+
+let test_transform_file_roundtrip () =
+  let dir = Filename.temp_file "cfront_test" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote dir)))
+    (fun () ->
+      let input = Filename.concat dir "in.c" in
+      let output = Filename.concat dir "out.c" in
+      let oc = open_out input in
+      output_string oc sample_source;
+      close_out oc;
+      let count = Cfront.Transform.transform_file ~input ~output () in
+      Alcotest.(check int) "one construct" 1 count;
+      let ic = open_in output in
+      let transformed = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check bool) "output written" true
+        (contains ~needle:"collapsed by nonrect-collapse" transformed))
+
+let test_imperfect_nesting_rejected () =
+  (* a statement between the collapse(2) loops is not a perfect nest:
+     the parser must fail loudly, not mis-transform *)
+  let src =
+    "#pragma omp for collapse(2)\nfor (i = 0; i < N; i++) {\n  s += 1;\n  for (j = i; j < N; j++)\n    a[i] += j;\n}\n"
+  in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Cfront.Transform.find_regions src);
+       false
+     with Failure _ -> true)
+
+let test_transform_fixpoint () =
+  (* the rewritten source contains no further collapsible regions:
+     transforming twice is the identity after the first pass *)
+  let once, n1 = Cfront.Transform.transform_source sample_source in
+  Alcotest.(check int) "first pass transforms" 1 n1;
+  let twice, n2 = Cfront.Transform.transform_source once in
+  Alcotest.(check int) "second pass finds nothing" 0 n2;
+  Alcotest.(check string) "fixpoint" once twice
+
+let test_example_fixtures_transform () =
+  (* the shipped examples/c fixtures must keep transforming cleanly *)
+  let root =
+    let rec search dir depth =
+      if depth > 6 then None
+      else if Sys.file_exists (Filename.concat dir "examples/c/correlation.c") then Some dir
+      else search (Filename.concat dir "..") (depth + 1)
+    in
+    search (Sys.getcwd ()) 0
+  in
+  match root with
+  | None -> Alcotest.skip ()
+  | Some root ->
+    List.iter
+      (fun f ->
+        let path = Filename.concat root ("examples/c/" ^ f) in
+        let ic = open_in_bin path in
+        let src = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        let _, count = Cfront.Transform.transform_source src in
+        Alcotest.(check int) (f ^ " transforms") 1 count)
+      [ "correlation.c"; "tetrahedral.c"; "strided.c" ]
+
+let test_transform_pragma_continuation () =
+  (* backslash-continued pragma lines must be scanned to their real end *)
+  let src =
+    "#pragma omp parallel for private(j) \\\n  schedule(static) collapse(2)\nfor (i = 0; i < N; i++)\n  for (j = i; j < N; j++)\n    a[i][j] = 1;\n"
+  in
+  let regions = Cfront.Transform.find_regions src in
+  Alcotest.(check int) "continued pragma found" 1 (List.length regions)
+
+let suites =
+  [ ( "cfront.lexer",
+      [ Alcotest.test_case "token stream" `Quick test_lexer_tokens;
+        Alcotest.test_case "comments skipped" `Quick test_lexer_comments;
+        Alcotest.test_case "peek and positions" `Quick test_lexer_peek_pos ] );
+    ( "cfront.parser",
+      [ Alcotest.test_case "affine expressions" `Quick test_parse_affine;
+        Alcotest.test_case "non-affine rejected" `Quick test_parse_affine_rejects;
+        Alcotest.test_case "for header forms" `Quick test_parse_header_forms;
+        Alcotest.test_case "unsupported headers rejected" `Quick test_parse_header_rejects;
+        Alcotest.test_case "stride normalization" `Quick test_normalize_strides;
+        Alcotest.test_case "nest construction" `Quick test_nest_of_headers ] );
+    ( "cfront.transform",
+      [ Alcotest.test_case "region discovery" `Quick test_find_regions;
+        Alcotest.test_case "source rewriting" `Quick test_transform_source;
+        Alcotest.test_case "no-op without regions" `Quick test_transform_idempotent_on_plain;
+        Alcotest.test_case "single-statement body" `Quick test_transform_single_statement_body;
+        Alcotest.test_case "schemes differ" `Quick test_transform_schemes_differ;
+        Alcotest.test_case "multiple regions" `Quick test_multiple_regions;
+        Alcotest.test_case "transform_file roundtrip" `Quick test_transform_file_roundtrip;
+        Alcotest.test_case "imperfect nesting rejected" `Quick test_imperfect_nesting_rejected;
+        Alcotest.test_case "transform is a fixpoint" `Quick test_transform_fixpoint;
+        Alcotest.test_case "shipped C fixtures transform" `Quick test_example_fixtures_transform;
+        Alcotest.test_case "pragma line continuation" `Quick test_transform_pragma_continuation ] ) ]

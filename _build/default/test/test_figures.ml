@@ -1,0 +1,176 @@
+(* Regression tests pinning the *shape* of the paper's evaluation
+   results: these are the claims EXPERIMENTS.md makes, kept true by CI
+   rather than by hand. *)
+
+module K = Kernels.Kernel
+module Sim = Ompsim.Sim
+module Sched = Ompsim.Schedule
+
+let threads = 12
+
+let base_ov =
+  { Sim.fork_join = Ompsim.Calibrate.default_fork_join;
+    dispatch = Ompsim.Calibrate.default_dispatch;
+    chunk_start = 0.0;
+    per_iter = 0.0 }
+
+let coll_ov =
+  { base_ov with
+    chunk_start = Ompsim.Calibrate.default_recovery;
+    per_iter = Ompsim.Calibrate.default_increment }
+
+(* smaller-than-default sizes keep the suite fast; shapes are size
+   invariant for these kernels *)
+let sim_n (k : K.t) = max 12 (k.K.default_n / 4)
+
+let gains (k : K.t) =
+  let n = sim_n k in
+  let outer = k.K.outer_costs ~n and coll = k.K.collapsed_costs ~n in
+  let m costs sched ov = (Sim.run ~costs ~schedule:sched ~nthreads:threads ~overheads:ov).Sim.makespan in
+  let ts = m outer Sched.Static base_ov in
+  let td = m outer (Sched.Dynamic 1) base_ov in
+  let tc = m coll Sched.Static coll_ov in
+  (Sim.gain ~baseline:ts ~improved:tc, Sim.gain ~baseline:td ~improved:tc)
+
+let test_fig9_all_gain_vs_static () =
+  (* paper: every program gains significantly over schedule(static) *)
+  List.iter
+    (fun (k : K.t) ->
+      let g_static, _ = gains k in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s gains vs static (%.1f%%)" k.K.name (100. *. g_static))
+        true (g_static > 0.10))
+    Kernels.Registry.kernels
+
+let test_fig9_ltmp_anomaly () =
+  (* paper: "For ltmp, option dynamic performs significantly better" *)
+  let k = Option.get (Kernels.Registry.find "ltmp") in
+  let _, g_dyn = gains k in
+  Alcotest.(check bool)
+    (Printf.sprintf "dynamic beats collapsed ltmp (%.1f%%)" (100. *. g_dyn))
+    true (g_dyn < -0.20)
+
+let test_fig9_others_hold_against_dynamic () =
+  (* paper: collapsed loops outperform dynamic or come very close *)
+  List.iter
+    (fun (k : K.t) ->
+      if k.K.name <> "ltmp" then begin
+        let _, g_dyn = gains k in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s vs dynamic (%.1f%%)" k.K.name (100. *. g_dyn))
+          true (g_dyn > -0.05)
+      end)
+    Kernels.Registry.kernels
+
+let test_fig9_triangles_near_half () =
+  (* 2:1 triangle imbalance bounds the static gain near 50% at 12
+     threads for the heavy triangular kernels *)
+  List.iter
+    (fun name ->
+      let k = Option.get (Kernels.Registry.find name) in
+      let g_static, _ = gains k in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s around 45-50%% (%.1f%%)" name (100. *. g_static))
+        true
+        (g_static > 0.40 && g_static < 0.55))
+    [ "correlation"; "syrk"; "syr2k" ]
+
+let test_fig2_shares () =
+  let k = Option.get (Kernels.Registry.find "correlation") in
+  let rows = k.K.outer_costs ~n:1000 in
+  let blocks = Sched.static_blocks ~nthreads:5 ~n:(Array.length rows) in
+  let total = Array.fold_left ( +. ) 0.0 rows in
+  let share t =
+    let start, len = blocks.(t) in
+    let w = ref 0.0 in
+    for q = start to start + len - 1 do
+      w := !w +. rows.(q)
+    done;
+    !w /. total
+  in
+  (* triangle slices follow the 9:7:5:3:1 progression *)
+  Alcotest.(check (float 0.01)) "thread 0 share" 0.36 (share 0);
+  Alcotest.(check (float 0.01)) "thread 4 share" 0.04 (share 4);
+  Alcotest.(check bool) "monotone decreasing" true
+    (share 0 > share 1 && share 1 > share 2 && share 2 > share 3 && share 3 > share 4)
+
+let test_fig8_parallel_curves () =
+  (* §IV-D: the curves r(i,0,0) - pc are parallel: same shape for every
+     pc, so root count/order never changes *)
+  let module A = Polymath.Affine in
+  let module Q = Zmath.Rat in
+  let aff terms c = A.make (List.map (fun (v, k) -> (v, Q.of_int k)) terms) (Q.of_int c) in
+  let nest =
+    Trahrhe.Nest.make ~params:[ "N" ]
+      [ { var = "i"; lower = aff [] 0; upper = aff [ ("N", 1) ] (-1) };
+        { var = "j"; lower = aff [] 0; upper = aff [ ("i", 1) ] 1 };
+        { var = "k"; lower = aff [ ("j", 1) ] 0; upper = aff [ ("i", 1) ] 1 } ]
+  in
+  let inv = Trahrhe.Inversion.invert_exn nest in
+  let r = inv.Trahrhe.Inversion.r_sub.(0) in
+  let eval i = Polymath.Polynomial.eval_float (function "i" -> i | _ -> 10.0) r in
+  (* difference between pc-curves is exactly the pc shift, for any i *)
+  List.iter
+    (fun i ->
+      let v = eval i in
+      Alcotest.(check (float 1e-9)) "parallel shift" 1.0 ((v -. 1.0) -. (v -. 2.0)))
+    [ -2.5; 0.0; 1.5; 3.0 ];
+  (* r(0,0,0) = 1: the first iteration has rank one *)
+  Alcotest.(check (float 1e-9)) "r(0,0,0)=1" 1.0 (eval 0.0)
+
+let test_fig10_checksums_and_sign () =
+  (* serial collapsed runs must compute the same values; overhead must
+     stay far below the parallel gains (paper's conclusion) *)
+  List.iter
+    (fun name ->
+      let k = Option.get (Kernels.Registry.find name) in
+      let n = max 8 (k.K.fig10_n / 4) in
+      let o = k.K.serial_original ~n in
+      let c = k.K.serial_collapsed ~n ~recoveries:12 in
+      Alcotest.(check bool) (name ^ " checksum") true
+        (Float.abs (o -. c) <= 1e-9 *. Float.max 1.0 (Float.abs o)))
+    [ "correlation"; "covariance"; "symm"; "utma"; "ltmp" ]
+
+let test_a2_fdtd_crossover () =
+  (* collapsing a 28-wavefront rhomboid pays off only once threads no
+     longer divide the wavefront count *)
+  let k = Option.get (Kernels.Registry.find "fdtd_skewed") in
+  let n = 4000 in
+  let outer = k.K.outer_costs ~n and coll = k.K.collapsed_costs ~n in
+  let gain t =
+    let ts = (Sim.run ~costs:outer ~schedule:Sched.Static ~nthreads:t ~overheads:base_ov).Sim.makespan in
+    let tc = (Sim.run ~costs:coll ~schedule:Sched.Static ~nthreads:t ~overheads:coll_ov).Sim.makespan in
+    Sim.gain ~baseline:ts ~improved:tc
+  in
+  Alcotest.(check bool) "4 threads: no benefit (28 divides evenly)" true
+    (Float.abs (gain 4) < 0.05);
+  Alcotest.(check bool) "12 threads: benefit" true (gain 12 > 0.15);
+  Alcotest.(check bool) "96 threads: large benefit" true (gain 96 > 0.5)
+
+let test_a1_chunk_sweep_monotone () =
+  (* growing chunks cannot beat once-per-thread static recovery *)
+  let k = Option.get (Kernels.Registry.find "correlation") in
+  let coll = k.K.collapsed_costs ~n:500 in
+  let m sched =
+    (Sim.run ~costs:coll ~schedule:sched ~nthreads:threads ~overheads:coll_ov).Sim.makespan
+  in
+  let static = m Sched.Static in
+  List.iter
+    (fun chunk ->
+      Alcotest.(check bool)
+        (Printf.sprintf "chunk %d >= static" chunk)
+        true
+        (m (Sched.Static_chunk chunk) >= static *. 0.999))
+    [ 16; 256; 4096; 65536 ]
+
+let suites =
+  [ ( "figures",
+      [ Alcotest.test_case "fig9: every kernel gains vs static" `Quick test_fig9_all_gain_vs_static;
+        Alcotest.test_case "fig9: ltmp loses to dynamic (paper anomaly)" `Quick test_fig9_ltmp_anomaly;
+        Alcotest.test_case "fig9: others hold vs dynamic" `Quick test_fig9_others_hold_against_dynamic;
+        Alcotest.test_case "fig9: triangular gains near 50%" `Quick test_fig9_triangles_near_half;
+        Alcotest.test_case "fig2: 9:7:5:3:1 static shares" `Quick test_fig2_shares;
+        Alcotest.test_case "fig8: parallel curves (§IV-D)" `Quick test_fig8_parallel_curves;
+        Alcotest.test_case "fig10: checksums hold serially" `Slow test_fig10_checksums_and_sign;
+        Alcotest.test_case "a2: fdtd thread crossover" `Quick test_a2_fdtd_crossover;
+        Alcotest.test_case "a1: static dominates chunking" `Quick test_a1_chunk_sweep_monotone ] ) ]

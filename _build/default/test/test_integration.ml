@@ -1,0 +1,377 @@
+(* End-to-end integration: transform real C sources with the front-end,
+   compile original and collapsed programs with gcc -fopenmp, run both,
+   and compare outputs. Skipped when no C compiler is available. *)
+
+let gcc_available =
+  lazy (Sys.command "gcc --version > /dev/null 2>&1" = 0)
+
+let require_gcc () =
+  if not (Lazy.force gcc_available) then Alcotest.skip ()
+
+let find_cli () =
+  let base = Filename.dirname Sys.executable_name in
+  List.find_opt Sys.file_exists
+    [ Filename.concat base "../bin/trahrhe.exe";
+      Filename.concat base "../../default/bin/trahrhe.exe";
+      "_build/default/bin/trahrhe.exe" ]
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "nonrect" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote dir))) (fun () -> f dir)
+
+let compile_and_run dir name src =
+  let cfile = Filename.concat dir (name ^ ".c") in
+  let exe = Filename.concat dir name in
+  let oc = open_out cfile in
+  output_string oc src;
+  close_out oc;
+  let log = Filename.concat dir (name ^ ".log") in
+  if
+    Sys.command
+      (Printf.sprintf "gcc -O2 -fopenmp %s -o %s -lm > %s 2>&1" (Filename.quote cfile)
+         (Filename.quote exe) (Filename.quote log))
+    <> 0
+  then begin
+    let ic = open_in log in
+    let err = really_input_string ic (min 2000 (in_channel_length ic)) in
+    close_in ic;
+    Alcotest.failf "gcc failed on %s:\n%s" name err
+  end;
+  let ic = Unix.open_process_in (Filename.quote exe) in
+  let out = input_line ic in
+  (match Unix.close_process_in ic with
+  | Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.failf "%s exited abnormally" name);
+  out
+
+(* program template: checksum of a triangular update printed on stdout;
+   LOOP is replaced by the parallel construct under test *)
+let template ~n ~loop =
+  Printf.sprintf
+    {|#include <stdio.h>
+#include <math.h>
+#include <complex.h>
+#define N %d
+static double a[N][N], b[N][N], c[N][N];
+int main(void) {
+  long i, j, k;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) { b[i][j] = (double)((i*7 + j) %% 13) / 3.0; c[i][j] = (double)((i - 2*j) %% 11) / 5.0; }
+%s
+  double h = 0.0;
+  for (i = 0; i < N; i++) for (j = 0; j < N; j++) h += a[i][j] * (double)(i + 2*j + 1);
+  printf("%%.12e\n", h);
+  return 0;
+}
+|}
+    n loop
+
+let correlation_loop ~with_collapse =
+  Printf.sprintf
+    {|  #pragma omp parallel for private(j, k) schedule(static)%s
+  for (i = 0; i < N - 1; i++)
+    for (j = i + 1; j < N; j++) {
+      for (k = 0; k < N; k++)
+        a[i][j] += b[k][i] * c[k][j];
+      a[j][i] = a[i][j];
+    }
+|}
+    (if with_collapse then " collapse(2)" else "")
+
+let transform options =
+  let src = template ~n:67 ~loop:(correlation_loop ~with_collapse:true) in
+  let out, count = Cfront.Transform.transform_source ~options src in
+  Alcotest.(check int) "one region" 1 count;
+  out
+
+let test_scheme options name () =
+  require_gcc ();
+  with_temp_dir (fun dir ->
+      let reference =
+        compile_and_run dir "reference" (template ~n:67 ~loop:(correlation_loop ~with_collapse:false))
+      in
+      let collapsed = compile_and_run dir name (transform options) in
+      Alcotest.(check string) (name ^ " output matches") reference collapsed)
+
+let test_fig6_complex_roots () =
+  require_gcc ();
+  (* depth-3 nest whose recovery uses cpow/csqrt/creal in the C *)
+  let loop_orig =
+    {|  for (i = 0; i < N - 1; i++)
+    for (j = 0; j < i + 1; j++)
+      for (k = j; k < i + 1; k++)
+        a[i][j] += b[j][k] + c[k][j];
+|}
+  in
+  let loop_collapse =
+    {|  #pragma omp parallel for schedule(static) collapse(3)
+  for (i = 0; i < N - 1; i++)
+    for (j = 0; j < i + 1; j++)
+      for (k = j; k < i + 1; k++)
+        a[i][j] += b[j][k] + c[k][j];
+|}
+  in
+  with_temp_dir (fun dir ->
+      let reference = compile_and_run dir "fig6_ref" (template ~n:41 ~loop:loop_orig) in
+      let options = { Cfront.Transform.default_options with guarded = true } in
+      let out, count =
+        Cfront.Transform.transform_source ~options (template ~n:41 ~loop:loop_collapse)
+      in
+      Alcotest.(check int) "one region" 1 count;
+      Alcotest.(check bool) "uses complex recovery" true
+        (let rec contains i =
+           i + 4 <= String.length out && (String.sub out i 4 = "cpow" || contains (i + 1))
+         in
+         contains 0);
+      let collapsed = compile_and_run dir "fig6_coll" out in
+      Alcotest.(check string) "fig6 output matches" reference collapsed)
+
+let test_cli_collapse () =
+  require_gcc ();
+  (* exercise the CLI binary end to end *)
+  let cli = match find_cli () with Some c -> c | None -> Alcotest.skip () in
+  with_temp_dir (fun dir ->
+      let input = Filename.concat dir "in.c" in
+      let output = Filename.concat dir "out.c" in
+      let oc = open_out input in
+      output_string oc (template ~n:31 ~loop:(correlation_loop ~with_collapse:true));
+      close_out oc;
+      let rc =
+        Sys.command
+          (Printf.sprintf "%s collapse %s -o %s --scheme chunked:64 2> /dev/null" cli
+             (Filename.quote input) (Filename.quote output))
+      in
+      Alcotest.(check int) "cli exit 0" 0 rc;
+      let reference =
+        compile_and_run dir "cli_ref" (template ~n:31 ~loop:(correlation_loop ~with_collapse:false))
+      in
+      let ic = open_in output in
+      let transformed = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let got = compile_and_run dir "cli_out" transformed in
+      Alcotest.(check string) "cli output matches" reference got)
+
+let test_strided_nest () =
+  require_gcc ();
+  (* stride-4 outer loop: normalized onto a surrogate iterator *)
+  let loop_orig =
+    {|  for (i = 0; i < 4 * N; i += 4)
+    for (j = i; j < 4 * N; j++)
+      a[i % N][j % N] += b[j % N][i % N] + 1.0;
+|}
+  in
+  let loop_collapse =
+    {|  #pragma omp parallel for schedule(static) collapse(2)
+  for (i = 0; i < 4 * N; i += 4)
+    for (j = i; j < 4 * N; j++)
+      a[i % N][j % N] += b[j % N][i % N] + 1.0;
+|}
+  in
+  with_temp_dir (fun dir ->
+      let reference = compile_and_run dir "strided_ref" (template ~n:45 ~loop:loop_orig) in
+      let out, count = Cfront.Transform.transform_source (template ~n:45 ~loop:loop_collapse) in
+      Alcotest.(check int) "one region" 1 count;
+      let got = compile_and_run dir "strided_coll" out in
+      Alcotest.(check string) "strided output matches" reference got)
+
+let test_reshape_c () =
+  require_gcc ();
+  (* execute a triangular source through a rectangular target nest *)
+  let module A = Polymath.Affine in
+  let module Q = Zmath.Rat in
+  let aff terms c = A.make (List.map (fun (v, k) -> (v, Q.of_int k)) terms) (Q.of_int c) in
+  let source =
+    Trahrhe.Nest.make ~params:[ "N" ]
+      [ { var = "i"; lower = aff [] 0; upper = aff [ ("N", 1) ] (-1) };
+        { var = "j"; lower = aff [ ("i", 1) ] 1; upper = aff [ ("N", 1) ] 0 } ]
+  in
+  let target =
+    Trahrhe.Nest.make ~params:[ "A"; "B" ]
+      [ { var = "x"; lower = aff [] 0; upper = aff [ ("A", 1) ] 0 };
+        { var = "y"; lower = aff [] 0; upper = aff [ ("B", 1) ] 0 } ]
+  in
+  let r =
+    Trahrhe.Reshape.make
+      ~source:(Trahrhe.Inversion.invert_exn source)
+      ~target:(Trahrhe.Inversion.invert_exn target)
+  in
+  (* N=65 -> 2080 = 32 x 65 *)
+  let loop_reshaped =
+    Codegen.C_print.to_string ~indent:1
+      (Codegen.Xforms.reshape r
+         ~body:[ Codegen.C_ast.Raw "a[i][j] += b[j][i] + 1.0; a[j][i] = a[i][j];" ])
+  in
+  let loop_orig =
+    {|  for (i = 0; i < N - 1; i++)
+    for (j = i + 1; j < N; j++) {
+      a[i][j] += b[j][i] + 1.0; a[j][i] = a[i][j];
+    }
+|}
+  in
+  with_temp_dir (fun dir ->
+      let reference = compile_and_run dir "reshape_ref" (template ~n:65 ~loop:loop_orig) in
+      let prog =
+        template ~n:65
+          ~loop:("#define A 32\n#define B 65\n  {\n" ^ loop_reshaped ^ "  }\n#undef A\n#undef B\n")
+      in
+      let got = compile_and_run dir "reshape_tgt" prog in
+      Alcotest.(check string) "reshaped output matches" reference got)
+
+let test_fused_c () =
+  require_gcc ();
+  (* fuse a triangular and a rhomboidal nest into one parallel loop *)
+  let module A = Polymath.Affine in
+  let module Q = Zmath.Rat in
+  let aff terms c = A.make (List.map (fun (v, k) -> (v, Q.of_int k)) terms) (Q.of_int c) in
+  let tri =
+    Trahrhe.Nest.make ~params:[ "N" ]
+      [ { var = "i"; lower = aff [] 0; upper = aff [ ("N", 1) ] 0 };
+        { var = "j"; lower = aff [ ("i", 1) ] 0; upper = aff [ ("N", 1) ] 0 } ]
+  in
+  let rhomb =
+    Trahrhe.Nest.make ~params:[ "N" ]
+      [ { var = "u"; lower = aff [] 0; upper = aff [ ("N", 1) ] 0 };
+        { var = "v"; lower = aff [ ("u", 1) ] 0; upper = aff [ ("u", 1); ("N", 1) ] 0 } ]
+  in
+  let fu =
+    Trahrhe.Fusion.fuse [ Trahrhe.Inversion.invert_exn tri; Trahrhe.Inversion.invert_exn rhomb ]
+  in
+  let loop_fused =
+    Codegen.C_print.to_string ~indent:1
+      (Codegen.Xforms.fused fu
+         ~bodies:
+           [ [ Codegen.C_ast.Raw "a[i][j] += 1.0;" ];
+             [ Codegen.C_ast.Raw "a[u % N][v % N] += 2.0;" ] ])
+  in
+  let loop_orig =
+    {|  for (i = 0; i < N; i++)
+    for (j = i; j < N; j++)
+      a[i][j] += 1.0;
+  for (i = 0; i < N; i++)
+    for (j = i; j < i + N; j++)
+      a[i % N][j % N] += 2.0;
+|}
+  in
+  with_temp_dir (fun dir ->
+      let reference = compile_and_run dir "fused_ref" (template ~n:57 ~loop:loop_orig) in
+      let got = compile_and_run dir "fused_got" (template ~n:57 ~loop:("  {\n" ^ loop_fused ^ "  }\n")) in
+      Alcotest.(check string) "fused output matches" reference got)
+
+let test_imperfect_c () =
+  require_gcc ();
+  (* imperfect nest: per-row init and finalize statements sunk into a
+     guarded perfect body, then collapsed *)
+  let module A = Polymath.Affine in
+  let module Q = Zmath.Rat in
+  let aff terms c = A.make (List.map (fun (v, k) -> (v, Q.of_int k)) terms) (Q.of_int c) in
+  let nest =
+    Trahrhe.Nest.make ~params:[ "N" ]
+      [ { var = "i"; lower = aff [] 0; upper = aff [ ("N", 1) ] (-1) };
+        { var = "j"; lower = aff [ ("i", 1) ] 1; upper = aff [ ("N", 1) ] 0 } ]
+  in
+  let inv = Trahrhe.Inversion.invert_exn nest in
+  let loop_orig =
+    {|  for (i = 0; i < N - 1; i++) {
+    a[i][i] = 7.0;
+    for (j = i + 1; j < N; j++)
+      a[i][j] += b[j][i] + 1.0;
+    a[i][0] += a[i][N - 1];
+  }
+|}
+  in
+  let collapsed =
+    Codegen.C_print.to_string ~indent:1
+      (Codegen.Imperfect.collapse inv
+         ~levels:
+           [ { Codegen.Imperfect.pre = [ Codegen.C_ast.Raw "a[i][i] = 7.0;" ];
+               post = [ Codegen.C_ast.Raw "a[i][0] += a[i][N - 1];" ] } ]
+         ~innermost:[ Codegen.C_ast.Raw "a[i][j] += b[j][i] + 1.0;" ])
+  in
+  with_temp_dir (fun dir ->
+      let reference = compile_and_run dir "imperf_ref" (template ~n:63 ~loop:loop_orig) in
+      let got =
+        compile_and_run dir "imperf_got" (template ~n:63 ~loop:("  {\n" ^ collapsed ^ "  }\n"))
+      in
+      Alcotest.(check string) "imperfect output matches" reference got)
+
+let test_cli_smoke () =
+  (* every subcommand must run cleanly on a built-in kernel *)
+  let cli = match find_cli () with Some c -> c | None -> Alcotest.skip () in
+  List.iter
+    (fun args ->
+      let rc = Sys.command (Printf.sprintf "%s %s > /dev/null 2>&1" cli args) in
+      Alcotest.(check int) ("trahrhe " ^ args) 0 rc)
+    [ "kernels";
+      "info --kernel correlation";
+      "info --kernel symm";
+      "validate --kernel ltmp --size 12";
+      "simulate --kernel utma -n 200 --threads 8";
+      "emit --kernel correlation --scheme naive";
+      "emit --kernel dynprog --scheme simd:8 --guarded" ];
+  (* failures must exit nonzero *)
+  List.iter
+    (fun args ->
+      let rc = Sys.command (Printf.sprintf "%s %s > /dev/null 2>&1" cli args) in
+      Alcotest.(check bool) ("trahrhe " ^ args ^ " fails") true (rc <> 0))
+    [ "info --kernel no_such_kernel"; "emit"; "simulate" ]
+
+let test_tiled_collapse_c () =
+  require_gcc ();
+  (* Pluto-lite: tile the triangle, collapse the tile loops, keep
+     min/max intra-tile loops — the paper's "tiled" kernels *)
+  let module A = Polymath.Affine in
+  let module Q = Zmath.Rat in
+  let aff terms c = A.make (List.map (fun (v, k) -> (v, Q.of_int k)) terms) (Q.of_int c) in
+  let nest =
+    Trahrhe.Nest.make ~params:[ "N" ]
+      [ { var = "i"; lower = aff [] 0; upper = aff [ ("N", 1) ] 0 };
+        { var = "j"; lower = aff [ ("i", 1) ] 0; upper = aff [ ("N", 1) ] 0 } ]
+  in
+  let tl = Looptrans.Tile.tile nest ~size:16 in
+  let collapsed =
+    Codegen.C_print.to_string ~indent:1
+      (Looptrans.Tile.collapse_tiles tl
+         ~body:[ Codegen.C_ast.Raw "a[i][j] += b[j][i] + 1.0;" ])
+  in
+  let loop_orig =
+    {|  for (i = 0; i < N; i++)
+    for (j = i; j < N; j++)
+      a[i][j] += b[j][i] + 1.0;
+|}
+  in
+  (* N = 64: a multiple of the tile size, as the model assumes *)
+  with_temp_dir (fun dir ->
+      let reference = compile_and_run dir "tiled_ref" (template ~n:64 ~loop:loop_orig) in
+      let got =
+        compile_and_run dir "tiled_got" (template ~n:64 ~loop:("  {\n" ^ collapsed ^ "  }\n"))
+      in
+      Alcotest.(check string) "tiled output matches" reference got)
+
+let suites =
+  [ ( "integration.gcc",
+      [ Alcotest.test_case "naive scheme vs reference" `Slow
+          (test_scheme
+             { Cfront.Transform.default_options with scheme = Cfront.Transform.Naive }
+             "naive");
+        Alcotest.test_case "per-thread scheme vs reference" `Slow
+          (test_scheme Cfront.Transform.default_options "per_thread");
+        Alcotest.test_case "chunked scheme vs reference" `Slow
+          (test_scheme
+             { Cfront.Transform.default_options with scheme = Cfront.Transform.Chunked 32 }
+             "chunked");
+        Alcotest.test_case "simd scheme vs reference" `Slow
+          (test_scheme
+             { Cfront.Transform.default_options with scheme = Cfront.Transform.Simd 4 }
+             "simd");
+        Alcotest.test_case "guarded scheme vs reference" `Slow
+          (test_scheme { Cfront.Transform.default_options with guarded = true } "guarded");
+        Alcotest.test_case "3-depth complex roots vs reference" `Slow test_fig6_complex_roots;
+        Alcotest.test_case "strided nest vs reference" `Slow test_strided_nest;
+        Alcotest.test_case "reshaped nest vs reference" `Slow test_reshape_c;
+        Alcotest.test_case "fused nests vs reference" `Slow test_fused_c;
+        Alcotest.test_case "imperfect nest vs reference" `Slow test_imperfect_c;
+        Alcotest.test_case "tiled collapse vs reference" `Slow test_tiled_collapse_c;
+        Alcotest.test_case "CLI subcommand smoke" `Slow test_cli_smoke;
+        Alcotest.test_case "CLI collapse round trip" `Slow test_cli_collapse ] ) ]

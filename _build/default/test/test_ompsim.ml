@@ -1,0 +1,244 @@
+(* Tests for the OpenMP substrate: schedule assignment, the makespan
+   simulator, and the domain-based parallel executor. *)
+
+module Sched = Ompsim.Schedule
+module Sim = Ompsim.Sim
+
+(* -------- schedules -------- *)
+
+let test_static_blocks () =
+  Alcotest.(check (array (pair int int)))
+    "10 over 3"
+    [| (0, 4); (4, 3); (7, 3) |]
+    (Sched.static_blocks ~nthreads:3 ~n:10);
+  Alcotest.(check (array (pair int int)))
+    "fewer iterations than threads"
+    [| (0, 1); (1, 1); (2, 0) |]
+    (Sched.static_blocks ~nthreads:3 ~n:2);
+  Alcotest.(check (array (pair int int))) "empty" [| (0, 0); (0, 0) |]
+    (Sched.static_blocks ~nthreads:2 ~n:0)
+
+let test_round_robin () =
+  let lists = Sched.round_robin_chunks ~chunk:3 ~nthreads:2 ~n:10 in
+  Alcotest.(check (list (pair int int))) "thread 0" [ (0, 3); (6, 3) ] lists.(0);
+  Alcotest.(check (list (pair int int))) "thread 1" [ (3, 3); (9, 1) ] lists.(1)
+
+let test_guided_sizes () =
+  (* guided halves remaining over 2T, floored at chunk *)
+  Alcotest.(check int) "large remaining" 25 (Sched.next_guided ~chunk:4 ~nthreads:2 ~remaining:100);
+  Alcotest.(check int) "floor at chunk" 4 (Sched.next_guided ~chunk:4 ~nthreads:2 ~remaining:10);
+  Alcotest.(check int) "tail below chunk" 2 (Sched.next_guided ~chunk:4 ~nthreads:2 ~remaining:2)
+
+let test_schedule_strings () =
+  Alcotest.(check string) "static" "static" (Sched.to_string Sched.Static);
+  Alcotest.(check string) "static chunk" "static, 8" (Sched.to_string (Sched.Static_chunk 8));
+  Alcotest.(check string) "dynamic" "dynamic" (Sched.to_string (Sched.Dynamic 1));
+  Alcotest.(check string) "guided n" "guided, 4" (Sched.to_string (Sched.Guided 4))
+
+(* -------- simulator -------- *)
+
+let uniform n c = Array.make n c
+
+let test_static_balanced () =
+  let r =
+    Sim.run ~costs:(uniform 120 1.0) ~schedule:Sched.Static ~nthreads:12
+      ~overheads:Sim.no_overheads
+  in
+  Alcotest.(check (float 1e-9)) "perfect balance" 10.0 r.Sim.makespan;
+  Alcotest.(check (float 1e-9)) "imbalance 1" 1.0 r.Sim.imbalance;
+  Alcotest.(check (float 1e-9)) "total work" 120.0 r.Sim.total_work
+
+let test_static_triangular_imbalance () =
+  (* costs 1..n ascending: the last static block dominates *)
+  let n = 120 in
+  let costs = Array.init n (fun q -> float_of_int (q + 1)) in
+  let r = Sim.run ~costs ~schedule:Sched.Static ~nthreads:12 ~overheads:Sim.no_overheads in
+  (* last thread holds rows 111..120: sum = 1155; mean = 605 *)
+  Alcotest.(check (float 1e-9)) "makespan is heaviest block" 1155.0 r.Sim.makespan;
+  Alcotest.(check bool) "imbalance ~1.9" true (r.Sim.imbalance > 1.8 && r.Sim.imbalance < 2.0)
+
+let test_static_chunk_balances_triangle () =
+  let n = 120 in
+  let costs = Array.init n (fun q -> float_of_int (q + 1)) in
+  let r =
+    Sim.run ~costs ~schedule:(Sched.Static_chunk 1) ~nthreads:12 ~overheads:Sim.no_overheads
+  in
+  (* cyclic distribution of an arithmetic ramp: thread sums differ by at
+     most n_chunks_per_thread, far better than contiguous static *)
+  Alcotest.(check bool) "imbalance < 1.15" true (r.Sim.imbalance < 1.15);
+  let static =
+    Sim.run ~costs ~schedule:Sched.Static ~nthreads:12 ~overheads:Sim.no_overheads
+  in
+  Alcotest.(check bool) "beats static" true (r.Sim.makespan < static.Sim.makespan)
+
+let test_dynamic_balances () =
+  let n = 120 in
+  let costs = Array.init n (fun q -> float_of_int (q + 1)) in
+  let r = Sim.run ~costs ~schedule:(Sched.Dynamic 1) ~nthreads:12 ~overheads:Sim.no_overheads in
+  Alcotest.(check bool) "near balance" true (r.Sim.imbalance < 1.1);
+  Alcotest.(check int) "n dispatches" n r.Sim.chunks_dispatched
+
+let test_dynamic_dispatch_contention () =
+  (* tiny chunks + large dispatch cost: the serialized queue becomes
+     the bottleneck (paper §II: dynamic is not scalable) *)
+  let costs = uniform 1000 1.0 in
+  let ov = { Sim.no_overheads with dispatch = 10.0 } in
+  let r = Sim.run ~costs ~schedule:(Sched.Dynamic 1) ~nthreads:12 ~overheads:ov in
+  (* the lock alone takes 1000 * 10 time units *)
+  Alcotest.(check bool) "lock-bound" true (r.Sim.makespan >= 10_000.0)
+
+let test_makespan_lower_bound () =
+  let costs = Array.init 50 (fun q -> float_of_int ((q * 7 mod 13) + 1)) in
+  let total = Array.fold_left ( +. ) 0.0 costs in
+  List.iter
+    (fun schedule ->
+      let r = Sim.run ~costs ~schedule ~nthreads:4 ~overheads:Sim.no_overheads in
+      Alcotest.(check bool) "makespan >= total/T" true
+        (r.Sim.makespan >= (total /. 4.0) -. 1e-9);
+      Alcotest.(check bool) "makespan <= total" true (r.Sim.makespan <= total +. 1e-9))
+    [ Sched.Static; Sched.Static_chunk 3; Sched.Dynamic 2; Sched.Guided 2 ]
+
+let test_chunk_start_overhead () =
+  (* 12 threads, static: exactly one chunk-start (recovery) per thread *)
+  let costs = uniform 24 1.0 in
+  let ov = { Sim.no_overheads with chunk_start = 100.0 } in
+  let r = Sim.run ~costs ~schedule:Sched.Static ~nthreads:12 ~overheads:ov in
+  Alcotest.(check (float 1e-9)) "2 iters + 1 recovery" 102.0 r.Sim.makespan
+
+let test_per_iter_overhead () =
+  let costs = uniform 10 1.0 in
+  let ov = { Sim.no_overheads with per_iter = 0.5 } in
+  Alcotest.(check (float 1e-9)) "serial with per-iter" 15.0 (Sim.serial ~costs ~overheads:ov)
+
+let test_fork_join () =
+  let r =
+    Sim.run ~costs:(uniform 10 1.0) ~schedule:Sched.Static ~nthreads:10
+      ~overheads:{ Sim.no_overheads with fork_join = 7.0 }
+  in
+  Alcotest.(check (float 1e-9)) "fork_join added" 8.0 r.Sim.makespan
+
+let test_empty_loop () =
+  let r =
+    Sim.run ~costs:[||] ~schedule:(Sched.Dynamic 1) ~nthreads:4 ~overheads:Sim.no_overheads
+  in
+  Alcotest.(check (float 1e-9)) "empty" 0.0 r.Sim.makespan;
+  Alcotest.(check int) "no dispatch" 0 r.Sim.chunks_dispatched
+
+let test_chunk_larger_than_n () =
+  (* one oversized chunk: a single thread gets everything *)
+  let costs = uniform 5 2.0 in
+  let r =
+    Sim.run ~costs ~schedule:(Sched.Static_chunk 100) ~nthreads:4 ~overheads:Sim.no_overheads
+  in
+  Alcotest.(check (float 1e-9)) "single chunk" 10.0 r.Sim.makespan;
+  Alcotest.(check int) "one dispatch" 1 r.Sim.chunks_dispatched;
+  let d = Sim.run ~costs ~schedule:(Sched.Dynamic 100) ~nthreads:4 ~overheads:Sim.no_overheads in
+  Alcotest.(check (float 1e-9)) "dynamic single chunk" 10.0 d.Sim.makespan
+
+let test_more_threads_than_work () =
+  let costs = uniform 3 1.0 in
+  List.iter
+    (fun schedule ->
+      let r = Sim.run ~costs ~schedule ~nthreads:8 ~overheads:Sim.no_overheads in
+      Alcotest.(check (float 1e-9))
+        (Ompsim.Schedule.to_string schedule ^ ": one iteration each")
+        1.0 r.Sim.makespan)
+    [ Sched.Static; Sched.Static_chunk 1; Sched.Dynamic 1 ]
+
+let test_gain () =
+  Alcotest.(check (float 1e-9)) "50%" 0.5 (Sim.gain ~baseline:2.0 ~improved:1.0);
+  Alcotest.(check (float 1e-9)) "negative" (-1.0) (Sim.gain ~baseline:1.0 ~improved:2.0)
+
+let prop_static_equals_manual =
+  QCheck.Test.make ~name:"static makespan = max block sum" ~count:200
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 60) (QCheck.float_range 0.0 10.0))
+       (QCheck.int_range 1 8))
+    (fun (costs, t) ->
+      let costs = Array.of_list costs in
+      let r = Sim.run ~costs ~schedule:Sched.Static ~nthreads:t ~overheads:Sim.no_overheads in
+      let blocks = Sched.static_blocks ~nthreads:t ~n:(Array.length costs) in
+      let manual =
+        Array.fold_left
+          (fun acc (start, len) ->
+            let s = ref 0.0 in
+            for q = start to start + len - 1 do
+              s := !s +. costs.(q)
+            done;
+            Float.max acc !s)
+          0.0 blocks
+      in
+      Float.abs (r.Sim.makespan -. manual) < 1e-9)
+
+let prop_all_work_executed =
+  QCheck.Test.make ~name:"every schedule executes all the work" ~count:100
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 80) (QCheck.float_range 0.1 5.0))
+       (QCheck.int_range 1 6))
+    (fun (costs, t) ->
+      let costs = Array.of_list costs in
+      let total = Array.fold_left ( +. ) 0.0 costs in
+      List.for_all
+        (fun schedule ->
+          let r = Sim.run ~costs ~schedule ~nthreads:t ~overheads:Sim.no_overheads in
+          Float.abs (r.Sim.total_work -. total) < 1e-6)
+        [ Sched.Static; Sched.Static_chunk 2; Sched.Dynamic 3; Sched.Guided 1 ])
+
+(* -------- Par (real domains) -------- *)
+
+let test_par_covers_exactly_once () =
+  List.iter
+    (fun schedule ->
+      let n = 1000 in
+      let hits = Array.make n 0 in
+      (* single mutator per cell: each index is touched exactly once *)
+      Ompsim.Par.parallel_for ~nthreads:4 ~schedule ~n (fun q -> hits.(q) <- hits.(q) + 1);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s covers exactly once" (Sched.to_string schedule))
+        true
+        (Array.for_all (fun h -> h = 1) hits))
+    [ Sched.Static; Sched.Static_chunk 7; Sched.Dynamic 13; Sched.Guided 5 ]
+
+let test_par_chunks_partition () =
+  let n = 500 in
+  let seen = Array.make n false in
+  Ompsim.Par.parallel_for_chunks ~nthreads:3 ~schedule:(Sched.Static_chunk 64) ~n
+    (fun ~thread:_ ~start ~len ->
+      for q = start to start + len - 1 do
+        seen.(q) <- true
+      done);
+  Alcotest.(check bool) "partition covers range" true (Array.for_all Fun.id seen)
+
+let test_par_single_thread () =
+  let n = 100 in
+  let sum = ref 0 in
+  Ompsim.Par.parallel_for ~nthreads:1 ~schedule:Sched.Static ~n (fun q -> sum := !sum + q);
+  Alcotest.(check int) "sequential sum" (n * (n - 1) / 2) !sum
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [ ( "ompsim.schedule",
+      [ Alcotest.test_case "static blocks" `Quick test_static_blocks;
+        Alcotest.test_case "round robin" `Quick test_round_robin;
+        Alcotest.test_case "guided sizes" `Quick test_guided_sizes;
+        Alcotest.test_case "clause strings" `Quick test_schedule_strings ] );
+    ( "ompsim.sim",
+      [ Alcotest.test_case "static balanced" `Quick test_static_balanced;
+        Alcotest.test_case "static triangular imbalance" `Quick test_static_triangular_imbalance;
+        Alcotest.test_case "cyclic chunks balance a ramp" `Quick test_static_chunk_balances_triangle;
+        Alcotest.test_case "dynamic balances" `Quick test_dynamic_balances;
+        Alcotest.test_case "dispatch contention" `Quick test_dynamic_dispatch_contention;
+        Alcotest.test_case "makespan bounds" `Quick test_makespan_lower_bound;
+        Alcotest.test_case "chunk-start overhead" `Quick test_chunk_start_overhead;
+        Alcotest.test_case "per-iteration overhead" `Quick test_per_iter_overhead;
+        Alcotest.test_case "fork/join" `Quick test_fork_join;
+        Alcotest.test_case "empty loop" `Quick test_empty_loop;
+        Alcotest.test_case "chunk larger than n" `Quick test_chunk_larger_than_n;
+        Alcotest.test_case "more threads than work" `Quick test_more_threads_than_work;
+        Alcotest.test_case "gain metric" `Quick test_gain ]
+      @ qsuite [ prop_static_equals_manual; prop_all_work_executed ] );
+    ( "ompsim.par",
+      [ Alcotest.test_case "all schedules cover exactly once" `Quick test_par_covers_exactly_once;
+        Alcotest.test_case "chunk partition" `Quick test_par_chunks_partition;
+        Alcotest.test_case "single thread" `Quick test_par_single_thread ] ) ]

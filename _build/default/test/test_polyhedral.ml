@@ -1,0 +1,261 @@
+(* Tests for the polyhedral substrate: constraints, Fourier-Motzkin
+   elimination, nest-form counting, parametric lexmin. *)
+
+module A = Polymath.Affine
+module P = Polymath.Polynomial
+module Q = Zmath.Rat
+module C = Polyhedral.Constraint
+module FM = Polyhedral.Fourier_motzkin
+
+let poly = Alcotest.testable P.pp P.equal
+let aff terms c = A.make (List.map (fun (x, k) -> (x, Q.of_int k)) terms) (Q.of_int c)
+
+(* -------- constraints -------- *)
+
+let test_constraint_holds () =
+  let env5 = function "i" -> Q.of_int 5 | _ -> Q.of_int 10 in
+  Alcotest.(check bool) "5 >= 3" true (C.holds env5 (C.ge (A.var "i") (aff [] 3)));
+  Alcotest.(check bool) "5 >= 7 fails" false (C.holds env5 (C.ge (A.var "i") (aff [] 7)));
+  Alcotest.(check bool) "5 < 6 int" true (C.holds env5 (C.lt_int (A.var "i") (aff [] 6)));
+  Alcotest.(check bool) "5 < 5 fails" false (C.holds env5 (C.lt_int (A.var "i") (aff [] 5)));
+  Alcotest.(check bool) "eq" true (C.holds env5 (C.eq (A.var "i") (aff [] 5)))
+
+let test_lt_int_semantics () =
+  (* lt_int is the integer strict inequality: i < j iff i <= j - 1 *)
+  let c = C.lt_int (A.var "i") (A.var "j") in
+  let env i j = function "i" -> Q.of_int i | _ -> Q.of_int j in
+  Alcotest.(check bool) "3 < 4" true (C.holds (env 3 4) c);
+  Alcotest.(check bool) "4 < 4 fails" false (C.holds (env 4 4) c)
+
+(* -------- Fourier-Motzkin -------- *)
+
+let test_bounds_for () =
+  (* 0 <= i, i <= N-1, j free: bounds for i *)
+  let p =
+    Polyhedral.Polyhedron.make
+      [ C.ge (A.var "i") (aff [] 0); C.le (A.var "i") (aff [ ("N", 1) ] (-1)); C.ge (A.var "j") (aff [] 0) ]
+  in
+  let lowers, uppers, rest = FM.bounds_for "i" p in
+  Alcotest.(check int) "one lower" 1 (List.length lowers);
+  Alcotest.(check int) "one upper" 1 (List.length uppers);
+  Alcotest.(check int) "one rest" 1 (List.length rest);
+  Alcotest.(check bool) "lower is 0" true (A.equal (List.hd lowers) (aff [] 0));
+  Alcotest.(check bool) "upper is N-1" true (A.equal (List.hd uppers) (aff [ ("N", 1) ] (-1)))
+
+let test_eliminate_shadow () =
+  (* triangle 0 <= i <= j <= 10: eliminating i leaves 0 <= j <= 10 *)
+  let p =
+    Polyhedral.Polyhedron.make
+      [ C.ge (A.var "i") (aff [] 0); C.le (A.var "i") (A.var "j"); C.le (A.var "j") (aff [] 10) ]
+  in
+  let q = FM.eliminate "i" p in
+  Alcotest.(check bool) "i gone" true (not (List.mem "i" (Polyhedral.Polyhedron.vars q)));
+  (* j = 5 inside, j = -1 outside *)
+  Alcotest.(check bool) "j=5 in" true (Polyhedral.Polyhedron.mem (fun _ -> Q.of_int 5) q);
+  Alcotest.(check bool) "j=-1 out" false (Polyhedral.Polyhedron.mem (fun _ -> Q.of_int (-1)) q)
+
+let test_empty_detection () =
+  let p = Polyhedral.Polyhedron.make [ C.ge (A.var "i") (aff [] 5); C.le (A.var "i") (aff [] 3) ] in
+  Alcotest.(check bool) "5 <= i <= 3 empty" true (FM.is_rationally_empty p);
+  let ok = Polyhedral.Polyhedron.make [ C.ge (A.var "i") (aff [] 3); C.le (A.var "i") (aff [] 5) ] in
+  Alcotest.(check bool) "3 <= i <= 5 nonempty" false (FM.is_rationally_empty ok)
+
+let test_eliminate_transitive () =
+  (* x <= y, y <= z, z <= x - 1 is empty only through transitivity *)
+  let p =
+    Polyhedral.Polyhedron.make
+      [ C.le (A.var "x") (A.var "y");
+        C.le (A.var "y") (A.var "z");
+        C.le (A.var "z") (aff [ ("x", 1) ] (-1)) ]
+  in
+  Alcotest.(check bool) "cyclic chain empty" true (FM.is_rationally_empty p)
+
+let prop_projection_sound =
+  (* any rational point of the polyhedron projects into the shadow *)
+  QCheck.Test.make ~name:"FM projection contains every projected point" ~count:200
+    (QCheck.triple (QCheck.int_range (-10) 10) (QCheck.int_range (-10) 10)
+       (QCheck.int_range (-10) 10))
+    (fun (x, y, z) ->
+      let p =
+        Polyhedral.Polyhedron.make
+          [ C.ge (A.var "x") (aff [] (-5));
+            C.le (A.var "x") (A.var "y");
+            C.le (A.var "y") (aff [ ("z", 2) ] 1) ]
+      in
+      let env v = Q.of_int (match v with "x" -> x | "y" -> y | _ -> z) in
+      QCheck.assume (Polyhedral.Polyhedron.mem env p);
+      Polyhedral.Polyhedron.mem env (FM.eliminate "x" p))
+
+(* -------- Count -------- *)
+
+let corr_levels () =
+  [ { Polyhedral.Count.var = "i"; lo = aff [] 0; hi = aff [ ("N", 1) ] (-2) };
+    { Polyhedral.Count.var = "j"; lo = aff [ ("i", 1) ] 1; hi = aff [ ("N", 1) ] (-1) } ]
+
+let test_count_triangle () =
+  let c = Polyhedral.Count.count (corr_levels ()) in
+  (* (N-1)N/2 *)
+  let expected =
+    P.scale Q.half (P.sub (P.mul (P.var "N") (P.var "N")) (P.var "N"))
+  in
+  Alcotest.check poly "(N^2-N)/2" expected c
+
+let test_count_inner_structure () =
+  let inner = Polyhedral.Count.count_inner (corr_levels ()) in
+  Alcotest.(check int) "one entry per level" 2 (List.length inner);
+  Alcotest.check poly "innermost is 1" P.one (List.nth inner 1)
+
+let test_enumerate_matches_count () =
+  let levels = corr_levels () in
+  List.iter
+    (fun n ->
+      let pts = Polyhedral.Count.enumerate levels ~param:(fun _ -> n) in
+      let c = Polyhedral.Count.count levels in
+      let expected = Q.to_bigint_exn (P.eval (fun _ -> Q.of_int n) c) in
+      Alcotest.(check int)
+        (Printf.sprintf "N=%d" n)
+        (Zmath.Bigint.to_int_exn expected)
+        (List.length pts))
+    [ 1; 2; 3; 7; 15 ]
+
+let test_enumerate_lex_order () =
+  let pts = Polyhedral.Count.enumerate (corr_levels ()) ~param:(fun _ -> 4) in
+  Alcotest.(check (list (list (pair string int))))
+    "lex order"
+    [ [ ("i", 0); ("j", 1) ];
+      [ ("i", 0); ("j", 2) ];
+      [ ("i", 0); ("j", 3) ];
+      [ ("i", 1); ("j", 2) ];
+      [ ("i", 1); ("j", 3) ];
+      [ ("i", 2); ("j", 3) ] ]
+    pts
+
+let random_nest_levels =
+  (* 2-level nest with random affine bounds giving nonempty rows:
+     i in [0, a], j in [c*i + d, c*i + d + w] for random small values *)
+  QCheck.make
+    ~print:(fun (a, c, d, w) -> Printf.sprintf "a=%d c=%d d=%d w=%d" a c d w)
+    QCheck.Gen.(quad (int_range 0 8) (int_range (-2) 2) (int_range (-3) 3) (int_range 0 6))
+
+let prop_count_matches_enumerate =
+  QCheck.Test.make ~name:"symbolic count = enumeration size (random 2-level nests)" ~count:200
+    random_nest_levels (fun (a, c, d, w) ->
+      let levels =
+        [ { Polyhedral.Count.var = "i"; lo = aff [] 0; hi = aff [] a };
+          { Polyhedral.Count.var = "j"; lo = aff [ ("i", c) ] d; hi = aff [ ("i", c) ] (d + w) } ]
+      in
+      let pts = Polyhedral.Count.enumerate levels ~param:(fun _ -> 0) in
+      let counted = P.eval (fun _ -> Q.zero) (Polyhedral.Count.count levels) in
+      Q.equal (Q.of_int (List.length pts)) counted)
+
+let test_of_polyhedron_roundtrip () =
+  (* constraint form of the correlation triangle converts back to nest
+     form with the same count *)
+  let p = Polyhedral.Count.to_polyhedron (corr_levels ()) in
+  match Polyhedral.Count.of_polyhedron p ~order:[ "i"; "j" ] ~params:[ "N" ] with
+  | Error e -> Alcotest.fail e
+  | Ok levels ->
+    Alcotest.(check int) "two levels" 2 (List.length levels);
+    Alcotest.(check (list string)) "order kept" [ "i"; "j" ]
+      (List.map (fun (l : Polyhedral.Count.level) -> l.var) levels);
+    Alcotest.check poly "same count"
+      (Polyhedral.Count.count (corr_levels ()))
+      (Polyhedral.Count.count levels)
+
+let test_of_polyhedron_redundant_bounds () =
+  (* a redundant upper bound with the same variable terms is pruned *)
+  let p =
+    Polyhedral.Polyhedron.add
+      (C.le (A.var "j") (aff [ ("N", 1) ] 5))
+      (Polyhedral.Count.to_polyhedron (corr_levels ()))
+  in
+  match Polyhedral.Count.of_polyhedron p ~order:[ "i"; "j" ] ~params:[ "N" ] with
+  | Error e -> Alcotest.fail e
+  | Ok levels ->
+    Alcotest.check poly "count unchanged"
+      (Polyhedral.Count.count (corr_levels ()))
+      (Polyhedral.Count.count levels)
+
+let test_of_polyhedron_rejects_min_max () =
+  (* j <= N and j <= M genuinely needs a min: not in the Fig. 5 model *)
+  let p =
+    Polyhedral.Polyhedron.make
+      [ C.ge (A.var "i") (aff [] 0);
+        C.le (A.var "i") (aff [ ("N", 1) ] 0);
+        C.ge (A.var "j") (aff [] 0);
+        C.le (A.var "j") (aff [ ("N", 1) ] 0);
+        C.le (A.var "j") (aff [ ("M", 1) ] 0) ]
+  in
+  match Polyhedral.Count.of_polyhedron p ~order:[ "i"; "j" ] ~params:[ "N"; "M" ] with
+  | Error msg ->
+    Alcotest.(check bool) "mentions max/min" true
+      (String.length msg > 0 &&
+       let rec has i = i + 7 <= String.length msg && (String.sub msg i 7 = "max/min" || has (i + 1)) in
+       has 0)
+  | Ok _ -> Alcotest.fail "expected rejection"
+
+let test_of_polyhedron_unbounded () =
+  let p = Polyhedral.Polyhedron.make [ C.ge (A.var "i") (aff [] 0) ] in
+  match Polyhedral.Count.of_polyhedron p ~order:[ "i" ] ~params:[] with
+  | Error msg -> Alcotest.(check string) "no upper" "variable i has no upper bound" msg
+  | Ok _ -> Alcotest.fail "expected rejection"
+
+(* -------- Lexmin -------- *)
+
+let test_lexmin_transitive () =
+  (* i in [0, ...], j in [i+1, ...], k in [j+2, ...]:
+     minima: i = 0, j = 1, k = 3; tail after prefix 1: j = i+1, k = i+3 *)
+  let levels =
+    [ { Polyhedral.Count.var = "i"; lo = aff [] 0; hi = aff [ ("N", 1) ] 0 };
+      { Polyhedral.Count.var = "j"; lo = aff [ ("i", 1) ] 1; hi = aff [ ("N", 1) ] 0 };
+      { Polyhedral.Count.var = "k"; lo = aff [ ("j", 1) ] 2; hi = aff [ ("N", 1) ] 0 } ]
+  in
+  let first = Polyhedral.Lexmin.first_point levels in
+  Alcotest.(check int) "three minima" 3 (List.length first);
+  List.iter2
+    (fun (x, expected) (y, m) ->
+      Alcotest.(check string) "var" x y;
+      Alcotest.(check bool) ("min of " ^ x) true (A.equal expected m))
+    [ ("i", aff [] 0); ("j", aff [] 1); ("k", aff [] 3) ]
+    first;
+  let tail = Polyhedral.Lexmin.tail_minima levels ~prefix:1 in
+  List.iter2
+    (fun (x, expected) (y, m) ->
+      Alcotest.(check string) "var" x y;
+      Alcotest.(check bool) ("tail min of " ^ x) true (A.equal expected m))
+    [ ("j", aff [ ("i", 1) ] 1); ("k", aff [ ("i", 1) ] 3) ]
+    tail
+
+let test_lexmin_prefix_bounds () =
+  let levels = corr_levels () in
+  Alcotest.(check int) "prefix = depth gives empty" 0
+    (List.length (Polyhedral.Lexmin.tail_minima levels ~prefix:2));
+  Alcotest.check_raises "prefix too large" (Invalid_argument "Lexmin.tail_minima") (fun () ->
+      ignore (Polyhedral.Lexmin.tail_minima levels ~prefix:3))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [ ( "polyhedral.constraint",
+      [ Alcotest.test_case "holds" `Quick test_constraint_holds;
+        Alcotest.test_case "integer strict inequality" `Quick test_lt_int_semantics ] );
+    ( "polyhedral.fourier_motzkin",
+      [ Alcotest.test_case "bounds_for split" `Quick test_bounds_for;
+        Alcotest.test_case "projection shadow" `Quick test_eliminate_shadow;
+        Alcotest.test_case "emptiness" `Quick test_empty_detection;
+        Alcotest.test_case "transitive emptiness" `Quick test_eliminate_transitive ]
+      @ qsuite [ prop_projection_sound ] );
+    ( "polyhedral.count",
+      [ Alcotest.test_case "triangle count" `Quick test_count_triangle;
+        Alcotest.test_case "count_inner structure" `Quick test_count_inner_structure;
+        Alcotest.test_case "enumerate matches count" `Quick test_enumerate_matches_count;
+        Alcotest.test_case "enumerate lex order" `Quick test_enumerate_lex_order;
+        Alcotest.test_case "of_polyhedron roundtrip" `Quick test_of_polyhedron_roundtrip;
+        Alcotest.test_case "of_polyhedron prunes redundancy" `Quick
+          test_of_polyhedron_redundant_bounds;
+        Alcotest.test_case "of_polyhedron rejects max/min" `Quick test_of_polyhedron_rejects_min_max;
+        Alcotest.test_case "of_polyhedron rejects unbounded" `Quick test_of_polyhedron_unbounded ]
+      @ qsuite [ prop_count_matches_enumerate ] );
+    ( "polyhedral.lexmin",
+      [ Alcotest.test_case "transitive minima" `Quick test_lexmin_transitive;
+        Alcotest.test_case "prefix bounds" `Quick test_lexmin_prefix_bounds ] ) ]

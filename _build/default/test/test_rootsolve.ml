@@ -1,0 +1,129 @@
+(* Tests for the closed-form solvers: for polynomials constructed from
+   known roots, the symbolic candidate set must contain every root
+   (under principal-branch complex evaluation). *)
+
+module P = Polymath.Polynomial
+module Q = Zmath.Rat
+module E = Symx.Expr
+module S = Rootsolve.Solver
+
+let no_env _ = Complex.zero
+
+(* (x - r1)(x - r2)... as a univariate with constant coefficients *)
+let poly_of_roots leading roots =
+  let x = P.var "x" in
+  let p =
+    List.fold_left (fun acc r -> P.mul acc (P.sub x (P.of_int r))) (P.of_int leading) roots
+  in
+  S.of_poly ~unknown:"x" p
+
+let candidates_contain u roots =
+  let cands = S.candidates u in
+  let values = List.map (fun e -> E.eval_complex no_env e) cands in
+  List.for_all
+    (fun r ->
+      List.exists
+        (fun (z : Complex.t) ->
+          Float.abs (z.re -. float_of_int r) < 1e-6 && Float.abs z.im < 1e-6)
+        values)
+    roots
+
+let test_of_poly_rejects_nonlinear_unknown () =
+  (* a coefficient mentioning the unknown is a misuse *)
+  Alcotest.(check bool) "degree extraction" true
+    (S.degree (S.of_poly ~unknown:"x" (P.mul (P.var "x") (P.var "y"))) = 1)
+
+let test_degree () =
+  Alcotest.(check int) "deg 3" 3 (S.degree (poly_of_roots 2 [ 1; 2; 3 ]));
+  Alcotest.(check int) "deg 0" 0 (S.degree (S.of_poly ~unknown:"x" P.one));
+  Alcotest.(check int) "deg -1 for zero" (-1) (S.degree (S.of_poly ~unknown:"x" P.zero))
+
+let test_linear () =
+  Alcotest.(check bool) "root 7" true (candidates_contain (poly_of_roots 3 [ 7 ]) [ 7 ]);
+  Alcotest.(check bool) "root -4" true (candidates_contain (poly_of_roots 1 [ -4 ]) [ -4 ])
+
+let test_quadratic () =
+  Alcotest.(check bool) "roots 2,5" true (candidates_contain (poly_of_roots 1 [ 2; 5 ]) [ 2; 5 ]);
+  Alcotest.(check bool) "roots -3,-3" true (candidates_contain (poly_of_roots 2 [ -3; -3 ]) [ -3 ]);
+  Alcotest.(check bool) "roots 0,9" true (candidates_contain (poly_of_roots (-1) [ 0; 9 ]) [ 0; 9 ])
+
+let test_cubic () =
+  Alcotest.(check bool) "roots 1,2,3" true
+    (candidates_contain (poly_of_roots 1 [ 1; 2; 3 ]) [ 1; 2; 3 ]);
+  Alcotest.(check bool) "roots -1,0,4" true
+    (candidates_contain (poly_of_roots 2 [ -1; 0; 4 ]) [ -1; 0; 4 ]);
+  Alcotest.(check bool) "triple root 2" true (candidates_contain (poly_of_roots 1 [ 2; 2; 2 ]) [ 2 ])
+
+let test_quartic () =
+  Alcotest.(check bool) "roots 1,2,3,4" true
+    (candidates_contain (poly_of_roots 1 [ 1; 2; 3; 4 ]) [ 1; 2; 3; 4 ]);
+  Alcotest.(check bool) "roots -2,-1,1,2 (biquadratic)" true
+    (candidates_contain (poly_of_roots 1 [ -2; -1; 1; 2 ]) [ -2; -1; 1; 2 ]);
+  Alcotest.(check bool) "roots 0,0,3,5" true
+    (candidates_contain (poly_of_roots 3 [ 0; 0; 3; 5 ]) [ 0; 3; 5 ])
+
+let test_unsupported_degree () =
+  Alcotest.(check bool) "degree 5 raises" true
+    (try
+       ignore (S.candidates (poly_of_roots 1 [ 1; 2; 3; 4; 5 ]));
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "degree 0 raises" true
+    (try
+       ignore (S.candidates (S.of_poly ~unknown:"x" P.one));
+       false
+     with Invalid_argument _ -> true)
+
+(* symbolic coefficients: solve r(x, lexmin) - pc = 0 for the
+   correlation ranking and check the root matches at sample points *)
+let test_symbolic_coefficients () =
+  (* r(i, i+1) - pc where r = (2iN - i^2 - 3i + 2j)/2 *)
+  let i = P.var "x" and n = P.var "N" and pc = P.var "pc" in
+  let r =
+    P.scale Q.half
+      (P.add
+         (P.sub (P.scale (Q.of_int 2) (P.mul i n)) (P.mul i i))
+         (P.sub (P.scale (Q.of_int 2) (P.add i P.one)) (P.scale (Q.of_int 3) i)))
+  in
+  let u = S.of_poly ~unknown:"x" (P.sub r pc) in
+  Alcotest.(check int) "quadratic in x" 2 (S.degree u);
+  let cands = S.candidates u in
+  Alcotest.(check int) "two candidates" 2 (List.length cands);
+  (* at N=10, pc=1 one candidate must evaluate to x=0 *)
+  let env = function
+    | "N" -> { Complex.re = 10.0; im = 0.0 }
+    | "pc" -> { Complex.re = 1.0; im = 0.0 }
+    | _ -> Complex.zero
+  in
+  Alcotest.(check bool) "x=0 candidate exists" true
+    (List.exists
+       (fun e ->
+         let z = E.eval_complex env e in
+         Float.abs z.Complex.re < 1e-9 && Float.abs z.Complex.im < 1e-9)
+       cands)
+
+let prop_random_roots =
+  QCheck.Test.make ~name:"candidates contain all constructed roots (deg 1-4)" ~count:300
+    (QCheck.pair
+       (QCheck.int_range 1 4)
+       (QCheck.pair
+          (QCheck.int_range 1 3)
+          (QCheck.list_of_size (QCheck.Gen.int_range 1 4) (QCheck.int_range (-6) 6))))
+    (fun (deg, (lead, roots)) ->
+      let roots = List.filteri (fun i _ -> i < deg) roots in
+      QCheck.assume (List.length roots = deg);
+      candidates_contain (poly_of_roots lead roots) roots)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [ ( "rootsolve",
+      [ Alcotest.test_case "of_poly and degree" `Quick test_degree;
+        Alcotest.test_case "nonlinear coeff view" `Quick test_of_poly_rejects_nonlinear_unknown;
+        Alcotest.test_case "linear" `Quick test_linear;
+        Alcotest.test_case "quadratic" `Quick test_quadratic;
+        Alcotest.test_case "cubic (Cardano)" `Quick test_cubic;
+        Alcotest.test_case "quartic (Descartes/Ferrari)" `Quick test_quartic;
+        Alcotest.test_case "unsupported degrees" `Quick test_unsupported_degree;
+        Alcotest.test_case "symbolic parametric coefficients" `Quick test_symbolic_coefficients ]
+      @ qsuite [ prop_random_roots ] ) ]

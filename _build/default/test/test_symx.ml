@@ -1,0 +1,184 @@
+(* Tests for symx: symbolic expressions, complex evaluation, C emission. *)
+
+module E = Symx.Expr
+module Q = Zmath.Rat
+module P = Polymath.Polynomial
+
+let expr = Alcotest.testable E.pp E.equal
+
+let approx ?(eps = 1e-9) msg expected (z : Complex.t) =
+  if Float.abs (z.re -. expected) > eps || Float.abs z.im > eps then
+    Alcotest.failf "%s: expected %g, got %g + %gi" msg expected z.re z.im
+
+let no_env _ = Complex.zero
+
+(* -------- smart constructors -------- *)
+
+let test_constant_folding () =
+  Alcotest.check expr "2+3 = 5" (E.of_int 5) (E.add (E.of_int 2) (E.of_int 3));
+  Alcotest.check expr "2*3 = 6" (E.of_int 6) (E.mul (E.of_int 2) (E.of_int 3));
+  Alcotest.check expr "0*x = 0" E.zero (E.mul E.zero (E.var "x"));
+  Alcotest.check expr "1*x = x" (E.var "x") (E.mul E.one (E.var "x"));
+  Alcotest.check expr "x+0 = x" (E.var "x") (E.add (E.var "x") E.zero);
+  Alcotest.check expr "x^0 = 1" E.one (E.pow (E.var "x") Q.zero);
+  Alcotest.check expr "x^1 = x" (E.var "x") (E.pow (E.var "x") Q.one)
+
+let test_flattening () =
+  let e = E.sum [ E.sum [ E.var "a"; E.var "b" ]; E.var "c" ] in
+  (match e with
+  | E.Sum [ E.Var "a"; E.Var "b"; E.Var "c" ] -> ()
+  | _ -> Alcotest.failf "sum not flattened: %s" (E.to_string e));
+  let p = E.prod [ E.prod [ E.var "a"; E.var "b" ]; E.var "c" ] in
+  match p with
+  | E.Prod [ E.Var "a"; E.Var "b"; E.Var "c" ] -> ()
+  | _ -> Alcotest.failf "prod not flattened: %s" (E.to_string p)
+
+let test_pow_collapse_integer_only () =
+  (* (x^{1/3})^3 collapses (outer exponent integral)... *)
+  Alcotest.check expr "(x^1/3)^3 = x"
+    (E.var "x")
+    (E.pow (E.cbrt (E.var "x")) (Q.of_int 3));
+  (* ...but (x^2)^{1/2} must NOT collapse to x (branch cut) *)
+  match E.pow (E.pow (E.var "x") (Q.of_int 2)) Q.half with
+  | E.Pow (E.Pow (E.Var "x", two), h) when Q.equal two (Q.of_int 2) && Q.equal h Q.half -> ()
+  | e -> Alcotest.failf "branch-unsafe collapse: %s" (E.to_string e)
+
+(* -------- evaluation -------- *)
+
+let test_eval_arith () =
+  let env = function "x" -> { Complex.re = 3.0; im = 0.0 } | _ -> { Complex.re = 2.0; im = 0.0 } in
+  approx "3*x + y" 11.0 (E.eval_complex env (E.add (E.mul (E.of_int 3) (E.var "x")) (E.var "y")));
+  approx "x^2" 9.0 (E.eval_complex env (E.pow (E.var "x") (Q.of_int 2)));
+  approx "1/x" (1.0 /. 3.0) (E.eval_complex env (E.inv (E.var "x")));
+  approx "sqrt 9" 3.0 (E.eval_complex env (E.sqrt (E.pow (E.var "x") (Q.of_int 2))))
+
+let test_eval_sqrt_exact () =
+  (* sqrt of a perfect square of a float integer must be exact *)
+  let z = E.eval_complex no_env (E.sqrt (E.of_int 1048576)) in
+  Alcotest.(check (float 0.0)) "exact sqrt" 1024.0 z.Complex.re
+
+let test_eval_complex_transit () =
+  (* sqrt(-4) = 2i; i * i = -1 *)
+  let z = E.eval_complex no_env (E.sqrt (E.of_int (-4))) in
+  approx ~eps:1e-12 "re 0" 0.0 { z with im = 0.0 };
+  Alcotest.(check (float 1e-12)) "im 2" 2.0 z.Complex.im;
+  let z2 = E.eval_complex no_env (E.mul E.I E.I) in
+  approx "i*i" (-1.0) z2
+
+let test_eval_cbrt_principal () =
+  (* principal cube root of -8 is 1 + i*sqrt(3), NOT -2 (C cpow behavior) *)
+  let z = E.eval_complex no_env (E.cbrt (E.of_int (-8))) in
+  Alcotest.(check (float 1e-9)) "re" 1.0 z.Complex.re;
+  Alcotest.(check (float 1e-9)) "im" (Float.sqrt 3.0) z.Complex.im
+
+let test_eval_zero_pow () =
+  approx "0^2" 0.0 (E.eval_complex no_env (E.pow E.zero (Q.of_int 2)));
+  approx "0^(1/2)" 0.0 (E.eval_complex no_env (E.sqrt E.zero));
+  let z = E.eval_complex no_env (E.inv E.zero) in
+  Alcotest.(check bool) "0^-1 infinite" true (Float.is_integer z.Complex.re = false || z.Complex.re = infinity)
+
+let test_of_poly () =
+  let p = P.add (P.scale Q.half (P.mul (P.var "i") (P.var "i"))) (P.of_int 3) in
+  let e = E.of_poly p in
+  let env = function "i" -> { Complex.re = 4.0; im = 0.0 } | _ -> Complex.zero in
+  approx "1/2 i^2 + 3 at i=4" 11.0 (E.eval_complex env e)
+
+let test_subst () =
+  let e = E.add (E.sqrt (E.var "x")) (E.var "y") in
+  let e' = E.subst "x" (E.of_int 16) e in
+  let env = function "y" -> { Complex.re = 1.0; im = 0.0 } | _ -> Complex.zero in
+  approx "sqrt 16 + 1" 5.0 (E.eval_complex env e');
+  Alcotest.(check (list string)) "free vars" [ "y" ] (E.free_vars e')
+
+let test_free_vars () =
+  let e = E.mul (E.var "b") (E.add (E.var "a") (E.pow (E.var "c") Q.half)) in
+  Alcotest.(check (list string)) "sorted vars" [ "a"; "b"; "c" ] (E.free_vars e)
+
+(* -------- classification and C emission -------- *)
+
+let test_classify () =
+  Alcotest.(check bool) "poly is real" true (Symx.Cemit.classify (E.var "x") = Symx.Cemit.Real);
+  Alcotest.(check bool) "sqrt is real" true
+    (Symx.Cemit.classify (E.sqrt (E.var "x")) = Symx.Cemit.Real);
+  Alcotest.(check bool) "cbrt is complex" true
+    (Symx.Cemit.classify (E.cbrt (E.var "x")) = Symx.Cemit.Complex);
+  Alcotest.(check bool) "I is complex" true (Symx.Cemit.classify E.I = Symx.Cemit.Complex)
+
+let test_rat_literal () =
+  Alcotest.(check string) "int" "3.0" (Symx.Cemit.rat_literal (Q.of_int 3));
+  Alcotest.(check string) "frac" "(3.0/2.0)" (Symx.Cemit.rat_literal (Q.of_ints 3 2));
+  Alcotest.(check string) "neg" "-1.0" (Symx.Cemit.rat_literal Q.minus_one)
+
+let test_emit_real () =
+  let e = E.sqrt (E.add (E.var "N") (E.of_int 1)) in
+  Alcotest.(check string) "sqrt emission" "sqrt((double)N + 1.0)"
+    (Symx.Cemit.emit ~mode:Symx.Cemit.Real e);
+  Alcotest.(check string) "floor wrap" "floor(sqrt((double)N + 1.0))"
+    (Symx.Cemit.emit_floor ~mode:Symx.Cemit.Real e)
+
+let test_emit_complex () =
+  let e = E.cbrt (E.var "x") in
+  Alcotest.(check string) "cpow emission" "cpow((double)x, (1.0/3.0))"
+    (Symx.Cemit.emit ~mode:Symx.Cemit.Complex e);
+  Alcotest.(check string) "creal+floor" "floor(creal(cpow((double)x, (1.0/3.0))))"
+    (Symx.Cemit.emit_floor ~mode:Symx.Cemit.Complex e)
+
+let test_emit_precedence () =
+  (* (a + b) * c needs parentheses around the sum *)
+  let e = E.mul (E.add (E.var "a") (E.var "b")) (E.var "c") in
+  Alcotest.(check string) "parens" "((double)a + (double)b)*(double)c"
+    (Symx.Cemit.emit ~mode:Symx.Cemit.Real e)
+
+let test_emit_poly_int () =
+  let p =
+    P.add
+      (P.scale Q.half (P.mul (P.var "i") (P.var "i")))
+      (P.sub (P.var "pc") (P.scale (Q.of_ints 3 2) (P.var "i")))
+  in
+  let s = Symx.Cemit.emit_poly_int p ~ty:"long" in
+  Alcotest.(check string) "exact division form" "((long)i*i - (long)3*i + (long)2*pc)/2" s
+
+let test_emit_poly_int_integer_coeffs () =
+  let p = P.sub (P.mul (P.var "N") (P.var "N")) (P.var "N") in
+  Alcotest.(check string) "no division" "(long)N*N - (long)N"
+    (Symx.Cemit.emit_poly_int p ~ty:"long")
+
+(* emitted integer polynomials must agree with exact evaluation *)
+let prop_emit_poly_eval =
+  QCheck.Test.make ~name:"emit_poly_int denominators divide exactly" ~count:100
+    (QCheck.pair (QCheck.int_range 0 30) (QCheck.int_range 0 30))
+    (fun (i, j) ->
+      (* ranking-like polynomial: always integer on integer points *)
+      let p =
+        P.add
+          (P.scale Q.half
+             (P.add (P.mul (P.var "i") (P.var "i")) (P.var "i")))
+          (P.var "j")
+      in
+      let v = P.eval (function "i" -> Q.of_int i | _ -> Q.of_int j) p in
+      Q.is_integer v)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [ ( "symx.expr",
+      [ Alcotest.test_case "constant folding" `Quick test_constant_folding;
+        Alcotest.test_case "flattening" `Quick test_flattening;
+        Alcotest.test_case "pow collapse branch safety" `Quick test_pow_collapse_integer_only;
+        Alcotest.test_case "arithmetic evaluation" `Quick test_eval_arith;
+        Alcotest.test_case "sqrt exactness" `Quick test_eval_sqrt_exact;
+        Alcotest.test_case "complex transit" `Quick test_eval_complex_transit;
+        Alcotest.test_case "principal cube root" `Quick test_eval_cbrt_principal;
+        Alcotest.test_case "zero powers" `Quick test_eval_zero_pow;
+        Alcotest.test_case "of_poly" `Quick test_of_poly;
+        Alcotest.test_case "substitution" `Quick test_subst;
+        Alcotest.test_case "free variables" `Quick test_free_vars ] );
+    ( "symx.cemit",
+      [ Alcotest.test_case "classification" `Quick test_classify;
+        Alcotest.test_case "rational literals" `Quick test_rat_literal;
+        Alcotest.test_case "real emission" `Quick test_emit_real;
+        Alcotest.test_case "complex emission" `Quick test_emit_complex;
+        Alcotest.test_case "precedence" `Quick test_emit_precedence;
+        Alcotest.test_case "integer polynomial emission" `Quick test_emit_poly_int;
+        Alcotest.test_case "integer coefficients unscaled" `Quick test_emit_poly_int_integer_coeffs ]
+      @ qsuite [ prop_emit_poly_eval ] ) ]

@@ -1,0 +1,443 @@
+(* Core tests: nest model, ranking Ehrhart polynomials, inversion,
+   runtime recovery, exhaustive validation — including the paper's own
+   examples and property tests over random nests. *)
+
+module A = Polymath.Affine
+module P = Polymath.Polynomial
+module Q = Zmath.Rat
+
+let poly = Alcotest.testable P.pp P.equal
+let aff terms c = A.make (List.map (fun (x, k) -> (x, Q.of_int k)) terms) (Q.of_int c)
+
+let correlation_nest () =
+  Trahrhe.Nest.make ~params:[ "N" ]
+    [ { var = "i"; lower = aff [] 0; upper = aff [ ("N", 1) ] (-1) };
+      { var = "j"; lower = aff [ ("i", 1) ] 1; upper = aff [ ("N", 1) ] 0 } ]
+
+let fig6_nest () =
+  Trahrhe.Nest.make ~params:[ "N" ]
+    [ { var = "i"; lower = aff [] 0; upper = aff [ ("N", 1) ] (-1) };
+      { var = "j"; lower = aff [] 0; upper = aff [ ("i", 1) ] 1 };
+      { var = "k"; lower = aff [ ("j", 1) ] 0; upper = aff [ ("i", 1) ] 1 } ]
+
+(* -------- Nest -------- *)
+
+let test_nest_validation () =
+  Alcotest.check_raises "duplicate iterator"
+    (Invalid_argument "Nest.make: duplicate iterator i") (fun () ->
+      ignore
+        (Trahrhe.Nest.make ~params:[]
+           [ { Trahrhe.Nest.var = "i"; lower = aff [] 0; upper = aff [] 5 };
+             { Trahrhe.Nest.var = "i"; lower = aff [] 0; upper = aff [] 5 } ]));
+  Alcotest.check_raises "inner var in outer bound"
+    (Invalid_argument
+       "Nest.make: bound of i mentions j which is not an outer iterator or parameter") (fun () ->
+      ignore
+        (Trahrhe.Nest.make ~params:[]
+           [ { Trahrhe.Nest.var = "i"; lower = aff [ ("j", 1) ] 0; upper = aff [] 5 };
+             { Trahrhe.Nest.var = "j"; lower = aff [] 0; upper = aff [] 5 } ]));
+  Alcotest.check_raises "iterator shadows parameter"
+    (Invalid_argument "Nest.make: iterator shadows parameter N") (fun () ->
+      ignore
+        (Trahrhe.Nest.make ~params:[ "N" ]
+           [ { Trahrhe.Nest.var = "N"; lower = aff [] 0; upper = aff [] 5 } ]))
+
+let test_nest_accessors () =
+  let n = fig6_nest () in
+  Alcotest.(check int) "depth" 3 (Trahrhe.Nest.depth n);
+  Alcotest.(check (list string)) "vars" [ "i"; "j"; "k" ] (Trahrhe.Nest.level_vars n);
+  Alcotest.(check int) "prefix depth" 2 (Trahrhe.Nest.depth (Trahrhe.Nest.prefix n 2));
+  Alcotest.(check bool) "non-rectangular" false (Trahrhe.Nest.is_rectangular n);
+  let rect =
+    Trahrhe.Nest.make ~params:[ "N" ]
+      [ { Trahrhe.Nest.var = "i"; lower = aff [] 0; upper = aff [ ("N", 1) ] 0 };
+        { Trahrhe.Nest.var = "j"; lower = aff [] 0; upper = aff [ ("N", 1) ] 0 } ]
+  in
+  Alcotest.(check bool) "rectangular" true (Trahrhe.Nest.is_rectangular rect)
+
+let test_dependence_degree () =
+  (* correlation: i used by j's bound -> degree 2; fig6: all three
+     loops depend on i (transitively for k) -> degree 3 *)
+  Alcotest.(check int) "correlation" 2 (Trahrhe.Nest.max_dependence_degree (correlation_nest ()));
+  Alcotest.(check int) "fig6" 3 (Trahrhe.Nest.max_dependence_degree (fig6_nest ()));
+  let rect =
+    Trahrhe.Nest.make ~params:[ "N" ]
+      [ { Trahrhe.Nest.var = "i"; lower = aff [] 0; upper = aff [ ("N", 1) ] 0 } ]
+  in
+  Alcotest.(check int) "rectangular 1" 1 (Trahrhe.Nest.max_dependence_degree rect)
+
+let test_nest_iterate () =
+  let pts = ref [] in
+  Trahrhe.Nest.iterate (correlation_nest ()) ~param:(fun _ -> 4) (fun idx ->
+      pts := Array.to_list idx :: !pts);
+  Alcotest.(check (list (list int)))
+    "lex order"
+    [ [ 0; 1 ]; [ 0; 2 ]; [ 0; 3 ]; [ 1; 2 ]; [ 1; 3 ]; [ 2; 3 ] ]
+    (List.rev !pts)
+
+(* -------- Ranking -------- *)
+
+let eval_at p bindings =
+  P.eval (fun x -> Q.of_int (List.assoc x bindings)) p
+
+let test_ranking_correlation_formula () =
+  (* the paper's §III closed form: r(i,j) = (2iN + 2j - i^2 - 3i)/2 *)
+  let r = Trahrhe.Ranking.ranking (correlation_nest ()) in
+  let paper i j n = ((2 * i * n) + (2 * j) - (i * i) - (3 * i)) / 2 in
+  List.iter
+    (fun (i, j, n) ->
+      Alcotest.(check string)
+        (Printf.sprintf "r(%d,%d) N=%d" i j n)
+        (string_of_int (paper i j n))
+        (Q.to_string (eval_at r [ ("i", i); ("j", j); ("N", n) ])))
+    [ (0, 1, 10); (0, 2, 10); (0, 9, 10); (1, 2, 10); (8, 9, 10); (3, 7, 12) ]
+
+let test_ranking_paper_anchors () =
+  (* §III: r(0,1)=1, r(0,N-1)=N-1, r(1,2)=N, r(N-2,N-1)=(N-1)N/2 *)
+  let r = Trahrhe.Ranking.ranking (correlation_nest ()) in
+  let n = 20 in
+  let at i j = Q.to_bigint_exn (eval_at r [ ("i", i); ("j", j); ("N", n) ]) in
+  Alcotest.(check string) "r(0,1)=1" "1" (Zmath.Bigint.to_string (at 0 1));
+  Alcotest.(check string) "r(0,N-1)=N-1" (string_of_int (n - 1))
+    (Zmath.Bigint.to_string (at 0 (n - 1)));
+  Alcotest.(check string) "r(1,2)=N" (string_of_int n) (Zmath.Bigint.to_string (at 1 2));
+  Alcotest.(check string) "r(N-2,N-1)=(N-1)N/2"
+    (string_of_int ((n - 1) * n / 2))
+    (Zmath.Bigint.to_string (at (n - 2) (n - 1)))
+
+let test_ranking_fig6_formula () =
+  (* §IV-C: r(i,j,k) = (6k - 3j^2 + 6ij + 3j + i^3 + 3i^2 + 2i + 6)/6 *)
+  let r = Trahrhe.Ranking.ranking (fig6_nest ()) in
+  let paper i j k =
+    ((6 * k) - (3 * j * j) + (6 * i * j) + (3 * j) + (i * i * i) + (3 * i * i) + (2 * i) + 6) / 6
+  in
+  List.iter
+    (fun (i, j, k) ->
+      Alcotest.(check string)
+        (Printf.sprintf "r(%d,%d,%d)" i j k)
+        (string_of_int (paper i j k))
+        (Q.to_string (eval_at r [ ("i", i); ("j", j); ("k", k); ("N", 99) ])))
+    [ (0, 0, 0); (1, 0, 0); (1, 0, 1); (1, 1, 1); (4, 2, 3); (7, 0, 6) ]
+
+let test_trip_counts () =
+  let tc2 = Trahrhe.Ranking.trip_count (correlation_nest ()) in
+  Alcotest.(check string) "correlation (N-1)N/2 at N=100" "4950"
+    (Q.to_string (eval_at tc2 [ ("N", 100) ]));
+  let tc3 = Trahrhe.Ranking.trip_count (fig6_nest ()) in
+  (* paper: (N^3 - N)/6 *)
+  Alcotest.(check string) "fig6 (N^3-N)/6 at N=10" "165" (Q.to_string (eval_at tc3 [ ("N", 10) ]))
+
+let test_rank_at () =
+  let nest = correlation_nest () in
+  Alcotest.(check string) "rank_at first" "1"
+    (Zmath.Bigint.to_string (Trahrhe.Ranking.rank_at nest ~param:(fun _ -> 10) [| 0; 1 |]))
+
+(* -------- Inversion -------- *)
+
+let test_invert_correlation_modes () =
+  let inv = Trahrhe.Inversion.invert_exn (correlation_nest ()) in
+  (match inv.Trahrhe.Inversion.recoveries.(0) with
+  | Trahrhe.Inversion.Root { var; mode; _ } ->
+    Alcotest.(check string) "outer var" "i" var;
+    Alcotest.(check bool) "sqrt stays real" true (mode = Symx.Cemit.Real)
+  | _ -> Alcotest.fail "expected closed-form root for i");
+  match inv.Trahrhe.Inversion.recoveries.(1) with
+  | Trahrhe.Inversion.Last { var; _ } -> Alcotest.(check string) "last var" "j" var
+  | _ -> Alcotest.fail "expected exact last level"
+
+let test_invert_fig6_complex () =
+  let inv = Trahrhe.Inversion.invert_exn (fig6_nest ()) in
+  match inv.Trahrhe.Inversion.recoveries.(0) with
+  | Trahrhe.Inversion.Root { mode; _ } ->
+    Alcotest.(check bool) "cubic needs complex evaluation (paper §IV-C)" true
+      (mode = Symx.Cemit.Complex)
+  | _ -> Alcotest.fail "expected closed-form root for i"
+
+let test_invert_depth1 () =
+  let nest =
+    Trahrhe.Nest.make ~params:[ "N" ]
+      [ { Trahrhe.Nest.var = "i"; lower = aff [] 3; upper = aff [ ("N", 1) ] 0 } ]
+  in
+  let inv = Trahrhe.Inversion.invert_exn nest in
+  let rc = Trahrhe.Recovery.make inv ~param:(fun _ -> 10) in
+  Alcotest.(check int) "trip" 7 (Trahrhe.Recovery.trip_count rc);
+  Alcotest.(check (array int)) "pc=1 -> i=3" [| 3 |] (Trahrhe.Recovery.recover_binsearch rc 1);
+  Alcotest.(check (array int)) "pc=7 -> i=9" [| 9 |] (Trahrhe.Recovery.recover_binsearch rc 7)
+
+let test_invert_degree_too_high () =
+  (* 5 nested loops all depending on i: degree 5 > 4 *)
+  let dep v = { Trahrhe.Nest.var = v; lower = aff [] 0; upper = aff [ ("i", 1) ] 1 } in
+  let nest =
+    Trahrhe.Nest.make ~params:[ "N" ]
+      [ { Trahrhe.Nest.var = "i"; lower = aff [] 0; upper = aff [ ("N", 1) ] 0 };
+        dep "j"; dep "k"; dep "l"; dep "m" ]
+  in
+  Alcotest.(check int) "dependence degree 5" 5 (Trahrhe.Nest.max_dependence_degree nest);
+  match Trahrhe.Inversion.invert nest with
+  | Error (Trahrhe.Inversion.Degree_too_high { var = "i"; degree = 5 }) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Trahrhe.Inversion.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Degree_too_high"
+
+let test_invert_pc_collision () =
+  let nest =
+    Trahrhe.Nest.make ~params:[ "N" ]
+      [ { Trahrhe.Nest.var = "pc"; lower = aff [] 0; upper = aff [ ("N", 1) ] 0 };
+        { Trahrhe.Nest.var = "j"; lower = aff [] 0; upper = aff [ ("pc", 1) ] 1 } ]
+  in
+  Alcotest.check_raises "pc collision"
+    (Invalid_argument "Inversion.invert: pc variable pc collides with the nest") (fun () ->
+      ignore (Trahrhe.Inversion.invert nest));
+  (* renaming the collapsed index works *)
+  match Trahrhe.Inversion.invert ~pc_var:"flat" nest with
+  | Ok inv -> Alcotest.(check string) "custom pc var" "flat" inv.Trahrhe.Inversion.pc_var
+  | Error e -> Alcotest.failf "unexpected: %s" (Trahrhe.Inversion.error_to_string e)
+
+(* -------- Recovery -------- *)
+
+let test_recovery_paper_formulas () =
+  (* at N=10: pc=1 -> (0,1); pc=9 -> first iteration of i=1 (paper:
+     r(1,2) = N means pc=N -> (1,2)) *)
+  let inv = Trahrhe.Inversion.invert_exn (correlation_nest ()) in
+  let rc = Trahrhe.Recovery.make inv ~param:(fun _ -> 10) in
+  Alcotest.(check (array int)) "pc=1" [| 0; 1 |] (Trahrhe.Recovery.recover rc 1);
+  Alcotest.(check (array int)) "pc=N=10" [| 1; 2 |] (Trahrhe.Recovery.recover rc 10);
+  Alcotest.(check (array int)) "pc=last" [| 8; 9 |]
+    (Trahrhe.Recovery.recover rc (Trahrhe.Recovery.trip_count rc))
+
+let test_recovery_strategies_agree () =
+  let inv = Trahrhe.Inversion.invert_exn (fig6_nest ()) in
+  let rc = Trahrhe.Recovery.make inv ~param:(fun _ -> 12) in
+  for pc = 1 to Trahrhe.Recovery.trip_count rc do
+    let g = Trahrhe.Recovery.recover_guarded rc pc in
+    let b = Trahrhe.Recovery.recover_binsearch rc pc in
+    if g <> b then
+      Alcotest.failf "pc=%d: guarded=(%d,%d,%d) binsearch=(%d,%d,%d)" pc g.(0) g.(1) g.(2) b.(0)
+        b.(1) b.(2)
+  done
+
+let test_recovery_bounds_functions () =
+  let inv = Trahrhe.Inversion.invert_exn (correlation_nest ()) in
+  let rc = Trahrhe.Recovery.make inv ~param:(fun _ -> 10) in
+  Alcotest.(check int) "lower j at i=3" 4 (Trahrhe.Recovery.lower_bound rc ~level:1 [| 3; 0 |]);
+  Alcotest.(check int) "upper j" 10 (Trahrhe.Recovery.upper_bound rc ~level:1 [| 3; 0 |]);
+  Alcotest.(check int) "rank_prefix: first with i=1" 10
+    (Trahrhe.Recovery.rank_prefix rc ~level:0 1 [| 0; 0 |])
+
+let test_recovery_increment_walks_domain () =
+  let inv = Trahrhe.Inversion.invert_exn (correlation_nest ()) in
+  let rc = Trahrhe.Recovery.make inv ~param:(fun _ -> 6) in
+  let idx = Trahrhe.Recovery.first rc in
+  let seen = ref [ Array.to_list idx ] in
+  while Trahrhe.Recovery.increment rc idx do
+    seen := Array.to_list idx :: !seen
+  done;
+  Alcotest.(check int) "visited all" (Trahrhe.Recovery.trip_count rc) (List.length !seen);
+  Alcotest.(check (list int)) "ends at last" [ 4; 5 ] (List.hd !seen)
+
+let test_recovery_empty_domain () =
+  let inv = Trahrhe.Inversion.invert_exn (correlation_nest ()) in
+  let rc = Trahrhe.Recovery.make inv ~param:(fun _ -> 1) in
+  Alcotest.(check int) "empty trip" 0 (Trahrhe.Recovery.trip_count rc);
+  Alcotest.check_raises "first on empty" (Failure "Recovery.first: empty iteration domain")
+    (fun () -> ignore (Trahrhe.Recovery.first rc))
+
+let test_recovery_missing_param () =
+  let inv = Trahrhe.Inversion.invert_exn (correlation_nest ()) in
+  Alcotest.(check bool) "missing parameter raises" true
+    (try
+       ignore (Trahrhe.Recovery.make inv ~param:(fun _ -> failwith "no such param"));
+       false
+     with Failure _ -> true)
+
+(* -------- Validation: paper nests, kernels, random nests -------- *)
+
+let check_nest ?(sizes = [ 2; 3; 5; 13 ]) name nest =
+  match Trahrhe.Inversion.invert nest with
+  | Error e -> Alcotest.failf "%s: inversion failed: %s" name (Trahrhe.Inversion.error_to_string e)
+  | Ok inv ->
+    List.iter
+      (fun n ->
+        let report = Trahrhe.Validate.check inv ~param:(fun _ -> n) in
+        if not (Trahrhe.Validate.raw_floor_ok report) then
+          Alcotest.failf "%s at n=%d:@\n%a" name n Trahrhe.Validate.pp report)
+      sizes
+
+let test_validate_paper_nests () =
+  check_nest "correlation" (correlation_nest ());
+  check_nest "fig6" (fig6_nest ())
+
+let test_validate_shifted_lower_bounds () =
+  (* non-zero constant lower bounds exercise the lbk handling of §IV *)
+  check_nest "shifted"
+    (Trahrhe.Nest.make ~params:[ "N" ]
+       [ { Trahrhe.Nest.var = "i"; lower = aff [] 2; upper = aff [ ("N", 1) ] 2 };
+         { Trahrhe.Nest.var = "j"; lower = aff [ ("i", 1) ] (-1); upper = aff [ ("N", 1); ("i", 1) ] 0 } ])
+
+let test_validate_rhomboid () =
+  check_nest "rhomboid"
+    (Trahrhe.Nest.make ~params:[ "N" ]
+       [ { Trahrhe.Nest.var = "t"; lower = aff [] 0; upper = aff [ ("N", 1) ] 0 };
+         { Trahrhe.Nest.var = "i"; lower = aff [ ("t", 1) ] 0; upper = aff [ ("t", 1); ("N", 1) ] 0 } ])
+
+let test_validate_trapezoid () =
+  check_nest "trapezoid"
+    (Trahrhe.Nest.make ~params:[ "N" ]
+       [ { Trahrhe.Nest.var = "i"; lower = aff [] 0; upper = aff [ ("N", 1) ] 0 };
+         { Trahrhe.Nest.var = "j"; lower = aff [] 0; upper = aff [ ("i", 1); ("N", 1) ] 1 } ])
+
+let test_validate_multi_dependence () =
+  (* inner bound mixing two outer iterators: k < i + j + 2 *)
+  check_nest "mixed" ~sizes:[ 2; 3; 6 ]
+    (Trahrhe.Nest.make ~params:[ "N" ]
+       [ { Trahrhe.Nest.var = "i"; lower = aff [] 0; upper = aff [ ("N", 1) ] 0 };
+         { Trahrhe.Nest.var = "j"; lower = aff [] 0; upper = aff [ ("N", 1) ] 0 };
+         { Trahrhe.Nest.var = "k"; lower = aff [] 0; upper = aff [ ("i", 1); ("j", 1) ] 2 } ])
+
+let test_validate_quartic_nest () =
+  (* four loops depending on i: the outermost equation has degree 4,
+     exercising the Ferrari solver end to end *)
+  check_nest "quartic" ~sizes:[ 2; 3; 5 ]
+    (Trahrhe.Nest.make ~params:[ "N" ]
+       [ { Trahrhe.Nest.var = "i"; lower = aff [] 0; upper = aff [ ("N", 1) ] 0 };
+         { Trahrhe.Nest.var = "j"; lower = aff [] 0; upper = aff [ ("i", 1) ] 1 };
+         { Trahrhe.Nest.var = "k"; lower = aff [] 0; upper = aff [ ("i", 1) ] 1 };
+         { Trahrhe.Nest.var = "l"; lower = aff [] 0; upper = aff [ ("i", 1) ] 1 } ])
+
+let test_validate_all_kernels () =
+  List.iter
+    (fun (k : Kernels.Kernel.t) ->
+      let inv = Kernels.Kernel.inversion k in
+      List.iter
+        (fun n ->
+          let report = Trahrhe.Validate.check inv ~param:(Kernels.Kernel.param_of k ~n) in
+          if not (Trahrhe.Validate.raw_floor_ok report) then
+            Alcotest.failf "%s at n=%d:@\n%a" k.Kernels.Kernel.name n Trahrhe.Validate.pp report)
+        [ 3; 8 ])
+    Kernels.Registry.kernels
+
+let test_paper_formula_equivalence () =
+  (* our selected correlation root must compute the same index as the
+     paper's literal Figure 3 formula for every pc *)
+  let inv = Trahrhe.Inversion.invert_exn (correlation_nest ()) in
+  let n = 200 in
+  let rc = Trahrhe.Recovery.make inv ~param:(fun _ -> n) in
+  let nf = float_of_int n in
+  let paper_i pc =
+    (* i = floor(-(sqrt(4N^2 - 4N - 8pc + 9) - 2N + 1) / 2) *)
+    int_of_float
+      (Float.floor
+         (-.(Float.sqrt ((4. *. nf *. nf) -. (4. *. nf) -. (8. *. float_of_int pc) +. 9.)
+             -. (2. *. nf) +. 1.)
+         /. 2.))
+  in
+  for pc = 1 to n * (n - 1) / 2 do
+    let got = (Trahrhe.Recovery.recover rc pc).(0) in
+    if got <> paper_i pc then
+      Alcotest.failf "pc=%d: ours %d, paper %d" pc got (paper_i pc)
+  done
+
+let prop_compiled_rank_matches_exact =
+  (* the native-int compiled ranking must agree with exact bigint
+     evaluation on every point *)
+  QCheck.Test.make ~name:"compiled rank = exact bigint rank" ~count:300
+    (QCheck.triple (QCheck.int_range 2 60) (QCheck.int_range 0 58) (QCheck.int_range 0 59))
+    (fun (n, i, j) ->
+      QCheck.assume (i < n - 1 && j > i && j < n);
+      let nest = correlation_nest () in
+      let inv = Trahrhe.Inversion.invert_exn nest in
+      let rc = Trahrhe.Recovery.make inv ~param:(fun _ -> n) in
+      let fast = Trahrhe.Recovery.rank rc [| i; j |] in
+      let exact = Trahrhe.Ranking.rank_at nest ~param:(fun _ -> n) [| i; j |] in
+      Zmath.Bigint.to_int exact = Some fast)
+
+let test_recovery_extralarge_sampled () =
+  (* paper-scale sizes (utma 5000, ltmp 4000): closed forms + guards
+     must stay exact at sparse sampled ranks *)
+  List.iter
+    (fun (nest, n) ->
+      let inv = Trahrhe.Inversion.invert_exn nest in
+      let rc = Trahrhe.Recovery.make inv ~param:(fun _ -> n) in
+      let trip = Trahrhe.Recovery.trip_count rc in
+      let step = max 1 (trip / 997) in
+      let pc = ref 1 in
+      while !pc <= trip do
+        let g = Trahrhe.Recovery.recover_guarded rc !pc in
+        let b = Trahrhe.Recovery.recover_binsearch rc !pc in
+        if g <> b then Alcotest.failf "pc=%d disagreement" !pc;
+        if Trahrhe.Recovery.rank rc g <> !pc then Alcotest.failf "pc=%d rank mismatch" !pc;
+        pc := !pc + step
+      done)
+    [ (correlation_nest (), 5000); (fig6_nest (), 800) ]
+
+(* random 2- and 3-level nests: the central soundness property *)
+let random_nest =
+  let gen =
+    QCheck.Gen.(
+      let coeff = int_range (-2) 2 in
+      let* depth = int_range 2 3 in
+      let* a = int_range 1 6 in
+      let* c1 = coeff and* d1 = int_range (-2) 2 and* w1 = int_range 0 5 in
+      let* c2a = coeff and* c2b = coeff and* d2 = int_range (-2) 2 and* w2 = int_range 0 4 in
+      let levels2 =
+        [ { Trahrhe.Nest.var = "i"; lower = aff [] 0; upper = aff [] a };
+          { Trahrhe.Nest.var = "j"; lower = aff [ ("i", c1) ] d1; upper = aff [ ("i", c1) ] (d1 + w1 + 1) } ]
+      in
+      let levels3 =
+        levels2
+        @ [ { Trahrhe.Nest.var = "k";
+              lower = aff [ ("i", c2a); ("j", c2b) ] d2;
+              upper = aff [ ("i", c2a); ("j", c2b) ] (d2 + w2 + 1) } ]
+      in
+      return (Trahrhe.Nest.make ~params:[] (if depth = 2 then levels2 else levels3)))
+  in
+  QCheck.make ~print:(Format.asprintf "%a" Trahrhe.Nest.pp) gen
+
+let prop_random_nests_validate =
+  QCheck.Test.make ~name:"random nests: ranking bijective, recoveries exact" ~count:60
+    random_nest (fun nest ->
+      match Trahrhe.Inversion.invert ~sample_sizes:[ 1 ] nest with
+      | Error (Trahrhe.Inversion.No_valid_root _) | Error Trahrhe.Inversion.No_samples ->
+        QCheck.assume_fail ()
+      | Error (Trahrhe.Inversion.Degree_too_high _) -> QCheck.assume_fail ()
+      | Ok inv ->
+        let report = Trahrhe.Validate.check inv ~param:(fun _ -> 0) in
+        Trahrhe.Validate.raw_floor_ok report)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [ ( "trahrhe.nest",
+      [ Alcotest.test_case "validation errors" `Quick test_nest_validation;
+        Alcotest.test_case "accessors" `Quick test_nest_accessors;
+        Alcotest.test_case "dependence degree" `Quick test_dependence_degree;
+        Alcotest.test_case "iterate order" `Quick test_nest_iterate ] );
+    ( "trahrhe.ranking",
+      [ Alcotest.test_case "correlation paper formula" `Quick test_ranking_correlation_formula;
+        Alcotest.test_case "correlation paper anchors" `Quick test_ranking_paper_anchors;
+        Alcotest.test_case "fig6 paper formula" `Quick test_ranking_fig6_formula;
+        Alcotest.test_case "trip counts" `Quick test_trip_counts;
+        Alcotest.test_case "rank_at" `Quick test_rank_at ] );
+    ( "trahrhe.inversion",
+      [ Alcotest.test_case "correlation root modes" `Quick test_invert_correlation_modes;
+        Alcotest.test_case "fig6 needs complex" `Quick test_invert_fig6_complex;
+        Alcotest.test_case "depth-1 nest" `Quick test_invert_depth1;
+        Alcotest.test_case "degree > 4 rejected" `Quick test_invert_degree_too_high;
+        Alcotest.test_case "pc variable collision" `Quick test_invert_pc_collision ] );
+    ( "trahrhe.recovery",
+      [ Alcotest.test_case "paper anchor recoveries" `Quick test_recovery_paper_formulas;
+        Alcotest.test_case "strategies agree everywhere" `Quick test_recovery_strategies_agree;
+        Alcotest.test_case "bounds and rank_prefix" `Quick test_recovery_bounds_functions;
+        Alcotest.test_case "increment walks domain" `Quick test_recovery_increment_walks_domain;
+        Alcotest.test_case "empty domain" `Quick test_recovery_empty_domain;
+        Alcotest.test_case "missing parameter" `Quick test_recovery_missing_param ] );
+    ( "trahrhe.validate",
+      [ Alcotest.test_case "paper nests exhaustively" `Quick test_validate_paper_nests;
+        Alcotest.test_case "shifted lower bounds" `Quick test_validate_shifted_lower_bounds;
+        Alcotest.test_case "rhomboid" `Quick test_validate_rhomboid;
+        Alcotest.test_case "trapezoid" `Quick test_validate_trapezoid;
+        Alcotest.test_case "mixed multi-outer dependence" `Quick test_validate_multi_dependence;
+        Alcotest.test_case "quartic inversion end-to-end" `Slow test_validate_quartic_nest;
+        Alcotest.test_case "all benchmark kernels" `Slow test_validate_all_kernels;
+        Alcotest.test_case "paper Figure 3 formula equivalence" `Slow test_paper_formula_equivalence;
+        Alcotest.test_case "paper-scale sampled recovery" `Slow test_recovery_extralarge_sampled ]
+      @ qsuite [ prop_random_nests_validate; prop_compiled_rank_matches_exact ] ) ]

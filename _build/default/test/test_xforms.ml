@@ -1,0 +1,300 @@
+(* Tests for the extension modules: expression simplification, reshape,
+   fusion, and the GPU/SIMD execution models. *)
+
+module A = Polymath.Affine
+module P = Polymath.Polynomial
+module Q = Zmath.Rat
+module E = Symx.Expr
+
+let aff terms c = A.make (List.map (fun (x, k) -> (x, Q.of_int k)) terms) (Q.of_int c)
+let expr = Alcotest.testable E.pp E.equal
+
+(* -------- Simplify -------- *)
+
+let test_to_polynomial () =
+  let e = E.mul (E.add (E.var "N") (E.of_int (-1))) (E.var "N") in
+  (match Symx.Simplify.to_polynomial e with
+  | Some p ->
+    Alcotest.(check string) "expanded" "N^2 - N" (P.to_string p)
+  | None -> Alcotest.fail "should be polynomial");
+  Alcotest.(check bool) "sqrt not polynomial" true
+    (Symx.Simplify.to_polynomial (E.sqrt (E.var "x")) = None);
+  Alcotest.(check bool) "I not polynomial" true (Symx.Simplify.to_polynomial E.I = None);
+  Alcotest.(check bool) "negative power not polynomial" true
+    (Symx.Simplify.to_polynomial (E.inv (E.var "x")) = None)
+
+let test_normalize_expands () =
+  (* (N - 1/2)^2 + 2(1 - pc) under a sqrt: the radicand must expand *)
+  let nm = E.add (E.var "N") (E.of_rat (Q.of_ints (-1) 2)) in
+  let e = E.sqrt (E.add (E.mul nm nm) (E.mul (E.of_int 2) (E.sub E.one (E.var "pc")))) in
+  let n = Symx.Simplify.normalize e in
+  (match n with
+  | E.Pow (base, half) when Q.equal half Q.half -> (
+    match Symx.Simplify.to_polynomial base with
+    | Some p ->
+      Alcotest.(check string) "flat radicand" "N^2 - N - 2*pc + 9/4" (P.to_string p)
+    | None -> Alcotest.fail "radicand should be polynomial")
+  | _ -> Alcotest.failf "unexpected shape %s" (E.to_string n));
+  Alcotest.(check bool) "no growth" true (Symx.Simplify.size n <= Symx.Simplify.size e)
+
+let test_normalize_keeps_radicals () =
+  let e = E.add (E.cbrt (E.var "x")) (E.mul (E.var "y") (E.var "y")) in
+  let n = Symx.Simplify.normalize e in
+  (* the cbrt must survive, the polynomial part must canonicalize *)
+  Alcotest.(check bool) "still mentions cbrt" true
+    (match n with E.Sum es -> List.exists (function E.Pow (_, k) -> Q.equal k (Q.of_ints 1 3) | _ -> false) es | _ -> false)
+
+let prop_normalize_preserves_eval =
+  (* random radical expressions: normalize must not change the value *)
+  let gen =
+    QCheck.Gen.(
+      let rec expr depth =
+        if depth = 0 then
+          oneof [ map (fun n -> E.of_int n) (int_range (-5) 5); return (E.var "x"); return (E.var "y") ]
+        else begin
+          let sub = expr (depth - 1) in
+          oneof
+            [ map2 E.add sub sub;
+              map2 E.mul sub sub;
+              map E.sqrt (map (fun e -> E.add (E.mul e e) E.one) sub);
+              sub ]
+        end
+      in
+      expr 3)
+  in
+  QCheck.Test.make ~name:"normalize preserves complex evaluation" ~count:300
+    (QCheck.make ~print:E.to_string gen)
+    (fun e ->
+      let env = function
+        | "x" -> { Complex.re = 1.75; im = 0.0 }
+        | _ -> { Complex.re = -2.5; im = 0.0 }
+      in
+      let a = E.eval_complex env e in
+      let b = E.eval_complex env (Symx.Simplify.normalize e) in
+      let scale = Float.max 1.0 (Complex.norm a) in
+      Float.abs (a.re -. b.re) <= 1e-9 *. scale && Float.abs (a.im -. b.im) <= 1e-9 *. scale)
+
+(* -------- Reshape -------- *)
+
+let triangle_inv () =
+  Trahrhe.Inversion.invert_exn
+    (Trahrhe.Nest.make ~params:[ "N" ]
+       [ { var = "i"; lower = aff [] 0; upper = aff [ ("N", 1) ] (-1) };
+         { var = "j"; lower = aff [ ("i", 1) ] 1; upper = aff [ ("N", 1) ] 0 } ])
+
+let rect_inv () =
+  Trahrhe.Inversion.invert_exn
+    (Trahrhe.Nest.make ~params:[ "A"; "B" ]
+       [ { var = "x"; lower = aff [] 0; upper = aff [ ("A", 1) ] 0 };
+         { var = "y"; lower = aff [] 0; upper = aff [ ("B", 1) ] 0 } ])
+
+let param8 = function "N" -> 8 | "A" -> 4 | "B" -> 7 | p -> failwith p
+
+let test_reshape_compat () =
+  let r = Trahrhe.Reshape.make ~source:(triangle_inv ()) ~target:(rect_inv ()) in
+  Alcotest.(check bool) "28 = 4*7" true (Trahrhe.Reshape.compatible_at r ~param:param8);
+  let bad = function "N" -> 8 | "A" -> 5 | "B" -> 7 | p -> failwith p in
+  Alcotest.(check bool) "28 <> 35" false (Trahrhe.Reshape.compatible_at r ~param:bad);
+  Alcotest.(check bool) "map_point rejects incompatible" true
+    (try
+       ignore (Trahrhe.Reshape.map_point r ~param:bad [| 0; 0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_reshape_bijection () =
+  let r = Trahrhe.Reshape.make ~source:(triangle_inv ()) ~target:(rect_inv ()) in
+  (* every target point maps to a distinct source point, in rank order *)
+  let seen = Hashtbl.create 32 in
+  for x = 0 to 3 do
+    for y = 0 to 6 do
+      let src = Trahrhe.Reshape.map_point r ~param:param8 [| x; y |] in
+      Alcotest.(check bool) "fresh" false (Hashtbl.mem seen (src.(0), src.(1)));
+      Hashtbl.add seen (src.(0), src.(1)) ();
+      Alcotest.(check bool) "inside triangle" true (src.(0) < src.(1) && src.(1) < 8)
+    done
+  done;
+  Alcotest.(check int) "covers the triangle" 28 (Hashtbl.length seen)
+
+let test_reshape_iter_lockstep () =
+  let r = Trahrhe.Reshape.make ~source:(triangle_inv ()) ~target:(rect_inv ()) in
+  let count = ref 0 in
+  let last_rank = ref 0 in
+  let rt = Trahrhe.Recovery.make (rect_inv ()) ~param:param8 in
+  Trahrhe.Reshape.iter r ~param:param8 (fun tgt src ->
+      incr count;
+      (* the target walk is in rank order *)
+      let rank = Trahrhe.Recovery.rank rt tgt in
+      Alcotest.(check int) "rank order" (!last_rank + 1) rank;
+      last_rank := rank;
+      (* and agrees with the per-point mapping *)
+      let mapped = Trahrhe.Reshape.map_point r ~param:param8 tgt in
+      Alcotest.(check bool) "lockstep = map_point" true (mapped = src));
+  Alcotest.(check int) "all 28" 28 !count
+
+let test_reshape_pc_name_mismatch () =
+  let a = triangle_inv () in
+  let b =
+    Trahrhe.Inversion.invert_exn ~pc_var:"flat"
+      (Trahrhe.Nest.make ~params:[ "A" ]
+         [ { var = "x"; lower = aff [] 0; upper = aff [ ("A", 1) ] 0 } ])
+  in
+  Alcotest.check_raises "pc mismatch"
+    (Invalid_argument "Reshape.make: the two inversions must share the pc variable name")
+    (fun () -> ignore (Trahrhe.Reshape.make ~source:a ~target:b))
+
+(* -------- Fusion -------- *)
+
+let test_fusion_structure () =
+  let tri = triangle_inv () in
+  let rect = rect_inv () in
+  let f = Trahrhe.Fusion.fuse [ tri; rect ] in
+  let segs = Trahrhe.Fusion.segments f in
+  Alcotest.(check int) "two segments" 2 (List.length segs);
+  Alcotest.(check (list int)) "indices" [ 0; 1 ]
+    (List.map (fun s -> s.Trahrhe.Fusion.index) segs);
+  (* total trip at the sample sizes: 28 + 28 = 56 *)
+  let total =
+    P.eval (fun x -> Q.of_int (param8 x)) (Trahrhe.Fusion.total_trip f)
+  in
+  Alcotest.(check string) "total" "56" (Q.to_string total)
+
+let test_fusion_locate_and_recover () =
+  let f = Trahrhe.Fusion.fuse [ triangle_inv (); rect_inv () ] in
+  let seg, local = Trahrhe.Fusion.locate f ~param:param8 1 in
+  Alcotest.(check int) "first in segment 0" 0 seg.Trahrhe.Fusion.index;
+  Alcotest.(check int) "local 1" 1 local;
+  let seg, local = Trahrhe.Fusion.locate f ~param:param8 28 in
+  Alcotest.(check int) "boundary in segment 0" 0 seg.Trahrhe.Fusion.index;
+  Alcotest.(check int) "local 28" 28 local;
+  let seg, local = Trahrhe.Fusion.locate f ~param:param8 29 in
+  Alcotest.(check int) "next in segment 1" 1 seg.Trahrhe.Fusion.index;
+  Alcotest.(check int) "local restarts" 1 local;
+  let s, idx = Trahrhe.Fusion.recover f ~param:param8 29 in
+  Alcotest.(check int) "segment" 1 s;
+  Alcotest.(check (array int)) "first rect point" [| 0; 0 |] idx;
+  Alcotest.(check bool) "out of range" true
+    (try
+       ignore (Trahrhe.Fusion.locate f ~param:param8 57);
+       false
+     with Invalid_argument _ -> true)
+
+let test_fusion_iter_counts () =
+  let f = Trahrhe.Fusion.fuse [ triangle_inv (); rect_inv () ] in
+  let per_seg = [| 0; 0 |] in
+  Trahrhe.Fusion.iter f ~param:param8 (fun s _ -> per_seg.(s) <- per_seg.(s) + 1);
+  Alcotest.(check (array int)) "28 each" [| 28; 28 |] per_seg
+
+let test_fusion_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Fusion.fuse: empty") (fun () ->
+      ignore (Trahrhe.Fusion.fuse []))
+
+let test_fusion_three_segments () =
+  let seg v =
+    Trahrhe.Inversion.invert_exn
+      (Trahrhe.Nest.make ~params:[ "N" ]
+         [ { Trahrhe.Nest.var = v; lower = aff [] 0; upper = aff [ ("N", 1) ] 0 } ])
+  in
+  let f = Trahrhe.Fusion.fuse [ seg "a"; seg "b"; seg "c" ] in
+  let param _ = 5 in
+  (* 15 fused iterations: 1-5 -> a, 6-10 -> b, 11-15 -> c *)
+  let expect = [ (1, 0); (5, 0); (6, 1); (10, 1); (11, 2); (15, 2) ] in
+  List.iter
+    (fun (pc, seg_idx) ->
+      let s, idx = Trahrhe.Fusion.recover f ~param pc in
+      Alcotest.(check int) (Printf.sprintf "pc=%d segment" pc) seg_idx s;
+      Alcotest.(check int)
+        (Printf.sprintf "pc=%d local index" pc)
+        ((pc - 1) mod 5)
+        idx.(0))
+    expect;
+  let total =
+    Polymath.Polynomial.eval (fun _ -> Q.of_int 5) (Trahrhe.Fusion.total_trip f)
+  in
+  Alcotest.(check string) "total 15" "15" (Q.to_string total)
+
+(* -------- GPU model -------- *)
+
+let test_gpu_coalescing () =
+  (* row-major consecutive addresses: coalesced mapping needs ~W/line
+     times fewer transactions than blocked *)
+  let n = 1024 and warp = 32 and line = 8 in
+  let cost _ = 1.0 in
+  let address q = q in
+  let co =
+    Ompsim.Gpu.run ~n ~warp ~mapping:Ompsim.Gpu.Coalesced ~cost ~address ~line
+      ~transaction_cost:10.0
+  in
+  let bl =
+    Ompsim.Gpu.run ~n ~warp ~mapping:Ompsim.Gpu.Blocked ~cost ~address ~line
+      ~transaction_cost:10.0
+  in
+  Alcotest.(check int) "same batches" co.Ompsim.Gpu.batches bl.Ompsim.Gpu.batches;
+  (* coalesced: each 32-lane batch touches 4 lines -> 32*4 = 128 *)
+  Alcotest.(check int) "coalesced transactions" 128 co.Ompsim.Gpu.transactions;
+  (* blocked: each batch touches 32 distinct lines -> 32*32 = 1024 *)
+  Alcotest.(check int) "blocked transactions" 1024 bl.Ompsim.Gpu.transactions;
+  Alcotest.(check bool) "coalesced faster" true (co.Ompsim.Gpu.time < bl.Ompsim.Gpu.time)
+
+let test_gpu_ragged_tail () =
+  let r =
+    Ompsim.Gpu.run ~n:33 ~warp:32 ~mapping:Ompsim.Gpu.Coalesced ~cost:(fun _ -> 1.0)
+      ~address:(fun q -> q) ~line:32 ~transaction_cost:0.0
+  in
+  Alcotest.(check int) "two batches" 2 r.Ompsim.Gpu.batches;
+  Alcotest.(check (float 1e-9)) "compute = 2 lockstep steps" 2.0 r.Ompsim.Gpu.compute
+
+let test_gpu_divergence_cost () =
+  (* one slow lane per batch dominates the whole warp (lockstep) *)
+  let r =
+    Ompsim.Gpu.run ~n:64 ~warp:32 ~mapping:Ompsim.Gpu.Coalesced
+      ~cost:(fun q -> if q mod 32 = 0 then 10.0 else 1.0)
+      ~address:(fun q -> q) ~line:64 ~transaction_cost:0.0
+  in
+  Alcotest.(check (float 1e-9)) "slowest lane rules" 20.0 r.Ompsim.Gpu.compute
+
+(* -------- SIMD model -------- *)
+
+let test_simd_uniform_speedup () =
+  let costs = Array.make 256 4.0 in
+  let r = Ompsim.Simd.run ~costs ~vlength:8 ~fill:0.0 in
+  Alcotest.(check (float 1e-6)) "8x on uniform work" 8.0 r.Ompsim.Simd.speedup
+
+let test_simd_fill_overhead () =
+  let costs = Array.make 256 4.0 in
+  let r = Ompsim.Simd.run ~costs ~vlength:8 ~fill:0.5 in
+  (* group: max 4.0 + 8*0.5 = 8.0 vs scalar 32.0 -> 4x *)
+  Alcotest.(check (float 1e-6)) "fill halves the win" 4.0 r.Ompsim.Simd.speedup
+
+let test_simd_tail () =
+  let costs = Array.make 10 1.0 in
+  let r = Ompsim.Simd.run ~costs ~vlength:4 ~fill:0.0 in
+  (* groups of 4,4,2 -> 3 vector steps vs 10 scalar *)
+  Alcotest.(check (float 1e-6)) "vector time 3" 3.0 r.Ompsim.Simd.vector_time
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [ ( "symx.simplify",
+      [ Alcotest.test_case "to_polynomial" `Quick test_to_polynomial;
+        Alcotest.test_case "expands radicands" `Quick test_normalize_expands;
+        Alcotest.test_case "keeps radicals" `Quick test_normalize_keeps_radicals ]
+      @ qsuite [ prop_normalize_preserves_eval ] );
+    ( "trahrhe.reshape",
+      [ Alcotest.test_case "compatibility check" `Quick test_reshape_compat;
+        Alcotest.test_case "rank-preserving bijection" `Quick test_reshape_bijection;
+        Alcotest.test_case "lockstep iteration" `Quick test_reshape_iter_lockstep;
+        Alcotest.test_case "pc name mismatch" `Quick test_reshape_pc_name_mismatch ] );
+    ( "trahrhe.fusion",
+      [ Alcotest.test_case "structure" `Quick test_fusion_structure;
+        Alcotest.test_case "locate and recover" `Quick test_fusion_locate_and_recover;
+        Alcotest.test_case "iter counts" `Quick test_fusion_iter_counts;
+        Alcotest.test_case "errors" `Quick test_fusion_errors;
+        Alcotest.test_case "three segments" `Quick test_fusion_three_segments ] );
+    ( "ompsim.gpu",
+      [ Alcotest.test_case "coalescing advantage (§VI-B)" `Quick test_gpu_coalescing;
+        Alcotest.test_case "ragged tail" `Quick test_gpu_ragged_tail;
+        Alcotest.test_case "lockstep divergence" `Quick test_gpu_divergence_cost ] );
+    ( "ompsim.simd",
+      [ Alcotest.test_case "uniform speedup (§VI-A)" `Quick test_simd_uniform_speedup;
+        Alcotest.test_case "fill overhead" `Quick test_simd_fill_overhead;
+        Alcotest.test_case "tail groups" `Quick test_simd_tail ] ) ]

@@ -1,0 +1,293 @@
+(* Tests for the zmath substrate: Bigint, Rat, Binomial, Bernoulli,
+   Faulhaber. Properties compare against native int arithmetic on ranges
+   where it cannot overflow. *)
+
+module B = Zmath.Bigint
+module Q = Zmath.Rat
+
+let bigint = Alcotest.testable B.pp B.equal
+let rat = Alcotest.testable Q.pp Q.equal
+
+(* -------- Bigint unit tests -------- *)
+
+let test_of_to_int () =
+  List.iter
+    (fun n -> Alcotest.(check (option int)) (string_of_int n) (Some n) (B.to_int (B.of_int n)))
+    [ 0; 1; -1; 42; -42; max_int; min_int; 1 lsl 40; -(1 lsl 40); 999999937 ]
+
+let test_string_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (B.to_string (B.of_string s)))
+    [ "0"; "1"; "-1"; "123456789012345678901234567890"; "-98765432109876543210987654321" ]
+
+let test_add_carry () =
+  let big = B.of_string "1073741823" in
+  (* base-1: addition must carry across the limb boundary *)
+  Alcotest.check bigint "carry" (B.of_string "1073741824") (B.add big B.one)
+
+let test_mul_large () =
+  let a = B.of_string "123456789123456789" in
+  let b = B.of_string "987654321987654321" in
+  Alcotest.check bigint "product"
+    (B.of_string "121932631356500531347203169112635269")
+    (B.mul a b)
+
+let test_divmod_exact () =
+  let a = B.of_string "121932631356500531347203169112635269" in
+  let b = B.of_string "987654321987654321" in
+  let q, r = B.divmod a b in
+  Alcotest.check bigint "q" (B.of_string "123456789123456789") q;
+  Alcotest.check bigint "r" B.zero r
+
+let test_divmod_signs () =
+  (* truncated division: sign of remainder follows the dividend *)
+  let check a b eq er =
+    let q, r = B.divmod (B.of_int a) (B.of_int b) in
+    Alcotest.check bigint (Printf.sprintf "%d/%d q" a b) (B.of_int eq) q;
+    Alcotest.check bigint (Printf.sprintf "%d%%%d r" a b) (B.of_int er) r
+  in
+  check 7 2 3 1;
+  check (-7) 2 (-3) (-1);
+  check 7 (-2) (-3) 1;
+  check (-7) (-2) 3 (-1)
+
+let test_ediv_rem () =
+  let check a b eq er =
+    let q, r = B.ediv_rem (B.of_int a) (B.of_int b) in
+    Alcotest.check bigint (Printf.sprintf "%d ediv %d" a b) (B.of_int eq) q;
+    Alcotest.check bigint (Printf.sprintf "%d emod %d" a b) (B.of_int er) r
+  in
+  check 7 2 3 1;
+  check (-7) 2 (-4) 1;
+  check 7 (-2) (-3) 1;
+  check (-7) (-2) 4 1
+
+let test_gcd () =
+  Alcotest.check bigint "gcd 12 18" (B.of_int 6) (B.gcd (B.of_int 12) (B.of_int 18));
+  Alcotest.check bigint "gcd 0 5" (B.of_int 5) (B.gcd B.zero (B.of_int 5));
+  Alcotest.check bigint "gcd -12 18" (B.of_int 6) (B.gcd (B.of_int (-12)) (B.of_int 18))
+
+let test_pow () =
+  Alcotest.check bigint "2^100"
+    (B.of_string "1267650600228229401496703205376")
+    (B.pow B.two 100);
+  Alcotest.check bigint "x^0" B.one (B.pow (B.of_int 123) 0)
+
+let test_compare () =
+  Alcotest.(check bool) "neg < pos" true (B.compare (B.of_int (-5)) (B.of_int 3) < 0);
+  Alcotest.(check bool) "mag order neg" true (B.compare (B.of_int (-5)) (B.of_int (-3)) < 0);
+  Alcotest.(check bool) "big > small" true
+    (B.compare (B.of_string "10000000000000000000000") (B.of_int max_int) > 0)
+
+let test_to_float () =
+  Alcotest.(check (float 1e-6)) "to_float" 1.5e20 (B.to_float (B.of_string "150000000000000000000"))
+
+let test_of_string_invalid () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("reject " ^ s) true
+        (try
+           ignore (B.of_string s);
+           false
+         with Invalid_argument _ -> true))
+    [ ""; "-"; "+"; "12a"; "1.5"; "0x10" ]
+
+let test_division_by_zero () =
+  Alcotest.check_raises "divmod" Division_by_zero (fun () -> ignore (B.divmod B.one B.zero));
+  Alcotest.check_raises "rat make" Division_by_zero (fun () -> ignore (Q.make B.one B.zero));
+  Alcotest.check_raises "rat inv zero" Division_by_zero (fun () -> ignore (Q.inv Q.zero))
+
+(* -------- Bigint properties -------- *)
+
+let small_int = QCheck.int_range (-1_000_000) 1_000_000
+
+let prop_add_matches_int =
+  QCheck.Test.make ~name:"bigint add matches int" ~count:500
+    (QCheck.pair small_int small_int)
+    (fun (a, b) -> B.to_int (B.add (B.of_int a) (B.of_int b)) = Some (a + b))
+
+let prop_mul_matches_int =
+  QCheck.Test.make ~name:"bigint mul matches int" ~count:500
+    (QCheck.pair small_int small_int)
+    (fun (a, b) -> B.to_int (B.mul (B.of_int a) (B.of_int b)) = Some (a * b))
+
+let prop_divmod_matches_int =
+  QCheck.Test.make ~name:"bigint divmod matches int" ~count:500
+    (QCheck.pair small_int small_int)
+    (fun (a, b) ->
+      QCheck.assume (b <> 0);
+      let q, r = B.divmod (B.of_int a) (B.of_int b) in
+      B.to_int q = Some (a / b) && B.to_int r = Some (a mod b))
+
+let chunks_to_bigint digits =
+  List.fold_left
+    (fun acc d -> B.add (B.mul acc (B.of_int 1_000_000)) (B.of_int d))
+    B.zero digits
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"bigint string roundtrip" ~count:200
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 12) (QCheck.int_range 0 999_999))
+    (fun digits ->
+      let x = chunks_to_bigint digits in
+      B.equal x (B.of_string (B.to_string x)))
+
+let prop_divmod_reconstruct =
+  QCheck.Test.make ~name:"bigint a = q*b + r with |r|<|b|" ~count:300
+    (QCheck.pair (QCheck.list_of_size (QCheck.Gen.int_range 0 12) (QCheck.int_range 0 999_999)) small_int)
+    (fun (digits, b) ->
+      QCheck.assume (b <> 0);
+      let a = chunks_to_bigint digits in
+      let bb = B.of_int b in
+      let q, r = B.divmod a bb in
+      B.equal a (B.add (B.mul q bb) r) && B.compare (B.abs r) (B.abs bb) < 0)
+
+(* -------- Rat tests -------- *)
+
+let test_rat_normalize () =
+  Alcotest.check rat "6/4 = 3/2" (Q.of_ints 3 2) (Q.of_ints 6 4);
+  Alcotest.check rat "-6/-4 = 3/2" (Q.of_ints 3 2) (Q.of_ints (-6) (-4));
+  Alcotest.check rat "6/-4 = -3/2" (Q.of_ints (-3) 2) (Q.of_ints 6 (-4));
+  Alcotest.check rat "0/7 = 0" Q.zero (Q.of_ints 0 7)
+
+let test_rat_arith () =
+  Alcotest.check rat "1/2 + 1/3" (Q.of_ints 5 6) (Q.add Q.half (Q.of_ints 1 3));
+  Alcotest.check rat "1/2 * 2/3" (Q.of_ints 1 3) (Q.mul Q.half (Q.of_ints 2 3));
+  Alcotest.check rat "(1/2) / (3/4)" (Q.of_ints 2 3) (Q.div Q.half (Q.of_ints 3 4));
+  Alcotest.check rat "pow" (Q.of_ints 8 27) (Q.pow (Q.of_ints 2 3) 3);
+  Alcotest.check rat "pow neg" (Q.of_ints 9 4) (Q.pow (Q.of_ints 2 3) (-2))
+
+let test_rat_floor_ceil () =
+  let check s ef ec =
+    let x = Q.of_string s in
+    Alcotest.check bigint ("floor " ^ s) (B.of_int ef) (Q.floor x);
+    Alcotest.check bigint ("ceil " ^ s) (B.of_int ec) (Q.ceil x)
+  in
+  check "7/2" 3 4;
+  check "-7/2" (-4) (-3);
+  check "4" 4 4;
+  check "-4" (-4) (-4);
+  check "1/3" 0 1;
+  check "-1/3" (-1) 0
+
+let test_rat_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true (Q.compare (Q.of_ints 1 3) Q.half < 0);
+  Alcotest.(check bool) "-1/2 < 1/3" true (Q.compare (Q.of_ints (-1) 2) (Q.of_ints 1 3) < 0);
+  Alcotest.check rat "min" (Q.of_ints 1 3) (Q.min (Q.of_ints 1 3) Q.half);
+  Alcotest.check rat "max" Q.half (Q.max (Q.of_ints 1 3) Q.half)
+
+let test_rat_string () =
+  Alcotest.(check string) "int form" "5" (Q.to_string (Q.of_int 5));
+  Alcotest.(check string) "frac form" "-3/2" (Q.to_string (Q.of_ints 3 (-2)));
+  Alcotest.check rat "parse frac" (Q.of_ints (-3) 2) (Q.of_string "-3/2")
+
+let small_rat =
+  QCheck.map
+    (fun (n, d) -> Q.of_ints n d)
+    (QCheck.pair (QCheck.int_range (-1000) 1000) (QCheck.int_range 1 1000))
+
+let prop_rat_field =
+  QCheck.Test.make ~name:"rat field laws" ~count:300
+    (QCheck.triple small_rat small_rat small_rat)
+    (fun (a, b, c) ->
+      Q.equal (Q.add a (Q.add b c)) (Q.add (Q.add a b) c)
+      && Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c))
+      && Q.equal (Q.sub (Q.add a b) b) a
+      && (Q.is_zero b || Q.equal (Q.mul (Q.div a b) b) a))
+
+let prop_rat_floor_bound =
+  QCheck.Test.make ~name:"floor x <= x < floor x + 1" ~count:300 small_rat (fun x ->
+      let f = Q.of_bigint (Q.floor x) in
+      Q.compare f x <= 0 && Q.compare x (Q.add f Q.one) < 0)
+
+(* -------- Binomial / Bernoulli / Faulhaber -------- *)
+
+let test_factorial () =
+  Alcotest.check bigint "10!" (B.of_int 3628800) (Zmath.Binomial.factorial 10);
+  Alcotest.check bigint "0!" B.one (Zmath.Binomial.factorial 0);
+  Alcotest.check bigint "20!" (B.of_string "2432902008176640000") (Zmath.Binomial.factorial 20)
+
+let test_binomial () =
+  Alcotest.check bigint "C(10,3)" (B.of_int 120) (Zmath.Binomial.binomial 10 3);
+  Alcotest.check bigint "C(10,0)" B.one (Zmath.Binomial.binomial 10 0);
+  Alcotest.check bigint "C(10,10)" B.one (Zmath.Binomial.binomial 10 10);
+  Alcotest.check bigint "C(10,11)" B.zero (Zmath.Binomial.binomial 10 11);
+  Alcotest.check bigint "C(10,-1)" B.zero (Zmath.Binomial.binomial 10 (-1));
+  Alcotest.check bigint "C(52,5)" (B.of_int 2598960) (Zmath.Binomial.binomial 52 5)
+
+let prop_pascal =
+  QCheck.Test.make ~name:"Pascal triangle identity" ~count:200
+    (QCheck.pair (QCheck.int_range 1 40) (QCheck.int_range 0 40))
+    (fun (n, k) ->
+      QCheck.assume (k <= n);
+      B.equal
+        (Zmath.Binomial.binomial (n + 1) k)
+        (B.add (Zmath.Binomial.binomial n k) (Zmath.Binomial.binomial n (k - 1))))
+
+let test_bernoulli () =
+  let check j s =
+    Alcotest.check rat (Printf.sprintf "B_%d" j) (Q.of_string s) (Zmath.Bernoulli.number j)
+  in
+  check 0 "1";
+  check 1 "1/2";
+  check 2 "1/6";
+  check 3 "0";
+  check 4 "-1/30";
+  check 5 "0";
+  check 6 "1/42";
+  check 8 "-1/30";
+  check 10 "5/66";
+  check 12 "-691/2730"
+
+let test_faulhaber_known () =
+  (* S_1(n) = n(n+1)/2; S_2(n) = n(n+1)(2n+1)/6; S_3(n) = (n(n+1)/2)^2 *)
+  let eval k n = Zmath.Faulhaber.eval_power_sum k (B.of_int n) in
+  Alcotest.check rat "S_1(10)" (Q.of_int 55) (eval 1 10);
+  Alcotest.check rat "S_2(10)" (Q.of_int 385) (eval 2 10);
+  Alcotest.check rat "S_3(10)" (Q.of_int 3025) (eval 3 10);
+  Alcotest.check rat "S_4(10)" (Q.of_int 25333) (eval 4 10);
+  Alcotest.check rat "S_0(10)" (Q.of_int 11) (eval 0 10);
+  Alcotest.check rat "S_3(-1) = 0" Q.zero (eval 3 (-1))
+
+let prop_faulhaber_matches_bruteforce =
+  QCheck.Test.make ~name:"Faulhaber S_k(n) = brute force" ~count:200
+    (QCheck.pair (QCheck.int_range 0 6) (QCheck.int_range (-1) 50))
+    (fun (k, n) ->
+      let expected = ref Q.zero in
+      for i = 0 to n do
+        expected := Q.add !expected (Q.of_bigint (B.pow (B.of_int i) k))
+      done;
+      Q.equal !expected (Zmath.Faulhaber.eval_power_sum k (B.of_int n)))
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [ ( "zmath.bigint",
+      [ Alcotest.test_case "of_int/to_int roundtrip" `Quick test_of_to_int;
+        Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+        Alcotest.test_case "add carry across limbs" `Quick test_add_carry;
+        Alcotest.test_case "large multiplication" `Quick test_mul_large;
+        Alcotest.test_case "exact division" `Quick test_divmod_exact;
+        Alcotest.test_case "divmod sign convention" `Quick test_divmod_signs;
+        Alcotest.test_case "euclidean division" `Quick test_ediv_rem;
+        Alcotest.test_case "gcd" `Quick test_gcd;
+        Alcotest.test_case "pow" `Quick test_pow;
+        Alcotest.test_case "compare" `Quick test_compare;
+        Alcotest.test_case "to_float" `Quick test_to_float;
+        Alcotest.test_case "of_string rejects" `Quick test_of_string_invalid;
+        Alcotest.test_case "division by zero" `Quick test_division_by_zero ]
+      @ qsuite
+          [ prop_add_matches_int; prop_mul_matches_int; prop_divmod_matches_int;
+            prop_string_roundtrip; prop_divmod_reconstruct ] );
+    ( "zmath.rat",
+      [ Alcotest.test_case "normalization" `Quick test_rat_normalize;
+        Alcotest.test_case "arithmetic" `Quick test_rat_arith;
+        Alcotest.test_case "floor/ceil" `Quick test_rat_floor_ceil;
+        Alcotest.test_case "compare/min/max" `Quick test_rat_compare;
+        Alcotest.test_case "string forms" `Quick test_rat_string ]
+      @ qsuite [ prop_rat_field; prop_rat_floor_bound ] );
+    ( "zmath.combinatorics",
+      [ Alcotest.test_case "factorial" `Quick test_factorial;
+        Alcotest.test_case "binomial" `Quick test_binomial;
+        Alcotest.test_case "bernoulli numbers" `Quick test_bernoulli;
+        Alcotest.test_case "faulhaber closed forms" `Quick test_faulhaber_known ]
+      @ qsuite [ prop_pascal; prop_faulhaber_matches_bruteforce ] ) ]
