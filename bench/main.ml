@@ -6,7 +6,11 @@
      dune exec bench/main.exe -- fig9    # one artifact
 
    Artifacts: fig2 fig8 fig9 fig10 codegen ablation-chunk
-   ablation-threads ablation-recovery micro *)
+   ablation-threads ablation-recovery micro micro-recovery micro-pool
+
+   micro-recovery and micro-pool additionally write machine-readable
+   BENCH_recovery.json / BENCH_pool.json into the current directory so
+   the hot-path perf trajectory can be tracked across PRs. *)
 
 module K = Kernels.Kernel
 module Sim = Ompsim.Sim
@@ -375,6 +379,126 @@ let micro () =
   in
   List.iter (fun (name, est) -> Printf.printf "  %-36s %12.1f ns/run\n" name est) entries
 
+(* ---------------- hot-path engine artifacts (JSON-emitting) ---------------- *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+(* per-iteration cost of the strategies for executing a collapsed
+   chunk: full recovery each iteration (the naive scheme), §V
+   incrementation with per-step polynomial re-evaluation of the bounds
+   (flat-term and Horner pipelines), and the compiled walk whose carries
+   advance the bounds by finite-difference tables *)
+let micro_recovery () =
+  header "micro-recovery: ns/iter walking the collapsed correlation nest (N=1000)";
+  let n = 1000 in
+  let corr = Option.get (Kernels.Registry.find "correlation") in
+  let inv = K.inversion corr in
+  let rc = K.recovery corr ~n in
+  let rc_flat = Trahrhe.Recovery.make ~compiled:false inv ~param:(K.param_of corr ~n) in
+  let trip = Trahrhe.Recovery.trip_count rc in
+  let sink = ref 0 in
+  let time_ns f =
+    let s = Ompsim.Calibrate.time_best ~reps:3 f in
+    s *. 1e9 /. float_of_int trip
+  in
+  let recover_each =
+    time_ns (fun () ->
+        for pc = 1 to trip do
+          sink := !sink + (Trahrhe.Recovery.recover_guarded rc pc).(0)
+        done)
+  in
+  let increment_with rc =
+    time_ns (fun () ->
+        let idx = Trahrhe.Recovery.first rc in
+        for _ = 1 to trip do
+          sink := !sink + idx.(0);
+          ignore (Trahrhe.Recovery.increment rc idx)
+        done)
+  in
+  let increment_flat = increment_with rc_flat in
+  let increment_horner = increment_with rc in
+  let fdiff_walk =
+    time_ns (fun () -> Trahrhe.Recovery.walk rc ~pc:1 ~len:trip (fun idx -> sink := !sink + idx.(0)))
+  in
+  ignore !sink;
+  Printf.printf "%-54s %10s\n" "strategy" "ns/iter";
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-54s %10.1f\n" name ns)
+    [ ("guarded closed-form recovery at every iteration", recover_each);
+      ("§V increment, flat-term bound re-evaluation", increment_flat);
+      ("§V increment, Horner bound re-evaluation", increment_horner);
+      ("compiled walk, finite-difference bound stepping", fdiff_walk) ];
+  Printf.printf "walk vs re-evaluating increment: %.1fx; walk vs naive recovery: %.1fx\n"
+    (increment_horner /. fdiff_walk)
+    (recover_each /. fdiff_walk);
+  write_file "BENCH_recovery.json"
+    (Printf.sprintf
+       {|{
+  "artifact": "micro-recovery",
+  "kernel": "correlation",
+  "n": %d,
+  "iterations": %d,
+  "ns_per_iter": {
+    "recover_each": %.2f,
+    "increment_flat_terms": %.2f,
+    "increment_horner": %.2f,
+    "fdiff_walk": %.2f
+  },
+  "speedup": {
+    "walk_vs_increment_horner": %.3f,
+    "walk_vs_recover_each": %.3f,
+    "horner_vs_flat_increment": %.3f
+  }
+}
+|}
+       n trip recover_each increment_flat increment_horner fdiff_walk
+       (increment_horner /. fdiff_walk)
+       (recover_each /. fdiff_walk)
+       (increment_flat /. increment_horner))
+
+(* per-region overhead of the real executor: warm pool dispatch vs
+   spawning fresh domains per parallel region *)
+let micro_pool () =
+  header "micro-pool: per-region overhead of Par.parallel_for (ns/call)";
+  let thread_counts = [ 2; 4; 8 ] in
+  let measure backend nthreads =
+    Ompsim.Calibrate.measure_region_overhead ~calls:200 ~backend ~nthreads ()
+  in
+  Printf.printf "%10s %14s %14s %10s\n" "nthreads" "spawn(ns)" "pool(ns)" "ratio";
+  let rows =
+    List.map
+      (fun nthreads ->
+        let spawn = measure Ompsim.Par.Spawn nthreads in
+        let pool = measure Ompsim.Par.Pool nthreads in
+        Printf.printf "%10d %14.0f %14.0f %9.1fx\n" nthreads spawn pool (spawn /. pool);
+        (nthreads, spawn, pool))
+      thread_counts
+  in
+  let json_rows =
+    rows
+    |> List.map (fun (nthreads, spawn, pool) ->
+           Printf.sprintf
+             {|    { "nthreads": %d, "spawn_ns": %.0f, "pool_ns": %.0f, "spawn_over_pool": %.3f }|}
+             nthreads spawn pool (spawn /. pool))
+    |> String.concat ",\n"
+  in
+  write_file "BENCH_pool.json"
+    (Printf.sprintf
+       {|{
+  "artifact": "micro-pool",
+  "calls_per_measurement": 200,
+  "pool_workers_alive": %d,
+  "regions": [
+%s
+  ]
+}
+|}
+       (Ompsim.Pool.size ()) json_rows)
+
 (* ---------------- driver ---------------- *)
 
 let artifacts =
@@ -388,7 +512,9 @@ let artifacts =
     ("ablation-recovery", ablation_recovery);
     ("ablation-gpu", ablation_gpu);
     ("ablation-simd", ablation_simd);
-    ("micro", micro) ]
+    ("micro", micro);
+    ("micro-recovery", micro_recovery);
+    ("micro-pool", micro_pool) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -1,10 +1,14 @@
 module P = Polymath.Polynomial
 module A = Polymath.Affine
+module H = Polymath.Horner
 module Q = Zmath.Rat
 module E = Symx.Expr
 
-(* polynomial compiled to native-int term evaluation:
-   value = (sum_t coeff_t * prod (slot ^ exp)) / den, exactly *)
+(* Fallback representation: polynomial compiled to native-int term
+   evaluation; value = (sum_t coeff_t * prod (slot ^ exp)) / den,
+   exactly. The default pipeline compiles to Horner forms instead
+   (Polymath.Horner) — this flat form is kept as a cross-checking
+   fallback, selectable with [make ~compiled:false]. *)
 type cpoly = { den : int; cterms : (int * (int * int) array) array }
 
 (* slot assignment: level k -> k, pc -> depth *)
@@ -26,18 +30,20 @@ let compile_poly ~slot p =
   in
   { den; cterms }
 
+(* binary exponentiation: O(log e) multiplications instead of the old
+   O(e) repeated-multiplication loop *)
+let ipow base e =
+  let rec go acc b e =
+    if e = 0 then acc else go (if e land 1 = 1 then acc * b else acc) (b * b) (e lsr 1)
+  in
+  go 1 base e
+
 let eval_cpoly cp lookup =
   let acc = ref 0 in
   Array.iter
     (fun (coeff, exps) ->
       let v = ref coeff in
-      Array.iter
-        (fun (slot, e) ->
-          let base = lookup slot in
-          for _ = 1 to e do
-            v := !v * base
-          done)
-        exps;
+      Array.iter (fun (slot, e) -> v := !v * ipow (lookup slot) e) exps;
       acc := !acc + !v)
     cp.cterms;
   if cp.den = 1 then !acc
@@ -51,15 +57,20 @@ type t = {
   d : int;
   param : string -> int;
   trip : int;
+  compiled : bool;  (** Horner pipeline (default) vs flat-term fallback *)
   crank : cpoly;
   cr_sub : cpoly array;
   clo : cpoly array;  (** inclusive lower bounds, vars = outer levels *)
   cup : cpoly array;  (** exclusive upper bounds *)
+  hrank : H.t;
+  hr_sub : H.t array;
+  hlo : H.t array;
+  hup : H.t array;
   root_envs : (int array -> int -> string -> Complex.t) array;
       (** env builder for level k: takes idx prefix and pc *)
 }
 
-let make (inv : Inversion.t) ~param =
+let make ?(compiled = true) (inv : Inversion.t) ~param =
   let nest = inv.Inversion.nest in
   let d = Nest.depth nest in
   let vars = Array.of_list (Nest.level_vars nest) in
@@ -81,6 +92,7 @@ let make (inv : Inversion.t) ~param =
       p (P.vars p)
   in
   let cpoly_of p = compile_poly ~slot (fold_params p) in
+  let horner_of p = H.compile ~slot (fold_params p) in
   let trip =
     let tp = fold_params inv.Inversion.trip_count in
     match P.is_const tp with
@@ -93,6 +105,10 @@ let make (inv : Inversion.t) ~param =
   let cr_sub = Array.map cpoly_of inv.Inversion.r_sub in
   let clo = Array.map (fun (l : Nest.level) -> cpoly_of (A.to_poly l.lower)) levels in
   let cup = Array.map (fun (l : Nest.level) -> cpoly_of (A.to_poly l.upper)) levels in
+  let hrank = horner_of inv.Inversion.ranking in
+  let hr_sub = Array.map horner_of inv.Inversion.r_sub in
+  let hlo = Array.map (fun (l : Nest.level) -> horner_of (A.to_poly l.lower)) levels in
+  let hup = Array.map (fun (l : Nest.level) -> horner_of (A.to_poly l.upper)) levels in
   let root_envs =
     Array.init d (fun k idx pc x ->
         if x = pc_var then { Complex.re = float_of_int pc; im = 0.0 }
@@ -105,17 +121,29 @@ let make (inv : Inversion.t) ~param =
           find 0
         end)
   in
-  { inv; d; param; trip; crank; cr_sub; clo; cup; root_envs }
+  { inv; d; param; trip; compiled; crank; cr_sub; clo; cup; hrank; hr_sub; hlo; hup; root_envs }
 
 let depth t = t.d
 let trip_count t = t.trip
-let rank t idx = eval_cpoly t.crank (fun s -> idx.(s))
+let compiled t = t.compiled
+
+let rank t idx =
+  if t.compiled then H.eval t.hrank (fun s -> idx.(s)) else eval_cpoly t.crank (fun s -> idx.(s))
 
 let rank_prefix t ~level v prefix =
-  eval_cpoly t.cr_sub.(level) (fun s -> if s = level then v else prefix.(s))
+  let lookup s = if s = level then v else prefix.(s) in
+  if t.compiled then H.eval t.hr_sub.(level) lookup else eval_cpoly t.cr_sub.(level) lookup
 
-let lower_bound t ~level prefix = eval_cpoly t.clo.(level) (fun s -> prefix.(s))
-let upper_bound t ~level prefix = eval_cpoly t.cup.(level) (fun s -> prefix.(s))
+let lower_bound t ~level prefix =
+  if t.compiled then H.eval t.hlo.(level) (fun s -> prefix.(s))
+  else eval_cpoly t.clo.(level) (fun s -> prefix.(s))
+
+let upper_bound t ~level prefix =
+  if t.compiled then H.eval t.hup.(level) (fun s -> prefix.(s))
+  else eval_cpoly t.cup.(level) (fun s -> prefix.(s))
+
+let rank_stepper t ~level ~start prefix =
+  H.Stepper.make t.hr_sub.(level) ~slot:level ~start ~lookup:(fun s -> prefix.(s))
 
 let recover_level_raw t idx pc k =
   match t.inv.Inversion.recoveries.(k) with
@@ -141,8 +169,31 @@ let adjust_level t idx pc k =
   let lo = lower_bound t ~level:k idx in
   let hi = upper_bound t ~level:k idx - 1 in
   let v = ref (max lo (min hi idx.(k))) in
-  while !v < hi && rank_prefix t ~level:k (!v + 1) idx <= pc do incr v done;
-  while !v > lo && rank_prefix t ~level:k !v idx > pc do decr v done;
+  if t.compiled then begin
+    (* difference-table scan: each probe of the monotone substituted
+       ranking costs O(degree) additions instead of a full re-evaluation *)
+    let st = rank_stepper t ~level:k ~start:!v idx in
+    let continue = ref (!v < hi) in
+    while !continue do
+      H.Stepper.step st;
+      if H.Stepper.value st <= pc then begin
+        incr v;
+        continue := !v < hi
+      end
+      else begin
+        H.Stepper.step_back st;
+        continue := false
+      end
+    done;
+    while !v > lo && H.Stepper.value st > pc do
+      H.Stepper.step_back st;
+      decr v
+    done
+  end
+  else begin
+    while !v < hi && rank_prefix t ~level:k (!v + 1) idx <= pc do incr v done;
+    while !v > lo && rank_prefix t ~level:k !v idx > pc do decr v done
+  end;
   idx.(k) <- !v
 
 let recover_guarded t pc =
@@ -192,3 +243,80 @@ let first t =
     idx.(k) <- lower_bound t ~level:k idx
   done;
   idx
+
+(* ---------------- incremental chunk walk (§V, compiled) ---------------- *)
+
+let walk t ~pc ~len f =
+  if len <= 0 then ()
+  else if not t.compiled then begin
+    (* fallback: recovery + polynomial-re-evaluating increment *)
+    let idx = recover_guarded t pc in
+    f idx;
+    let remaining = ref (len - 1) in
+    while !remaining > 0 && increment t idx do
+      f idx;
+      decr remaining
+    done
+  end
+  else begin
+    let d = t.d in
+    let idx = recover_guarded t pc in
+    (* cached per-level bounds; level q > 0 additionally carries
+       difference-table steppers along the parent variable q-1, so the
+       carry idx.(q-1) += 1 updates both bounds in O(degree) additions *)
+    let lo = Array.make d 0 and hi = Array.make d 0 in
+    let lo_st = Array.make d None and hi_st = Array.make d None in
+    let build q =
+      let lookup s = idx.(s) in
+      let ls = H.Stepper.make t.hlo.(q) ~slot:(q - 1) ~start:idx.(q - 1) ~lookup in
+      let hs = H.Stepper.make t.hup.(q) ~slot:(q - 1) ~start:idx.(q - 1) ~lookup in
+      lo_st.(q) <- Some ls;
+      hi_st.(q) <- Some hs;
+      lo.(q) <- H.Stepper.value ls;
+      hi.(q) <- H.Stepper.value hs
+    in
+    lo.(0) <- lower_bound t ~level:0 idx;
+    hi.(0) <- upper_bound t ~level:0 idx;
+    for q = 1 to d - 1 do
+      build q
+    done;
+    let step_bounds q =
+      (match lo_st.(q) with
+      | Some s ->
+        H.Stepper.step s;
+        lo.(q) <- H.Stepper.value s
+      | None -> ());
+      match hi_st.(q) with
+      | Some s ->
+        H.Stepper.step s;
+        hi.(q) <- H.Stepper.value s
+      | None -> ()
+    in
+    let advance () =
+      let rec go k =
+        if k < 0 then false
+        else if idx.(k) + 1 < hi.(k) then begin
+          idx.(k) <- idx.(k) + 1;
+          if k + 1 < d then begin
+            (* direct child: step its bound tables along idx.(k) *)
+            step_bounds (k + 1);
+            idx.(k + 1) <- lo.(k + 1);
+            (* deeper levels: their whole prefix changed — rebuild *)
+            for q = k + 2 to d - 1 do
+              build q;
+              idx.(q) <- lo.(q)
+            done
+          end;
+          true
+        end
+        else go (k - 1)
+      in
+      go (d - 1)
+    in
+    f idx;
+    let remaining = ref (len - 1) in
+    while !remaining > 0 && advance () do
+      f idx;
+      decr remaining
+    done
+  end

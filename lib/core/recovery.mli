@@ -26,11 +26,18 @@
 type t
 
 (** [make inv ~param] specializes an inversion to parameter values.
+    [compiled] (default [true]) selects the Horner/finite-difference
+    evaluation pipeline ({!Polymath.Horner}); [~compiled:false] keeps
+    the flat term-by-term fallback (same results, used for
+    cross-checking and as a reference in benchmarks).
     @raise Invalid_argument when a needed parameter is missing or the
     trip count is negative. *)
-val make : Inversion.t -> param:(string -> int) -> t
+val make : ?compiled:bool -> Inversion.t -> param:(string -> int) -> t
 
 val depth : t -> int
+
+(** [compiled t] tells which evaluation pipeline {!make} selected. *)
+val compiled : t -> bool
 
 (** [trip_count t] is the total number of collapsed iterations. *)
 val trip_count : t -> int
@@ -75,3 +82,23 @@ val increment : t -> int array -> bool
     minimum).
     @raise Failure when the domain is empty. *)
 val first : t -> int array
+
+(** [rank_stepper t ~level ~start prefix] is a finite-difference
+    stepper over the monotone substituted ranking
+    [v -> rank_prefix t ~level v prefix], positioned at [v = start]:
+    each subsequent probe costs O(degree) integer additions. Only
+    meaningful on a [compiled] recovery. *)
+val rank_stepper : t -> level:int -> start:int -> int array -> Polymath.Horner.Stepper.t
+
+(** [walk t ~pc ~len f] performs ONE costly recovery at the 1-based
+    collapsed index [pc] and then visits the next [len] iterations in
+    lexicographic order, calling [f idx] on each (stopping early at the
+    end of the iteration space). This is the §V per-chunk scheme as a
+    library routine: the innermost advance is a single compare + add
+    against cached bounds, and a carry at level [k] updates level
+    [k+1]'s bounds by difference tables instead of re-evaluating their
+    polynomials.
+
+    [f] receives the walker's internal index array; it must not retain
+    or mutate it. *)
+val walk : t -> pc:int -> len:int -> (int array -> unit) -> unit

@@ -1,54 +1,67 @@
+type backend = Pool | Spawn
+
+let default_backend =
+  match Sys.getenv_opt "OMPSIM_BACKEND" with
+  | Some ("spawn" | "SPAWN" | "Spawn") -> Spawn
+  | _ -> Pool
+
+let backend = ref default_backend
+
+let with_backend b f =
+  let saved = !backend in
+  backend := b;
+  Fun.protect ~finally:(fun () -> backend := saved) f
+
+(* hand the per-slot worker function to warm pool domains (default) or
+   to freshly spawned ones (the pre-pool path, kept behind the flag) *)
+let run_workers ~nthreads worker =
+  if nthreads = 1 then worker 0
+  else
+    match !backend with
+    | Pool -> Pool.run ~nthreads worker
+    | Spawn ->
+      let domains = Array.init (nthreads - 1) (fun t -> Domain.spawn (fun () -> worker (t + 1))) in
+      worker 0;
+      Array.iter Domain.join domains
+
 let parallel_for_chunks ~nthreads ~schedule ~n f =
   if nthreads <= 0 then invalid_arg "Par.parallel_for_chunks";
-  let worker t =
-    match schedule with
-    | Schedule.Static ->
-      let start, len = (Schedule.static_blocks ~nthreads ~n).(t) in
-      if len > 0 then f ~thread:t ~start ~len
-    | Schedule.Static_chunk c ->
-      List.iter
-        (fun (start, len) -> f ~thread:t ~start ~len)
-        (Schedule.round_robin_chunks ~chunk:c ~nthreads ~n).(t)
-    | Schedule.Dynamic _ | Schedule.Guided _ -> assert false
-  in
   match schedule with
-  | Schedule.Static | Schedule.Static_chunk _ ->
-    let domains = Array.init (nthreads - 1) (fun t -> Domain.spawn (fun () -> worker (t + 1))) in
-    worker 0;
-    Array.iter Domain.join domains
+  | Schedule.Static ->
+    let blocks = Schedule.static_blocks ~nthreads ~n in
+    run_workers ~nthreads (fun t ->
+        let start, len = blocks.(t) in
+        if len > 0 then f ~thread:t ~start ~len)
+  | Schedule.Static_chunk c ->
+    if c <= 0 then invalid_arg "Par: static chunk";
+    let lists = Schedule.round_robin_chunks ~chunk:c ~nthreads ~n in
+    run_workers ~nthreads (fun t ->
+        List.iter (fun (start, len) -> f ~thread:t ~start ~len) lists.(t))
   | Schedule.Dynamic c ->
     if c <= 0 then invalid_arg "Par: dynamic chunk";
     let next = Atomic.make 0 in
-    let worker t =
-      let continue = ref true in
-      while !continue do
-        let start = Atomic.fetch_and_add next c in
-        if start >= n then continue := false
-        else f ~thread:t ~start ~len:(min c (n - start))
-      done
-    in
-    let domains = Array.init (nthreads - 1) (fun t -> Domain.spawn (fun () -> worker (t + 1))) in
-    worker 0;
-    Array.iter Domain.join domains
+    run_workers ~nthreads (fun t ->
+        let continue = ref true in
+        while !continue do
+          let start = Atomic.fetch_and_add next c in
+          if start >= n then continue := false
+          else f ~thread:t ~start ~len:(min c (n - start))
+        done)
   | Schedule.Guided c ->
     if c <= 0 then invalid_arg "Par: guided chunk";
     let next = Atomic.make 0 in
-    let worker t =
-      let continue = ref true in
-      while !continue do
-        (* optimistic guided sizing: read remaining, CAS the claim *)
-        let start = Atomic.get next in
-        if start >= n then continue := false
-        else begin
-          let len = Schedule.next_guided ~chunk:c ~nthreads ~remaining:(n - start) in
-          if Atomic.compare_and_set next start (start + len) then
-            f ~thread:t ~start ~len:(min len (n - start))
-        end
-      done
-    in
-    let domains = Array.init (nthreads - 1) (fun t -> Domain.spawn (fun () -> worker (t + 1))) in
-    worker 0;
-    Array.iter Domain.join domains
+    run_workers ~nthreads (fun t ->
+        let continue = ref true in
+        while !continue do
+          (* optimistic guided sizing: read remaining, CAS the claim *)
+          let start = Atomic.get next in
+          if start >= n then continue := false
+          else begin
+            let len = Schedule.next_guided ~chunk:c ~nthreads ~remaining:(n - start) in
+            if Atomic.compare_and_set next start (start + len) then
+              f ~thread:t ~start ~len:(min len (n - start))
+          end
+        done)
 
 let parallel_for ~nthreads ~schedule ~n f =
   parallel_for_chunks ~nthreads ~schedule ~n (fun ~thread:_ ~start ~len ->

@@ -7,7 +7,26 @@
     speedup; on a multicore machine it parallelizes for real.
 
     Iterations must be independent — the same precondition the paper's
-    transformation requires of the loops being collapsed. *)
+    transformation requires of the loops being collapsed.
+
+    Execution backend: by default workers are dispatched to the warm
+    persistent {!Pool} (no per-region domain creation); the original
+    spawn-per-region path is kept behind {!backend} and the
+    [OMPSIM_BACKEND=spawn] environment variable. Both backends assign
+    identical chunks to identical slot numbers, so results are
+    bit-identical across backends and schedules. *)
+
+(** [Pool] (default): dispatch to the persistent domain pool.
+    [Spawn]: spawn and join fresh domains per parallel region. *)
+type backend = Pool | Spawn
+
+(** Current backend. Initialized from [OMPSIM_BACKEND] ([spawn]
+    selects {!Spawn}; anything else, or unset, selects {!Pool}). *)
+val backend : backend ref
+
+(** [with_backend b f] runs [f ()] with {!backend} set to [b],
+    restoring the previous backend afterwards (also on exceptions). *)
+val with_backend : backend -> (unit -> 'a) -> 'a
 
 (** [parallel_for ~nthreads ~schedule ~n f] runs [f q] for every
     [q] in [0..n-1] across [nthreads] domains. *)

@@ -232,6 +232,113 @@ let prop_sum_parametric =
       Q.equal !expected
         (P.eval (function "i" -> Q.of_int i0 | _ -> Q.of_int n0) s))
 
+(* -------- Horner compilation and finite-difference stepping -------- *)
+
+module H = Polymath.Horner
+
+let slot3 = function "x" -> 0 | "y" -> 1 | "z" -> 2 | v -> invalid_arg v
+let lookup3 x y z s = [| x; y; z |].(s)
+
+let exact_at p x y z =
+  let env = function "x" -> Q.of_int x | "y" -> Q.of_int y | "z" -> Q.of_int z | _ -> Q.zero in
+  Zmath.Bigint.to_int_exn (Q.to_bigint_exn (P.eval env p))
+
+let test_horner_matches_exact () =
+  (* a rational-coefficient, integer-valued polynomial: the shape of a
+     real ranking Ehrhart polynomial *)
+  let half = Q.of_ints 1 2 in
+  let p =
+    (* x(x-1)/2 + x*y + 3z + 7 *)
+    P.scale half ((v "x" *.: v "x") -: v "x") +: (v "x" *.: v "y") +: (3 *: v "z") +: P.of_int 7
+  in
+  let h = H.compile ~slot:slot3 p in
+  Alcotest.(check int) "degree" 2 (H.degree h);
+  Alcotest.(check int) "degree in x" 2 (H.degree_in_slot h 0);
+  Alcotest.(check int) "degree in z" 1 (H.degree_in_slot h 2);
+  for x = -4 to 4 do
+    for y = -3 to 3 do
+      for z = -2 to 2 do
+        Alcotest.(check int)
+          (Printf.sprintf "p(%d,%d,%d)" x y z)
+          (exact_at p x y z)
+          (H.eval h (lookup3 x y z))
+      done
+    done
+  done
+
+let test_stepper_binomials () =
+  (* C(x,4) is integer-valued with denominator 24: the worst case the
+     degree <= 4 restriction allows *)
+  let p =
+    P.scale (Q.of_ints 1 24)
+      (v "x" *.: (v "x" -: P.one) *.: (v "x" -: P.of_int 2) *.: (v "x" -: P.of_int 3))
+  in
+  let h = H.compile ~slot:slot3 p in
+  let st = H.Stepper.make h ~slot:0 ~start:(-5) ~lookup:(fun _ -> 0) in
+  for x = -5 to 15 do
+    Alcotest.(check int) (Printf.sprintf "C(%d,4)" x) (exact_at p x 0 0) (H.Stepper.value st);
+    Alcotest.(check int) "arg" x (H.Stepper.arg st);
+    H.Stepper.step st
+  done;
+  for _ = 1 to 21 do
+    H.Stepper.step_back st
+  done;
+  Alcotest.(check int) "back to start" (exact_at p (-5) 0 0) (H.Stepper.value st);
+  Alcotest.(check int) "back to start arg" (-5) (H.Stepper.arg st)
+
+let gen_int_poly =
+  QCheck.Gen.(
+    let term =
+      int_range (-9) 9 >>= fun c ->
+      int_range 0 4 >>= fun e0 ->
+      int_range 0 (4 - e0) >>= fun e1 ->
+      int_range 0 (4 - e0 - e1) >>= fun e2 -> return (c, e0, e1, e2)
+    in
+    list_size (int_range 0 6) term)
+
+let poly_of_terms terms =
+  P.of_terms
+    (List.map
+       (fun (c, e0, e1, e2) ->
+         (Q.of_int c, M.of_list [ ("x", e0); ("y", e1); ("z", e2) ]))
+       terms)
+
+let arb_int_poly =
+  QCheck.make gen_int_poly ~print:(fun terms -> P.to_string (poly_of_terms terms))
+
+let prop_horner_matches_eval =
+  QCheck.Test.make ~name:"compiled Horner = exact eval (deg <= 4)" ~count:200 arb_int_poly
+    (fun terms ->
+      let p = poly_of_terms terms in
+      let h = H.compile ~slot:slot3 p in
+      List.for_all
+        (fun (x, y, z) -> H.eval h (lookup3 x y z) = exact_at p x y z)
+        [ (0, 0, 0); (1, 2, 3); (-2, 5, -7); (11, -13, 4); (100, 3, -50) ])
+
+let prop_stepper_matches_eval =
+  QCheck.Test.make ~name:"fdiff stepper = exact eval along each slot" ~count:200
+    (QCheck.pair arb_int_poly (QCheck.int_range (-10) 10))
+    (fun (terms, start) ->
+      let p = poly_of_terms terms in
+      let h = H.compile ~slot:slot3 p in
+      List.for_all
+        (fun slot ->
+          let fixed = [| 2; -3; 5 |] in
+          let lookup s = fixed.(s) in
+          let at w s = if s = slot then w else fixed.(s) in
+          let st = H.Stepper.make h ~slot ~start ~lookup in
+          let ok = ref true in
+          for w = start to start + 12 do
+            if H.Stepper.value st <> H.eval h (at w) then ok := false;
+            H.Stepper.step st
+          done;
+          (* and walk back down past the start *)
+          for _ = 1 to 20 do
+            H.Stepper.step_back st
+          done;
+          !ok && H.Stepper.value st = H.eval h (at (start - 7)))
+        [ 0; 1; 2 ])
+
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suites =
@@ -250,6 +357,10 @@ let suites =
         Alcotest.test_case "derivative" `Quick test_poly_derivative;
         Alcotest.test_case "denominator lcm" `Quick test_denominator_lcm ]
       @ qsuite [ prop_poly_ring; prop_eval_hom; prop_subst_then_eval ] );
+    ( "polymath.horner",
+      [ Alcotest.test_case "matches exact eval" `Quick test_horner_matches_exact;
+        Alcotest.test_case "stepper on binomials" `Quick test_stepper_binomials ]
+      @ qsuite [ prop_horner_matches_eval; prop_stepper_matches_eval ] );
     ( "polymath.affine",
       [ Alcotest.test_case "basics" `Quick test_affine_basic;
         Alcotest.test_case "substitution" `Quick test_affine_subst;

@@ -249,6 +249,66 @@ let test_recovery_missing_param () =
        false
      with Failure _ -> true)
 
+let test_recovery_compiled_matches_flat () =
+  (* the Horner pipeline (default) and the flat-term fallback must give
+     identical recoveries, bounds and ranks everywhere *)
+  List.iter
+    (fun (name, nest, n) ->
+      let inv = Trahrhe.Inversion.invert_exn nest in
+      let rc = Trahrhe.Recovery.make inv ~param:(fun _ -> n) in
+      let rf = Trahrhe.Recovery.make ~compiled:false inv ~param:(fun _ -> n) in
+      Alcotest.(check bool) (name ^ ": pipeline flags") true
+        (Trahrhe.Recovery.compiled rc && not (Trahrhe.Recovery.compiled rf));
+      Alcotest.(check int) (name ^ ": trips") (Trahrhe.Recovery.trip_count rc)
+        (Trahrhe.Recovery.trip_count rf);
+      for pc = 1 to Trahrhe.Recovery.trip_count rc do
+        let g = Trahrhe.Recovery.recover_guarded rc pc in
+        let gf = Trahrhe.Recovery.recover_guarded rf pc in
+        if g <> gf then Alcotest.failf "%s pc=%d: guarded horner <> flat" name pc;
+        let b = Trahrhe.Recovery.recover_binsearch rc pc in
+        if g <> b then Alcotest.failf "%s pc=%d: guarded <> binsearch on horner" name pc;
+        if Trahrhe.Recovery.rank rc g <> Trahrhe.Recovery.rank rf g then
+          Alcotest.failf "%s pc=%d: rank horner <> flat" name pc
+      done)
+    [ ("correlation", correlation_nest (), 12); ("fig6", fig6_nest (), 9) ]
+
+let test_recovery_walk_matches_increment () =
+  (* the finite-difference chunk walk must visit exactly the sequence
+     first/increment produces, from any starting pc *)
+  List.iter
+    (fun (name, nest, n) ->
+      let inv = Trahrhe.Inversion.invert_exn nest in
+      let rc = Trahrhe.Recovery.make inv ~param:(fun _ -> n) in
+      let trip = Trahrhe.Recovery.trip_count rc in
+      let reference = Array.make trip [||] in
+      let idx = Trahrhe.Recovery.first rc in
+      reference.(0) <- Array.copy idx;
+      for q = 1 to trip - 1 do
+        ignore (Trahrhe.Recovery.increment rc idx);
+        reference.(q) <- Array.copy idx
+      done;
+      let q = ref 0 in
+      Trahrhe.Recovery.walk rc ~pc:1 ~len:trip (fun idx ->
+          if idx <> reference.(!q) then Alcotest.failf "%s: full walk diverges at rank %d" name !q;
+          incr q);
+      Alcotest.(check int) (name ^ ": full walk length") trip !q;
+      List.iter
+        (fun pc ->
+          if pc >= 1 && pc <= trip then begin
+            let q = ref (pc - 1) in
+            Trahrhe.Recovery.walk rc ~pc ~len:(min 7 (trip - pc + 1)) (fun idx ->
+                if idx <> reference.(!q) then
+                  Alcotest.failf "%s: chunk walk from pc=%d diverges at rank %d" name pc !q;
+                incr q)
+          end)
+        [ 1; 2; 3; trip / 2; trip - 1; trip ];
+      (* a walk reaching the end of the space stops early *)
+      let count = ref 0 in
+      Trahrhe.Recovery.walk rc ~pc:trip ~len:10 (fun _ -> incr count);
+      Alcotest.(check int) (name ^ ": clipped walk") 1 !count;
+      Trahrhe.Recovery.walk rc ~pc:1 ~len:0 (fun _ -> Alcotest.fail "len=0 must not call f"))
+    [ ("correlation", correlation_nest (), 10); ("fig6", fig6_nest (), 8) ]
+
 (* -------- Validation: paper nests, kernels, random nests -------- *)
 
 let check_nest ?(sizes = [ 2; 3; 5; 13 ]) name nest =
@@ -429,7 +489,9 @@ let suites =
         Alcotest.test_case "bounds and rank_prefix" `Quick test_recovery_bounds_functions;
         Alcotest.test_case "increment walks domain" `Quick test_recovery_increment_walks_domain;
         Alcotest.test_case "empty domain" `Quick test_recovery_empty_domain;
-        Alcotest.test_case "missing parameter" `Quick test_recovery_missing_param ] );
+        Alcotest.test_case "missing parameter" `Quick test_recovery_missing_param;
+        Alcotest.test_case "horner matches flat fallback" `Quick test_recovery_compiled_matches_flat;
+        Alcotest.test_case "fdiff walk matches increment" `Quick test_recovery_walk_matches_increment ] );
     ( "trahrhe.validate",
       [ Alcotest.test_case "paper nests exhaustively" `Quick test_validate_paper_nests;
         Alcotest.test_case "shifted lower bounds" `Quick test_validate_shifted_lower_bounds;
