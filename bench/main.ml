@@ -7,10 +7,14 @@
 
    Artifacts: fig2 fig8 fig9 fig10 codegen ablation-chunk
    ablation-threads ablation-recovery micro micro-recovery micro-pool
+   micro-obsv
 
-   micro-recovery and micro-pool additionally write machine-readable
-   BENCH_recovery.json / BENCH_pool.json into the current directory so
-   the hot-path perf trajectory can be tracked across PRs. *)
+   micro-recovery, micro-pool and micro-obsv additionally write
+   machine-readable BENCH_recovery.json / BENCH_pool.json /
+   BENCH_obsv.json (schema_version + git revision stamped) into the
+   current directory so the hot-path perf trajectory can be tracked
+   across PRs; micro-obsv also writes TRACE_obsv.json, a Chrome
+   trace of an instrumented parallel run. *)
 
 module K = Kernels.Kernel
 module Sim = Ompsim.Sim
@@ -381,10 +385,41 @@ let micro () =
 
 (* ---------------- hot-path engine artifacts (JSON-emitting) ---------------- *)
 
+(* every BENCH_*.json carries the artifact schema version and the git
+   revision that produced it, so the perf trajectory across PRs stays
+   attributable *)
+let bench_schema_version = 2
+
+let git_describe =
+  lazy
+    (try
+       let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
+       let line = try input_line ic with End_of_file -> "" in
+       (match Unix.close_process_in ic with
+       | Unix.WEXITED 0 when line <> "" -> line
+       | _ -> "unknown")
+     with Unix.Unix_error _ | Sys_error _ -> "unknown")
+
+let json_provenance () =
+  Printf.sprintf {|"schema_version": %d,
+  "git": "%s",|} bench_schema_version (Lazy.force git_describe)
+
+(* fail fast, BEFORE measuring for seconds, if the output path cannot
+   be created (read-only checkout, missing directory, ...) *)
+let ensure_writable path =
+  try close_out (open_out path)
+  with Sys_error e ->
+    Printf.eprintf "cannot write bench artifact %s: %s\n" path e;
+    exit 1
+
 let write_file path contents =
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc;
+  (try
+     let oc = open_out path in
+     output_string oc contents;
+     close_out oc
+   with Sys_error e ->
+     Printf.eprintf "cannot write bench artifact %s: %s\n" path e;
+     exit 1);
   Printf.printf "wrote %s\n" path
 
 (* per-iteration cost of the strategies for executing a collapsed
@@ -394,6 +429,7 @@ let write_file path contents =
    advance the bounds by finite-difference tables *)
 let micro_recovery () =
   header "micro-recovery: ns/iter walking the collapsed correlation nest (N=1000)";
+  ensure_writable "BENCH_recovery.json";
   let n = 1000 in
   let corr = Option.get (Kernels.Registry.find "correlation") in
   let inv = K.inversion corr in
@@ -439,6 +475,7 @@ let micro_recovery () =
     (Printf.sprintf
        {|{
   "artifact": "micro-recovery",
+  %s
   "kernel": "correlation",
   "n": %d,
   "iterations": %d,
@@ -455,7 +492,7 @@ let micro_recovery () =
   }
 }
 |}
-       n trip recover_each increment_flat increment_horner fdiff_walk
+       (json_provenance ()) n trip recover_each increment_flat increment_horner fdiff_walk
        (increment_horner /. fdiff_walk)
        (recover_each /. fdiff_walk)
        (increment_flat /. increment_horner))
@@ -464,6 +501,7 @@ let micro_recovery () =
    spawning fresh domains per parallel region *)
 let micro_pool () =
   header "micro-pool: per-region overhead of Par.parallel_for (ns/call)";
+  ensure_writable "BENCH_pool.json";
   let thread_counts = [ 2; 4; 8 ] in
   let measure backend nthreads =
     Ompsim.Calibrate.measure_region_overhead ~calls:200 ~backend ~nthreads ()
@@ -490,6 +528,7 @@ let micro_pool () =
     (Printf.sprintf
        {|{
   "artifact": "micro-pool",
+  %s
   "calls_per_measurement": 200,
   "pool_workers_alive": %d,
   "regions": [
@@ -497,7 +536,125 @@ let micro_pool () =
   ]
 }
 |}
-       (Ompsim.Pool.size ()) json_rows)
+       (json_provenance ()) (Ompsim.Pool.size ()) json_rows)
+
+(* overhead and imbalance of the observability layer itself: the §V
+   walk loop with instrumentation absent / disabled / enabled, then a
+   real instrumented parallel execution whose per-worker counters give
+   the imbalance histogram; also emits TRACE_obsv.json for CI's
+   Chrome-trace validation *)
+let micro_obsv () =
+  header "micro-obsv: observability overhead on the walk loop (correlation, N=1000)";
+  ensure_writable "BENCH_obsv.json";
+  ensure_writable "TRACE_obsv.json";
+  let n = 1000 in
+  let corr = Option.get (Kernels.Registry.find "correlation") in
+  let rc = K.recovery corr ~n in
+  let trip = Trahrhe.Recovery.trip_count rc in
+  let chunk = 512 in
+  let sink = ref 0 in
+  let time_ns f =
+    let s = Ompsim.Calibrate.time_best ~reps:5 f in
+    s *. 1e9 /. float_of_int trip
+  in
+  let full walk () = walk rc ~pc:1 ~len:trip (fun idx -> sink := !sink + idx.(0)) in
+  let chunked walk () =
+    let start = ref 0 in
+    while !start < trip do
+      walk rc ~pc:(!start + 1)
+        ~len:(min chunk (trip - !start))
+        (fun idx -> sink := !sink + idx.(0));
+      start := !start + chunk
+    done
+  in
+  Obsv.Control.set_enabled false;
+  let bare_full = time_ns (full Trahrhe.Recovery.walk_uninstrumented) in
+  let bare_chunked = time_ns (chunked Trahrhe.Recovery.walk_uninstrumented) in
+  let disabled_full = time_ns (full Trahrhe.Recovery.walk) in
+  let disabled_chunked = time_ns (chunked Trahrhe.Recovery.walk) in
+  let enabled_chunked =
+    Obsv.Control.with_enabled true (fun () -> time_ns (chunked Trahrhe.Recovery.walk))
+  in
+  ignore !sink;
+  Obsv.Trace.clear ();
+  Ompsim.Stats.reset ();
+  let pct over base = 100.0 *. ((over -. base) /. base) in
+  Printf.printf "%-46s %10s\n" "variant" "ns/iter";
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-46s %10.2f\n" name ns)
+    [ ("walk_uninstrumented, one chunk", bare_full);
+      ("walk_uninstrumented, 512-chunks", bare_chunked);
+      ("walk, obsv disabled, one chunk", disabled_full);
+      ("walk, obsv disabled, 512-chunks", disabled_chunked);
+      ("walk, obsv enabled, 512-chunks", enabled_chunked) ];
+  Printf.printf "disabled overhead: %+.2f%% (one chunk), %+.2f%% (512-chunks); enabled tracing: %+.2f%%\n"
+    (pct disabled_full bare_full) (pct disabled_chunked bare_chunked)
+    (pct enabled_chunked bare_chunked);
+  (* instrumented parallel runs: per-worker chunk/iteration histogram *)
+  let nthreads = 4 in
+  let parallel_section schedule =
+    Ompsim.Stats.reset ();
+    Ompsim.Par.parallel_for_chunks ~nthreads ~schedule ~n:trip (fun ~thread:_ ~start ~len ->
+        Trahrhe.Recovery.walk rc ~pc:(start + 1) ~len (fun idx -> sink := !sink + idx.(0)));
+    let per_worker =
+      Obsv.Metrics.per_slot Ompsim.Stats.par_iterations
+      |> List.map (fun (slot, iters) ->
+             Printf.sprintf {|        { "slot": %d, "chunks": %d, "iterations": %d }|} slot
+               (Obsv.Metrics.get Ompsim.Stats.par_chunks ~slot)
+               iters)
+      |> String.concat ",\n"
+    in
+    let imb = Obsv.Metrics.imbalance Ompsim.Stats.par_iterations in
+    Printf.printf "  %-14s imbalance (max/mean iterations per worker): %.3f\n"
+      (Sched.to_string schedule) imb;
+    Ompsim.Stats.emit_trace_counters ();
+    Printf.sprintf
+      {|    { "schedule": "%s", "nthreads": %d, "imbalance": %.4f,
+      "per_worker": [
+%s
+      ] }|}
+      (Sched.to_string schedule) nthreads imb per_worker
+  in
+  let sections =
+    Obsv.Control.with_enabled true (fun () ->
+        let s1 = parallel_section Sched.Static in
+        let s2 = parallel_section (Sched.Dynamic chunk) in
+        Obsv.Trace.write "TRACE_obsv.json";
+        [ s1; s2 ])
+  in
+  Printf.printf "wrote TRACE_obsv.json (%d events)\n" (Obsv.Trace.event_count ());
+  write_file "BENCH_obsv.json"
+    (Printf.sprintf
+       {|{
+  "artifact": "micro-obsv",
+  %s
+  "kernel": "correlation",
+  "n": %d,
+  "iterations": %d,
+  "chunk": %d,
+  "ns_per_iter": {
+    "walk_uninstrumented_full": %.2f,
+    "walk_uninstrumented_chunked": %.2f,
+    "walk_disabled_full": %.2f,
+    "walk_disabled_chunked": %.2f,
+    "walk_enabled_chunked": %.2f
+  },
+  "overhead_pct": {
+    "disabled_full": %.3f,
+    "disabled_chunked": %.3f,
+    "enabled_chunked": %.3f
+  },
+  "parallel": [
+%s
+  ],
+  "trace_events": %d
+}
+|}
+       (json_provenance ()) n trip chunk bare_full bare_chunked disabled_full disabled_chunked
+       enabled_chunked (pct disabled_full bare_full) (pct disabled_chunked bare_chunked)
+       (pct enabled_chunked bare_chunked)
+       (String.concat ",\n" sections)
+       (Obsv.Trace.event_count ()))
 
 (* ---------------- driver ---------------- *)
 
@@ -514,7 +671,8 @@ let artifacts =
     ("ablation-simd", ablation_simd);
     ("micro", micro);
     ("micro-recovery", micro_recovery);
-    ("micro-pool", micro_pool) ]
+    ("micro-pool", micro_pool);
+    ("micro-obsv", micro_obsv) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -1,0 +1,25 @@
+(* Standalone validator for Chrome trace_event JSON files produced by
+   the obsv layer (or anything else emitting B/E duration events):
+   checks JSON well-formedness, required event fields, balanced and
+   properly nested B/E pairs per thread, and per-thread timestamp
+   monotonicity. Exit 0 iff the trace is valid. Used by CI on the
+   bench-smoke trace artifact. *)
+
+let () =
+  match Sys.argv with
+  | [| _; path |] -> (
+    match Obsv.Trace_check.validate_file path with
+    | Ok s ->
+      Printf.printf "%s: ok — %d events, %d threads, %d spans (max depth %d), %d counter samples\n"
+        path s.Obsv.Trace_check.events s.Obsv.Trace_check.tids s.Obsv.Trace_check.spans
+        s.Obsv.Trace_check.max_depth s.Obsv.Trace_check.counters;
+      exit 0
+    | Error e ->
+      Printf.eprintf "%s: INVALID — %s\n" path e;
+      exit 1
+    | exception Sys_error e ->
+      Printf.eprintf "%s\n" e;
+      exit 1)
+  | _ ->
+    prerr_endline "usage: trace_check TRACE.json";
+    exit 2

@@ -28,6 +28,41 @@ let nest_of_input ~file ~kernel =
 
 let mode_name = function Symx.Cemit.Real -> "real" | Symx.Cemit.Complex -> "complex"
 
+(* ---- observability plumbing (--trace / --stats) ---- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"OUT.json"
+        ~doc:"Write a Chrome trace_event JSON of the run to $(docv) (load in chrome://tracing).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print span timings and per-worker counters after the run.")
+
+(* run [f] with the obsv layer on when --trace/--stats ask for it;
+   write/print the artifacts afterwards, also when [f] fails *)
+let with_obsv ~trace ~stats f =
+  let want = trace <> None || stats in
+  if want then begin
+    Obsv.Control.set_enabled true;
+    Obsv.Trace.clear ();
+    Ompsim.Stats.reset ()
+  end;
+  Fun.protect f ~finally:(fun () ->
+      if want then begin
+        (match trace with
+        | Some path ->
+          Ompsim.Stats.emit_trace_counters ();
+          Obsv.Trace.write path;
+          Printf.eprintf "trace written to %s (%d events)\n" path (Obsv.Trace.event_count ())
+        | None -> ());
+        if stats then print_string (Ompsim.Stats.summary ());
+        Obsv.Control.set_enabled false
+      end)
+
 (* ---- info ---- *)
 
 let info_run file kernel =
@@ -145,7 +180,8 @@ let collapse_cmd =
 
 (* ---- validate ---- *)
 
-let validate_run file kernel size =
+let validate_run file kernel size trace stats =
+  with_obsv ~trace ~stats @@ fun () ->
   match nest_of_input ~file ~kernel with
   | Error e ->
     prerr_endline e;
@@ -181,11 +217,12 @@ let validate_cmd =
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Exhaustively check ranking bijectivity and all recovery strategies at a given size.")
-    Term.(const validate_run $ file_arg $ kernel_arg $ size)
+    Term.(const validate_run $ file_arg $ kernel_arg $ size $ trace_arg $ stats_arg)
 
 (* ---- simulate ---- *)
 
-let simulate_run kernel size threads =
+let simulate_run kernel size threads trace stats =
+  with_obsv ~trace ~stats @@ fun () ->
   match Option.to_result ~none:"--kernel is required" kernel |> fun k -> Result.bind k (fun name ->
       Option.to_result ~none:("unknown kernel " ^ name) (Kernels.Registry.find name))
   with
@@ -228,7 +265,115 @@ let simulate_cmd =
   let threads = Arg.(value & opt int 12 & info [ "threads"; "t" ] ~docv:"T" ~doc:"Thread count.") in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Simulate OpenMP schedules for a benchmark kernel (Figure 9 style).")
-    Term.(const simulate_run $ kernel_arg $ size $ threads)
+    Term.(const simulate_run $ kernel_arg $ size $ threads $ trace_arg $ stats_arg)
+
+(* ---- exec ---- *)
+
+let schedule_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ "static" ] -> Ok Ompsim.Schedule.Static
+    | [ "static"; c ] -> (
+      match int_of_string_opt c with
+      | Some c when c > 0 -> Ok (Ompsim.Schedule.Static_chunk c)
+      | _ -> Error (`Msg "static:N needs a positive integer"))
+    | [ "dynamic" ] -> Ok (Ompsim.Schedule.Dynamic 1)
+    | [ "dynamic"; c ] -> (
+      match int_of_string_opt c with
+      | Some c when c > 0 -> Ok (Ompsim.Schedule.Dynamic c)
+      | _ -> Error (`Msg "dynamic:N needs a positive integer"))
+    | [ "guided" ] -> Ok (Ompsim.Schedule.Guided 1)
+    | [ "guided"; c ] -> (
+      match int_of_string_opt c with
+      | Some c when c > 0 -> Ok (Ompsim.Schedule.Guided c)
+      | _ -> Error (`Msg "guided:N needs a positive integer"))
+    | _ -> Error (`Msg "schedule must be static | static:N | dynamic[:N] | guided[:N]")
+  in
+  let print fmt s = Format.pp_print_string fmt (Ompsim.Schedule.to_string s) in
+  Arg.conv (parse, print)
+
+(* order-independent checksum of an iteration tuple, so concurrent
+   chunk execution sums to the same value as the serial reference *)
+let iter_hash idx =
+  let h = ref 0 in
+  Array.iter (fun v -> h := (!h * 1000003) + v) idx;
+  !h
+
+let exec_run kernel size threads schedule trace stats =
+  with_obsv ~trace ~stats @@ fun () ->
+  match
+    Option.to_result ~none:"--kernel is required" kernel |> fun k ->
+    Result.bind k (fun name ->
+        Option.to_result ~none:("unknown kernel " ^ name) (Kernels.Registry.find name))
+  with
+  | Error e ->
+    prerr_endline e;
+    1
+  | Ok k ->
+    let n = match size with Some n -> n | None -> k.Kernels.Kernel.default_n in
+    let rc = Kernels.Kernel.recovery k ~n in
+    let trip = Trahrhe.Recovery.trip_count rc in
+    (* padded per-worker partial checksums: one writer per slot *)
+    let stride = 16 in
+    let partial = Array.make (threads * stride) 0 in
+    let t0 = Unix.gettimeofday () in
+    Ompsim.Par.parallel_for_chunks ~nthreads:threads ~schedule ~n:trip
+      (fun ~thread ~start ~len ->
+        let cell = thread * stride in
+        Trahrhe.Recovery.walk rc ~pc:(start + 1) ~len (fun idx ->
+            partial.(cell) <- partial.(cell) + iter_hash idx));
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let parallel_sum = ref 0 in
+    for t = 0 to threads - 1 do
+      parallel_sum := !parallel_sum + partial.(t * stride)
+    done;
+    let serial_sum = ref 0 in
+    Trahrhe.Nest.iterate k.Kernels.Kernel.nest ~param:(Kernels.Kernel.param_of k ~n) (fun idx ->
+        serial_sum := !serial_sum + iter_hash idx);
+    Printf.printf "kernel %s, n=%d, %d threads, schedule(%s): %d collapsed iterations in %.4fs\n"
+      k.Kernels.Kernel.name n threads
+      (Ompsim.Schedule.to_string schedule)
+      trip elapsed;
+    (match Obsv.Metrics.per_slot Ompsim.Stats.par_iterations with
+    | [] -> ()
+    | cells ->
+      List.iter
+        (fun (slot, iters) ->
+          Printf.printf "  worker %2d: %4d chunks %10d iterations\n" slot
+            (Obsv.Metrics.get Ompsim.Stats.par_chunks ~slot)
+            iters)
+        cells;
+      Printf.printf "  iteration imbalance (max/mean): %.3f\n"
+        (Obsv.Metrics.imbalance Ompsim.Stats.par_iterations));
+    if !parallel_sum = !serial_sum then begin
+      Printf.printf "checksum ok (%d)\n" !parallel_sum;
+      0
+    end
+    else begin
+      Printf.printf "CHECKSUM MISMATCH: parallel %d vs serial %d\n" !parallel_sum !serial_sum;
+      1
+    end
+
+let exec_cmd =
+  let size =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "size"; "n" ] ~docv:"N" ~doc:"Problem size (kernel default when absent).")
+  in
+  let threads = Arg.(value & opt int 4 & info [ "threads"; "t" ] ~docv:"T" ~doc:"Thread count.") in
+  let schedule =
+    Arg.(
+      value
+      & opt schedule_conv Ompsim.Schedule.Static
+      & info [ "schedule"; "s" ] ~docv:"SCHED" ~doc:"static | static:N | dynamic[:N] | guided[:N].")
+  in
+  Cmd.v
+    (Cmd.info "exec"
+       ~doc:
+         "Really execute a kernel's collapsed nest on OCaml domains (one recovery per chunk, §V \
+          walk) and check the result against serial enumeration.")
+    Term.(const exec_run $ kernel_arg $ size $ threads $ schedule $ trace_arg $ stats_arg)
 
 (* ---- emit ---- *)
 
@@ -292,6 +437,6 @@ let main =
   Cmd.group
     (Cmd.info "trahrhe" ~version:"1.0.0"
        ~doc:"Automatic collapsing of non-rectangular OpenMP loops (IPDPS'17 reproduction).")
-    [ info_cmd; collapse_cmd; validate_cmd; simulate_cmd; emit_cmd; kernels_cmd ]
+    [ info_cmd; collapse_cmd; validate_cmd; simulate_cmd; exec_cmd; emit_cmd; kernels_cmd ]
 
 let () = exit (Cmd.eval' main)

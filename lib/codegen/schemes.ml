@@ -114,6 +114,8 @@ let pc_loop ~config (inv : Trahrhe.Inversion.t) ?(step) body =
       body }
 
 let naive ?(config = default_config) inv ~body =
+  Obsv.Trace.with_span "pipeline.codegen" ~args:[ ("scheme", Obsv.Trace.Str "naive") ]
+  @@ fun () ->
   index_decls ~config inv
   @ [ Pragma
         (Printf.sprintf "omp parallel for private(%s) schedule(%s)" (private_clause ~config inv)
@@ -121,6 +123,8 @@ let naive ?(config = default_config) inv ~body =
       pc_loop ~config inv (recovery_stmts ~config inv @ body) ]
 
 let per_thread ?(config = default_config) inv ~body =
+  Obsv.Trace.with_span "pipeline.codegen" ~args:[ ("scheme", Obsv.Trace.Str "per-thread") ]
+  @@ fun () ->
   index_decls ~config inv
   @ [ Decl { ty = "int"; name = "first_iteration"; init = Some "1" };
       Pragma
@@ -135,6 +139,8 @@ let per_thread ?(config = default_config) inv ~body =
         :: (body @ increment_stmts ~config inv)) ]
 
 let chunked ?(config = default_config) ~chunk inv ~body =
+  Obsv.Trace.with_span "pipeline.codegen" ~args:[ ("scheme", Obsv.Trace.Str "chunked") ]
+  @@ fun () ->
   let pc = inv.Trahrhe.Inversion.pc_var in
   index_decls ~config inv
   @ [ Pragma
@@ -148,6 +154,8 @@ let chunked ?(config = default_config) ~chunk inv ~body =
         :: (body @ increment_stmts ~config inv)) ]
 
 let simd ?(config = default_config) ~vlength inv ~body_of =
+  Obsv.Trace.with_span "pipeline.codegen" ~args:[ ("scheme", Obsv.Trace.Str "simd") ]
+  @@ fun () ->
   let ty = config.counter_ty in
   let pc = inv.Trahrhe.Inversion.pc_var in
   let vars = Trahrhe.Nest.level_vars inv.Trahrhe.Inversion.nest in
@@ -190,6 +198,8 @@ let simd ?(config = default_config) ~vlength inv ~body_of =
                body = body_of (fun x -> Printf.sprintf "%s[v - %s]" (buf x) pc) } ]) ]
 
 let gpu_warp ?(config = default_config) ~warp inv ~body =
+  Obsv.Trace.with_span "pipeline.codegen" ~args:[ ("scheme", Obsv.Trace.Str "gpu-warp") ]
+  @@ fun () ->
   let ty = config.counter_ty in
   let pc = inv.Trahrhe.Inversion.pc_var in
   let trip = trip_count_expr inv ~ty in

@@ -113,6 +113,7 @@ let rec expr_size = function
 let invert ?(pc_var = "pc") ?(sample_sizes = [ 3; 4; 6 ]) nest =
   if List.mem pc_var (Nest.level_vars nest) || List.mem pc_var nest.Nest.params then
     invalid_arg ("Inversion.invert: pc variable " ^ pc_var ^ " collides with the nest");
+  Obsv.Trace.with_span "pipeline.inversion" @@ fun () ->
   let ranking = Ranking.ranking nest in
   let trip_count = Ranking.trip_count nest in
   let r_sub = substituted_rankings nest ranking in

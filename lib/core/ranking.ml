@@ -6,6 +6,7 @@ module Q = Zmath.Rat
    where each term counts complete sub-trees strictly preceding the
    current iteration at level k. *)
 let ranking n =
+  Obsv.Trace.with_span "pipeline.ranking" @@ fun () ->
   let levels = Nest.to_count_levels n in
   let inner = Polyhedral.Count.count_inner levels in
   let fresh = "%t%" in

@@ -246,11 +246,11 @@ let first t =
 
 (* ---------------- incremental chunk walk (§V, compiled) ---------------- *)
 
-let walk t ~pc ~len f =
-  if len <= 0 then ()
-  else if not t.compiled then begin
-    (* fallback: recovery + polynomial-re-evaluating increment *)
-    let idx = recover_guarded t pc in
+(* the walk after the chunk's one recovery: drive [f] over [len]
+   iterations starting from [idx] (which the caller recovered) *)
+let walk_from t idx ~len f =
+  if not t.compiled then begin
+    (* fallback: polynomial-re-evaluating increment *)
     f idx;
     let remaining = ref (len - 1) in
     while !remaining > 0 && increment t idx do
@@ -260,7 +260,6 @@ let walk t ~pc ~len f =
   end
   else begin
     let d = t.d in
-    let idx = recover_guarded t pc in
     (* cached per-level bounds; level q > 0 additionally carries
        difference-table steppers along the parent variable q-1, so the
        carry idx.(q-1) += 1 updates both bounds in O(degree) additions *)
@@ -319,4 +318,31 @@ let walk t ~pc ~len f =
       f idx;
       decr remaining
     done
+  end
+
+let walk_uninstrumented t ~pc ~len f =
+  if len > 0 then walk_from t (recover_guarded t pc) ~len f
+
+(* obsv: per-chunk counters + the recovery-vs-stepping time split. The
+   per-iteration path is identical to the uninstrumented walk — the
+   only disabled-mode cost is the [Control.enabled] branch below. *)
+let c_walks = Obsv.Metrics.create "recovery.walks"
+let c_iterations = Obsv.Metrics.create "recovery.iterations"
+let c_recover_ns = Obsv.Metrics.create "recovery.recover_ns"
+let c_step_ns = Obsv.Metrics.create "recovery.step_ns"
+
+let walk t ~pc ~len f =
+  if not (Obsv.Control.enabled ()) then walk_uninstrumented t ~pc ~len f
+  else if len > 0 then begin
+    Obsv.Metrics.incr_here c_walks;
+    Obsv.Metrics.add_here c_iterations len;
+    Obsv.Trace.with_span "recovery.walk"
+      ~args:[ ("pc", Obsv.Trace.Int pc); ("len", Obsv.Trace.Int len) ]
+      (fun () ->
+        let t0 = Obsv.Clock.now_ns () in
+        let idx = recover_guarded t pc in
+        let t1 = Obsv.Clock.now_ns () in
+        Obsv.Metrics.add_here c_recover_ns (t1 - t0);
+        walk_from t idx ~len f;
+        Obsv.Metrics.add_here c_step_ns (Obsv.Clock.now_ns () - t1))
   end

@@ -100,5 +100,19 @@ val rank_stepper : t -> level:int -> start:int -> int array -> Polymath.Horner.S
     polynomials.
 
     [f] receives the walker's internal index array; it must not retain
-    or mutate it. *)
+    or mutate it.
+
+    When the observability layer is on ({!Obsv.Control.enabled}), each
+    call additionally bumps the [recovery.walks]/[recovery.iterations]
+    counters, splits its time into [recovery.recover_ns] (the one
+    closed-form recovery) vs [recovery.step_ns] (the incremental
+    stepping), and records a [recovery.walk] trace span. When it is
+    off, the only added cost over {!walk_uninstrumented} is one
+    flag check per call. *)
 val walk : t -> pc:int -> len:int -> (int array -> unit) -> unit
+
+(** [walk_uninstrumented] is {!walk} with the observability check
+    compiled out of the call — the reference the overhead micro-bench
+    ([bench/main.exe -- micro-obsv]) compares {!walk} against. Prefer
+    {!walk} everywhere else. *)
+val walk_uninstrumented : t -> pc:int -> len:int -> (int array -> unit) -> unit

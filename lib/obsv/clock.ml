@@ -1,0 +1,3 @@
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let ns_to_us ns = Printf.sprintf "%d.%03d" (ns / 1000) (abs (ns mod 1000))

@@ -1,0 +1,13 @@
+(** Nanosecond timestamps for spans and counters.
+
+    Backed by [Unix.gettimeofday] (the only sub-second clock available
+    without C stubs); {!Trace} additionally clamps timestamps to be
+    non-decreasing per thread, so exported traces are monotone per
+    [tid] even if the wall clock steps backwards. *)
+
+(** [now_ns ()] is the current time in integer nanoseconds. *)
+val now_ns : unit -> int
+
+(** [ns_to_us ns] renders nanoseconds as Chrome's microsecond
+    timestamps with nanosecond resolution (three decimals). *)
+val ns_to_us : int -> string

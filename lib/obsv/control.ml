@@ -1,0 +1,13 @@
+let initial =
+  match Sys.getenv_opt "OMPSIM_TRACE" with
+  | Some ("1" | "true" | "TRUE" | "yes" | "on") -> true
+  | _ -> false
+
+let flag = Atomic.make initial
+let enabled () = Atomic.get flag
+let set_enabled b = Atomic.set flag b
+
+let with_enabled b f =
+  let saved = enabled () in
+  set_enabled b;
+  Fun.protect ~finally:(fun () -> set_enabled saved) f

@@ -1,0 +1,19 @@
+(** Global on/off switch of the observability layer.
+
+    Initialized from the [OMPSIM_TRACE] environment variable ([1],
+    [true], [yes] or [on] enable it; anything else, or unset, leaves
+    it off). Every instrumentation site in the tree checks this flag
+    first, so a disabled run costs one atomic load and a predictable
+    branch per instrumented call — never a clock read or an
+    allocation. *)
+
+(** [enabled ()] is the current state of the switch. *)
+val enabled : unit -> bool
+
+(** [set_enabled b] flips the switch at runtime (e.g. for the
+    [--trace]/[--stats] CLI flags or from tests). *)
+val set_enabled : bool -> unit
+
+(** [with_enabled b f] runs [f ()] with the switch set to [b],
+    restoring the previous state afterwards (also on exceptions). *)
+val with_enabled : bool -> (unit -> 'a) -> 'a

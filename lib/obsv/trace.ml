@@ -1,0 +1,199 @@
+type arg = Int of int | Str of string
+
+type ev = { name : string; ph : char; ts : int; args : (string * arg) list }
+
+(* per-domain buffer: only its owning domain appends, so no locking on
+   the hot path; the registry mutex is taken once per domain lifetime *)
+type buf = {
+  tid : int;
+  mutable evs : ev array;
+  mutable len : int;
+  mutable last_ts : int;
+  mutable named : bool;
+  mutable lost : int;
+}
+
+let max_events_per_domain = 1 lsl 20
+
+let dummy = { name = ""; ph = 'i'; ts = 0; args = [] }
+
+let buffers : buf list ref = ref []
+let buffers_mutex = Mutex.create ()
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { tid = (Domain.self () :> int);
+          evs = Array.make 256 dummy;
+          len = 0;
+          last_ts = 0;
+          named = false;
+          lost = 0 }
+      in
+      Mutex.lock buffers_mutex;
+      buffers := b :: !buffers;
+      Mutex.unlock buffers_mutex;
+      b)
+
+let push b e =
+  if b.len >= max_events_per_domain then b.lost <- b.lost + 1
+  else begin
+    if b.len = Array.length b.evs then begin
+      let bigger = Array.make (2 * Array.length b.evs) dummy in
+      Array.blit b.evs 0 bigger 0 b.len;
+      b.evs <- bigger
+    end;
+    b.evs.(b.len) <- e;
+    b.len <- b.len + 1
+  end
+
+let record name ph args =
+  let b = Domain.DLS.get key in
+  let ts = max (Clock.now_ns ()) b.last_ts in
+  b.last_ts <- ts;
+  push b { name; ph; ts; args }
+
+let with_span ?(args = []) name f =
+  if not (Control.enabled ()) then f ()
+  else begin
+    (* decide once: the E is recorded even if the switch flips mid-f *)
+    record name 'B' args;
+    Fun.protect ~finally:(fun () -> record name 'E' []) f
+  end
+
+let instant ?(args = []) name = if Control.enabled () then record name 'i' args
+
+let counter name v = if Control.enabled () then record name 'C' [ ("value", Int v) ]
+
+let name_thread name =
+  if Control.enabled () then begin
+    let b = Domain.DLS.get key in
+    if not b.named then begin
+      b.named <- true;
+      push b { name = "thread_name"; ph = 'M'; ts = b.last_ts; args = [ ("name", Str name) ] }
+    end
+  end
+
+let snapshot () =
+  Mutex.lock buffers_mutex;
+  let bs = List.rev !buffers in
+  Mutex.unlock buffers_mutex;
+  List.sort (fun a b -> compare a.tid b.tid) bs
+
+let event_count () = List.fold_left (fun acc b -> acc + b.len) 0 (snapshot ())
+let dropped () = List.fold_left (fun acc b -> acc + b.lost) 0 (snapshot ())
+
+let clear () =
+  List.iter
+    (fun b ->
+      b.len <- 0;
+      b.lost <- 0;
+      b.named <- false)
+    (snapshot ())
+
+(* ---------------- JSON export ---------------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_event buf tid e =
+  Buffer.add_string buf
+    (Printf.sprintf {|{"name":"%s","ph":"%c","pid":1,"tid":%d,"ts":%s|} (escape e.name) e.ph tid
+       (Clock.ns_to_us e.ts));
+  (match e.args with
+  | [] -> ()
+  | args ->
+    Buffer.add_string buf ",\"args\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf {|"%s":|} (escape k));
+        match v with
+        | Int n -> Buffer.add_string buf (string_of_int n)
+        | Str s -> Buffer.add_string buf (Printf.sprintf {|"%s"|} (escape s)))
+      args;
+    Buffer.add_char buf '}');
+  Buffer.add_char buf '}'
+
+let to_json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  List.iter
+    (fun b ->
+      for q = 0 to b.len - 1 do
+        if !first then first := false else Buffer.add_string buf ",\n";
+        emit_event buf b.tid b.evs.(q)
+      done)
+    (snapshot ());
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let write path =
+  let oc = open_out path in
+  output_string oc (to_json ());
+  close_out oc
+
+(* ---------------- text summary ---------------- *)
+
+let span_totals () =
+  let tbl : (string, int ref * int ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      let stack = ref [] in
+      for q = 0 to b.len - 1 do
+        let e = b.evs.(q) in
+        match e.ph with
+        | 'B' -> stack := e :: !stack
+        | 'E' -> (
+          match !stack with
+          | opener :: rest ->
+            stack := rest;
+            let count, total =
+              match Hashtbl.find_opt tbl opener.name with
+              | Some cell -> cell
+              | None ->
+                let cell = (ref 0, ref 0) in
+                Hashtbl.add tbl opener.name cell;
+                cell
+            in
+            Stdlib.incr count;
+            total := !total + (e.ts - opener.ts)
+          | [] -> ())
+        | _ -> ()
+      done)
+    (snapshot ());
+  Hashtbl.fold (fun name (c, t) acc -> (name, !c, !t) :: acc) tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let summary () =
+  let b = Buffer.create 512 in
+  (match span_totals () with
+  | [] -> ()
+  | spans ->
+    Buffer.add_string b
+      (Printf.sprintf "%-28s %10s %14s %14s\n" "span" "count" "total_us" "mean_us");
+    List.iter
+      (fun (name, count, total_ns) ->
+        Buffer.add_string b
+          (Printf.sprintf "%-28s %10d %14.1f %14.2f\n" name count
+             (float_of_int total_ns /. 1e3)
+             (float_of_int total_ns /. 1e3 /. float_of_int (max 1 count))))
+      spans;
+    Buffer.add_char b '\n');
+  Buffer.add_string b (Metrics.summary ());
+  let lost = dropped () in
+  if lost > 0 then Buffer.add_string b (Printf.sprintf "(%d events dropped at buffer cap)\n" lost);
+  Buffer.contents b

@@ -1,0 +1,62 @@
+(** Span/event recording with Chrome [trace_event] JSON export.
+
+    Events are appended to a per-domain buffer (domain-local storage,
+    no locks on the hot path); the buffer's [tid] is the recording
+    domain's id, so events from one thread are totally ordered and
+    spans nest properly per [tid]. Timestamps are clamped to be
+    non-decreasing per buffer. Every recording entry point checks
+    {!Control.enabled} first and is a no-op (one load, one branch)
+    when the layer is off.
+
+    Export produces the Chrome trace-event JSON object format
+    ([{"traceEvents": [...]}]) loadable in [chrome://tracing] /
+    Perfetto; {!summary} aggregates completed spans per name for a
+    compact text report. *)
+
+(** Span/counter argument values (rendered into the event's ["args"]
+    object). *)
+type arg = Int of int | Str of string
+
+(** [with_span ?args name f] runs [f ()] inside a [B]/[E] span pair on
+    the calling domain. The end event is recorded even if [f] raises,
+    and whether the pair is recorded is decided once at entry — a
+    toggle during [f] cannot unbalance the trace. *)
+val with_span : ?args:(string * arg) list -> string -> (unit -> 'a) -> 'a
+
+(** [instant ?args name] records an instant ([i]) event. *)
+val instant : ?args:(string * arg) list -> string -> unit
+
+(** [counter name v] records a Chrome counter ([C]) sample. *)
+val counter : string -> int -> unit
+
+(** [name_thread name] records a [thread_name] metadata event for the
+    calling domain, once per domain (repeat calls are ignored). *)
+val name_thread : string -> unit
+
+(** [event_count ()] is the number of events currently buffered across
+    all domains. *)
+val event_count : unit -> int
+
+(** [dropped ()] counts events discarded because a per-domain buffer
+    hit its size cap. *)
+val dropped : unit -> int
+
+(** [clear ()] empties every buffer. Only call while no instrumented
+    code is running. *)
+val clear : unit -> unit
+
+(** [to_json ()] renders all buffered events as a Chrome trace JSON
+    string. *)
+val to_json : unit -> string
+
+(** [write path] writes {!to_json} to [path].
+    @raise Sys_error if the path is not writable. *)
+val write : string -> unit
+
+(** [span_totals ()] aggregates completed ([B] matched by [E]) spans:
+    [(name, count, total_ns)], name-ascending. *)
+val span_totals : unit -> (string * int * int) list
+
+(** [summary ()] is a compact text report: span aggregates followed by
+    the non-zero {!Metrics} counters. *)
+val summary : unit -> string

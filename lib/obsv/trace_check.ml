@@ -1,0 +1,244 @@
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c = if peek () = c then advance () else fail (Printf.sprintf "expected %c" c) in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail ("bad literal " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match s.[!pos] with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (if !pos >= n then fail "unterminated escape");
+        (match s.[!pos] with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | '/' -> Buffer.add_char b '/'
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | 'r' -> Buffer.add_char b '\r'
+        | 'b' -> Buffer.add_char b '\b'
+        | 'f' -> Buffer.add_char b '\012'
+        | 'u' ->
+          if !pos + 4 >= n then fail "short \\u escape";
+          let code = int_of_string ("0x" ^ String.sub s (!pos + 1) 4) in
+          pos := !pos + 4;
+          (* non-BMP fidelity is irrelevant for validation: keep a marker *)
+          if code < 0x80 then Buffer.add_char b (Char.chr code) else Buffer.add_char b '?'
+        | c -> fail (Printf.sprintf "bad escape \\%c" c));
+        advance ();
+        go ()
+      | c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    in
+    while !pos < n && num_char s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            members ((k, v) :: acc)
+          | '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected , or } in object"
+        in
+        Obj (members [])
+      end
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' ->
+            advance ();
+            elements (v :: acc)
+          | ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected , or ] in array"
+        in
+        Arr (elements [])
+      end
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | _ -> Num (parse_number ())
+  in
+  try
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then Error (Printf.sprintf "trailing garbage at offset %d" !pos) else Ok v
+  with
+  | Bad msg -> Error msg
+  | Failure msg -> Error msg
+
+type stats = { events : int; tids : int; spans : int; counters : int; max_depth : int }
+
+let field k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let validate_events events =
+  (* per tid: a span stack for B/E balance and the last timestamp *)
+  let threads : (int, string list ref * float ref * int ref) Hashtbl.t = Hashtbl.create 8 in
+  let spans = ref 0 and counters = ref 0 and max_depth = ref 0 in
+  let err = ref None in
+  let check_event i e =
+    let get_str k =
+      match field k e with Some (Str s) -> Ok s | _ -> Error (Printf.sprintf "event %d: missing string %S" i k)
+    in
+    let get_num k =
+      match field k e with Some (Num f) -> Ok f | _ -> Error (Printf.sprintf "event %d: missing number %S" i k)
+    in
+    let ( let* ) = Result.bind in
+    let* name = get_str "name" in
+    let* ph = get_str "ph" in
+    let* _pid = get_num "pid" in
+    let* tid = get_num "tid" in
+    if String.length ph <> 1 then Error (Printf.sprintf "event %d: bad ph %S" i ph)
+    else if ph = "M" then Ok () (* metadata: no timestamp requirements *)
+    else
+      let* ts = get_num "ts" in
+      let tid = int_of_float tid in
+      let stack, last, depth =
+        match Hashtbl.find_opt threads tid with
+        | Some cell -> cell
+        | None ->
+          let cell = (ref [], ref neg_infinity, ref 0) in
+          Hashtbl.add threads tid cell;
+          cell
+      in
+      if ts < !last then
+        Error (Printf.sprintf "event %d: tid %d timestamp goes backwards (%f < %f)" i tid ts !last)
+      else begin
+        last := ts;
+        match ph with
+        | "B" ->
+          stack := name :: !stack;
+          depth := max !depth (List.length !stack);
+          max_depth := max !max_depth !depth;
+          Ok ()
+        | "E" -> (
+          match !stack with
+          | top :: rest ->
+            if top <> name && name <> "" then
+              Error (Printf.sprintf "event %d: tid %d closes %S but %S is open" i tid name top)
+            else begin
+              stack := rest;
+              Stdlib.incr spans;
+              Ok ()
+            end
+          | [] -> Error (Printf.sprintf "event %d: tid %d has E %S without B" i tid name))
+        | "C" ->
+          Stdlib.incr counters;
+          Ok ()
+        | "i" | "I" | "X" -> Ok ()
+        | ph -> Error (Printf.sprintf "event %d: unsupported ph %S" i ph)
+      end
+  in
+  List.iteri
+    (fun i e ->
+      if !err = None then
+        match e with
+        | Obj _ -> ( match check_event i e with Ok () -> () | Error m -> err := Some m)
+        | _ -> err := Some (Printf.sprintf "event %d is not an object" i))
+    events;
+  match !err with
+  | Some m -> Error m
+  | None ->
+    let unbalanced =
+      Hashtbl.fold
+        (fun tid (stack, _, _) acc ->
+          if !stack = [] then acc else (tid, List.length !stack) :: acc)
+        threads []
+    in
+    (match unbalanced with
+    | (tid, k) :: _ -> Error (Printf.sprintf "tid %d ends with %d unclosed span(s)" tid k)
+    | [] ->
+      Ok
+        { events = List.length events;
+          tids = Hashtbl.length threads;
+          spans = !spans;
+          counters = !counters;
+          max_depth = !max_depth })
+
+let validate_string s =
+  match parse_json s with
+  | Error m -> Error ("invalid JSON: " ^ m)
+  | Ok doc -> (
+    match field "traceEvents" doc with
+    | Some (Arr events) -> validate_events events
+    | Some _ -> Error "traceEvents is not an array"
+    | None -> Error "no traceEvents field")
+
+let validate_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  validate_string s

@@ -1,0 +1,34 @@
+(** Structural validation of exported Chrome traces.
+
+    A hand-rolled JSON reader (no external dependency) plus the checks
+    the trace-format tests and the CI smoke enforce: the document is an
+    object with a [traceEvents] array; every event has [name], [ph],
+    [pid], [tid] and (except metadata) [ts]; per [tid] the duration
+    events form balanced, properly nested [B]/[E] pairs and timestamps
+    are non-decreasing. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+(** [parse_json s] reads one JSON value (leading/trailing whitespace
+    allowed). *)
+val parse_json : string -> (json, string) result
+
+type stats = {
+  events : int;  (** total events *)
+  tids : int;  (** distinct threads *)
+  spans : int;  (** completed B/E pairs *)
+  counters : int;  (** C samples *)
+  max_depth : int;  (** deepest span nesting on any thread *)
+}
+
+(** [validate_string s] parses and checks a trace document. *)
+val validate_string : string -> (stats, string) result
+
+(** [validate_file path] is {!validate_string} on the file contents. *)
+val validate_file : string -> (stats, string) result

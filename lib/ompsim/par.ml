@@ -24,9 +24,22 @@ let run_workers ~nthreads worker =
       worker 0;
       Array.iter Domain.join domains
 
+(* obsv wrapper: count chunks/iterations on the executing slot and put
+   a span around each chunk; whether a region is instrumented is
+   decided once at entry so its counters stay self-consistent *)
+let instrument_chunks f ~thread ~start ~len =
+  Obsv.Metrics.incr Stats.par_chunks ~slot:thread;
+  Obsv.Metrics.add Stats.par_iterations ~slot:thread len;
+  Obsv.Trace.with_span "par.chunk"
+    ~args:[ ("slot", Obsv.Trace.Int thread); ("start", Obsv.Trace.Int start); ("len", Obsv.Trace.Int len) ]
+    (fun () -> f ~thread ~start ~len)
+
 let parallel_for_chunks ~nthreads ~schedule ~n f =
   if nthreads <= 0 then invalid_arg "Par.parallel_for_chunks";
-  match schedule with
+  let obsv = Obsv.Control.enabled () in
+  let f = if obsv then instrument_chunks f else f in
+  let dispatch () =
+    match schedule with
   | Schedule.Static ->
     let blocks = Schedule.static_blocks ~nthreads ~n in
     run_workers ~nthreads (fun t ->
@@ -62,6 +75,17 @@ let parallel_for_chunks ~nthreads ~schedule ~n f =
               f ~thread:t ~start ~len:(min len (n - start))
           end
         done)
+  in
+  if not obsv then dispatch ()
+  else begin
+    Obsv.Metrics.incr Stats.par_regions ~slot:0;
+    Obsv.Trace.with_span "par.region"
+      ~args:
+        [ ("n", Obsv.Trace.Int n);
+          ("threads", Obsv.Trace.Int nthreads);
+          ("schedule", Obsv.Trace.Str (Schedule.to_string schedule)) ]
+      dispatch
+  end
 
 let parallel_for ~nthreads ~schedule ~n f =
   parallel_for_chunks ~nthreads ~schedule ~n (fun ~thread:_ ~start ~len ->

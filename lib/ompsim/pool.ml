@@ -41,6 +41,11 @@ let worker_loop latch w slot =
   let continue = ref true in
   while !continue do
     Mutex.lock w.mutex;
+    (* obsv: bill the time parked on the mailbox to this slot; the
+       clock is only read when the layer is on and a wait is imminent *)
+    let idle_from =
+      if w.job = None && not w.stop && Obsv.Control.enabled () then Obsv.Clock.now_ns () else 0
+    in
     while w.job = None && not w.stop do
       Condition.wait w.cond w.mutex
     done;
@@ -48,8 +53,14 @@ let worker_loop latch w slot =
     w.job <- None;
     let stop = w.stop in
     Mutex.unlock w.mutex;
+    if idle_from <> 0 then
+      Obsv.Metrics.add Stats.pool_idle_ns ~slot (Obsv.Clock.now_ns () - idle_from);
     (match job with
     | Some f ->
+      if Obsv.Control.enabled () then begin
+        Obsv.Metrics.incr Stats.pool_dispatches ~slot;
+        Obsv.Trace.name_thread (Printf.sprintf "pool worker %d" slot)
+      end;
       (try f slot with e -> record_failure latch e);
       arrive latch
     | None -> ());
@@ -122,6 +133,37 @@ let size () =
   Mutex.unlock pool_lock;
   n
 
+let pending () =
+  Mutex.lock pool_lock;
+  let v =
+    match !the_pool with
+    | Some p ->
+      Mutex.lock p.latch.lm;
+      let v = p.latch.pending in
+      Mutex.unlock p.latch.lm;
+      v
+    | None -> 0
+  in
+  Mutex.unlock pool_lock;
+  v
+
+let queued_jobs () =
+  Mutex.lock pool_lock;
+  let v =
+    match !the_pool with
+    | Some p ->
+      Array.fold_left
+        (fun acc w ->
+          Mutex.lock w.mutex;
+          let q = if w.job <> None then 1 else 0 in
+          Mutex.unlock w.mutex;
+          acc + q)
+        0 p.workers
+    | None -> 0
+  in
+  Mutex.unlock pool_lock;
+  v
+
 (* plain spawn/join execution: the fallback for nested regions and the
    reference path benchmarks compare against *)
 let run_spawned ~nthreads f =
@@ -137,10 +179,12 @@ let run ~nthreads f =
   if nthreads = 1 then f 0
   else begin
     let p = get ~capacity:(nthreads - 1) in
-    if not (Mutex.try_lock p.dispatch) then
+    if not (Mutex.try_lock p.dispatch) then begin
       (* nested/concurrent parallel region: don't queue behind the
          outer dispatch (deadlock); spawn short-lived domains instead *)
+      if Obsv.Control.enabled () then Obsv.Metrics.incr Stats.pool_fallbacks ~slot:0;
       run_spawned ~nthreads f
+    end
     else begin
       let l = p.latch in
       Mutex.lock l.lm;

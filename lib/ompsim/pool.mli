@@ -29,6 +29,15 @@ val run : nthreads:int -> (int -> unit) -> unit
     dispatch). *)
 val size : unit -> int
 
+(** [pending ()] is the completion latch's outstanding-worker count —
+    0 whenever no dispatch is in flight. Exposed for the soak tests'
+    leak check. *)
+val pending : unit -> int
+
+(** [queued_jobs ()] counts workers holding a not-yet-started job in
+    their mailbox — 0 whenever no dispatch is in flight. *)
+val queued_jobs : unit -> int
+
 (** [shutdown ()] stops and joins all pool workers (called
     automatically at exit; safe to call more than once — a later
     {!run} simply re-creates workers). *)

@@ -1,0 +1,18 @@
+let pool_dispatches = Obsv.Metrics.create "pool.dispatch"
+let pool_idle_ns = Obsv.Metrics.create "pool.idle_ns"
+let pool_fallbacks = Obsv.Metrics.create "pool.spawn_fallback"
+let par_regions = Obsv.Metrics.create "par.regions"
+let par_chunks = Obsv.Metrics.create "par.chunks"
+let par_iterations = Obsv.Metrics.create "par.iterations"
+
+let reset () = Obsv.Metrics.reset_all ()
+let summary () = Obsv.Trace.summary ()
+
+let emit_trace_counters () =
+  List.iter
+    (fun c ->
+      List.iter
+        (fun (slot, v) ->
+          Obsv.Trace.counter (Printf.sprintf "%s[worker %d]" (Obsv.Metrics.name c) slot) v)
+        (Obsv.Metrics.per_slot c))
+    [ par_chunks; par_iterations; pool_dispatches ]

@@ -1,0 +1,38 @@
+(** First-class runtime metrics of the execution engine.
+
+    All counters are {!Obsv.Metrics} per-slot counters and are only
+    written when {!Obsv.Control.enabled} — a disabled run never touches
+    them. Slots are the logical worker slots of a parallel region
+    (slot 0 = the dispatching domain), so per-slot values are the
+    imbalance histogram the paper's collapsing is meant to flatten. *)
+
+val pool_dispatches : Obsv.Metrics.t
+(** jobs a pool worker picked up from its mailbox, per slot *)
+
+val pool_idle_ns : Obsv.Metrics.t
+(** time a pool worker spent parked on its mailbox, per slot *)
+
+val pool_fallbacks : Obsv.Metrics.t
+(** regions that found the pool busy and fell back to spawn *)
+
+val par_regions : Obsv.Metrics.t
+(** parallel regions entered (counted on slot 0) *)
+
+val par_chunks : Obsv.Metrics.t
+(** chunks executed, per worker slot *)
+
+val par_iterations : Obsv.Metrics.t
+(** iterations executed, per worker slot; summing the slots of one
+    region yields the region's trip count exactly *)
+
+(** [reset ()] zeroes every engine counter (the recovery counters of
+    {!Trahrhe.Recovery} included, via the global registry). *)
+val reset : unit -> unit
+
+(** [summary ()] is {!Obsv.Trace.summary} — spans plus all counters. *)
+val summary : unit -> string
+
+(** [emit_trace_counters ()] records the per-worker chunk/iteration/
+    dispatch totals as Chrome counter ([C]) samples, so an exported
+    trace carries the imbalance histogram; no-op when disabled. *)
+val emit_trace_counters : unit -> unit
