@@ -7,14 +7,16 @@
 
    Artifacts: fig2 fig8 fig9 fig10 codegen ablation-chunk
    ablation-threads ablation-recovery micro micro-recovery micro-pool
-   micro-obsv
+   micro-obsv micro-lanes micro-steal
 
-   micro-recovery, micro-pool and micro-obsv additionally write
-   machine-readable BENCH_recovery.json / BENCH_pool.json /
-   BENCH_obsv.json (schema_version + git revision stamped) into the
+   micro-recovery, micro-pool, micro-obsv, micro-lanes and micro-steal
+   additionally write machine-readable BENCH_recovery.json /
+   BENCH_pool.json / BENCH_obsv.json / BENCH_lanes.json /
+   BENCH_steal.json (schema_version + git revision stamped) into the
    current directory so the hot-path perf trajectory can be tracked
    across PRs; micro-obsv also writes TRACE_obsv.json, a Chrome
-   trace of an instrumented parallel run. *)
+   trace of an instrumented parallel run. micro-lanes and micro-steal
+   honour BENCH_LANES_N / BENCH_STEAL_N for CI-sized runs. *)
 
 module K = Kernels.Kernel
 module Sim = Ompsim.Sim
@@ -656,6 +658,230 @@ let micro_obsv () =
        (String.concat ",\n" sections)
        (Obsv.Trace.event_count ()))
 
+(* positive integer from the environment, for CI to shrink the bench
+   sizes without patching the source *)
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+    match int_of_string_opt s with Some v when v > 0 -> v | _ -> default)
+  | None -> default
+
+(* §VI-A batched lane-walk vs the per-iteration walk callback: same
+   kernel, same chunking, the body reduced to one add per iteration so
+   the difference is pure delivery mechanism (closure call per
+   iteration vs Array.fill runs + one closure call per block) *)
+let micro_lanes () =
+  let n = env_int "BENCH_LANES_N" 1000 in
+  header (Printf.sprintf "micro-lanes: walk vs walk_lanes ns/iter (correlation, N=%d)" n);
+  ensure_writable "BENCH_lanes.json";
+  let corr = Option.get (Kernels.Registry.find "correlation") in
+  let rc = K.recovery corr ~n in
+  let trip = Trahrhe.Recovery.trip_count rc in
+  let chunk = min trip 4096 in
+  let sink = ref 0 in
+  let time_ns f =
+    let s = Ompsim.Calibrate.time_best ~reps:5 f in
+    s *. 1e9 /. float_of_int trip
+  in
+  let chunked per_chunk () =
+    let start = ref 0 in
+    while !start < trip do
+      per_chunk ~pc:(!start + 1) ~len:(min chunk (trip - !start));
+      start := !start + chunk
+    done
+  in
+  let walk_ns =
+    time_ns
+      (chunked (fun ~pc ~len ->
+           Trahrhe.Recovery.walk rc ~pc ~len (fun idx -> sink := !sink + idx.(0))))
+  in
+  let lanes_ns vlength =
+    time_ns
+      (chunked (fun ~pc ~len ->
+           Trahrhe.Recovery.walk_lanes rc ~pc ~len ~vlength (fun ~base:_ ~count lanes ->
+               let row = lanes.(0) in
+               let acc = ref 0 in
+               for l = 0 to count - 1 do
+                 acc := !acc + row.(l)
+               done;
+               sink := !sink + !acc)))
+  in
+  let vlengths = [ 1; 4; 8; 16; 32 ] in
+  let rows = List.map (fun v -> (v, lanes_ns v)) vlengths in
+  ignore !sink;
+  Printf.printf "%-40s %10s %9s\n" "variant" "ns/iter" "vs walk";
+  Printf.printf "%-40s %10.2f %9s\n" "walk, per-iteration callback" walk_ns "1.00x";
+  List.iter
+    (fun (v, ns) ->
+      Printf.printf "%-40s %10.2f %8.2fx\n"
+        (Printf.sprintf "walk_lanes, vlength %d" v)
+        ns (walk_ns /. ns))
+    rows;
+  let json_rows =
+    rows
+    |> List.map (fun (v, ns) ->
+           Printf.sprintf
+             {|    { "vlength": %d, "ns_per_iter": %.2f, "speedup_vs_walk": %.3f }|} v ns
+             (walk_ns /. ns))
+    |> String.concat ",\n"
+  in
+  write_file "BENCH_lanes.json"
+    (Printf.sprintf
+       {|{
+  "artifact": "micro-lanes",
+  %s
+  "kernel": "correlation",
+  "n": %d,
+  "iterations": %d,
+  "chunk": %d,
+  "walk_ns_per_iter": %.2f,
+  "lanes": [
+%s
+  ],
+  "speedup": {
+    "vlength_8_vs_walk": %.3f,
+    "vlength_32_vs_walk": %.3f
+  }
+}
+|}
+       (json_provenance ()) n trip chunk walk_ns json_rows
+       (walk_ns /. List.assoc 8 rows)
+       (walk_ns /. List.assoc 32 rows))
+
+(* scheduling-overhead shootout on a skewed-cost workload: a central
+   mutex-protected chunk queue (the textbook dynamic scheduler), the
+   atomic fetch-add Dynamic dispatcher, and the Chase-Lev work-stealing
+   deques — followed by an instrumented run whose steal counters must
+   reconcile exactly against the ground-truth chunk count *)
+let micro_steal () =
+  let n = env_int "BENCH_STEAL_N" 200_000 in
+  header (Printf.sprintf "micro-steal: scheduler overhead on %d skewed iterations" n);
+  ensure_writable "BENCH_steal.json";
+  (* default 2 workers: the schedulers are compared under modest
+     oversubscription — with many more domains than cores the run is
+     dominated by OS descheduling (a parked owner strands its claimed
+     batch), which measures the kernel's scheduler, not ours *)
+  let nthreads = env_int "BENCH_STEAL_T" 2 in
+  let chunk = env_int "BENCH_STEAL_CHUNK" 8 in
+  let skew = 64 in
+  let stride = 16 in
+  let partial = Array.make (nthreads * stride) 0 in
+  (* triangular per-iteration cost, like a collapsed triangular nest's
+     rows: iteration q spins ~q*skew/n times, so the tail chunks cost
+     skew spins while the head chunks cost none and rebalancing
+     matters *)
+  let do_chunk thread start len =
+    let cell = thread * stride in
+    let acc = ref 0 in
+    for q = start to start + len - 1 do
+      let spins = q * skew / n in
+      let r = ref 0 in
+      for _ = 1 to spins do
+        incr r
+      done;
+      acc := !acc + !r
+    done;
+    partial.(cell) <- partial.(cell) + !acc
+  in
+  let reset () = Array.fill partial 0 (Array.length partial) 0 in
+  let run_mutex () =
+    reset ();
+    let next = ref 0 in
+    let m = Mutex.create () in
+    Ompsim.Pool.run ~nthreads (fun t ->
+        let live = ref true in
+        while !live do
+          Mutex.lock m;
+          let s = !next in
+          if s >= n then begin
+            Mutex.unlock m;
+            live := false
+          end
+          else begin
+            next := s + chunk;
+            Mutex.unlock m;
+            do_chunk t s (min chunk (n - s))
+          end
+        done)
+  in
+  let run_sched schedule () =
+    reset ();
+    Ompsim.Par.parallel_for_chunks ~nthreads ~schedule ~n (fun ~thread ~start ~len ->
+        do_chunk thread start len)
+  in
+  (* interleave the contenders within every rep round so CPU frequency
+     drift between measurements biases none of them; keep the per-
+     scheduler minimum, as time_best would *)
+  let runners = [| run_mutex; run_sched (Sched.Dynamic chunk); run_sched (Sched.Work_stealing chunk) |] in
+  let best = Array.make (Array.length runners) infinity in
+  let rounds = env_int "BENCH_STEAL_ROUNDS" 15 in
+  Array.iter (fun f -> f ()) runners (* warm pool, deque cache, page tables *);
+  for _ = 1 to rounds do
+    Array.iteri
+      (fun i f ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        best.(i) <- Float.min best.(i) ((Unix.gettimeofday () -. t0) *. 1e3))
+      runners
+  done;
+  let t_mutex = best.(0) and t_dyn = best.(1) and t_ws = best.(2) in
+  Printf.printf "%-38s %10s %9s\n" "scheduler" "ms" "vs mutex";
+  List.iter
+    (fun (name, t) -> Printf.printf "%-38s %10.2f %8.2fx\n" name t (t_mutex /. t))
+    [ ("central mutex queue", t_mutex);
+      ("atomic fetch-add dynamic", t_dyn);
+      ("work-stealing deques", t_ws) ];
+  (* counter reconciliation: every dealt chunk is popped locally or
+     stolen, exactly once *)
+  let truth = (n + chunk - 1) / chunk in
+  let pops, steals, retries, par_chunks =
+    Obsv.Control.with_enabled true (fun () ->
+        Ompsim.Stats.reset ();
+        run_sched (Sched.Work_stealing chunk) ();
+        ( Obsv.Metrics.total Ompsim.Stats.ws_local_pops,
+          Obsv.Metrics.total Ompsim.Stats.ws_steals,
+          Obsv.Metrics.total Ompsim.Stats.ws_steal_retries,
+          Obsv.Metrics.total Ompsim.Stats.par_chunks ))
+  in
+  Obsv.Trace.clear ();
+  Ompsim.Stats.reset ();
+  let reconciled = pops + steals = truth && par_chunks = truth in
+  Printf.printf
+    "ws counters: %d local pops + %d steals = %d (ground truth %d chunks, %d CAS retries) %s\n"
+    pops steals (pops + steals) truth retries
+    (if reconciled then "ok" else "MISMATCH");
+  write_file "BENCH_steal.json"
+    (Printf.sprintf
+       {|{
+  "artifact": "micro-steal",
+  %s
+  "n": %d,
+  "chunk": %d,
+  "nthreads": %d,
+  "skew": %d,
+  "ground_truth_chunks": %d,
+  "time_ms": {
+    "mutex_queue": %.3f,
+    "dynamic_atomic": %.3f,
+    "work_stealing": %.3f
+  },
+  "speedup": {
+    "ws_vs_mutex": %.3f,
+    "ws_vs_dynamic": %.3f
+  },
+  "counters": {
+    "local_pops": %d,
+    "steals": %d,
+    "steal_retries": %d,
+    "pops_plus_steals": %d,
+    "par_chunks": %d,
+    "reconciled": %b
+  }
+}
+|}
+       (json_provenance ()) n chunk nthreads skew truth t_mutex t_dyn t_ws (t_mutex /. t_ws)
+       (t_dyn /. t_ws) pops steals retries (pops + steals) par_chunks reconciled)
+
 (* ---------------- driver ---------------- *)
 
 let artifacts =
@@ -672,7 +898,9 @@ let artifacts =
     ("micro", micro);
     ("micro-recovery", micro_recovery);
     ("micro-pool", micro_pool);
-    ("micro-obsv", micro_obsv) ]
+    ("micro-obsv", micro_obsv);
+    ("micro-lanes", micro_lanes);
+    ("micro-steal", micro_steal) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -270,25 +270,7 @@ let simulate_cmd =
 (* ---- exec ---- *)
 
 let schedule_conv =
-  let parse s =
-    match String.split_on_char ':' s with
-    | [ "static" ] -> Ok Ompsim.Schedule.Static
-    | [ "static"; c ] -> (
-      match int_of_string_opt c with
-      | Some c when c > 0 -> Ok (Ompsim.Schedule.Static_chunk c)
-      | _ -> Error (`Msg "static:N needs a positive integer"))
-    | [ "dynamic" ] -> Ok (Ompsim.Schedule.Dynamic 1)
-    | [ "dynamic"; c ] -> (
-      match int_of_string_opt c with
-      | Some c when c > 0 -> Ok (Ompsim.Schedule.Dynamic c)
-      | _ -> Error (`Msg "dynamic:N needs a positive integer"))
-    | [ "guided" ] -> Ok (Ompsim.Schedule.Guided 1)
-    | [ "guided"; c ] -> (
-      match int_of_string_opt c with
-      | Some c when c > 0 -> Ok (Ompsim.Schedule.Guided c)
-      | _ -> Error (`Msg "guided:N needs a positive integer"))
-    | _ -> Error (`Msg "schedule must be static | static:N | dynamic[:N] | guided[:N]")
-  in
+  let parse s = Ompsim.Schedule.of_string s |> Result.map_error (fun e -> `Msg e) in
   let print fmt s = Format.pp_print_string fmt (Ompsim.Schedule.to_string s) in
   Arg.conv (parse, print)
 
@@ -299,7 +281,7 @@ let iter_hash idx =
   Array.iter (fun v -> h := (!h * 1000003) + v) idx;
   !h
 
-let exec_run kernel size threads schedule trace stats =
+let exec_run kernel size threads schedule lanes trace stats =
   with_obsv ~trace ~stats @@ fun () ->
   match
     Option.to_result ~none:"--kernel is required" kernel |> fun k ->
@@ -316,12 +298,29 @@ let exec_run kernel size threads schedule trace stats =
     (* padded per-worker partial checksums: one writer per slot *)
     let stride = 16 in
     let partial = Array.make (threads * stride) 0 in
+    if lanes <= 0 then begin
+      prerr_endline "--lanes needs a positive integer";
+      exit 1
+    end;
     let t0 = Unix.gettimeofday () in
     Ompsim.Par.parallel_for_chunks ~nthreads:threads ~schedule ~n:trip
       (fun ~thread ~start ~len ->
         let cell = thread * stride in
-        Trahrhe.Recovery.walk rc ~pc:(start + 1) ~len (fun idx ->
-            partial.(cell) <- partial.(cell) + iter_hash idx));
+        if lanes > 1 then
+          (* §VI-A batched body: one hash per lane of each lockstep block *)
+          Trahrhe.Recovery.walk_lanes rc ~pc:(start + 1) ~len ~vlength:lanes
+            (fun ~base:_ ~count buf ->
+              let d = Array.length buf in
+              for l = 0 to count - 1 do
+                let h = ref 0 in
+                for k = 0 to d - 1 do
+                  h := (!h * 1000003) + buf.(k).(l)
+                done;
+                partial.(cell) <- partial.(cell) + !h
+              done)
+        else
+          Trahrhe.Recovery.walk rc ~pc:(start + 1) ~len (fun idx ->
+              partial.(cell) <- partial.(cell) + iter_hash idx));
     let elapsed = Unix.gettimeofday () -. t0 in
     let parallel_sum = ref 0 in
     for t = 0 to threads - 1 do
@@ -330,9 +329,10 @@ let exec_run kernel size threads schedule trace stats =
     let serial_sum = ref 0 in
     Trahrhe.Nest.iterate k.Kernels.Kernel.nest ~param:(Kernels.Kernel.param_of k ~n) (fun idx ->
         serial_sum := !serial_sum + iter_hash idx);
-    Printf.printf "kernel %s, n=%d, %d threads, schedule(%s): %d collapsed iterations in %.4fs\n"
+    Printf.printf "kernel %s, n=%d, %d threads, schedule(%s)%s: %d collapsed iterations in %.4fs\n"
       k.Kernels.Kernel.name n threads
       (Ompsim.Schedule.to_string schedule)
+      (if lanes > 1 then Printf.sprintf ", %d lanes" lanes else "")
       trip elapsed;
     (match Obsv.Metrics.per_slot Ompsim.Stats.par_iterations with
     | [] -> ()
@@ -366,14 +366,24 @@ let exec_cmd =
     Arg.(
       value
       & opt schedule_conv Ompsim.Schedule.Static
-      & info [ "schedule"; "s" ] ~docv:"SCHED" ~doc:"static | static:N | dynamic[:N] | guided[:N].")
+      & info [ "schedule"; "s" ] ~docv:"SCHED"
+          ~doc:"static | static:N | dynamic[:N] | guided[:N] | ws[:N] (work-stealing).")
+  in
+  let lanes =
+    Arg.(
+      value & opt int 1
+      & info [ "lanes" ] ~docv:"W"
+          ~doc:
+            "Lane width for the §VI-A batched walk: blocks of $(docv) consecutive collapsed \
+             iterations are materialized in lockstep before the body runs (1 = per-iteration \
+             walk).")
   in
   Cmd.v
     (Cmd.info "exec"
        ~doc:
          "Really execute a kernel's collapsed nest on OCaml domains (one recovery per chunk, §V \
           walk) and check the result against serial enumeration.")
-    Term.(const exec_run $ kernel_arg $ size $ threads $ schedule $ trace_arg $ stats_arg)
+    Term.(const exec_run $ kernel_arg $ size $ threads $ schedule $ lanes $ trace_arg $ stats_arg)
 
 (* ---- emit ---- *)
 

@@ -246,6 +246,42 @@ let first t =
 
 (* ---------------- incremental chunk walk (§V, compiled) ---------------- *)
 
+(* cached per-level bounds over the walker's index array; level q > 0
+   additionally carries difference-table steppers along the parent
+   variable q-1, so the carry idx.(q-1) += 1 updates both bounds in
+   O(degree) additions. Shared by [walk_from] and [walk_lanes_from]. *)
+let bound_cache t idx =
+  let d = t.d in
+  let lo = Array.make d 0 and hi = Array.make d 0 in
+  let lo_st = Array.make d None and hi_st = Array.make d None in
+  let build q =
+    let lookup s = idx.(s) in
+    let ls = H.Stepper.make t.hlo.(q) ~slot:(q - 1) ~start:idx.(q - 1) ~lookup in
+    let hs = H.Stepper.make t.hup.(q) ~slot:(q - 1) ~start:idx.(q - 1) ~lookup in
+    lo_st.(q) <- Some ls;
+    hi_st.(q) <- Some hs;
+    lo.(q) <- H.Stepper.value ls;
+    hi.(q) <- H.Stepper.value hs
+  in
+  lo.(0) <- lower_bound t ~level:0 idx;
+  hi.(0) <- upper_bound t ~level:0 idx;
+  for q = 1 to d - 1 do
+    build q
+  done;
+  let step_bounds q =
+    (match lo_st.(q) with
+    | Some s ->
+      H.Stepper.step s;
+      lo.(q) <- H.Stepper.value s
+    | None -> ());
+    match hi_st.(q) with
+    | Some s ->
+      H.Stepper.step s;
+      hi.(q) <- H.Stepper.value s
+    | None -> ()
+  in
+  (lo, hi, build, step_bounds)
+
 (* the walk after the chunk's one recovery: drive [f] over [len]
    iterations starting from [idx] (which the caller recovered) *)
 let walk_from t idx ~len f =
@@ -260,37 +296,7 @@ let walk_from t idx ~len f =
   end
   else begin
     let d = t.d in
-    (* cached per-level bounds; level q > 0 additionally carries
-       difference-table steppers along the parent variable q-1, so the
-       carry idx.(q-1) += 1 updates both bounds in O(degree) additions *)
-    let lo = Array.make d 0 and hi = Array.make d 0 in
-    let lo_st = Array.make d None and hi_st = Array.make d None in
-    let build q =
-      let lookup s = idx.(s) in
-      let ls = H.Stepper.make t.hlo.(q) ~slot:(q - 1) ~start:idx.(q - 1) ~lookup in
-      let hs = H.Stepper.make t.hup.(q) ~slot:(q - 1) ~start:idx.(q - 1) ~lookup in
-      lo_st.(q) <- Some ls;
-      hi_st.(q) <- Some hs;
-      lo.(q) <- H.Stepper.value ls;
-      hi.(q) <- H.Stepper.value hs
-    in
-    lo.(0) <- lower_bound t ~level:0 idx;
-    hi.(0) <- upper_bound t ~level:0 idx;
-    for q = 1 to d - 1 do
-      build q
-    done;
-    let step_bounds q =
-      (match lo_st.(q) with
-      | Some s ->
-        H.Stepper.step s;
-        lo.(q) <- H.Stepper.value s
-      | None -> ());
-      match hi_st.(q) with
-      | Some s ->
-        H.Stepper.step s;
-        hi.(q) <- H.Stepper.value s
-      | None -> ()
-    in
+    let lo, hi, build, step_bounds = bound_cache t idx in
     let advance () =
       let rec go k =
         if k < 0 then false
@@ -346,3 +352,132 @@ let walk t ~pc ~len f =
         walk_from t idx ~len f;
         Obsv.Metrics.add_here c_step_ns (Obsv.Clock.now_ns () - t1))
   end
+
+(* ---------------- batched lane-walk (§VI-A) ---------------- *)
+
+(* drive [f] over [len] iterations starting from the recovered [idx],
+   materialized into [lanes] (structure-of-arrays: lanes.(k).(l) is
+   level k of lane l) in blocks of at most [vlength] consecutive ranks.
+   The innermost level is filled in lockstep runs — outer levels by
+   [Array.fill] of the shared prefix, the inner lane values by a
+   counting loop — so most lanes cost a couple of int stores and no
+   per-iteration closure call; carries reuse the finite-difference
+   bound cache of the scalar walk. *)
+let walk_lanes_from t idx ~pc0 ~len ~vlength ~lanes f =
+  let d = t.d in
+  let base = ref pc0 and remaining = ref len and alive = ref true in
+  if not t.compiled then
+    (* fallback: polynomial-re-evaluating increment fills the lanes *)
+    while !remaining > 0 && !alive do
+      let want = min vlength !remaining in
+      let count = ref 0 in
+      let cont = ref true in
+      while !count < want && !cont do
+        for k = 0 to d - 1 do
+          lanes.(k).(!count) <- idx.(k)
+        done;
+        incr count;
+        if not (increment t idx) then begin
+          alive := false;
+          cont := false
+        end
+      done;
+      f ~base:!base ~count:!count lanes;
+      base := !base + !count;
+      remaining := !remaining - !count
+    done
+  else begin
+    let lo, hi, build, step_bounds = bound_cache t idx in
+    let inner = d - 1 in
+    (* carry past the exhausted innermost level; false at end of space *)
+    let advance_outer () =
+      let rec go k =
+        if k < 0 then false
+        else if idx.(k) + 1 < hi.(k) then begin
+          idx.(k) <- idx.(k) + 1;
+          step_bounds (k + 1);
+          idx.(k + 1) <- lo.(k + 1);
+          for q = k + 2 to d - 1 do
+            build q;
+            idx.(q) <- lo.(q)
+          done;
+          true
+        end
+        else go (k - 1)
+      in
+      go (d - 2)
+    in
+    let ilanes = lanes.(inner) in
+    while !remaining > 0 && !alive do
+      let want = min vlength !remaining in
+      let count = ref 0 in
+      while !count < want && !alive do
+        (* lockstep run along the innermost level: consecutive ranks
+           share the outer prefix, the inner index just counts up *)
+        let run = min (want - !count) (hi.(inner) - idx.(inner)) in
+        for k = 0 to inner - 1 do
+          Array.fill lanes.(k) !count run idx.(k)
+        done;
+        let v0 = idx.(inner) in
+        for r = 0 to run - 1 do
+          ilanes.(!count + r) <- v0 + r
+        done;
+        count := !count + run;
+        idx.(inner) <- v0 + run;
+        if idx.(inner) >= hi.(inner) && not (advance_outer ()) then alive := false
+      done;
+      f ~base:!base ~count:!count lanes;
+      base := !base + !count;
+      remaining := !remaining - !count
+    done
+  end
+
+let make_lanes t vlength = Array.init t.d (fun _ -> Array.make vlength 0)
+
+let walk_lanes_uninstrumented t ~pc ~len ~vlength f =
+  if vlength <= 0 then invalid_arg "Recovery.walk_lanes: vlength must be positive";
+  if len > 0 then
+    walk_lanes_from t (recover_guarded t pc) ~pc0:pc ~len ~vlength ~lanes:(make_lanes t vlength) f
+
+let c_lane_blocks = Obsv.Metrics.create "recovery.lane_blocks"
+
+let walk_lanes t ~pc ~len ~vlength f =
+  if not (Obsv.Control.enabled ()) then walk_lanes_uninstrumented t ~pc ~len ~vlength f
+  else begin
+    if vlength <= 0 then invalid_arg "Recovery.walk_lanes: vlength must be positive";
+    if len > 0 then begin
+      Obsv.Metrics.incr_here c_walks;
+      Obsv.Trace.with_span "recovery.walk_lanes"
+        ~args:
+          [ ("pc", Obsv.Trace.Int pc); ("len", Obsv.Trace.Int len);
+            ("vlength", Obsv.Trace.Int vlength) ]
+        (fun () ->
+          let t0 = Obsv.Clock.now_ns () in
+          let idx = recover_guarded t pc in
+          let t1 = Obsv.Clock.now_ns () in
+          Obsv.Metrics.add_here c_recover_ns (t1 - t0);
+          walk_lanes_from t idx ~pc0:pc ~len ~vlength ~lanes:(make_lanes t vlength)
+            (fun ~base ~count lanes ->
+              Obsv.Metrics.incr_here c_lane_blocks;
+              Obsv.Metrics.add_here c_iterations count;
+              f ~base ~count lanes);
+          Obsv.Metrics.add_here c_step_ns (Obsv.Clock.now_ns () - t1))
+    end
+  end
+
+let recover_block t ~pc lanes =
+  if Array.length lanes <> t.d then
+    invalid_arg "Recovery.recover_block: lanes must have one row per nest level";
+  let width = Array.length lanes.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> width then
+        invalid_arg "Recovery.recover_block: ragged lanes buffer")
+    lanes;
+  let filled = ref 0 in
+  if width > 0 && pc >= 1 && pc <= t.trip then begin
+    let len = min width (t.trip - pc + 1) in
+    walk_lanes_from t (recover_guarded t pc) ~pc0:pc ~len ~vlength:width ~lanes
+      (fun ~base:_ ~count _ -> filled := count)
+  end;
+  !filled

@@ -116,3 +116,46 @@ val walk : t -> pc:int -> len:int -> (int array -> unit) -> unit
     ([bench/main.exe -- micro-obsv]) compares {!walk} against. Prefer
     {!walk} everywhere else. *)
 val walk_uninstrumented : t -> pc:int -> len:int -> (int array -> unit) -> unit
+
+(** [walk_lanes t ~pc ~len ~vlength f] is the §VI-A batched lane-walk:
+    ONE costly recovery at the collapsed index [pc], then the next
+    [len] iterations are delivered in blocks of up to [vlength]
+    consecutive ranks, all lanes of a block materialized in lockstep
+    by the finite-difference steppers before [f] runs once per block.
+
+    [f ~base ~count lanes]: [lanes] is a structure-of-arrays buffer —
+    [lanes.(k).(l)] is the level-[k] index of lane [l] — of which the
+    first [count] lanes are valid ([count = vlength] except for the
+    last block of the walk, or when a block is cut short by the end of
+    the iteration space); [base] is the 1-based collapsed rank of lane
+    0. Lane [l] of a block holds rank [base + l]: consecutive ranks
+    per block, i.e. exactly the §VI-B [Gpu.Coalesced] warp mapping
+    when [vlength] is the warp width. Because consecutive ranks share
+    their outer-index prefix, outer levels are filled by [Array.fill]
+    runs and the innermost level by a counting loop — no per-iteration
+    closure call, which is where the speedup of the lane-walk over the
+    per-iteration {!walk} callback comes from ([bench/main.exe --
+    micro-lanes] tracks it).
+
+    [f] receives the walker's internal buffer; it must not retain or
+    mutate it. With observability on, counts [recovery.lane_blocks] /
+    [recovery.iterations] and records a [recovery.walk_lanes] span
+    with the same recover-vs-step time split as {!walk}.
+    @raise Invalid_argument when [vlength <= 0]. *)
+val walk_lanes :
+  t -> pc:int -> len:int -> vlength:int -> (base:int -> count:int -> int array array -> unit) -> unit
+
+(** [walk_lanes_uninstrumented] is {!walk_lanes} minus the
+    observability check, as {!walk_uninstrumented} is to {!walk}. *)
+val walk_lanes_uninstrumented :
+  t -> pc:int -> len:int -> vlength:int -> (base:int -> count:int -> int array array -> unit) -> unit
+
+(** [recover_block t ~pc lanes] is the one-block §VI-A primitive:
+    one closed-form recovery at rank [pc], then the caller-provided
+    structure-of-arrays buffer [lanes] (one row per nest level, all
+    rows the same width) is filled in lockstep with the indices of
+    ranks [pc, pc+1, ...]. Returns how many lanes were filled — the
+    buffer width, unless the iteration space ends first; 0 when [pc]
+    is outside [1..trip_count].
+    @raise Invalid_argument on a misshapen buffer. *)
+val recover_block : t -> pc:int -> int array array -> int

@@ -1,0 +1,142 @@
+(* Fixed-capacity Chase–Lev deque; see deque.mli for the contract.
+
+   Invariants: [top <= bottom + 1]; live elements occupy indices
+   [top .. bottom - 1] of the circular buffer. OCaml [Atomic] operations
+   are sequentially consistent, which subsumes the fences of the
+   original algorithm; buffer cells are plain (non-atomic) — a cell is
+   written by the owner before the publishing [Atomic.set] on [bottom]
+   and, because capacity is fixed and checked, never rewritten while a
+   thief holding an older [top] may still read it. Cells are
+   deliberately NOT cleared on pop/steal: the executor's payloads are
+   unboxed ints, and skipping the clear keeps the hot path free of
+   stores and of the pointer write barrier. *)
+
+type 'a t = {
+  tasks : 'a array;
+  mask : int;
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+}
+
+type 'a steal_result = Stolen of 'a | Empty | Retry
+
+let create ~capacity ~dummy =
+  if capacity < 0 then invalid_arg "Deque.create";
+  let cap =
+    let c = ref 1 in
+    while !c < max 1 capacity do
+      c := !c * 2
+    done;
+    !c
+  in
+  { tasks = Array.make cap dummy; mask = cap - 1; top = Atomic.make 0; bottom = Atomic.make 0 }
+
+let size d = max 0 (Atomic.get d.bottom - Atomic.get d.top)
+
+let capacity d = d.mask + 1
+
+(* bulk push of [n] elements with ONE publishing store; quiescent-only
+   (no concurrent owner or thief) — the executor refills its cached
+   deques between parallel regions, after the pool join. Indices
+   continue monotonically from the consumed prefix, so nothing is
+   reset and thieves entering the next region observe a consistent
+   [top <= bottom] window. *)
+let refill d n f =
+  let b = Atomic.get d.bottom in
+  if n < 0 || n + (b - Atomic.get d.top) > d.mask + 1 then invalid_arg "Deque.refill";
+  for i = 0 to n - 1 do
+    d.tasks.((b + n - 1 - i) land d.mask) <- f i
+  done;
+  Atomic.set d.bottom (b + n)
+
+(* single-threaded constructor for the pre-dealt case: plain cell
+   writes and ONE publishing [Atomic.set] instead of a fence per
+   [push]; [f 0] comes out of [pop] first *)
+let of_init ~dummy n f =
+  if n < 0 then invalid_arg "Deque.of_init";
+  let d = create ~capacity:n ~dummy in
+  for i = 0 to n - 1 do
+    d.tasks.((n - 1 - i) land d.mask) <- f i
+  done;
+  Atomic.set d.bottom n;
+  d
+
+let push d x =
+  let b = Atomic.get d.bottom in
+  let t = Atomic.get d.top in
+  if b - t > d.mask then failwith "Deque.push: full";
+  d.tasks.(b land d.mask) <- x;
+  Atomic.set d.bottom (b + 1)
+
+let pop d =
+  let b = Atomic.get d.bottom - 1 in
+  Atomic.set d.bottom b;
+  let t = Atomic.get d.top in
+  if b < t then begin
+    (* empty: restore bottom *)
+    Atomic.set d.bottom t;
+    None
+  end
+  else if b > t then
+    (* more than one element: no thief can reach index b *)
+    Some d.tasks.(b land d.mask)
+  else begin
+    (* exactly one element: race the thieves for it via [top] *)
+    let won = Atomic.compare_and_set d.top t (t + 1) in
+    Atomic.set d.bottom (t + 1);
+    if won then Some d.tasks.(b land d.mask) else None
+  end
+
+(* batched owner pop: one bottom-fence amortized over up to
+   [Array.length buf] elements. Safety of the exclusive fast path:
+   after [bottom := b - k] the only steal that can still land above
+   the new bottom is of the single element [t] observed by the
+   subsequent read of [top] — a thief whose stale read of [bottom]
+   predates our write must have read [top] even earlier, and [top]
+   only advances one CAS at a time, so it can still be racing for
+   element [t] only. Hence [t < b - k] makes [b-k .. b-1] exclusively
+   the owner's. On a contended tail the elements are pushed back
+   (bottom restored) and the normal one-element [pop] protocol
+   settles the race. *)
+let pop_batch d buf =
+  let want = Array.length buf in
+  if want = 0 then 0
+  else begin
+    let b = Atomic.get d.bottom in
+    let k = min want (b - Atomic.get d.top) in
+    if k <= 1 then (
+      match pop d with
+      | Some x ->
+        buf.(0) <- x;
+        1
+      | None -> 0)
+    else begin
+      Atomic.set d.bottom (b - k);
+      let t = Atomic.get d.top in
+      if t < b - k then begin
+        for i = 0 to k - 1 do
+          buf.(i) <- d.tasks.((b - 1 - i) land d.mask)
+        done;
+        k
+      end
+      else begin
+        Atomic.set d.bottom b;
+        match pop d with
+        | Some x ->
+          buf.(0) <- x;
+          1
+        | None -> 0
+      end
+    end
+  end
+
+let steal d =
+  let t = Atomic.get d.top in
+  let b = Atomic.get d.bottom in
+  if t >= b then Empty
+  else begin
+    (* read before the CAS: the fixed-capacity discipline guarantees
+       the cell is not recycled while our [t] could still win *)
+    let x = d.tasks.(t land d.mask) in
+    if Atomic.compare_and_set d.top t (t + 1) then Stolen x else Retry
+  end

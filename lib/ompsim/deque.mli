@@ -1,0 +1,89 @@
+(** Chase–Lev work-stealing deque on OCaml [Atomic].
+
+    One owner pushes and pops at the bottom; any number of thieves
+    steal from the top. No mutex anywhere: the owner's hot path is a
+    couple of sequentially-consistent atomic loads/stores, and a thief
+    claims an element with a single compare-and-set on [top]. This is
+    the contention-free dispatch structure the work-stealing schedule
+    ({!Schedule.Work_stealing}) replaces the centralized dynamic queue
+    with.
+
+    The implementation is the fixed-capacity variant of the Chase–Lev
+    deque (Chase & Lev, SPAA'05; memory-model treatment as in Lê et
+    al., PPoPP'13): the buffer never grows, so a task slot written by
+    {!push} is never recycled while a thief may still read it —
+    capacity is declared up front and {!push} raises when exceeded.
+    The parallel executor sizes each deque to the worker's chunk
+    count, so the bound is exact, never a tuning knob.
+
+    Buffer cells are plain [ 'a array] slots seeded with a caller-given
+    [dummy], and they are NOT cleared when an element is taken — the
+    hot path stays free of stores and of the pointer write barrier.
+    Consequently the deque retains (against the GC) the last value
+    written to each of its [capacity] slots until overwritten or the
+    deque itself is dropped. The executor stores unboxed chunk
+    indices, for which retention is moot; use a cheap [dummy] (e.g.
+    [0]) for such payloads. *)
+
+type 'a t
+
+(** Outcome of one {!steal} attempt. [Retry] means the CAS on [top]
+    was lost to a concurrent steal or to the owner taking the last
+    element — the deque may still hold work, try again. [Empty] means
+    the deque held nothing at the time of the read. *)
+type 'a steal_result = Stolen of 'a | Empty | Retry
+
+(** [create ~capacity ~dummy] makes a deque able to hold up to
+    [capacity] elements at once (rounded up to a power of two
+    internally). [dummy] seeds the empty cells; it is never returned.
+    @raise Invalid_argument when [capacity < 0]. *)
+val create : capacity:int -> dummy:'a -> 'a t
+
+(** [of_init ~dummy n f] builds a deque holding [f 0 .. f (n-1)], with
+    [f 0] returned first by {!pop} and [f (n-1)] taken first by
+    {!steal}. Single-threaded constructor for the pre-dealt chunk
+    sequences: plain cell writes plus one publishing atomic store,
+    instead of a fence per {!push}; publish the deque to other domains
+    through a synchronizing handoff (the executor's pool dispatch)
+    before they touch it.
+    @raise Invalid_argument when [n < 0]. *)
+val of_init : dummy:'a -> int -> (int -> 'a) -> 'a t
+
+(** [push d x] appends [x] at the bottom. Owner-only.
+    @raise Failure when the deque is full (the executor never
+    overfills: deques are sized to their chunk lists). *)
+val push : 'a t -> 'a -> unit
+
+(** [pop d] takes the most recently pushed element, or [None] when
+    the deque is empty. Owner-only; safe against concurrent
+    {!steal}s, including the one-element race. *)
+val pop : 'a t -> 'a option
+
+(** [pop_batch d buf] takes up to [Array.length buf] elements from the
+    bottom in {!pop} order, writing them to [buf.(0..count-1)] and
+    returning [count] (0 when empty). Owner-only. One bottom
+    store+fence is amortized over the whole batch — the owner's
+    drain-loop fast path; falls back to the one-element {!pop}
+    protocol on a contended tail, so a call may return fewer elements
+    than available. *)
+val pop_batch : 'a t -> 'a array -> int
+
+(** [steal d] tries to take the oldest element. Safe from any
+    domain; never blocks. *)
+val steal : 'a t -> 'a steal_result
+
+(** [size d] is a racy snapshot of the element count (exact when
+    quiescent) — for tests and stats, not for synchronization. *)
+val size : 'a t -> int
+
+(** [capacity d] is the (power-of-two) cell count of the buffer. *)
+val capacity : 'a t -> int
+
+(** [refill d n f] bulk-pushes [f 0 .. f (n-1)] with a single
+    publishing store ([f 0] popped first among them). Quiescent-only:
+    the caller must guarantee no domain is concurrently operating on
+    [d] — the executor refills its cached per-worker deques between
+    parallel regions, after the pool join has quiesced all workers.
+    @raise Invalid_argument when [n < 0] or the elements would not
+    fit. *)
+val refill : 'a t -> int -> (int -> 'a) -> unit

@@ -17,9 +17,14 @@ let run ~n ~warp ~mapping ~cost ~address ~line ~transaction_cost =
   let batches = per_lane in
   let compute = ref 0.0 in
   let transactions = ref 0 in
-  let lines = Hashtbl.create 64 in
+  (* reusable line set: a batch touches at most [warp] distinct lines
+     and the whole run at most [n/line] + 1; size it once from those
+     bounds and empty it with [Hashtbl.clear], which keeps the bucket
+     array — [Hashtbl.reset] shrank it back every batch, so large
+     batch counts paid a rehash churn *)
+  let lines = Hashtbl.create (max 16 (min warp ((n / max 1 line) + 1))) in
   for batch = 0 to batches - 1 do
-    Hashtbl.reset lines;
+    Hashtbl.clear lines;
     let slowest = ref 0.0 in
     for lane = 0 to warp - 1 do
       match iteration ~batch ~lane with
@@ -32,6 +37,39 @@ let run ~n ~warp ~mapping ~cost ~address ~line ~transaction_cost =
     transactions := !transactions + Hashtbl.length lines
   done;
   { batches;
+    compute = !compute;
+    transactions = !transactions;
+    time = !compute +. (transaction_cost *. float_of_int !transactions) }
+
+(* ---- §VI-B real execution over a batched lane-walk ---- *)
+
+type lane_walk = pc:int -> len:int -> (base:int -> count:int -> int array array -> unit) -> unit
+
+let execute ~trip ~warp ~walk_lanes ~cost ~address ~line ~transaction_cost =
+  if warp <= 0 || line <= 0 then invalid_arg "Gpu.execute";
+  if trip < 0 then invalid_arg "Gpu.execute: trip";
+  let batches = ref 0 in
+  let compute = ref 0.0 in
+  let transactions = ref 0 in
+  let lines = Hashtbl.create (max 16 (min warp ((trip / max 1 line) + 1))) in
+  let scratch = ref [||] in
+  walk_lanes ~pc:1 ~len:trip (fun ~base:_ ~count lanes ->
+      let d = Array.length lanes in
+      if Array.length !scratch <> d then scratch := Array.make d 0;
+      let s = !scratch in
+      Hashtbl.clear lines;
+      let slowest = ref 0.0 in
+      for l = 0 to count - 1 do
+        for k = 0 to d - 1 do
+          s.(k) <- lanes.(k).(l)
+        done;
+        slowest := Float.max !slowest (cost s);
+        Hashtbl.replace lines (address s / line) ()
+      done;
+      incr batches;
+      compute := !compute +. !slowest;
+      transactions := !transactions + Hashtbl.length lines);
+  { batches = !batches;
     compute = !compute;
     transactions = !transactions;
     time = !compute +. (transaction_cost *. float_of_int !transactions) }

@@ -40,3 +40,31 @@ val run :
   line:int ->
   transaction_cost:float ->
   result
+
+(** A batched lane-walk over a collapsed iteration space — same shape
+    as {!Simd.lane_walk}: {!Trahrhe.Recovery.walk_lanes} partially
+    applied to a recovery and the warp width. Injected as a function so
+    [ompsim] stays independent of the polynomial machinery. *)
+type lane_walk = pc:int -> len:int -> (base:int -> count:int -> int array array -> unit) -> unit
+
+(** [execute ~trip ~warp ~walk_lanes ~cost ~address ~line
+    ~transaction_cost] really executes a collapsed iteration space of
+    [trip] iterations under the §VI-B coalesced mapping: each lane
+    block delivered by [walk_lanes] (which must batch at width [warp],
+    so lane [l] holds consecutive rank [base + l] — exactly
+    [Coalesced]) is one lockstep batch, charged its slowest lane's
+    [cost idx] plus one transaction per distinct [address idx / line]
+    over the live lanes. Unlike {!run}, [cost]/[address] see the full
+    recovered index tuple, not a collapsed rank — the model applied to
+    a real kernel.
+    @raise Invalid_argument when [warp <= 0], [line <= 0] or
+    [trip < 0]. *)
+val execute :
+  trip:int ->
+  warp:int ->
+  walk_lanes:lane_walk ->
+  cost:(int array -> float) ->
+  address:(int array -> int) ->
+  line:int ->
+  transaction_cost:float ->
+  result

@@ -34,6 +34,89 @@ let instrument_chunks f ~thread ~start ~len =
     ~args:[ ("slot", Obsv.Trace.Int thread); ("start", Obsv.Trace.Int start); ("len", Obsv.Trace.Int len) ]
     (fun () -> f ~thread ~start ~len)
 
+(* work-stealing execution: chunks are dealt round-robin into
+   per-worker Chase-Lev deques up front; a worker drains its own deque
+   with owner pops (no shared state touched), then turns thief and
+   sweeps the other deques until a full sweep finds them all empty.
+   Retry outcomes (lost CAS races) mean somebody else made progress, so
+   a sweep that saw only Retry/Empty keeps sweeping. *)
+(* cached per-worker deques, reused across work-stealing regions so a
+   region's setup is a refill of live cells, not an allocation *)
+let ws_deque_cache : int Deque.t array Atomic.t = Atomic.make [||]
+
+let run_work_stealing ~nthreads ~chunk ~n ~obsv f =
+  (* chunks are dealt round-robin by INDEX — chunk [c] covers
+     [c*chunk, min ((c+1)*chunk, n)) and belongs to worker
+     [c mod nthreads] — so the deques hold unboxed ints and nothing is
+     materialized per chunk (the same deal [round_robin_chunks]
+     computes, without building the lists). [of_init] in ascending
+     order: owner pops front-first, thieves steal the owner's tail. *)
+  let nchunks = if n <= 0 then 0 else (n + chunk - 1) / chunk in
+  (* per-worker deques persist across regions (like the pool's
+     domains): a region takes the cached set, refills in place when
+     the capacity fits, and puts the set back when done. The exchange
+     makes a concurrent region simply build its own fresh set. *)
+  let cached = Atomic.exchange ws_deque_cache [||] in
+  let deques =
+    Array.init nthreads (fun t ->
+        let mine = if nchunks <= t then 0 else 1 + ((nchunks - 1 - t) / nthreads) in
+        let deal j = t + (j * nthreads) in
+        if t < Array.length cached && Deque.capacity cached.(t) >= mine then begin
+          Deque.refill cached.(t) mine deal;
+          cached.(t)
+        end
+        else Deque.of_init ~dummy:0 mine deal)
+  in
+  let exec t c =
+    let start = c * chunk in
+    f ~thread:t ~start ~len:(min chunk (n - start))
+  in
+  run_workers ~nthreads (fun t ->
+      let my = deques.(t) in
+      (* owner drain by batches: one bottom-fence per up to 32 chunks *)
+      let buf = Array.make 32 0 in
+      let rec drain () =
+        let k = Deque.pop_batch my buf in
+        if k > 0 then begin
+          if obsv then Obsv.Metrics.add Stats.ws_local_pops ~slot:t k;
+          for i = 0 to k - 1 do
+            exec t buf.(i)
+          done;
+          drain ()
+        end
+      in
+      drain ();
+      if nthreads > 1 then begin
+        let steal_phase () =
+          let idle = ref false in
+          while not !idle do
+            let progressed = ref false and contended = ref false in
+            for i = 1 to nthreads - 1 do
+              let victim = deques.((t + i) mod nthreads) in
+              let continue = ref true in
+              while !continue do
+                match Deque.steal victim with
+                | Deque.Stolen c ->
+                  if obsv then Obsv.Metrics.incr Stats.ws_steals ~slot:t;
+                  progressed := true;
+                  exec t c
+                | Deque.Retry ->
+                  if obsv then Obsv.Metrics.incr Stats.ws_steal_retries ~slot:t;
+                  contended := true;
+                  continue := false
+                | Deque.Empty -> continue := false
+              done
+            done;
+            if not (!progressed || !contended) then idle := true
+          done
+        in
+        if obsv then
+          Obsv.Trace.with_span "par.ws.steal" ~args:[ ("slot", Obsv.Trace.Int t) ] steal_phase
+        else steal_phase ()
+      end);
+  (* all workers have joined: the deques are quiescent and empty *)
+  Atomic.set ws_deque_cache deques
+
 let parallel_for_chunks ~nthreads ~schedule ~n f =
   if nthreads <= 0 then invalid_arg "Par.parallel_for_chunks";
   let obsv = Obsv.Control.enabled () in
@@ -75,6 +158,9 @@ let parallel_for_chunks ~nthreads ~schedule ~n f =
               f ~thread:t ~start ~len:(min len (n - start))
           end
         done)
+  | Schedule.Work_stealing c ->
+    if c <= 0 then invalid_arg "Par: work-stealing chunk";
+    run_work_stealing ~nthreads ~chunk:c ~n ~obsv f
   in
   if not obsv then dispatch ()
   else begin

@@ -14,7 +14,19 @@
     spawn-per-region path is kept behind {!backend} and the
     [OMPSIM_BACKEND=spawn] environment variable. Both backends assign
     identical chunks to identical slot numbers, so results are
-    bit-identical across backends and schedules. *)
+    bit-identical across backends and schedules — except
+    [Work_stealing], whose chunk-to-worker mapping is inherently
+    racy (the multiset of chunks executed is still exactly the
+    schedule's chunk list, each chunk exactly once).
+
+    [Schedule.Work_stealing c] is executed on per-worker Chase–Lev
+    deques ({!Deque}): chunks are dealt round-robin up front, a worker
+    drains its own deque with mutex-free owner pops, then steals from
+    the other workers' deques until every deque is empty. With the
+    observability layer on, local pops and steals are counted per slot
+    in {!Stats.ws_local_pops} / {!Stats.ws_steals} (their total equals
+    the region's chunk count exactly) and each worker's steal phase
+    gets a [par.ws.steal] trace span. *)
 
 (** [Pool] (default): dispatch to the persistent domain pool.
     [Spawn]: spawn and join fresh domains per parallel region. *)

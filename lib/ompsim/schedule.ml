@@ -3,6 +3,7 @@ type t =
   | Static_chunk of int
   | Dynamic of int
   | Guided of int
+  | Work_stealing of int
 
 let to_string = function
   | Static -> "static"
@@ -11,6 +12,38 @@ let to_string = function
   | Dynamic c -> Printf.sprintf "dynamic, %d" c
   | Guided 1 -> "guided"
   | Guided c -> Printf.sprintf "guided, %d" c
+  | Work_stealing 1 -> "ws"
+  | Work_stealing c -> Printf.sprintf "ws, %d" c
+
+(* accepted spellings: the clause text [to_string] emits ("dynamic, 4")
+   and the CLI's colon form ("dynamic:4"); chunk defaults to 1 where
+   OpenMP's does *)
+let of_string s =
+  let cut sep =
+    match String.index_opt s sep with
+    | Some i ->
+      (String.trim (String.sub s 0 i), Some (String.trim (String.sub s (i + 1) (String.length s - i - 1))))
+    | None -> (String.trim s, None)
+  in
+  let name, chunk = if String.contains s ':' then cut ':' else cut ',' in
+  let with_chunk ?default make =
+    match (chunk, default) with
+    | None, Some d -> Ok (make d)
+    | None, None -> Error (Printf.sprintf "schedule %S needs a chunk size" s)
+    | Some c, _ -> (
+      match int_of_string_opt c with
+      | Some c when c > 0 -> Ok (make c)
+      | _ -> Error (Printf.sprintf "schedule %S: chunk must be a positive integer" s))
+  in
+  match String.lowercase_ascii name with
+  | "static" -> ( match chunk with None -> Ok Static | Some _ -> with_chunk (fun c -> Static_chunk c))
+  | "dynamic" -> with_chunk ~default:1 (fun c -> Dynamic c)
+  | "guided" -> with_chunk ~default:1 (fun c -> Guided c)
+  | "ws" | "work-stealing" | "work_stealing" -> with_chunk ~default:1 (fun c -> Work_stealing c)
+  | _ ->
+    Error
+      (Printf.sprintf "unknown schedule %S (expected static[:N] | dynamic[:N] | guided[:N] | ws[:N])"
+         s)
 
 let static_blocks ~nthreads ~n =
   let q = n / nthreads and r = n mod nthreads in
@@ -24,17 +57,18 @@ let static_blocks ~nthreads ~n =
   blocks
 
 let round_robin_chunks ~chunk ~nthreads ~n =
-  if chunk <= 0 then invalid_arg "Schedule.round_robin_chunks";
+  if chunk <= 0 || nthreads <= 0 then invalid_arg "Schedule.round_robin_chunks";
   let lists = Array.make nthreads [] in
-  let start = ref 0 in
-  let t = ref 0 in
-  while !start < n do
-    let len = min chunk (n - !start) in
-    lists.(!t) <- (!start, len) :: lists.(!t);
-    start := !start + len;
-    t := (!t + 1) mod nthreads
-  done;
-  Array.map List.rev lists
+  if n > 0 then begin
+    (* single reversed pass over the chunk indices: each list is built
+       front-to-back by one O(1) cons, no per-thread List.rev *)
+    let nchunks = (n + chunk - 1) / chunk in
+    for c = nchunks - 1 downto 0 do
+      let start = c * chunk in
+      lists.(c mod nthreads) <- (start, min chunk (n - start)) :: lists.(c mod nthreads)
+    done
+  end;
+  lists
 
 let next_guided ~chunk ~nthreads ~remaining =
   max (min chunk remaining) (min remaining ((remaining + (2 * nthreads) - 1) / (2 * nthreads)))

@@ -1,26 +1,46 @@
-(** OpenMP loop schedules.
+(** OpenMP loop schedules, plus the engine's own work-stealing policy.
 
     Chunk assignment reproduces libgomp's behaviour: [Static] deals one
     contiguous block per thread (first [n mod t] threads get one extra
     iteration); [Static_chunk c] deals [c]-sized chunks round-robin;
     [Dynamic c] is first-come-first-served; [Guided c] halves the
-    remaining work over the thread count with a floor of [c]. *)
+    remaining work over the thread count with a floor of [c].
+
+    [Work_stealing c] is not an OpenMP clause: it deals [c]-sized
+    chunks round-robin into per-worker Chase–Lev deques ({!Deque}), so
+    the initial distribution equals [Static_chunk c], but an idle
+    worker steals chunks from the top of a busy worker's deque instead
+    of serializing on a central queue — dynamic-style load balancing
+    with no shared dispatch point on the hot path. *)
 
 type t =
   | Static
   | Static_chunk of int
   | Dynamic of int
   | Guided of int
+  | Work_stealing of int
 
-(** [to_string s] is the OpenMP clause text, e.g. ["static, 64"]. *)
+(** [to_string s] is the clause text, e.g. ["static, 64"]; the
+    work-stealing policy prints as ["ws"] / ["ws, 64"]. *)
 val to_string : t -> string
+
+(** [of_string s] parses both {!to_string}'s output (["dynamic, 4"])
+    and the CLI colon form (["dynamic:4"]); every schedule is
+    reachable by name: [static[:N]], [dynamic[:N]], [guided[:N]],
+    [ws[:N]] (also spelled [work-stealing]). Chunk defaults to 1 for
+    dynamic/guided/ws, as in OpenMP. Round-trips:
+    [of_string (to_string s) = Ok s]. *)
+val of_string : string -> (t, string) result
 
 (** [static_blocks ~nthreads ~n] is the per-thread contiguous
     [(start, len)] assignment of [Static] (len 0 for idle threads). *)
 val static_blocks : nthreads:int -> n:int -> (int * int) array
 
 (** [round_robin_chunks ~chunk ~nthreads ~n] lists each thread's
-    [(start, len)] chunks under [Static_chunk chunk]. *)
+    [(start, len)] chunks under [Static_chunk chunk] (also the initial
+    deque contents under [Work_stealing chunk]). Built in one pass,
+    [O(n/chunk)] conses total. Every list is empty when [n <= 0].
+    @raise Invalid_argument when [chunk <= 0] or [nthreads <= 0]. *)
 val round_robin_chunks : chunk:int -> nthreads:int -> n:int -> (int * int) list array
 
 (** [next_guided ~chunk ~nthreads ~remaining] is the size of the next

@@ -114,6 +114,36 @@ let run ~costs ~schedule ~nthreads ~overheads:ov =
           chunks)
       lists;
     finish ~ov ~total_work ~busy ~chunks_dispatched:!dispatched ~nthreads
+  | Schedule.Work_stealing c ->
+    if c <= 0 then invalid_arg "Sim.run: work-stealing chunk";
+    (* Same dynamic-style balancing (an idle thread always finds the
+       next chunk) but with NO serialized dispatch point: a steal/pop
+       still costs [dispatch] time on the acquiring thread, yet threads
+       never wait on each other's acquisitions — the contention-free
+       counterpart of the Dynamic simulation below. *)
+    let heap = Heap.create nthreads in
+    for t = 0 to nthreads - 1 do
+      Heap.push heap 0.0 t
+    done;
+    let next = ref 0 in
+    let dispatched = ref 0 in
+    let finish_time = Array.make nthreads 0.0 in
+    while !next < n do
+      let time, t = Heap.pop heap in
+      let len = min c (n - !next) in
+      let done_at = time +. ov.dispatch +. chunk_cost prefix ov !next len in
+      incr dispatched;
+      next := !next + len;
+      finish_time.(t) <- done_at;
+      Heap.push heap done_at t
+    done;
+    let makespan = ov.fork_join +. Array.fold_left Float.max 0.0 finish_time in
+    let ideal = ov.fork_join +. (total_work /. float_of_int nthreads) in
+    { makespan;
+      busy = finish_time;
+      total_work;
+      chunks_dispatched = !dispatched;
+      imbalance = (if total_work = 0.0 then 1.0 else makespan /. ideal) }
   | Schedule.Dynamic c | Schedule.Guided c ->
     if c <= 0 then invalid_arg "Sim.run: dynamic/guided chunk";
     (* Event simulation with a serialized work queue: acquiring a chunk

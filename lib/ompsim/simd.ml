@@ -18,3 +18,36 @@ let run ~costs ~vlength ~fill =
   { scalar_time = scalar;
     vector_time = !vector;
     speedup = (if !vector = 0.0 then 1.0 else scalar /. !vector) }
+
+(* ---- §VI-A real execution over a batched lane-walk ---- *)
+
+type lane_walk = pc:int -> len:int -> (base:int -> count:int -> int array array -> unit) -> unit
+
+type exec_result = {
+  iterations : int;
+  blocks : int;
+  full_blocks : int;
+  utilization : float;
+}
+
+let execute ~trip ~vlength ~chunk ~walk_lanes ~body =
+  if vlength <= 0 then invalid_arg "Simd.execute: vlength";
+  if chunk <= 0 then invalid_arg "Simd.execute: chunk";
+  if trip < 0 then invalid_arg "Simd.execute: trip";
+  let iterations = ref 0 and blocks = ref 0 and full = ref 0 in
+  let start = ref 0 in
+  while !start < trip do
+    let len = min chunk (trip - !start) in
+    walk_lanes ~pc:(!start + 1) ~len (fun ~base ~count lanes ->
+        incr blocks;
+        if count = vlength then incr full;
+        iterations := !iterations + count;
+        body ~base ~count lanes);
+    start := !start + chunk
+  done;
+  { iterations = !iterations;
+    blocks = !blocks;
+    full_blocks = !full;
+    utilization =
+      (if !blocks = 0 then 1.0
+       else float_of_int !iterations /. float_of_int (!blocks * vlength)) }

@@ -18,3 +18,41 @@ type result = {
     cost array. [fill] is the per-iteration cost of materializing one
     index tuple in the §VI-A buffer (incrementation + store). *)
 val run : costs:float array -> vlength:int -> fill:float -> result
+
+(** A batched lane-walk over a collapsed iteration space, e.g.
+    {!Trahrhe.Recovery.walk_lanes} partially applied to a recovery and
+    a lane width: one recovery per chunk, then blocks of consecutive
+    collapsed ranks materialized in lockstep into a
+    structure-of-arrays buffer ([lanes.(k).(l)] = level [k] of lane
+    [l]; [base] = 1-based rank of lane 0; the first [count] lanes are
+    valid). Injected as a function so [ompsim] stays independent of
+    the polynomial machinery. *)
+type lane_walk = pc:int -> len:int -> (base:int -> count:int -> int array array -> unit) -> unit
+
+type exec_result = {
+  iterations : int;  (** lanes delivered — the trip count when done *)
+  blocks : int;  (** vector blocks executed *)
+  full_blocks : int;  (** blocks with all [vlength] lanes live *)
+  utilization : float;  (** iterations / (blocks * vlength) *)
+}
+
+(** [execute ~trip ~vlength ~chunk ~walk_lanes ~body] really executes
+    a collapsed iteration space of [trip] iterations as §VI-A
+    prescribes: the range is cut into [chunk]-sized pieces (one
+    closed-form recovery each — the per-thread chunk of the §V
+    schemes), every piece is delivered by [walk_lanes] as
+    [vlength]-wide lane blocks, and [body ~base ~count lanes] runs
+    once per block over the materialized index tuples — the vectorized
+    statement of the transformed loop. [walk_lanes] must batch at the
+    same [vlength] (pass the same width to
+    {!Trahrhe.Recovery.walk_lanes}); [full_blocks]/[utilization]
+    report how often the vector width was actually filled.
+    @raise Invalid_argument when [vlength <= 0], [chunk <= 0] or
+    [trip < 0]. *)
+val execute :
+  trip:int ->
+  vlength:int ->
+  chunk:int ->
+  walk_lanes:lane_walk ->
+  body:(base:int -> count:int -> int array array -> unit) ->
+  exec_result

@@ -4,6 +4,9 @@ let pool_fallbacks = Obsv.Metrics.create "pool.spawn_fallback"
 let par_regions = Obsv.Metrics.create "par.regions"
 let par_chunks = Obsv.Metrics.create "par.chunks"
 let par_iterations = Obsv.Metrics.create "par.iterations"
+let ws_local_pops = Obsv.Metrics.create "ws.local_pop"
+let ws_steals = Obsv.Metrics.create "ws.steal"
+let ws_steal_retries = Obsv.Metrics.create "ws.steal_retry"
 
 let reset () = Obsv.Metrics.reset_all ()
 let summary () = Obsv.Trace.summary ()
@@ -15,4 +18,4 @@ let emit_trace_counters () =
         (fun (slot, v) ->
           Obsv.Trace.counter (Printf.sprintf "%s[worker %d]" (Obsv.Metrics.name c) slot) v)
         (Obsv.Metrics.per_slot c))
-    [ par_chunks; par_iterations; pool_dispatches ]
+    [ par_chunks; par_iterations; pool_dispatches; ws_local_pops; ws_steals ]

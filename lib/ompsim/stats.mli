@@ -25,6 +25,19 @@ val par_iterations : Obsv.Metrics.t
 (** iterations executed, per worker slot; summing the slots of one
     region yields the region's trip count exactly *)
 
+val ws_local_pops : Obsv.Metrics.t
+(** work-stealing chunks a worker popped from its own deque, per slot;
+    [ws_local_pops + ws_steals] totals reconcile exactly with the
+    number of chunks the region dealt out *)
+
+val ws_steals : Obsv.Metrics.t
+(** work-stealing chunks taken from another worker's deque, billed to
+    the thief's slot *)
+
+val ws_steal_retries : Obsv.Metrics.t
+(** steal attempts that lost the CAS race and had to re-examine a
+    victim — a contention figure, not a work figure *)
+
 (** [reset ()] zeroes every engine counter (the recovery counters of
     {!Trahrhe.Recovery} included, via the global registry). *)
 val reset : unit -> unit
@@ -33,6 +46,7 @@ val reset : unit -> unit
 val summary : unit -> string
 
 (** [emit_trace_counters ()] records the per-worker chunk/iteration/
-    dispatch totals as Chrome counter ([C]) samples, so an exported
-    trace carries the imbalance histogram; no-op when disabled. *)
+    dispatch and local-pop/steal totals as Chrome counter ([C])
+    samples, so an exported trace carries the imbalance histogram;
+    no-op when disabled. *)
 val emit_trace_counters : unit -> unit

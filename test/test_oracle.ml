@@ -56,7 +56,11 @@ let backends = [ (Ompsim.Par.Pool, "pool"); (Ompsim.Par.Spawn, "spawn") ]
 
 let schedules =
   [ Ompsim.Schedule.Static; Ompsim.Schedule.Static_chunk 3; Ompsim.Schedule.Dynamic 2;
-    Ompsim.Schedule.Guided 2 ]
+    Ompsim.Schedule.Guided 2; Ompsim.Schedule.Work_stealing 2 ]
+
+(* widths for the batched lane-walk check: degenerate (1), partial
+   blocks likely (4, 8) and wider than most generated nests (32) *)
+let vlengths = [ 1; 4; 8; 32 ]
 
 let idx_to_string idx =
   "(" ^ String.concat "," (List.map string_of_int (Array.to_list idx)) ^ ")"
@@ -94,6 +98,35 @@ let run_one ~bname ~schedule rc reference trip =
             (idx_to_string idx) (idx_to_string reference.(r)))
     visited
 
+(* Serial lane-walk check: the §VI-A batched walk must deliver the
+   same ranks in the same order as the per-iteration walk, for every
+   block width — lane [l] of a block based at [base] holds the index
+   of rank [base + l], blocks tile [1..trip] without gap or overlap. *)
+let run_lanes ~vlength rc reference trip =
+  let depth = Array.length reference.(0) in
+  let next = ref 1 in
+  Trahrhe.Recovery.walk_lanes rc ~pc:1 ~len:trip ~vlength (fun ~base ~count lanes ->
+      if base <> !next then
+        QCheck.Test.fail_reportf "vlength %d: block based at %d, expected %d" vlength base !next;
+      if count <= 0 || count > vlength then
+        QCheck.Test.fail_reportf "vlength %d: block count %d out of 1..%d" vlength count vlength;
+      if Array.length lanes <> depth then
+        QCheck.Test.fail_reportf "vlength %d: %d lane rows for depth %d" vlength
+          (Array.length lanes) depth;
+      for l = 0 to count - 1 do
+        let want = reference.(base + l - 1) in
+        for k = 0 to depth - 1 do
+          if lanes.(k).(l) <> want.(k) then
+            QCheck.Test.fail_reportf "vlength %d: rank %d lane %d level %d is %d, nest has %d"
+              vlength (base + l) l k
+              lanes.(k).(l)
+              want.(k)
+        done
+      done;
+      next := base + count);
+  if !next <> trip + 1 then
+    QCheck.Test.fail_reportf "vlength %d: blocks covered 1..%d of trip %d" vlength (!next - 1) trip
+
 let check_case (nest, nval) =
   let param _ = nval in
   match Trahrhe.Inversion.invert nest with
@@ -115,11 +148,13 @@ let check_case (nest, nval) =
         Ompsim.Par.with_backend backend (fun () ->
             List.iter (fun schedule -> run_one ~bname ~schedule rc reference trip) schedules))
       backends;
+    List.iter (fun vlength -> run_lanes ~vlength rc reference trip) vlengths;
     true
 
-(* 200 random nests; each runs on both backends and all four
-   schedules, so >= 200 nests per backend as the issue requires. The
-   seed is pinned: identical nests every run, no flaking. *)
+(* 200 random nests; each runs on both backends and all five
+   schedules, plus the serial lane-walk at every width, so >= 200
+   nests per backend as the issue requires. The seed is pinned:
+   identical nests every run, no flaking. *)
 let prop_walk_matches_enumeration =
   QCheck.Test.make ~name:"collapsed walk = lexicographic enumeration (200 nests)" ~count:200
     arb_case check_case

@@ -309,6 +309,84 @@ let test_recovery_walk_matches_increment () =
       Trahrhe.Recovery.walk rc ~pc:1 ~len:0 (fun _ -> Alcotest.fail "len=0 must not call f"))
     [ ("correlation", correlation_nest (), 10); ("fig6", fig6_nest (), 8) ]
 
+let test_recovery_walk_lanes_matches_walk () =
+  (* the §VI-A batched lane-walk must deliver exactly the per-iteration
+     walk's sequence, for every block width, from any starting pc —
+     lane [l] of a block based at [base] holds the index of rank
+     [base + l] *)
+  List.iter
+    (fun (name, nest, n) ->
+      let inv = Trahrhe.Inversion.invert_exn nest in
+      let rc = Trahrhe.Recovery.make inv ~param:(fun _ -> n) in
+      let trip = Trahrhe.Recovery.trip_count rc in
+      let depth = Trahrhe.Nest.depth nest in
+      let reference = Array.make (trip + 1) [||] in
+      let pos = ref 1 in
+      Trahrhe.Recovery.walk rc ~pc:1 ~len:trip (fun idx ->
+          reference.(!pos) <- Array.copy idx;
+          incr pos);
+      let check ~vlength ~pc ~len =
+        let where = Printf.sprintf "%s vlength=%d pc=%d len=%d" name vlength pc len in
+        let next = ref pc in
+        let last = min trip (pc + len - 1) in
+        Trahrhe.Recovery.walk_lanes rc ~pc ~len ~vlength (fun ~base ~count lanes ->
+            if base <> !next then Alcotest.failf "%s: block base %d, expected %d" where base !next;
+            if count <= 0 || count > vlength then
+              Alcotest.failf "%s: block count %d" where count;
+            if Array.length lanes <> depth then Alcotest.failf "%s: lane rows" where;
+            for l = 0 to count - 1 do
+              for k = 0 to depth - 1 do
+                if lanes.(k).(l) <> reference.(base + l).(k) then
+                  Alcotest.failf "%s: rank %d level %d is %d, walk has %d" where (base + l) k
+                    lanes.(k).(l)
+                    reference.(base + l).(k)
+              done
+            done;
+            next := base + count);
+        Alcotest.(check int) (where ^ ": covered") (last + 1) !next
+      in
+      (* full walks at several widths, including 1 (degenerate: every
+         block is a single lane) and a width wider than the space *)
+      List.iter (fun v -> check ~vlength:v ~pc:1 ~len:trip) [ 1; 4; 8; trip + 5 ];
+      (* chunked walks with partial final blocks, from interior pcs *)
+      List.iter
+        (fun pc -> if pc >= 1 && pc <= trip then check ~vlength:4 ~pc ~len:(min 7 (trip - pc + 1)))
+        [ 1; 2; trip / 2; trip - 1; trip ];
+      (* len clipped by the end of the space *)
+      check ~vlength:8 ~pc:trip ~len:10;
+      (* len=0 must not call f *)
+      Trahrhe.Recovery.walk_lanes rc ~pc:1 ~len:0 ~vlength:4 (fun ~base:_ ~count:_ _ ->
+          Alcotest.fail "len=0 must not call f");
+      Alcotest.check_raises "vlength 0 rejected"
+        (Invalid_argument "Recovery.walk_lanes: vlength must be positive") (fun () ->
+          Trahrhe.Recovery.walk_lanes rc ~pc:1 ~len:trip ~vlength:0 (fun ~base:_ ~count:_ _ -> ())))
+    [ ("correlation", correlation_nest (), 10); ("fig6", fig6_nest (), 8) ]
+
+let test_recover_block () =
+  let inv = Trahrhe.Inversion.invert_exn (correlation_nest ()) in
+  let rc = Trahrhe.Recovery.make inv ~param:(fun _ -> 10) in
+  let trip = Trahrhe.Recovery.trip_count rc in
+  let lanes = Array.init 2 (fun _ -> Array.make 8 (-1)) in
+  (* interior block: all 8 lanes filled with ranks pc..pc+7 *)
+  Alcotest.(check int) "full block" 8 (Trahrhe.Recovery.recover_block rc ~pc:3 lanes);
+  for l = 0 to 7 do
+    let want = Trahrhe.Recovery.recover rc (3 + l) in
+    Alcotest.(check int) (Printf.sprintf "lane %d level 0" l) want.(0) lanes.(0).(l);
+    Alcotest.(check int) (Printf.sprintf "lane %d level 1" l) want.(1) lanes.(1).(l)
+  done;
+  (* block cut short by the end of the iteration space *)
+  Alcotest.(check int) "clipped block" 2 (Trahrhe.Recovery.recover_block rc ~pc:(trip - 1) lanes);
+  (* out-of-range pc fills nothing *)
+  Alcotest.(check int) "pc past the end" 0 (Trahrhe.Recovery.recover_block rc ~pc:(trip + 1) lanes);
+  Alcotest.(check int) "pc 0" 0 (Trahrhe.Recovery.recover_block rc ~pc:0 lanes);
+  (* misshapen buffers are rejected *)
+  Alcotest.check_raises "wrong row count"
+    (Invalid_argument "Recovery.recover_block: lanes must have one row per nest level")
+    (fun () -> ignore (Trahrhe.Recovery.recover_block rc ~pc:1 [| Array.make 4 0 |]));
+  Alcotest.check_raises "ragged rows" (Invalid_argument "Recovery.recover_block: ragged lanes buffer")
+    (fun () ->
+      ignore (Trahrhe.Recovery.recover_block rc ~pc:1 [| Array.make 4 0; Array.make 3 0 |]))
+
 (* -------- Validation: paper nests, kernels, random nests -------- *)
 
 let check_nest ?(sizes = [ 2; 3; 5; 13 ]) name nest =
@@ -491,7 +569,10 @@ let suites =
         Alcotest.test_case "empty domain" `Quick test_recovery_empty_domain;
         Alcotest.test_case "missing parameter" `Quick test_recovery_missing_param;
         Alcotest.test_case "horner matches flat fallback" `Quick test_recovery_compiled_matches_flat;
-        Alcotest.test_case "fdiff walk matches increment" `Quick test_recovery_walk_matches_increment ] );
+        Alcotest.test_case "fdiff walk matches increment" `Quick test_recovery_walk_matches_increment;
+        Alcotest.test_case "lane-walk matches walk (\xc2\xa7VI-A)" `Quick
+          test_recovery_walk_lanes_matches_walk;
+        Alcotest.test_case "recover_block edges" `Quick test_recover_block ] );
     ( "trahrhe.validate",
       [ Alcotest.test_case "paper nests exhaustively" `Quick test_validate_paper_nests;
         Alcotest.test_case "shifted lower bounds" `Quick test_validate_shifted_lower_bounds;

@@ -252,6 +252,120 @@ let test_gpu_divergence_cost () =
   in
   Alcotest.(check (float 1e-9)) "slowest lane rules" 20.0 r.Ompsim.Gpu.compute
 
+let test_gpu_transaction_regression () =
+  (* regression for the reusable line-set: transactions must be counted
+     per batch against an independently computed reference — a leak of
+     one batch's lines into the next (e.g. a missing clear) or a stale
+     entry surviving a resize would break the equality. The address
+     patterns are chosen so every batch touches a DIFFERENT line set. *)
+  let reference ~n ~warp ~mapping ~address ~line =
+    let per_lane = (n + warp - 1) / warp in
+    let total = ref 0 in
+    for batch = 0 to per_lane - 1 do
+      let lines = ref [] in
+      for lane = 0 to warp - 1 do
+        let q =
+          match mapping with
+          | Ompsim.Gpu.Coalesced -> (batch * warp) + lane
+          | Ompsim.Gpu.Blocked -> (lane * per_lane) + batch
+        in
+        if q < n && (mapping = Ompsim.Gpu.Coalesced || batch < per_lane) then
+          lines := (address q / line) :: !lines
+      done;
+      total := !total + List.length (List.sort_uniq compare !lines)
+    done;
+    !total
+  in
+  List.iter
+    (fun (name, n, warp, line, address) ->
+      List.iter
+        (fun mapping ->
+          let r =
+            Ompsim.Gpu.run ~n ~warp ~mapping ~cost:(fun _ -> 1.0) ~address ~line
+              ~transaction_cost:1.0
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "%s %s" name
+               (match mapping with Ompsim.Gpu.Coalesced -> "coalesced" | _ -> "blocked"))
+            (reference ~n ~warp ~mapping ~address ~line)
+            r.Ompsim.Gpu.transactions)
+        [ Ompsim.Gpu.Coalesced; Ompsim.Gpu.Blocked ])
+    [ ("unit stride", 1000, 32, 8, Fun.id);
+      ("strided", 1000, 32, 8, fun q -> 3 * q);
+      ("ragged tail", 77, 16, 4, fun q -> (7 * q) + 1);
+      ("scattered", 513, 32, 16, fun q -> q * q mod 4096) ]
+
+let test_gpu_execute_matches_run () =
+  (* §VI-B: [Gpu.execute] driven by a lane-walk that delivers warp-wide
+     blocks of consecutive ranks is exactly the [Coalesced] mapping of
+     [Gpu.run] — same batches, compute, transactions, time *)
+  let trip = 1000 and warp = 32 and line = 8 in
+  (* a fake collapsed depth-2 space: rank q maps to (q / 50, q mod 50) *)
+  let walk_lanes ~pc ~len f =
+    let last = min trip (pc + len - 1) in
+    let lanes = [| Array.make warp 0; Array.make warp 0 |] in
+    let base = ref pc in
+    while !base <= last do
+      let count = min warp (last - !base + 1) in
+      for l = 0 to count - 1 do
+        let q = !base + l - 1 in
+        lanes.(0).(l) <- q / 50;
+        lanes.(1).(l) <- q mod 50
+      done;
+      f ~base:!base ~count lanes;
+      base := !base + count
+    done
+  in
+  let cost2 idx = float_of_int (1 + ((idx.(0) + idx.(1)) mod 5)) in
+  let addr2 idx = (idx.(0) * 50) + idx.(1) in
+  let ex =
+    Ompsim.Gpu.execute ~trip ~warp ~walk_lanes ~cost:cost2 ~address:addr2 ~line
+      ~transaction_cost:10.0
+  in
+  let run =
+    Ompsim.Gpu.run ~n:trip ~warp ~mapping:Ompsim.Gpu.Coalesced
+      ~cost:(fun q -> cost2 [| q / 50; q mod 50 |])
+      ~address:(fun q -> addr2 [| q / 50; q mod 50 |])
+      ~line ~transaction_cost:10.0
+  in
+  Alcotest.(check int) "batches" run.Ompsim.Gpu.batches ex.Ompsim.Gpu.batches;
+  Alcotest.(check (float 1e-9)) "compute" run.Ompsim.Gpu.compute ex.Ompsim.Gpu.compute;
+  Alcotest.(check int) "transactions" run.Ompsim.Gpu.transactions ex.Ompsim.Gpu.transactions;
+  Alcotest.(check (float 1e-9)) "time" run.Ompsim.Gpu.time ex.Ompsim.Gpu.time
+
+let test_simd_execute_accounting () =
+  (* §VI-A real execution: trip 100 in chunks of 30, vector width 8 —
+     chunks of 30 batch as 8+8+8+6 (3 full blocks + 1 partial), the
+     final chunk of 10 as 8+2; every rank delivered exactly once, in
+     order *)
+  let trip = 100 and vlength = 8 and chunk = 30 in
+  let lanes_buf = [| Array.make vlength 0 |] in
+  let walk_lanes ~pc ~len f =
+    let last = min trip (pc + len - 1) in
+    let base = ref pc in
+    while !base <= last do
+      let count = min vlength (last - !base + 1) in
+      for l = 0 to count - 1 do
+        lanes_buf.(0).(l) <- !base + l
+      done;
+      f ~base:!base ~count lanes_buf;
+      base := !base + count
+    done
+  in
+  let seen = ref [] in
+  let r =
+    Ompsim.Simd.execute ~trip ~vlength ~chunk ~walk_lanes
+      ~body:(fun ~base:_ ~count lanes ->
+        for l = 0 to count - 1 do
+          seen := lanes.(0).(l) :: !seen
+        done)
+  in
+  Alcotest.(check int) "iterations" trip r.Ompsim.Simd.iterations;
+  Alcotest.(check int) "blocks" 14 r.Ompsim.Simd.blocks;
+  Alcotest.(check int) "full blocks" 10 r.Ompsim.Simd.full_blocks;
+  Alcotest.(check (float 1e-9)) "utilization" (100.0 /. (14.0 *. 8.0)) r.Ompsim.Simd.utilization;
+  Alcotest.(check (list int)) "ranks in order" (List.init trip (fun q -> q + 1)) (List.rev !seen)
+
 (* -------- SIMD model -------- *)
 
 let test_simd_uniform_speedup () =
@@ -293,8 +407,11 @@ let suites =
     ( "ompsim.gpu",
       [ Alcotest.test_case "coalescing advantage (§VI-B)" `Quick test_gpu_coalescing;
         Alcotest.test_case "ragged tail" `Quick test_gpu_ragged_tail;
-        Alcotest.test_case "lockstep divergence" `Quick test_gpu_divergence_cost ] );
+        Alcotest.test_case "lockstep divergence" `Quick test_gpu_divergence_cost;
+        Alcotest.test_case "transaction counts vs reference" `Quick test_gpu_transaction_regression;
+        Alcotest.test_case "execute = coalesced run" `Quick test_gpu_execute_matches_run ] );
     ( "ompsim.simd",
       [ Alcotest.test_case "uniform speedup (§VI-A)" `Quick test_simd_uniform_speedup;
         Alcotest.test_case "fill overhead" `Quick test_simd_fill_overhead;
-        Alcotest.test_case "tail groups" `Quick test_simd_tail ] ) ]
+        Alcotest.test_case "tail groups" `Quick test_simd_tail;
+        Alcotest.test_case "execute accounting" `Quick test_simd_execute_accounting ] ) ]
