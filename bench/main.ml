@@ -882,6 +882,156 @@ let micro_steal () =
        (json_provenance ()) n chunk nthreads skew truth t_mutex t_dyn t_ws (t_mutex /. t_ws)
        (t_dyn /. t_ws) pops steals retries (pops + steals) par_chunks reconciled)
 
+(* micro-fault: cost of the fault-tolerance layer. Two questions:
+   (1) what does supervision cost when nothing ever fails — the
+   per-chunk cancellation check, success bookkeeping and the Result
+   plumbing of [run_resilient] vs the plain path (must be within
+   noise at realistic chunk sizes); (2) how does recovery latency grow
+   with the injected fault rate, and do the fault counters reconcile
+   with an exact checksum at every rate. *)
+let micro_fault () =
+  let n = env_int "BENCH_FAULT_N" 200_000 in
+  header (Printf.sprintf "micro-fault: supervision overhead + recovery latency on %d iterations" n);
+  ensure_writable "BENCH_fault.json";
+  let nthreads = env_int "BENCH_FAULT_T" 2 in
+  let chunk = env_int "BENCH_FAULT_CHUNK" 64 in
+  let retries = 2 in
+  let schedule = Sched.Dynamic chunk in
+  let stride = 16 in
+  let partial = Array.make (nthreads * stride) 0 in
+  let do_chunk thread start len =
+    let cell = thread * stride in
+    let acc = ref 0 in
+    for q = start to start + len - 1 do
+      acc := !acc + q
+    done;
+    partial.(cell) <- partial.(cell) + !acc
+  in
+  let reset () = Array.fill partial 0 (Array.length partial) 0 in
+  let checksum () =
+    let s = ref 0 in
+    for t = 0 to nthreads - 1 do
+      s := !s + partial.(t * stride)
+    done;
+    !s
+  in
+  let expected = n * (n - 1) / 2 in
+  let run_plain () =
+    reset ();
+    Ompsim.Par.parallel_for_chunks ~nthreads ~schedule ~n (fun ~thread ~start ~len ->
+        do_chunk thread start len)
+  in
+  let run_resilient ?(retries = 0) faults () =
+    reset ();
+    (* ~faults:(Some cfg) arms this region only; ~faults:None
+       suppresses even an OMPSIM_FAULTS env spec, so the no-fault
+       measurement is honest in a faulted CI job *)
+    match
+      Ompsim.Par.run_resilient ~retries ~faults ~nthreads ~schedule ~n (fun ~thread ~start ~len ->
+          do_chunk thread start len)
+    with
+    | Ok () -> ()
+    | Error e -> failwith (Ompsim.Par.describe_error e)
+  in
+  (* (1) interleaved rounds, keep per-contender minimum (as time_best
+     would): supervision cost with no faults, no deadline, no retries *)
+  let runners = [| run_plain; run_resilient None |] in
+  let best = Array.make (Array.length runners) infinity in
+  let rounds = env_int "BENCH_FAULT_ROUNDS" 15 in
+  Array.iter (fun f -> f ()) runners (* warm pool and page tables *);
+  for _ = 1 to rounds do
+    Array.iteri
+      (fun i f ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        best.(i) <- Float.min best.(i) ((Unix.gettimeofday () -. t0) *. 1e3))
+      runners
+  done;
+  let t_plain = best.(0) and t_resilient = best.(1) in
+  let overhead_pct = (t_resilient -. t_plain) /. t_plain *. 100.0 in
+  let nchunks = (n + chunk - 1) / chunk in
+  let ns_per_chunk = (t_resilient -. t_plain) *. 1e6 /. float_of_int nchunks in
+  let ns_per_iter = (t_resilient -. t_plain) *. 1e6 /. float_of_int n in
+  Printf.printf "%-38s %10.2f ms\n" "plain parallel_for_chunks" t_plain;
+  Printf.printf "%-38s %10.2f ms  (%+.1f%%)\n" "run_resilient, faults disabled" t_resilient
+    overhead_pct;
+  (* the body above is an empty-weight sum, so the percentage is the
+     worst case; the absolute cost is what a real kernel pays *)
+  Printf.printf "%-38s %10.1f ns/chunk  (%.2f ns/iteration)\n" "supervision cost" ns_per_chunk
+    ns_per_iter;
+  (* (2) recovery latency and counter reconciliation vs fault rate *)
+  let rates = [ 0.0; 0.02; 0.1; 0.3 ] in
+  Printf.printf "%-38s %10s %9s %8s %10s %9s\n" "injected fault rate" "ms" "injected" "retries"
+    "cancelled" "fallback";
+  let all_ok = ref true in
+  let rows =
+    List.map
+      (fun p ->
+        let faults = Some { Ompsim.Fault.default with p; seed = 11 } in
+        (* timing with the obsv layer off *)
+        let t_ms =
+          let best = ref infinity in
+          for _ = 1 to 3 do
+            let t0 = Unix.gettimeofday () in
+            run_resilient ~retries faults ();
+            best := Float.min !best ((Unix.gettimeofday () -. t0) *. 1e3)
+          done;
+          !best
+        in
+        (* counters from one instrumented run of the same region *)
+        let injected, retried, cancelled, fallbacks, iters =
+          Obsv.Control.with_enabled true (fun () ->
+              Ompsim.Stats.reset ();
+              run_resilient ~retries faults ();
+              ( Obsv.Metrics.total Ompsim.Stats.faults_injected,
+                Obsv.Metrics.total Ompsim.Stats.chunk_retries,
+                Obsv.Metrics.total Ompsim.Stats.regions_cancelled,
+                Obsv.Metrics.total Ompsim.Stats.serial_fallbacks,
+                Obsv.Metrics.total Ompsim.Stats.par_iterations ))
+        in
+        let sum_ok = checksum () = expected in
+        let counters_ok =
+          iters = n && retried <= injected
+          && (p = 0.0) = (injected = 0)
+          && (cancelled = 0 || fallbacks > 0 || injected > 0)
+        in
+        if not (sum_ok && counters_ok) then all_ok := false;
+        Printf.printf "p=%-36g %10.2f %9d %8d %10d %9d %s\n" p t_ms injected retried cancelled
+          fallbacks
+          (if sum_ok then "ok" else "CHECKSUM MISMATCH");
+        Printf.sprintf
+          {|    { "p": %g, "time_ms": %.3f, "injected": %d, "retries": %d, "cancelled": %d, "serial_fallbacks": %d, "iterations": %d, "checksum_ok": %b }|}
+          p t_ms injected retried cancelled fallbacks iters sum_ok)
+      rates
+  in
+  Obsv.Trace.clear ();
+  Ompsim.Stats.reset ();
+  write_file "BENCH_fault.json"
+    (Printf.sprintf
+       {|{
+  "artifact": "micro-fault",
+  %s
+  "n": %d,
+  "chunk": %d,
+  "nthreads": %d,
+  "retries": %d,
+  "supervision_overhead": {
+    "plain_ms": %.3f,
+    "resilient_ms": %.3f,
+    "overhead_pct": %.2f,
+    "overhead_ns_per_chunk": %.1f,
+    "overhead_ns_per_iter": %.3f
+  },
+  "rates": [
+%s
+  ],
+  "reconciled": %b
+}
+|}
+       (json_provenance ()) n chunk nthreads retries t_plain t_resilient overhead_pct
+       ns_per_chunk ns_per_iter
+       (String.concat ",\n" rows) !all_ok)
+
 (* ---------------- driver ---------------- *)
 
 let artifacts =
@@ -900,7 +1050,8 @@ let artifacts =
     ("micro-pool", micro_pool);
     ("micro-obsv", micro_obsv);
     ("micro-lanes", micro_lanes);
-    ("micro-steal", micro_steal) ]
+    ("micro-steal", micro_steal);
+    ("micro-fault", micro_fault) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

@@ -281,7 +281,7 @@ let iter_hash idx =
   Array.iter (fun v -> h := (!h * 1000003) + v) idx;
   !h
 
-let exec_run kernel size threads schedule lanes trace stats =
+let exec_run kernel size threads schedule lanes faults retries deadline_ms trace stats =
   with_obsv ~trace ~stats @@ fun () ->
   match
     Option.to_result ~none:"--kernel is required" kernel |> fun k ->
@@ -302,57 +302,91 @@ let exec_run kernel size threads schedule lanes trace stats =
       prerr_endline "--lanes needs a positive integer";
       exit 1
     end;
+    let fault_cfg =
+      match faults with
+      | Some spec -> (
+        match Ompsim.Fault.of_spec spec with
+        | Ok cfg -> Some cfg
+        | Error e ->
+          prerr_endline e;
+          exit 1)
+      | None -> Ompsim.Fault.get ()
+    in
+    (* any fault-tolerance knob routes execution through the
+       supervised region; otherwise the plain unsupervised path runs *)
+    let resilient = fault_cfg <> None || retries > 0 || deadline_ms <> None in
+    let body ~thread ~start ~len =
+      let cell = thread * stride in
+      if lanes > 1 then
+        (* §VI-A batched body: one hash per lane of each lockstep block *)
+        Trahrhe.Recovery.walk_lanes rc ~pc:(start + 1) ~len ~vlength:lanes
+          (fun ~base:_ ~count buf ->
+            let d = Array.length buf in
+            for l = 0 to count - 1 do
+              let h = ref 0 in
+              for k = 0 to d - 1 do
+                h := (!h * 1000003) + buf.(k).(l)
+              done;
+              partial.(cell) <- partial.(cell) + !h
+            done)
+      else
+        Trahrhe.Recovery.walk rc ~pc:(start + 1) ~len (fun idx ->
+            partial.(cell) <- partial.(cell) + iter_hash idx)
+    in
     let t0 = Unix.gettimeofday () in
-    Ompsim.Par.parallel_for_chunks ~nthreads:threads ~schedule ~n:trip
-      (fun ~thread ~start ~len ->
-        let cell = thread * stride in
-        if lanes > 1 then
-          (* §VI-A batched body: one hash per lane of each lockstep block *)
-          Trahrhe.Recovery.walk_lanes rc ~pc:(start + 1) ~len ~vlength:lanes
-            (fun ~base:_ ~count buf ->
-              let d = Array.length buf in
-              for l = 0 to count - 1 do
-                let h = ref 0 in
-                for k = 0 to d - 1 do
-                  h := (!h * 1000003) + buf.(k).(l)
-                done;
-                partial.(cell) <- partial.(cell) + !h
-              done)
-        else
-          Trahrhe.Recovery.walk rc ~pc:(start + 1) ~len (fun idx ->
-              partial.(cell) <- partial.(cell) + iter_hash idx));
+    let outcome =
+      if resilient then
+        Ompsim.Par.run_resilient ~retries ?deadline_ms ~faults:fault_cfg ~nthreads:threads
+          ~schedule ~n:trip body
+      else begin
+        Ompsim.Par.parallel_for_chunks ~nthreads:threads ~schedule ~n:trip body;
+        Ok ()
+      end
+    in
     let elapsed = Unix.gettimeofday () -. t0 in
-    let parallel_sum = ref 0 in
-    for t = 0 to threads - 1 do
-      parallel_sum := !parallel_sum + partial.(t * stride)
-    done;
-    let serial_sum = ref 0 in
-    Trahrhe.Nest.iterate k.Kernels.Kernel.nest ~param:(Kernels.Kernel.param_of k ~n) (fun idx ->
-        serial_sum := !serial_sum + iter_hash idx);
-    Printf.printf "kernel %s, n=%d, %d threads, schedule(%s)%s: %d collapsed iterations in %.4fs\n"
-      k.Kernels.Kernel.name n threads
-      (Ompsim.Schedule.to_string schedule)
-      (if lanes > 1 then Printf.sprintf ", %d lanes" lanes else "")
-      trip elapsed;
-    (match Obsv.Metrics.per_slot Ompsim.Stats.par_iterations with
-    | [] -> ()
-    | cells ->
-      List.iter
-        (fun (slot, iters) ->
-          Printf.printf "  worker %2d: %4d chunks %10d iterations\n" slot
-            (Obsv.Metrics.get Ompsim.Stats.par_chunks ~slot)
-            iters)
-        cells;
-      Printf.printf "  iteration imbalance (max/mean): %.3f\n"
-        (Obsv.Metrics.imbalance Ompsim.Stats.par_iterations));
-    if !parallel_sum = !serial_sum then begin
-      Printf.printf "checksum ok (%d)\n" !parallel_sum;
-      0
-    end
-    else begin
-      Printf.printf "CHECKSUM MISMATCH: parallel %d vs serial %d\n" !parallel_sum !serial_sum;
+    (match outcome with
+    | Error err ->
+      print_endline (Ompsim.Par.describe_error err);
       1
-    end
+    | Ok () ->
+      let parallel_sum = ref 0 in
+      for t = 0 to threads - 1 do
+        parallel_sum := !parallel_sum + partial.(t * stride)
+      done;
+      let serial_sum = ref 0 in
+      Trahrhe.Nest.iterate k.Kernels.Kernel.nest ~param:(Kernels.Kernel.param_of k ~n) (fun idx ->
+          serial_sum := !serial_sum + iter_hash idx);
+      Printf.printf "kernel %s, n=%d, %d threads, schedule(%s)%s: %d collapsed iterations in %.4fs\n"
+        k.Kernels.Kernel.name n threads
+        (Ompsim.Schedule.to_string schedule)
+        (if lanes > 1 then Printf.sprintf ", %d lanes" lanes else "")
+        trip elapsed;
+      (match Obsv.Metrics.per_slot Ompsim.Stats.par_iterations with
+      | [] -> ()
+      | cells ->
+        List.iter
+          (fun (slot, iters) ->
+            Printf.printf "  worker %2d: %4d chunks %10d iterations\n" slot
+              (Obsv.Metrics.get Ompsim.Stats.par_chunks ~slot)
+              iters)
+          cells;
+        Printf.printf "  iteration imbalance (max/mean): %.3f\n"
+          (Obsv.Metrics.imbalance Ompsim.Stats.par_iterations));
+      if resilient && Obsv.Control.enabled () then
+        Printf.printf "  faults: %d injected, %d stalls, %d retries, %d cancellations, %d serial fallbacks\n"
+          (Obsv.Metrics.total Ompsim.Stats.faults_injected)
+          (Obsv.Metrics.total Ompsim.Stats.fault_stalls)
+          (Obsv.Metrics.total Ompsim.Stats.chunk_retries)
+          (Obsv.Metrics.total Ompsim.Stats.regions_cancelled)
+          (Obsv.Metrics.total Ompsim.Stats.serial_fallbacks);
+      if !parallel_sum = !serial_sum then begin
+        Printf.printf "checksum ok (%d)\n" !parallel_sum;
+        0
+      end
+      else begin
+        Printf.printf "CHECKSUM MISMATCH: parallel %d vs serial %d\n" !parallel_sum !serial_sum;
+        1
+      end)
 
 let exec_cmd =
   let size =
@@ -378,12 +412,42 @@ let exec_cmd =
              iterations are materialized in lockstep before the body runs (1 = per-iteration \
              walk).")
   in
+  let faults =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "Arm deterministic fault injection and run the region supervised. $(docv) is either \
+             an on-switch (1/on) or key=value fields: p=PROB (per-chunk failure probability), \
+             seed=S, stall=PROB, stall_us=US, max=K (injection budget). Same spec grammar as \
+             the OMPSIM_FAULTS environment variable.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"R"
+          ~doc:
+            "Retry a failing chunk up to $(docv) times (with backoff) before cancelling the \
+             region; implies supervised execution.")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "Cancel the region cooperatively once $(docv) milliseconds have elapsed (remaining \
+             chunks are reported, not executed); implies supervised execution.")
+  in
   Cmd.v
     (Cmd.info "exec"
        ~doc:
          "Really execute a kernel's collapsed nest on OCaml domains (one recovery per chunk, §V \
           walk) and check the result against serial enumeration.")
-    Term.(const exec_run $ kernel_arg $ size $ threads $ schedule $ lanes $ trace_arg $ stats_arg)
+    Term.(
+      const exec_run $ kernel_arg $ size $ threads $ schedule $ lanes $ faults $ retries
+      $ deadline_ms $ trace_arg $ stats_arg)
 
 (* ---- emit ---- *)
 

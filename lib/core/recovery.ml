@@ -2,6 +2,7 @@ module P = Polymath.Polynomial
 module A = Polymath.Affine
 module H = Polymath.Horner
 module Q = Zmath.Rat
+module B = Zmath.Bigint
 module E = Symx.Expr
 
 (* Fallback representation: polynomial compiled to native-int term
@@ -52,16 +53,83 @@ let eval_cpoly cp lookup =
     !acc / cp.den
   end
 
+(* Overflow-safe twin of [cpoly]: the same scaled flat-term form with
+   bigint coefficients and bigint accumulation, immune to native-int
+   wraparound at any nest size. Results (ranks, bounds) still fit the
+   native int — it is the *intermediates* (coefficient * index powers)
+   that overflow first — so evaluation returns an [int]. *)
+type bpoly = { bden : B.t; bterms : (B.t * (int * int) array) array }
+
+let compile_bpoly ~slot p =
+  let bden = P.denominator_lcm p in
+  let scaled = P.scale (Q.of_bigint bden) p in
+  let bterms =
+    P.terms scaled
+    |> List.map (fun (c, m) ->
+           let coeff = Q.to_bigint_exn c in
+           let exps =
+             Polymath.Monomial.to_list m
+             |> List.map (fun (x, e) -> (slot x, e))
+             |> Array.of_list
+           in
+           (coeff, exps))
+    |> Array.of_list
+  in
+  { bden; bterms }
+
+let eval_bpoly bp lookup =
+  let acc = ref B.zero in
+  Array.iter
+    (fun (coeff, exps) ->
+      let v = ref coeff in
+      Array.iter (fun (slot, e) -> v := B.mul !v (B.pow (B.of_int (lookup slot)) e)) exps;
+      acc := B.add !acc !v)
+    bp.bterms;
+  let q, r = B.divmod !acc bp.bden in
+  assert (B.is_zero r);
+  B.to_int_exn q
+
+(* [Sigma_t |c_t| * Prod_j mag.(slot_j)^e_j] — an upper bound on
+   |scaled polynomial| over any point whose slot magnitudes are
+   bounded by [mag] (the division by [bden] is deliberately skipped:
+   compiled evaluation works on the scaled polynomial, and skipping it
+   only over-approximates). *)
+let term_magnitude bp mag =
+  Array.fold_left
+    (fun acc (coeff, exps) ->
+      let v =
+        Array.fold_left (fun v (slot, e) -> B.mul v (B.pow mag.(slot) e)) (B.abs coeff) exps
+      in
+      B.add acc v)
+    B.zero bp.bterms
+
+let total_degree bp =
+  Array.fold_left
+    (fun acc (_, exps) -> max acc (Array.fold_left (fun s (_, e) -> s + e) 0 exps))
+    0 bp.bterms
+
+(* observability: walks that had to take the overflow-safe bigint
+   path (bumped once per [make] that detects the risk, then once per
+   walk routed through it) *)
+let c_bigint_fallback = Obsv.Metrics.create "recovery.bigint_fallback"
+
 type t = {
   inv : Inversion.t;
   d : int;
   param : string -> int;
   trip : int;
   compiled : bool;  (** Horner pipeline (default) vs flat-term fallback *)
+  safe : bool;
+      (** overflow-safe mode: native-int intermediates could wrap at
+          this nest size, so every evaluation routes through [bpoly] *)
   crank : cpoly;
   cr_sub : cpoly array;
   clo : cpoly array;  (** inclusive lower bounds, vars = outer levels *)
   cup : cpoly array;  (** exclusive upper bounds *)
+  brank : bpoly;
+  br_sub : bpoly array;
+  blo : bpoly array;
+  bup : bpoly array;
   hrank : H.t;
   hr_sub : H.t array;
   hlo : H.t array;
@@ -91,8 +159,6 @@ let make ?(compiled = true) (inv : Inversion.t) ~param =
         else P.subst x (P.const (Q.of_int (param x))) p)
       p (P.vars p)
   in
-  let cpoly_of p = compile_poly ~slot (fold_params p) in
-  let horner_of p = H.compile ~slot (fold_params p) in
   let trip =
     let tp = fold_params inv.Inversion.trip_count in
     match P.is_const tp with
@@ -101,6 +167,51 @@ let make ?(compiled = true) (inv : Inversion.t) ~param =
   in
   if trip < 0 then invalid_arg "Recovery.make: negative trip count";
   let levels = Array.of_list nest.Nest.levels in
+  (* bigint twins first: they exist at any size, and the overflow
+     threshold below decides whether the native-int pipelines may be
+     compiled at all (their scaled coefficients alone can exceed the
+     native range for huge parameters) *)
+  let bpoly_of p = compile_bpoly ~slot (fold_params p) in
+  let brank = bpoly_of inv.Inversion.ranking in
+  let br_sub = Array.map bpoly_of inv.Inversion.r_sub in
+  let blo = Array.map (fun (l : Nest.level) -> bpoly_of (A.to_poly l.lower)) levels in
+  let bup = Array.map (fun (l : Nest.level) -> bpoly_of (A.to_poly l.upper)) levels in
+  (* Per-nest overflow threshold, precomputed from the polynomial
+     coefficients (derivation in DESIGN.md "Fault tolerance"):
+     1. bound each level's index magnitude inductively — |idx_k| is at
+        most the term-magnitude sum of its bounds over the outer
+        bounds, plus 1;
+     2. bound any scaled-polynomial evaluation over those magnitudes
+        by its term-magnitude sum W;
+     3. leave headroom for Horner partials (one multiply by an index
+        ahead of the sum bound) and the finite-difference tables
+        (|Delta^k f| <= 2^k max|f|): W * max_mag * 2^(deg+1);
+     native-int evaluation is allowed only below 2^61. *)
+  let mag = Array.make (d + 1) B.one in
+  mag.(d) <- B.of_int (max 1 trip);
+  let bmax = ref mag.(d) in
+  for k = 0 to d - 1 do
+    let m_lo = term_magnitude blo.(k) mag and m_up = term_magnitude bup.(k) mag in
+    let m = B.add (if B.compare m_lo m_up >= 0 then m_lo else m_up) B.one in
+    mag.(k) <- m;
+    if B.compare m !bmax > 0 then bmax := m
+  done;
+  let worst = ref B.zero and deg = ref 0 in
+  let consider bp =
+    let w = term_magnitude bp mag in
+    if B.compare w !worst > 0 then worst := w;
+    deg := max !deg (total_degree bp)
+  in
+  consider brank;
+  Array.iter consider br_sub;
+  Array.iter consider blo;
+  Array.iter consider bup;
+  let headroom = B.mul (B.mul !worst !bmax) (B.pow (B.of_int 2) (!deg + 1)) in
+  let safe = B.compare headroom (B.pow (B.of_int 2) 61) >= 0 in
+  if safe && Obsv.Control.enabled () then Obsv.Metrics.incr_here c_bigint_fallback;
+  let zero_poly = P.const Q.zero in
+  let cpoly_of p = compile_poly ~slot (if safe then zero_poly else fold_params p) in
+  let horner_of p = H.compile ~slot (if safe then zero_poly else fold_params p) in
   let crank = cpoly_of inv.Inversion.ranking in
   let cr_sub = Array.map cpoly_of inv.Inversion.r_sub in
   let clo = Array.map (fun (l : Nest.level) -> cpoly_of (A.to_poly l.lower)) levels in
@@ -121,25 +232,33 @@ let make ?(compiled = true) (inv : Inversion.t) ~param =
           find 0
         end)
   in
-  { inv; d; param; trip; compiled; crank; cr_sub; clo; cup; hrank; hr_sub; hlo; hup; root_envs }
+  { inv; d; param; trip; compiled; safe; crank; cr_sub; clo; cup; brank; br_sub; blo; bup;
+    hrank; hr_sub; hlo; hup; root_envs }
 
 let depth t = t.d
 let trip_count t = t.trip
 let compiled t = t.compiled
+let overflow_guarded t = t.safe
 
 let rank t idx =
-  if t.compiled then H.eval t.hrank (fun s -> idx.(s)) else eval_cpoly t.crank (fun s -> idx.(s))
+  if t.safe then eval_bpoly t.brank (fun s -> idx.(s))
+  else if t.compiled then H.eval t.hrank (fun s -> idx.(s))
+  else eval_cpoly t.crank (fun s -> idx.(s))
 
 let rank_prefix t ~level v prefix =
   let lookup s = if s = level then v else prefix.(s) in
-  if t.compiled then H.eval t.hr_sub.(level) lookup else eval_cpoly t.cr_sub.(level) lookup
+  if t.safe then eval_bpoly t.br_sub.(level) lookup
+  else if t.compiled then H.eval t.hr_sub.(level) lookup
+  else eval_cpoly t.cr_sub.(level) lookup
 
 let lower_bound t ~level prefix =
-  if t.compiled then H.eval t.hlo.(level) (fun s -> prefix.(s))
+  if t.safe then eval_bpoly t.blo.(level) (fun s -> prefix.(s))
+  else if t.compiled then H.eval t.hlo.(level) (fun s -> prefix.(s))
   else eval_cpoly t.clo.(level) (fun s -> prefix.(s))
 
 let upper_bound t ~level prefix =
-  if t.compiled then H.eval t.hup.(level) (fun s -> prefix.(s))
+  if t.safe then eval_bpoly t.bup.(level) (fun s -> prefix.(s))
+  else if t.compiled then H.eval t.hup.(level) (fun s -> prefix.(s))
   else eval_cpoly t.cup.(level) (fun s -> prefix.(s))
 
 let rank_stepper t ~level ~start prefix =
@@ -169,7 +288,7 @@ let adjust_level t idx pc k =
   let lo = lower_bound t ~level:k idx in
   let hi = upper_bound t ~level:k idx - 1 in
   let v = ref (max lo (min hi idx.(k))) in
-  if t.compiled then begin
+  if t.compiled && not t.safe then begin
     (* difference-table scan: each probe of the monotone substituted
        ranking costs O(degree) additions instead of a full re-evaluation *)
     let st = rank_stepper t ~level:k ~start:!v idx in
@@ -196,14 +315,6 @@ let adjust_level t idx pc k =
   end;
   idx.(k) <- !v
 
-let recover_guarded t pc =
-  let idx = Array.make t.d 0 in
-  for k = 0 to t.d - 1 do
-    idx.(k) <- recover_level_raw t idx pc k;
-    adjust_level t idx pc k
-  done;
-  idx
-
 let recover_binsearch t pc =
   let idx = Array.make t.d 0 in
   for k = 0 to t.d - 1 do
@@ -218,6 +329,21 @@ let recover_binsearch t pc =
     idx.(k) <- !a
   done;
   idx
+
+let recover_guarded t pc =
+  (* overflow-safe mode: the closed forms' float evaluation loses
+     integer precision long before the intermediates wrap, and the
+     native adjustment scan is exactly what must not run — binary
+     search over the bigint rankings is the exact degradation path *)
+  if t.safe then recover_binsearch t pc
+  else begin
+    let idx = Array.make t.d 0 in
+    for k = 0 to t.d - 1 do
+      idx.(k) <- recover_level_raw t idx pc k;
+      adjust_level t idx pc k
+    done;
+    idx
+  end
 
 let increment t idx =
   let rec go k =
@@ -285,8 +411,9 @@ let bound_cache t idx =
 (* the walk after the chunk's one recovery: drive [f] over [len]
    iterations starting from [idx] (which the caller recovered) *)
 let walk_from t idx ~len f =
-  if not t.compiled then begin
-    (* fallback: polynomial-re-evaluating increment *)
+  if t.safe || not t.compiled then begin
+    (* fallback: polynomial-re-evaluating increment (routed through
+       the bigint evaluators in overflow-safe mode) *)
     f idx;
     let remaining = ref (len - 1) in
     while !remaining > 0 && increment t idx do
@@ -342,6 +469,7 @@ let walk t ~pc ~len f =
   else if len > 0 then begin
     Obsv.Metrics.incr_here c_walks;
     Obsv.Metrics.add_here c_iterations len;
+    if t.safe then Obsv.Metrics.incr_here c_bigint_fallback;
     Obsv.Trace.with_span "recovery.walk"
       ~args:[ ("pc", Obsv.Trace.Int pc); ("len", Obsv.Trace.Int len) ]
       (fun () ->
@@ -366,8 +494,9 @@ let walk t ~pc ~len f =
 let walk_lanes_from t idx ~pc0 ~len ~vlength ~lanes f =
   let d = t.d in
   let base = ref pc0 and remaining = ref len and alive = ref true in
-  if not t.compiled then
-    (* fallback: polynomial-re-evaluating increment fills the lanes *)
+  if t.safe || not t.compiled then
+    (* fallback: polynomial-re-evaluating increment fills the lanes
+       (bigint evaluators in overflow-safe mode) *)
     while !remaining > 0 && !alive do
       let want = min vlength !remaining in
       let count = ref 0 in
@@ -447,6 +576,7 @@ let walk_lanes t ~pc ~len ~vlength f =
     if vlength <= 0 then invalid_arg "Recovery.walk_lanes: vlength must be positive";
     if len > 0 then begin
       Obsv.Metrics.incr_here c_walks;
+      if t.safe then Obsv.Metrics.incr_here c_bigint_fallback;
       Obsv.Trace.with_span "recovery.walk_lanes"
         ~args:
           [ ("pc", Obsv.Trace.Int pc); ("len", Obsv.Trace.Int len);

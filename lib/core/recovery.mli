@@ -19,6 +19,20 @@
     It also implements the §V incremental walk ([increment]) used to
     advance indices cheaply after one costly recovery per chunk.
 
+    {b Overflow-safe mode.} The native-int pipelines are exact only
+    while their scaled intermediates fit 63 bits. {!make} precomputes
+    a per-nest threshold from the polynomial coefficients (an
+    inductive magnitude bound per index level, then a worst-case
+    intermediate bound — derivation in DESIGN.md); when the bound
+    reaches the native range the recovery flips to overflow-safe mode
+    ({!overflow_guarded}): every ranking/bound evaluation routes
+    through exact bigint arithmetic, {!recover_guarded} degrades to
+    {!recover_binsearch} (the closed forms' floats are hopeless at
+    such sizes), and the walks take the re-evaluating increment path —
+    slower, but exact instead of silently wrapped. The
+    [recovery.bigint_fallback] counter records both the {!make}
+    detection and each walk routed through the safe path.
+
     A {!t} is immutable after {!make}: all recovery and bound queries
     are safe to call concurrently from multiple domains (the parallel
     executors hand the same value to every worker). *)
@@ -38,6 +52,11 @@ val depth : t -> int
 
 (** [compiled t] tells which evaluation pipeline {!make} selected. *)
 val compiled : t -> bool
+
+(** [overflow_guarded t] is [true] when {!make}'s coefficient analysis
+    found that native-int intermediates could wrap at this nest size,
+    so every evaluation goes through the exact bigint path. *)
+val overflow_guarded : t -> bool
 
 (** [trip_count t] is the total number of collapsed iterations. *)
 val trip_count : t -> int

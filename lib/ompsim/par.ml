@@ -13,16 +13,14 @@ let with_backend b f =
   Fun.protect ~finally:(fun () -> backend := saved) f
 
 (* hand the per-slot worker function to warm pool domains (default) or
-   to freshly spawned ones (the pre-pool path, kept behind the flag) *)
+   to freshly spawned ones (the pre-pool path, kept behind the flag);
+   both re-raise a worker failure with its original backtrace *)
 let run_workers ~nthreads worker =
   if nthreads = 1 then worker 0
   else
     match !backend with
     | Pool -> Pool.run ~nthreads worker
-    | Spawn ->
-      let domains = Array.init (nthreads - 1) (fun t -> Domain.spawn (fun () -> worker (t + 1))) in
-      worker 0;
-      Array.iter Domain.join domains
+    | Spawn -> Pool.run_spawned ~nthreads worker
 
 (* obsv wrapper: count chunks/iterations on the executing slot and put
    a span around each chunk; whether a region is instrumented is
@@ -44,7 +42,7 @@ let instrument_chunks f ~thread ~start ~len =
    region's setup is a refill of live cells, not an allocation *)
 let ws_deque_cache : int Deque.t array Atomic.t = Atomic.make [||]
 
-let run_work_stealing ~nthreads ~chunk ~n ~obsv f =
+let run_work_stealing ~nthreads ~chunk ~n ~obsv ~stop f =
   (* chunks are dealt round-robin by INDEX — chunk [c] covers
      [c*chunk, min ((c+1)*chunk, n)) and belongs to worker
      [c mod nthreads] — so the deques hold unboxed ints and nothing is
@@ -73,39 +71,48 @@ let run_work_stealing ~nthreads ~chunk ~n ~obsv f =
   in
   run_workers ~nthreads (fun t ->
       let my = deques.(t) in
-      (* owner drain by batches: one bottom-fence per up to 32 chunks *)
+      (* owner drain by batches: one bottom-fence per up to 32 chunks.
+         A cancelled region keeps popping without executing — the
+         deques must still end empty so the region can cache them back
+         for a later [refill] (unexecuted chunks surface as coverage
+         gaps, which the resilient caller re-runs serially). *)
       let buf = Array.make 32 0 in
       let rec drain () =
         let k = Deque.pop_batch my buf in
         if k > 0 then begin
-          if obsv then Obsv.Metrics.add Stats.ws_local_pops ~slot:t k;
-          for i = 0 to k - 1 do
-            exec t buf.(i)
-          done;
+          if not (stop ()) then begin
+            if obsv then Obsv.Metrics.add Stats.ws_local_pops ~slot:t k;
+            for i = 0 to k - 1 do
+              exec t buf.(i)
+            done
+          end;
           drain ()
         end
       in
       drain ();
-      if nthreads > 1 then begin
+      if nthreads > 1 && not (stop ()) then begin
         let steal_phase () =
           let idle = ref false in
-          while not !idle do
+          while (not !idle) && not (stop ()) do
             let progressed = ref false and contended = ref false in
             for i = 1 to nthreads - 1 do
-              let victim = deques.((t + i) mod nthreads) in
-              let continue = ref true in
-              while !continue do
-                match Deque.steal victim with
-                | Deque.Stolen c ->
-                  if obsv then Obsv.Metrics.incr Stats.ws_steals ~slot:t;
-                  progressed := true;
-                  exec t c
-                | Deque.Retry ->
-                  if obsv then Obsv.Metrics.incr Stats.ws_steal_retries ~slot:t;
-                  contended := true;
-                  continue := false
-                | Deque.Empty -> continue := false
-              done
+              if not (stop ()) then begin
+                let victim = deques.((t + i) mod nthreads) in
+                let continue = ref true in
+                while !continue do
+                  match Deque.steal victim with
+                  | Deque.Stolen c ->
+                    if obsv then Obsv.Metrics.incr Stats.ws_steals ~slot:t;
+                    progressed := true;
+                    exec t c;
+                    if stop () then continue := false
+                  | Deque.Retry ->
+                    if obsv then Obsv.Metrics.incr Stats.ws_steal_retries ~slot:t;
+                    contended := true;
+                    continue := false
+                  | Deque.Empty -> continue := false
+                done
+              end
             done;
             if not (!progressed || !contended) then idle := true
           done
@@ -117,31 +124,37 @@ let run_work_stealing ~nthreads ~chunk ~n ~obsv f =
   (* all workers have joined: the deques are quiescent and empty *)
   Atomic.set ws_deque_cache deques
 
-let parallel_for_chunks ~nthreads ~schedule ~n f =
-  if nthreads <= 0 then invalid_arg "Par.parallel_for_chunks";
-  let obsv = Obsv.Control.enabled () in
-  let f = if obsv then instrument_chunks f else f in
-  let dispatch () =
-    match schedule with
+(* schedule dispatch, shared by the plain and the resilient paths.
+   [stop] is the cooperative cancellation token, polled at chunk-claim
+   granularity on every schedule — once it reads true, no further
+   chunk is claimed or executed by this region (chunks already being
+   executed finish). The plain path passes a constant [false]. *)
+let run_schedule ~stop ~nthreads ~schedule ~n ~obsv f =
+  match schedule with
   | Schedule.Static ->
     let blocks = Schedule.static_blocks ~nthreads ~n in
     run_workers ~nthreads (fun t ->
         let start, len = blocks.(t) in
-        if len > 0 then f ~thread:t ~start ~len)
+        if len > 0 && not (stop ()) then f ~thread:t ~start ~len)
   | Schedule.Static_chunk c ->
     if c <= 0 then invalid_arg "Par: static chunk";
     let lists = Schedule.round_robin_chunks ~chunk:c ~nthreads ~n in
     run_workers ~nthreads (fun t ->
-        List.iter (fun (start, len) -> f ~thread:t ~start ~len) lists.(t))
+        List.iter
+          (fun (start, len) -> if not (stop ()) then f ~thread:t ~start ~len)
+          lists.(t))
   | Schedule.Dynamic c ->
     if c <= 0 then invalid_arg "Par: dynamic chunk";
     let next = Atomic.make 0 in
     run_workers ~nthreads (fun t ->
         let continue = ref true in
         while !continue do
-          let start = Atomic.fetch_and_add next c in
-          if start >= n then continue := false
-          else f ~thread:t ~start ~len:(min c (n - start))
+          if stop () then continue := false
+          else begin
+            let start = Atomic.fetch_and_add next c in
+            if start >= n then continue := false
+            else f ~thread:t ~start ~len:(min c (n - start))
+          end
         done)
   | Schedule.Guided c ->
     if c <= 0 then invalid_arg "Par: guided chunk";
@@ -149,19 +162,29 @@ let parallel_for_chunks ~nthreads ~schedule ~n f =
     run_workers ~nthreads (fun t ->
         let continue = ref true in
         while !continue do
-          (* optimistic guided sizing: read remaining, CAS the claim *)
-          let start = Atomic.get next in
-          if start >= n then continue := false
+          if stop () then continue := false
           else begin
-            let len = Schedule.next_guided ~chunk:c ~nthreads ~remaining:(n - start) in
-            if Atomic.compare_and_set next start (start + len) then
-              f ~thread:t ~start ~len:(min len (n - start))
+            (* optimistic guided sizing: read remaining, CAS the claim *)
+            let start = Atomic.get next in
+            if start >= n then continue := false
+            else begin
+              let len = Schedule.next_guided ~chunk:c ~nthreads ~remaining:(n - start) in
+              if Atomic.compare_and_set next start (start + len) then
+                f ~thread:t ~start ~len:(min len (n - start))
+            end
           end
         done)
   | Schedule.Work_stealing c ->
     if c <= 0 then invalid_arg "Par: work-stealing chunk";
-    run_work_stealing ~nthreads ~chunk:c ~n ~obsv f
-  in
+    run_work_stealing ~nthreads ~chunk:c ~n ~obsv ~stop f
+
+let never_stop () = false
+
+let parallel_for_chunks ~nthreads ~schedule ~n f =
+  if nthreads <= 0 then invalid_arg "Par.parallel_for_chunks";
+  let obsv = Obsv.Control.enabled () in
+  let f = if obsv then instrument_chunks f else f in
+  let dispatch () = run_schedule ~stop:never_stop ~nthreads ~schedule ~n ~obsv f in
   if not obsv then dispatch ()
   else begin
     Obsv.Metrics.incr Stats.par_regions ~slot:0;
@@ -178,3 +201,235 @@ let parallel_for ~nthreads ~schedule ~n f =
       for q = start to start + len - 1 do
         f q
       done)
+
+(* ---------------- supervised (resilient) regions ---------------- *)
+
+type chunk_failure = {
+  start : int;
+  len : int;
+  worker : int;
+  attempts : int;
+  error : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+type failure_reason = Chunk_failed | Deadline_expired
+
+type region_error = {
+  reason : failure_reason;
+  failures : chunk_failure list;
+  unrecovered : (int * int) list;
+}
+
+let describe_error { reason; failures; unrecovered } =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (match reason with
+    | Chunk_failed -> "region failed: chunk failure survived retries and serial fallback"
+    | Deadline_expired -> "region cancelled: deadline expired");
+  List.iter
+    (fun { start; len; worker; attempts; error; _ } ->
+      Buffer.add_string b
+        (Printf.sprintf "\n  chunk [%d,%d) on worker %d after %d attempt%s: %s" start (start + len)
+           worker attempts
+           (if attempts = 1 then "" else "s")
+           (Printexc.to_string error)))
+    (List.rev failures);
+  if unrecovered <> [] then begin
+    Buffer.add_string b "\n  unrecovered:";
+    List.iter
+      (fun (s, l) -> Buffer.add_string b (Printf.sprintf " [%d,%d)" s (s + l)))
+      unrecovered
+  end;
+  Buffer.contents b
+
+(* exponential retry backoff: ~50us << 2^(attempt-1), capped at 1ms —
+   enough to let a transient stall clear without parking a domain *)
+let backoff_wait attempt =
+  let us = min 1000 (50 lsl min 10 (attempt - 1)) in
+  let until = Obsv.Clock.now_ns () + (us * 1_000) in
+  while Obsv.Clock.now_ns () < until do
+    Domain.cpu_relax ()
+  done
+
+(* holes of [0,n) not covered by the sorted disjoint [ranges] *)
+let uncovered ~n ranges =
+  let rec go pos = function
+    | [] -> if pos < n then [ (pos, n - pos) ] else []
+    | (s, l) :: rest ->
+      if s > pos then (pos, s - pos) :: go (s + l) rest else go (max pos (s + l)) rest
+  in
+  go 0 ranges
+
+let run_resilient ?(retries = 0) ?deadline_ms ?faults ~nthreads ~schedule ~n f =
+  if nthreads <= 0 then invalid_arg "Par.run_resilient";
+  if retries < 0 then invalid_arg "Par.run_resilient: negative retries";
+  (* [?faults] is itself an option: [~faults:None] explicitly disables
+     injection for this region, absence defers to the global config *)
+  let faults = match faults with Some given -> given | None -> Fault.get () in
+  let obsv = Obsv.Control.enabled () in
+  let stop = Atomic.make false in
+  let deadline_hit = Atomic.make false in
+  let deadline_ns =
+    match deadline_ms with
+    | Some ms when ms >= 0 -> Some (Obsv.Clock.now_ns () + (ms * 1_000_000))
+    | Some _ -> invalid_arg "Par.run_resilient: negative deadline"
+    | None -> None
+  in
+  let failures = Atomic.make [] in
+  let push_failure cf =
+    let rec go () =
+      let old = Atomic.get failures in
+      if not (Atomic.compare_and_set failures old (cf :: old)) then go ()
+    in
+    go ()
+  in
+  (* per-slot success ranges: one writer per cell, merged after join.
+     The list heads live 16 slots apart so two workers' per-chunk
+     conses never fight over one cache line (same padding discipline
+     as the engine's partial-checksum arrays). *)
+  let dr_stride = 16 in
+  let done_ranges = Array.make (nthreads * dr_stride) [] in
+  let cancel () =
+    if Atomic.compare_and_set stop false true then
+      if obsv then begin
+        Obsv.Metrics.incr_here Stats.regions_cancelled;
+        Obsv.Trace.instant "par.cancel"
+      end
+  in
+  let expired () =
+    match deadline_ns with
+    | Some d when Obsv.Clock.now_ns () > d ->
+      Atomic.set deadline_hit true;
+      cancel ();
+      true
+    | _ -> false
+  in
+  (* the supervision wrapper: injection point, bounded retry with
+     backoff, failure capture. A failed attempt is re-run in place —
+     safe when chunks are idempotent (exactly the property the
+     paper's independent-iterations precondition gives a collapsed
+     chunk); synthetic faults fire before the body, so they never
+     leave a chunk half-done. *)
+  let record_success ~thread ~start ~len =
+    let cell = thread * dr_stride in
+    done_ranges.(cell) <- (start, len) :: done_ranges.(cell);
+    if obsv then begin
+      Obsv.Metrics.incr Stats.par_chunks ~slot:thread;
+      Obsv.Metrics.add Stats.par_iterations ~slot:thread len
+    end
+  in
+  (* cold path: first attempt already failed, run the bounded retry
+     loop with backoff, then capture the structured failure *)
+  let retry_loop ~thread ~start ~len first_error =
+    let attempt = ref 0 and running = ref true in
+    let error = ref first_error and backtrace = ref (Printexc.get_raw_backtrace ()) in
+    while !running do
+      if !attempt < retries && not (Atomic.get stop) then begin
+        incr attempt;
+        if obsv then begin
+          Obsv.Metrics.incr Stats.chunk_retries ~slot:thread;
+          Obsv.Trace.instant "par.retry"
+            ~args:[ ("start", Obsv.Trace.Int start); ("attempt", Obsv.Trace.Int !attempt) ]
+        end;
+        backoff_wait !attempt;
+        match
+          (match faults with
+          | Some cfg -> Fault.inject cfg ~start ~len ~attempt:!attempt
+          | None -> ());
+          f ~thread ~start ~len
+        with
+        | () ->
+          running := false;
+          record_success ~thread ~start ~len
+        | exception e ->
+          backtrace := Printexc.get_raw_backtrace ();
+          error := e
+      end
+      else begin
+        running := false;
+        push_failure
+          { start; len; worker = thread; attempts = !attempt + 1; error = !error;
+            backtrace = !backtrace };
+        cancel ()
+      end
+    done
+  in
+  let supervise ~thread ~start ~len =
+    if (not (Atomic.get stop)) && not (expired ()) then
+      match
+        (match faults with
+        | Some cfg -> Fault.inject cfg ~start ~len ~attempt:0
+        | None -> ());
+        f ~thread ~start ~len
+      with
+      | () -> record_success ~thread ~start ~len
+      | exception e -> retry_loop ~thread ~start ~len e
+  in
+  let body () = run_schedule ~stop:(fun () -> Atomic.get stop) ~nthreads ~schedule ~n ~obsv supervise in
+  (if not obsv then body ()
+   else begin
+     Obsv.Metrics.incr Stats.par_regions ~slot:0;
+     Obsv.Trace.with_span "par.resilient"
+       ~args:
+         [ ("n", Obsv.Trace.Int n);
+           ("threads", Obsv.Trace.Int nthreads);
+           ("schedule", Obsv.Trace.Str (Schedule.to_string schedule));
+           ("retries", Obsv.Trace.Int retries) ]
+       body
+   end);
+  if (not (Atomic.get stop)) && Atomic.get failures = [] then
+    (* fast path: never cancelled and nothing failed — the schedule
+       loop ran to completion, so every chunk of [0,n) was claimed and
+       its supervise call returned (retried chunks included). Coverage
+       is complete by construction; skip the O(chunks log chunks)
+       range merge so an undisturbed region pays no post-join cost. *)
+    Ok ()
+  else begin
+  let covered =
+    let acc = ref [] in
+    for t = 0 to nthreads - 1 do
+      acc := List.rev_append done_ranges.(t * dr_stride) !acc
+    done;
+    List.sort (fun ((a : int), _) (b, _) -> compare a b) !acc
+  in
+  let gaps = uncovered ~n covered in
+  let failures = List.rev (Atomic.get failures) in
+  if Atomic.get deadline_hit then Error { reason = Deadline_expired; failures; unrecovered = gaps }
+  else if gaps = [] then Ok ()
+  else begin
+    (* serial fallback: re-execute only the uncovered ranges, on the
+       calling domain, with fault injection suppressed — under the
+       transient-fault model a re-run succeeds; a genuinely poisoned
+       kernel fails again here and surfaces in the structured error *)
+    let leftover = ref [] and fallback_failures = ref [] in
+    List.iter
+      (fun (start, len) ->
+        if obsv then Obsv.Metrics.incr Stats.serial_fallbacks ~slot:0;
+        let body () = f ~thread:0 ~start ~len in
+        match
+          if obsv then
+            Obsv.Trace.with_span "par.fallback.serial"
+              ~args:[ ("start", Obsv.Trace.Int start); ("len", Obsv.Trace.Int len) ]
+              body
+          else body ()
+        with
+        | () ->
+          if obsv then begin
+            Obsv.Metrics.incr Stats.par_chunks ~slot:0;
+            Obsv.Metrics.add Stats.par_iterations ~slot:0 len
+          end
+        | exception e ->
+          let backtrace = Printexc.get_raw_backtrace () in
+          fallback_failures :=
+            { start; len; worker = 0; attempts = 1; error = e; backtrace } :: !fallback_failures;
+          leftover := (start, len) :: !leftover)
+      gaps;
+    if !leftover = [] then Ok ()
+    else
+      Error
+        { reason = Chunk_failed;
+          failures = failures @ List.rev !fallback_failures;
+          unrecovered = List.rev !leftover }
+  end
+  end

@@ -46,6 +46,90 @@ val parallel_for : nthreads:int -> schedule:Schedule.t -> n:int -> (int -> unit)
 
 (** [parallel_for_chunks ~nthreads ~schedule ~n f] hands out whole
     chunks: [f ~thread ~start ~len], letting the §V schemes perform
-    one costly recovery per chunk then increment. *)
+    one costly recovery per chunk then increment. A worker exception
+    propagates to the caller after the region drains, with its
+    original backtrace — for structured failures, retries and
+    cancellation use {!run_resilient}. *)
 val parallel_for_chunks :
   nthreads:int -> schedule:Schedule.t -> n:int -> (thread:int -> start:int -> len:int -> unit) -> unit
+
+(** {2 Supervised (resilient) regions} *)
+
+(** One chunk that kept failing: the range, the worker that gave up on
+    it, how many attempts were made, and the last exception with the
+    backtrace captured at its raise site. *)
+type chunk_failure = {
+  start : int;
+  len : int;
+  worker : int;
+  attempts : int;
+  error : exn;
+  backtrace : Printexc.raw_backtrace;
+}
+
+type failure_reason =
+  | Chunk_failed  (** a chunk exhausted its retries and the serial fallback failed too *)
+  | Deadline_expired  (** the region's deadline passed; remaining work was cancelled *)
+
+(** A structured region failure: never silent-partial — [unrecovered]
+    lists exactly the index ranges of [0..n-1] that were not executed. *)
+type region_error = {
+  reason : failure_reason;
+  failures : chunk_failure list;  (** in failure order *)
+  unrecovered : (int * int) list;  (** sorted disjoint [(start, len)] ranges *)
+}
+
+(** [describe_error e] renders a {!region_error} for logs: reason,
+    each failing chunk range/worker/attempts/exception, and the
+    unrecovered ranges. *)
+val describe_error : region_error -> string
+
+(** [run_resilient ~nthreads ~schedule ~n f] is
+    {!parallel_for_chunks} under supervision:
+
+    - every chunk attempt may first be failed or stalled by the
+      captured {!Fault} configuration ([?faults], defaulting to
+      {!Fault.get} — the [OMPSIM_FAULTS] environment spec);
+    - a failing chunk is retried in place up to [retries] times
+      (default 0) with exponential backoff — sound when chunks are
+      idempotent, which independent iterations (the collapsing
+      precondition) guarantee for pure kernels;
+    - when a chunk exhausts its retries, or [deadline_ms] elapses, a
+      cooperative cancellation token is raised; every schedule —
+      including the work-stealing deque path — polls it at chunk-claim
+      granularity, so siblings stop promptly and unclaimed work is
+      abandoned (the ws deques are still drained so their cache stays
+      reusable);
+    - after the join, ranges not covered by a successful chunk are
+      re-executed *serially* on the calling domain with fault
+      injection suppressed ({!Stats.serial_fallbacks}) — unless the
+      deadline expired, in which case the gaps are reported instead
+      of recovered.
+
+    The result is all-or-error: [Ok ()] means every index in [0..n-1]
+    was executed exactly once by a successful attempt; [Error e]
+    carries the structured failures and the exact unrecovered ranges.
+
+    With the observability layer on, successful chunks are counted in
+    {!Stats.par_chunks}/{!Stats.par_iterations} (so an [Ok] region's
+    iteration total reconciles to [n] exactly even across retries and
+    fallback), retries in {!Stats.chunk_retries}, cancellations in
+    {!Stats.regions_cancelled}, and the region gets a
+    [par.resilient] span with [par.retry]/[par.cancel] instants and
+    [par.fallback.serial] spans.
+
+    With no faults armed, no deadline and [retries = 0], the only
+    overhead over {!parallel_for_chunks} is the per-chunk supervision
+    (an [Atomic.get] and a success-list cons) — [bench/main.exe --
+    micro-fault] keeps it honest.
+    @raise Invalid_argument when [nthreads <= 0], [retries < 0] or
+    [deadline_ms < 0]. *)
+val run_resilient :
+  ?retries:int ->
+  ?deadline_ms:int ->
+  ?faults:Fault.t option ->
+  nthreads:int ->
+  schedule:Schedule.t ->
+  n:int ->
+  (thread:int -> start:int -> len:int -> unit) ->
+  (unit, region_error) result

@@ -8,12 +8,18 @@ type worker = {
   mutable stop : bool;
 }
 
+(* structured worker failure: which slot raised what, with the
+   backtrace captured at the raise site so the re-raise in [run]
+   preserves it (Printexc.raise_with_backtrace) instead of resetting
+   the trace to the pool's own join code *)
+type failure = { slot : int; error : exn; backtrace : Printexc.raw_backtrace }
+
 (* reusable completion latch (the join barrier of a dispatch) *)
 type latch = {
   lm : Mutex.t;
   lc : Condition.t;
   mutable pending : int;
-  mutable failure : exn option;
+  mutable failure : failure option;
 }
 
 type pool = {
@@ -26,9 +32,10 @@ type pool = {
 let the_pool : pool option ref = ref None
 let pool_lock = Mutex.create ()
 
-let record_failure l e =
+let record_failure l slot e =
+  let backtrace = Printexc.get_raw_backtrace () in
   Mutex.lock l.lm;
-  if l.failure = None then l.failure <- Some e;
+  if l.failure = None then l.failure <- Some { slot; error = e; backtrace };
   Mutex.unlock l.lm
 
 let arrive l =
@@ -61,7 +68,7 @@ let worker_loop latch w slot =
         Obsv.Metrics.incr Stats.pool_dispatches ~slot;
         Obsv.Trace.name_thread (Printf.sprintf "pool worker %d" slot)
       end;
-      (try f slot with e -> record_failure latch e);
+      (try f slot with e -> record_failure latch slot e);
       arrive latch
     | None -> ());
     if stop && job = None then continue := false
@@ -168,11 +175,18 @@ let queued_jobs () =
    reference path benchmarks compare against *)
 let run_spawned ~nthreads f =
   let failure = Atomic.make None in
-  let guard t () = try f t with e -> Atomic.compare_and_set failure None (Some e) |> ignore in
+  let guard t () =
+    try f t
+    with e ->
+      let backtrace = Printexc.get_raw_backtrace () in
+      Atomic.compare_and_set failure None (Some { slot = t; error = e; backtrace }) |> ignore
+  in
   let domains = Array.init (nthreads - 1) (fun t -> Domain.spawn (guard (t + 1))) in
   guard 0 ();
   Array.iter Domain.join domains;
-  match Atomic.get failure with Some e -> raise e | None -> ()
+  match Atomic.get failure with
+  | Some { error; backtrace; _ } -> Printexc.raise_with_backtrace error backtrace
+  | None -> ()
 
 let run ~nthreads f =
   if nthreads <= 0 then invalid_arg "Pool.run";
@@ -198,7 +212,7 @@ let run ~nthreads f =
         Condition.signal w.cond;
         Mutex.unlock w.mutex
       done;
-      (try f 0 with e -> record_failure l e);
+      (try f 0 with e -> record_failure l 0 e);
       Mutex.lock l.lm;
       while l.pending > 0 do
         Condition.wait l.lc l.lm
@@ -206,6 +220,8 @@ let run ~nthreads f =
       let fail = l.failure in
       Mutex.unlock l.lm;
       Mutex.unlock p.dispatch;
-      match fail with Some e -> raise e | None -> ()
+      match fail with
+      | Some { error; backtrace; _ } -> Printexc.raise_with_backtrace error backtrace
+      | None -> ()
     end
   end

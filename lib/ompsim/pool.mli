@@ -20,10 +20,22 @@
 
 (** [run ~nthreads f] executes [f 0 .. f (nthreads-1)] concurrently —
     [f 0] on the calling domain, the rest on pool workers — and
-    returns when all have finished. If any [f t] raised, one of the
-    raised exceptions is re-raised after all workers finished.
+    returns when all have finished. If any [f t] raised, the first
+    failure recorded (worker slot, exception, backtrace) wins and its
+    exception is re-raised after all workers finished — with the
+    original backtrace, via [Printexc.raise_with_backtrace], so a
+    crash report points at the worker's raise site, not at the pool's
+    join.
     @raise Invalid_argument when [nthreads <= 0]. *)
 val run : nthreads:int -> (int -> unit) -> unit
+
+(** [run_spawned ~nthreads f] is {!run} on freshly spawned domains
+    instead of the pool — the nested-region fallback and the
+    [OMPSIM_BACKEND=spawn] reference path. Same failure contract as
+    {!run} (first failure wins, original backtrace preserved), and the
+    calling domain always joins every spawned domain, even when
+    [f 0] itself raises. *)
+val run_spawned : nthreads:int -> (int -> unit) -> unit
 
 (** [size ()] is the number of live pool workers (0 before the first
     dispatch). *)

@@ -15,9 +15,40 @@ let to_string = function
   | Work_stealing 1 -> "ws"
   | Work_stealing c -> Printf.sprintf "ws, %d" c
 
+(* strict chunk parser: decimal digits only, positive, no overflow.
+   [int_of_string] would also accept "0x10", "0o17", "1_000" and "+4" —
+   spellings OpenMP's clause grammar does not — and silently wraps
+   nothing but still lets junk through; this rejects all of them, and
+   rejects values that would overflow the native int. *)
+let parse_chunk s =
+  let n = String.length s in
+  if n = 0 then None
+  else begin
+    let v = ref 0 and ok = ref true in
+    (try
+       String.iter
+         (fun ch ->
+           if ch < '0' || ch > '9' then begin
+             ok := false;
+             raise Exit
+           end
+           else begin
+             let d = Char.code ch - Char.code '0' in
+             if !v > (max_int - d) / 10 then begin
+               ok := false;
+               raise Exit
+             end;
+             v := (!v * 10) + d
+           end)
+         s
+     with Exit -> ());
+    if !ok && !v > 0 then Some !v else None
+  end
+
 (* accepted spellings: the clause text [to_string] emits ("dynamic, 4")
    and the CLI's colon form ("dynamic:4"); chunk defaults to 1 where
-   OpenMP's does *)
+   OpenMP's does. Anything after the chunk value — a second separator,
+   trailing junk — makes the chunk fail to parse and is rejected. *)
 let of_string s =
   let cut sep =
     match String.index_opt s sep with
@@ -31,9 +62,9 @@ let of_string s =
     | None, Some d -> Ok (make d)
     | None, None -> Error (Printf.sprintf "schedule %S needs a chunk size" s)
     | Some c, _ -> (
-      match int_of_string_opt c with
-      | Some c when c > 0 -> Ok (make c)
-      | _ -> Error (Printf.sprintf "schedule %S: chunk must be a positive integer" s))
+      match parse_chunk c with
+      | Some c -> Ok (make c)
+      | None -> Error (Printf.sprintf "schedule %S: chunk must be a positive integer" s))
   in
   match String.lowercase_ascii name with
   | "static" -> ( match chunk with None -> Ok Static | Some _ -> with_chunk (fun c -> Static_chunk c))

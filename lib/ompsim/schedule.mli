@@ -29,7 +29,13 @@ val to_string : t -> string
     reachable by name: [static[:N]], [dynamic[:N]], [guided[:N]],
     [ws[:N]] (also spelled [work-stealing]). Chunk defaults to 1 for
     dynamic/guided/ws, as in OpenMP. Round-trips:
-    [of_string (to_string s) = Ok s]. *)
+    [of_string (to_string s) = Ok s].
+
+    The chunk grammar is strict: decimal digits only. Zero, negative
+    and overflowing values, radix/underscore/sign spellings accepted
+    by [int_of_string] (["0x10"], ["1_000"], ["+4"]) and any trailing
+    junk after the chunk (["dynamic:4:x"], ["ws, 4 8"]) are all
+    rejected with a descriptive [Error]. *)
 val of_string : string -> (t, string) result
 
 (** [static_blocks ~nthreads ~n] is the per-thread contiguous

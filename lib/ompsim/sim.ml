@@ -189,3 +189,22 @@ let serial ~costs ~overheads:ov =
   chunk_cost prefix ov 0 (Array.length costs)
 
 let gain ~baseline ~improved = (baseline -. improved) /. baseline
+
+(* ---------------- fault model (Par.run_resilient's retry) ---------------- *)
+
+let check_fault_args ~p ~retries name =
+  if p < 0.0 || p > 1.0 then invalid_arg (name ^ ": p outside [0,1]");
+  if retries < 0 then invalid_arg (name ^ ": negative retries")
+
+let expected_attempts ~p ~retries =
+  check_fault_args ~p ~retries "Sim.expected_attempts";
+  if p >= 1.0 then float_of_int (retries + 1)
+  else (1.0 -. (p ** float_of_int (retries + 1))) /. (1.0 -. p)
+
+let completion_probability ~p ~retries =
+  check_fault_args ~p ~retries "Sim.completion_probability";
+  1.0 -. (p ** float_of_int (retries + 1))
+
+let resilient_overheads ov ~p ~retries =
+  let a = expected_attempts ~p ~retries in
+  { ov with dispatch = ov.dispatch *. a; chunk_start = ov.chunk_start *. a }

@@ -48,3 +48,31 @@ val serial : costs:float array -> overheads:overheads -> float
 (** [gain ~baseline ~improved] is the paper's Figure 9 metric
     [(t_baseline - t_improved) / t_baseline]. *)
 val gain : baseline:float -> improved:float -> float
+
+(** {2 Fault model}
+
+    Cost model of {!Par.run_resilient}'s bounded chunk retry: each
+    chunk attempt fails independently with probability [p] and is
+    re-run up to [retries] times (the transient-fault model of
+    {!Fault}). *)
+
+(** [expected_attempts ~p ~retries] is the mean number of times one
+    chunk is executed: [sum_{k=0..retries} p^k =
+    (1 - p^(retries+1)) / (1 - p)], i.e. [retries + 1] at [p = 1].
+    @raise Invalid_argument when [p] is outside [0,1] or
+    [retries < 0]. *)
+val expected_attempts : p:float -> retries:int -> float
+
+(** [completion_probability ~p ~retries] is the probability one chunk
+    succeeds within its retry budget: [1 - p^(retries+1)]. Chunks that
+    miss it fall to the serial path, serializing their whole cost.
+    @raise Invalid_argument when [p] is outside [0,1] or
+    [retries < 0]. *)
+val completion_probability : p:float -> retries:int -> float
+
+(** [resilient_overheads ov ~p ~retries] inflates the per-chunk costs
+    of [ov] by {!expected_attempts} — every retry re-pays the dispatch
+    bookkeeping and the chunk-start recovery, while [fork_join] and
+    the per-iteration cost are paid once (failed attempts abort before
+    iterating). *)
+val resilient_overheads : overheads -> p:float -> retries:int -> overheads

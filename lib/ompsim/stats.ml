@@ -7,6 +7,11 @@ let par_iterations = Obsv.Metrics.create "par.iterations"
 let ws_local_pops = Obsv.Metrics.create "ws.local_pop"
 let ws_steals = Obsv.Metrics.create "ws.steal"
 let ws_steal_retries = Obsv.Metrics.create "ws.steal_retry"
+let faults_injected = Obsv.Metrics.create "faults.injected"
+let fault_stalls = Obsv.Metrics.create "faults.stalls"
+let chunk_retries = Obsv.Metrics.create "chunk.retries"
+let regions_cancelled = Obsv.Metrics.create "region.cancelled"
+let serial_fallbacks = Obsv.Metrics.create "fallback.serial"
 
 let reset () = Obsv.Metrics.reset_all ()
 let summary () = Obsv.Trace.summary ()
@@ -18,4 +23,5 @@ let emit_trace_counters () =
         (fun (slot, v) ->
           Obsv.Trace.counter (Printf.sprintf "%s[worker %d]" (Obsv.Metrics.name c) slot) v)
         (Obsv.Metrics.per_slot c))
-    [ par_chunks; par_iterations; pool_dispatches; ws_local_pops; ws_steals ]
+    [ par_chunks; par_iterations; pool_dispatches; ws_local_pops; ws_steals;
+      faults_injected; chunk_retries; serial_fallbacks ]

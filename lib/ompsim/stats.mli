@@ -38,6 +38,26 @@ val ws_steal_retries : Obsv.Metrics.t
 (** steal attempts that lost the CAS race and had to re-examine a
     victim — a contention figure, not a work figure *)
 
+val faults_injected : Obsv.Metrics.t
+(** synthetic chunk failures raised by {!Fault.inject}, billed to the
+    injecting domain *)
+
+val fault_stalls : Obsv.Metrics.t
+(** synthetic worker stalls played by {!Fault.inject} *)
+
+val chunk_retries : Obsv.Metrics.t
+(** chunk attempts re-run by {!Par.run_resilient} after a failure,
+    per worker slot; always <= the failures observed *)
+
+val regions_cancelled : Obsv.Metrics.t
+(** resilient regions whose cancellation token fired — a chunk
+    exhausted its retries or the deadline expired (counted on the
+    slot that cancelled) *)
+
+val serial_fallbacks : Obsv.Metrics.t
+(** uncovered ranges re-executed serially by {!Par.run_resilient}
+    after the parallel phase (counted on slot 0) *)
+
 (** [reset ()] zeroes every engine counter (the recovery counters of
     {!Trahrhe.Recovery} included, via the global registry). *)
 val reset : unit -> unit

@@ -77,7 +77,11 @@ let test_schedule_of_string () =
       match Sched.of_string s with
       | Ok _ -> Alcotest.failf "%S should not parse" s
       | Error _ -> ())
-    [ "bogus"; "dynamic:0"; "ws:-3"; "static:x"; "guided:" ]
+    [ "bogus"; "dynamic:0"; "ws:-3"; "static:x"; "guided:";
+      (* hardened grammar: strict decimal chunks, no junk tolerated *)
+      "dynamic:0x10"; "static:1_000"; "guided:+4"; "ws: 4 8"; "dynamic:4:x";
+      "dynamic:4x"; "static:-1"; "ws:"; "dynamic:99999999999999999999"; "dynamic,";
+      "static:16,"; ""; "  "; "dynamic:1.5" ]
 
 (* -------- Chase-Lev deque -------- *)
 

@@ -127,6 +127,62 @@ let run_lanes ~vlength rc reference trip =
   if !next <> trip + 1 then
     QCheck.Test.fail_reportf "vlength %d: blocks covered 1..%d of trip %d" vlength (!next - 1) trip
 
+(* Fault-injected variant (ISSUE 4): the same walk driven by
+   [Par.run_resilient] under a seeded 30% chunk-failure rate with two
+   retries must still visit every rank exactly once with the right
+   index — retry re-runs whole chunks (injection fires before the
+   body, so no partial work repeats) and the serial fallback covers
+   whatever the cancelled region dropped. [lanes] switches the chunk
+   body to the batched §VI-A walk. *)
+let run_one_resilient ~schedule ?lanes rc reference trip =
+  let visited = Array.make trip None in
+  let dupes = Atomic.make 0 in
+  let faults = Some { Ompsim.Fault.default with p = 0.3; seed = 0x5eed } in
+  let record j idx =
+    if j >= 0 && j < trip then
+      match visited.(j) with
+      | None -> visited.(j) <- Some (Array.copy idx)
+      | Some _ -> Atomic.incr dupes
+  in
+  let body ~thread:_ ~start ~len =
+    match lanes with
+    | None ->
+      let j = ref start in
+      Trahrhe.Recovery.walk rc ~pc:(start + 1) ~len (fun idx ->
+          record !j idx;
+          incr j)
+    | Some vlength ->
+      let depth = Array.length reference.(0) in
+      let idx = Array.make depth 0 in
+      Trahrhe.Recovery.walk_lanes rc ~pc:(start + 1) ~len ~vlength
+        (fun ~base ~count lanes ->
+          for l = 0 to count - 1 do
+            for k = 0 to depth - 1 do
+              idx.(k) <- lanes.(k).(l)
+            done;
+            record (base + l - 1) idx
+          done)
+  in
+  let where =
+    Printf.sprintf "resilient %s%s"
+      (Ompsim.Schedule.to_string schedule)
+      (match lanes with None -> "" | Some v -> Printf.sprintf " / vlength %d" v)
+  in
+  (match Ompsim.Par.run_resilient ~retries:2 ~faults ~nthreads:3 ~schedule ~n:trip body with
+  | Ok () -> ()
+  | Error e -> QCheck.Test.fail_reportf "%s: %s" where (Ompsim.Par.describe_error e));
+  if Atomic.get dupes <> 0 then
+    QCheck.Test.fail_reportf "%s: %d ranks visited more than once" where (Atomic.get dupes);
+  Array.iteri
+    (fun r v ->
+      match v with
+      | None -> QCheck.Test.fail_reportf "%s: rank %d never visited" where (r + 1)
+      | Some idx ->
+        if idx <> reference.(r) then
+          QCheck.Test.fail_reportf "%s: rank %d visited %s, nest enumerates %s" where (r + 1)
+            (idx_to_string idx) (idx_to_string reference.(r)))
+    visited
+
 let check_case (nest, nval) =
   let param _ = nval in
   match Trahrhe.Inversion.invert nest with
@@ -151,6 +207,25 @@ let check_case (nest, nval) =
     List.iter (fun vlength -> run_lanes ~vlength rc reference trip) vlengths;
     true
 
+let check_case_resilient (nest, nval) =
+  let param _ = nval in
+  match Trahrhe.Inversion.invert nest with
+  | Error e ->
+    QCheck.Test.fail_reportf "inversion failed on a valid nest: %s"
+      (Trahrhe.Inversion.error_to_string e)
+  | Ok inv ->
+    let rc = Trahrhe.Recovery.make inv ~param in
+    let trip = Trahrhe.Recovery.trip_count rc in
+    let buf = ref [] in
+    N.iterate nest ~param (fun idx -> buf := Array.copy idx :: !buf);
+    let reference = Array.of_list (List.rev !buf) in
+    List.iter (fun schedule -> run_one_resilient ~schedule rc reference trip) schedules;
+    List.iter
+      (fun vlength ->
+        run_one_resilient ~schedule:(Ompsim.Schedule.Dynamic 2) ~lanes:vlength rc reference trip)
+      vlengths;
+    true
+
 (* 200 random nests; each runs on both backends and all five
    schedules, plus the serial lane-walk at every width, so >= 200
    nests per backend as the issue requires. The seed is pinned:
@@ -159,8 +234,14 @@ let prop_walk_matches_enumeration =
   QCheck.Test.make ~name:"collapsed walk = lexicographic enumeration (200 nests)" ~count:200
     arb_case check_case
 
+let prop_resilient_walk_matches =
+  QCheck.Test.make
+    ~name:"fault-injected resilient walk = lexicographic enumeration (60 nests)" ~count:60
+    arb_case check_case_resilient
+
 let rand = Random.State.make [| 0x7ca1e5ce |]
 
 let suites =
   [ ( "oracle",
-      [ QCheck_alcotest.to_alcotest ~rand prop_walk_matches_enumeration ] ) ]
+      [ QCheck_alcotest.to_alcotest ~rand prop_walk_matches_enumeration;
+        QCheck_alcotest.to_alcotest ~rand prop_resilient_walk_matches ] ) ]

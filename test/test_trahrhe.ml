@@ -223,6 +223,71 @@ let test_recovery_bounds_functions () =
   Alcotest.(check int) "rank_prefix: first with i=1" 10
     (Trahrhe.Recovery.rank_prefix rc ~level:0 1 [| 0; 0 |])
 
+let test_recovery_bigint_fallback () =
+  (* ISSUE 4 acceptance: an oversized parameter flips the recovery
+     into overflow-safe bigint mode (observable on the counter) and
+     still recovers exact indices. For fig6 at N = 2,000,000 the rank
+     values reach ~N^3/6 > 1.3e18 and the precomputed headroom
+     threshold rejects native-int evaluation. *)
+  let inv = Trahrhe.Inversion.invert_exn (fig6_nest ()) in
+  let small = Trahrhe.Recovery.make inv ~param:(fun _ -> 12) in
+  Alcotest.(check bool) "N=12 stays on the native path" false
+    (Trahrhe.Recovery.overflow_guarded small);
+  let nval = 2_000_000 in
+  let counter =
+    match Obsv.Metrics.find "recovery.bigint_fallback" with
+    | Some c -> c
+    | None -> Alcotest.fail "recovery.bigint_fallback counter not registered"
+  in
+  let rc =
+    Obsv.Control.with_enabled true (fun () ->
+        Obsv.Metrics.reset counter;
+        let rc = Trahrhe.Recovery.make inv ~param:(fun _ -> nval) in
+        Alcotest.(check bool) "bigint fallback observed" true
+          (Obsv.Metrics.total counter > 0);
+        rc)
+  in
+  Alcotest.(check bool) "N=2e6 is overflow-guarded" true
+    (Trahrhe.Recovery.overflow_guarded rc);
+  (* exact trip count (exclusive uppers): i in [0,N-1), j in [0,i+1),
+     k in [j,i+1) gives sum_{i=0}^{N-2} (i+1)(i+2)/2 =
+     (N-1)N(N+1)/6 ~ 1.33e18 *)
+  let expected_trip = ref 0 in
+  for i = 0 to nval - 2 do
+    expected_trip := !expected_trip + ((i + 1) * (i + 2) / 2)
+  done;
+  Alcotest.(check int) "exact trip count" !expected_trip (Trahrhe.Recovery.trip_count rc);
+  (* rank round-trips at the extremes and deep in the range, where a
+     native evaluation would have overflowed long ago *)
+  let trip = Trahrhe.Recovery.trip_count rc in
+  List.iter
+    (fun pc ->
+      let idx = Trahrhe.Recovery.recover_binsearch rc pc in
+      Alcotest.(check int) (Printf.sprintf "rank(recover(%d))" pc) pc
+        (Trahrhe.Recovery.rank rc idx);
+      Alcotest.(check (array int))
+        (Printf.sprintf "guarded = binsearch at %d" pc)
+        idx
+        (Trahrhe.Recovery.recover_guarded rc pc);
+      (* the recovered point lies inside its level bounds *)
+      for k = 0 to Trahrhe.Recovery.depth rc - 1 do
+        let lo = Trahrhe.Recovery.lower_bound rc ~level:k idx
+        and up = Trahrhe.Recovery.upper_bound rc ~level:k idx in
+        if idx.(k) < lo || idx.(k) > up then
+          Alcotest.failf "pc=%d level %d: %d outside [%d,%d]" pc k idx.(k) lo up
+      done)
+    [ 1; 2; trip / 3; trip / 2; trip - 1; trip ];
+  (* the safe walk takes the increment path and matches binsearch *)
+  let base = trip / 2 in
+  let j = ref 0 in
+  Trahrhe.Recovery.walk rc ~pc:base ~len:4 (fun idx ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "walk rank %d" (base + !j))
+        (Trahrhe.Recovery.recover_binsearch rc (base + !j))
+        idx;
+      incr j);
+  Alcotest.(check int) "walk delivered 4 ranks" 4 !j
+
 let test_recovery_increment_walks_domain () =
   let inv = Trahrhe.Inversion.invert_exn (correlation_nest ()) in
   let rc = Trahrhe.Recovery.make inv ~param:(fun _ -> 6) in
@@ -565,6 +630,7 @@ let suites =
       [ Alcotest.test_case "paper anchor recoveries" `Quick test_recovery_paper_formulas;
         Alcotest.test_case "strategies agree everywhere" `Quick test_recovery_strategies_agree;
         Alcotest.test_case "bounds and rank_prefix" `Quick test_recovery_bounds_functions;
+        Alcotest.test_case "bigint overflow fallback" `Quick test_recovery_bigint_fallback;
         Alcotest.test_case "increment walks domain" `Quick test_recovery_increment_walks_domain;
         Alcotest.test_case "empty domain" `Quick test_recovery_empty_domain;
         Alcotest.test_case "missing parameter" `Quick test_recovery_missing_param;
