@@ -7,16 +7,18 @@
 
    Artifacts: fig2 fig8 fig9 fig10 codegen ablation-chunk
    ablation-threads ablation-recovery micro micro-recovery micro-pool
-   micro-obsv micro-lanes micro-steal
+   micro-obsv micro-lanes micro-steal micro-fault micro-cache
 
-   micro-recovery, micro-pool, micro-obsv, micro-lanes and micro-steal
-   additionally write machine-readable BENCH_recovery.json /
-   BENCH_pool.json / BENCH_obsv.json / BENCH_lanes.json /
-   BENCH_steal.json (schema_version + git revision stamped) into the
-   current directory so the hot-path perf trajectory can be tracked
-   across PRs; micro-obsv also writes TRACE_obsv.json, a Chrome
-   trace of an instrumented parallel run. micro-lanes and micro-steal
-   honour BENCH_LANES_N / BENCH_STEAL_N for CI-sized runs. *)
+   The micro-* artifacts additionally write machine-readable
+   BENCH_recovery.json / BENCH_pool.json / BENCH_obsv.json /
+   BENCH_lanes.json / BENCH_steal.json / BENCH_fault.json /
+   BENCH_cache.json into the current directory (all through the shared
+   Emit module, which stamps schema_version + git revision) so the
+   hot-path perf trajectory can be tracked across PRs; micro-obsv also
+   writes TRACE_obsv.json, a Chrome trace of an instrumented parallel
+   run. micro-lanes, micro-steal, micro-fault and micro-cache honour
+   BENCH_LANES_N / BENCH_STEAL_N / BENCH_FAULT_N / BENCH_CACHE_NESTS
+   and BENCH_CACHE_REQS for CI-sized runs. *)
 
 module K = Kernels.Kernel
 module Sim = Ompsim.Sim
@@ -387,42 +389,9 @@ let micro () =
 
 (* ---------------- hot-path engine artifacts (JSON-emitting) ---------------- *)
 
-(* every BENCH_*.json carries the artifact schema version and the git
-   revision that produced it, so the perf trajectory across PRs stays
-   attributable *)
-let bench_schema_version = 2
-
-let git_describe =
-  lazy
-    (try
-       let ic = Unix.open_process_in "git describe --always --dirty 2>/dev/null" in
-       let line = try input_line ic with End_of_file -> "" in
-       (match Unix.close_process_in ic with
-       | Unix.WEXITED 0 when line <> "" -> line
-       | _ -> "unknown")
-     with Unix.Unix_error _ | Sys_error _ -> "unknown")
-
-let json_provenance () =
-  Printf.sprintf {|"schema_version": %d,
-  "git": "%s",|} bench_schema_version (Lazy.force git_describe)
-
-(* fail fast, BEFORE measuring for seconds, if the output path cannot
-   be created (read-only checkout, missing directory, ...) *)
-let ensure_writable path =
-  try close_out (open_out path)
-  with Sys_error e ->
-    Printf.eprintf "cannot write bench artifact %s: %s\n" path e;
-    exit 1
-
-let write_file path contents =
-  (try
-     let oc = open_out path in
-     output_string oc contents;
-     close_out oc
-   with Sys_error e ->
-     Printf.eprintf "cannot write bench artifact %s: %s\n" path e;
-     exit 1);
-  Printf.printf "wrote %s\n" path
+(* every BENCH_*.json goes through the shared Emit module, which stamps
+   the artifact schema version and the git revision in one place so the
+   perf trajectory across PRs stays attributable *)
 
 (* per-iteration cost of the strategies for executing a collapsed
    chunk: full recovery each iteration (the naive scheme), §V
@@ -431,7 +400,7 @@ let write_file path contents =
    advance the bounds by finite-difference tables *)
 let micro_recovery () =
   header "micro-recovery: ns/iter walking the collapsed correlation nest (N=1000)";
-  ensure_writable "BENCH_recovery.json";
+  Emit.ensure_writable "BENCH_recovery.json";
   let n = 1000 in
   let corr = Option.get (Kernels.Registry.find "correlation") in
   let inv = K.inversion corr in
@@ -473,37 +442,30 @@ let micro_recovery () =
   Printf.printf "walk vs re-evaluating increment: %.1fx; walk vs naive recovery: %.1fx\n"
     (increment_horner /. fdiff_walk)
     (recover_each /. fdiff_walk);
-  write_file "BENCH_recovery.json"
-    (Printf.sprintf
-       {|{
-  "artifact": "micro-recovery",
-  %s
-  "kernel": "correlation",
-  "n": %d,
-  "iterations": %d,
-  "ns_per_iter": {
-    "recover_each": %.2f,
-    "increment_flat_terms": %.2f,
-    "increment_horner": %.2f,
-    "fdiff_walk": %.2f
-  },
-  "speedup": {
-    "walk_vs_increment_horner": %.3f,
-    "walk_vs_recover_each": %.3f,
-    "horner_vs_flat_increment": %.3f
-  }
-}
-|}
-       (json_provenance ()) n trip recover_each increment_flat increment_horner fdiff_walk
-       (increment_horner /. fdiff_walk)
-       (recover_each /. fdiff_walk)
-       (increment_flat /. increment_horner))
+  Emit.write ~path:"BENCH_recovery.json" ~artifact:"micro-recovery"
+    [ ("kernel", Emit.Str "correlation");
+      ("n", Emit.Int n);
+      ("iterations", Emit.Int trip);
+      ( "ns_per_iter",
+        Emit.Obj
+          [ ("recover_each", Emit.F (recover_each, 2));
+            ("increment_flat_terms", Emit.F (increment_flat, 2));
+            ("increment_horner", Emit.F (increment_horner, 2));
+            ("fdiff_walk", Emit.F (fdiff_walk, 2))
+          ] );
+      ( "speedup",
+        Emit.Obj
+          [ ("walk_vs_increment_horner", Emit.F (increment_horner /. fdiff_walk, 3));
+            ("walk_vs_recover_each", Emit.F (recover_each /. fdiff_walk, 3));
+            ("horner_vs_flat_increment", Emit.F (increment_flat /. increment_horner, 3))
+          ] )
+    ]
 
 (* per-region overhead of the real executor: warm pool dispatch vs
    spawning fresh domains per parallel region *)
 let micro_pool () =
   header "micro-pool: per-region overhead of Par.parallel_for (ns/call)";
-  ensure_writable "BENCH_pool.json";
+  Emit.ensure_writable "BENCH_pool.json";
   let thread_counts = [ 2; 4; 8 ] in
   let measure backend nthreads =
     Ompsim.Calibrate.measure_region_overhead ~calls:200 ~backend ~nthreads ()
@@ -518,27 +480,21 @@ let micro_pool () =
         (nthreads, spawn, pool))
       thread_counts
   in
-  let json_rows =
-    rows
-    |> List.map (fun (nthreads, spawn, pool) ->
-           Printf.sprintf
-             {|    { "nthreads": %d, "spawn_ns": %.0f, "pool_ns": %.0f, "spawn_over_pool": %.3f }|}
-             nthreads spawn pool (spawn /. pool))
-    |> String.concat ",\n"
-  in
-  write_file "BENCH_pool.json"
-    (Printf.sprintf
-       {|{
-  "artifact": "micro-pool",
-  %s
-  "calls_per_measurement": 200,
-  "pool_workers_alive": %d,
-  "regions": [
-%s
-  ]
-}
-|}
-       (json_provenance ()) (Ompsim.Pool.size ()) json_rows)
+  Emit.write ~path:"BENCH_pool.json" ~artifact:"micro-pool"
+    [ ("calls_per_measurement", Emit.Int 200);
+      ("pool_workers_alive", Emit.Int (Ompsim.Pool.size ()));
+      ( "regions",
+        Emit.Arr
+          (List.map
+             (fun (nthreads, spawn, pool) ->
+               Emit.Obj
+                 [ ("nthreads", Emit.Int nthreads);
+                   ("spawn_ns", Emit.F (spawn, 0));
+                   ("pool_ns", Emit.F (pool, 0));
+                   ("spawn_over_pool", Emit.F (spawn /. pool, 3))
+                 ])
+             rows) )
+    ]
 
 (* overhead and imbalance of the observability layer itself: the §V
    walk loop with instrumentation absent / disabled / enabled, then a
@@ -547,8 +503,8 @@ let micro_pool () =
    Chrome-trace validation *)
 let micro_obsv () =
   header "micro-obsv: observability overhead on the walk loop (correlation, N=1000)";
-  ensure_writable "BENCH_obsv.json";
-  ensure_writable "TRACE_obsv.json";
+  Emit.ensure_writable "BENCH_obsv.json";
+  Emit.ensure_writable "TRACE_obsv.json";
   let n = 1000 in
   let corr = Option.get (Kernels.Registry.find "correlation") in
   let rc = K.recovery corr ~n in
@@ -601,21 +557,22 @@ let micro_obsv () =
     let per_worker =
       Obsv.Metrics.per_slot Ompsim.Stats.par_iterations
       |> List.map (fun (slot, iters) ->
-             Printf.sprintf {|        { "slot": %d, "chunks": %d, "iterations": %d }|} slot
-               (Obsv.Metrics.get Ompsim.Stats.par_chunks ~slot)
-               iters)
-      |> String.concat ",\n"
+             Emit.Obj
+               [ ("slot", Emit.Int slot);
+                 ("chunks", Emit.Int (Obsv.Metrics.get Ompsim.Stats.par_chunks ~slot));
+                 ("iterations", Emit.Int iters)
+               ])
     in
     let imb = Obsv.Metrics.imbalance Ompsim.Stats.par_iterations in
     Printf.printf "  %-14s imbalance (max/mean iterations per worker): %.3f\n"
       (Sched.to_string schedule) imb;
     Ompsim.Stats.emit_trace_counters ();
-    Printf.sprintf
-      {|    { "schedule": "%s", "nthreads": %d, "imbalance": %.4f,
-      "per_worker": [
-%s
-      ] }|}
-      (Sched.to_string schedule) nthreads imb per_worker
+    Emit.Obj
+      [ ("schedule", Emit.Str (Sched.to_string schedule));
+        ("nthreads", Emit.Int nthreads);
+        ("imbalance", Emit.F (imb, 4));
+        ("per_worker", Emit.Arr per_worker)
+      ]
   in
   let sections =
     Obsv.Control.with_enabled true (fun () ->
@@ -625,38 +582,28 @@ let micro_obsv () =
         [ s1; s2 ])
   in
   Printf.printf "wrote TRACE_obsv.json (%d events)\n" (Obsv.Trace.event_count ());
-  write_file "BENCH_obsv.json"
-    (Printf.sprintf
-       {|{
-  "artifact": "micro-obsv",
-  %s
-  "kernel": "correlation",
-  "n": %d,
-  "iterations": %d,
-  "chunk": %d,
-  "ns_per_iter": {
-    "walk_uninstrumented_full": %.2f,
-    "walk_uninstrumented_chunked": %.2f,
-    "walk_disabled_full": %.2f,
-    "walk_disabled_chunked": %.2f,
-    "walk_enabled_chunked": %.2f
-  },
-  "overhead_pct": {
-    "disabled_full": %.3f,
-    "disabled_chunked": %.3f,
-    "enabled_chunked": %.3f
-  },
-  "parallel": [
-%s
-  ],
-  "trace_events": %d
-}
-|}
-       (json_provenance ()) n trip chunk bare_full bare_chunked disabled_full disabled_chunked
-       enabled_chunked (pct disabled_full bare_full) (pct disabled_chunked bare_chunked)
-       (pct enabled_chunked bare_chunked)
-       (String.concat ",\n" sections)
-       (Obsv.Trace.event_count ()))
+  Emit.write ~path:"BENCH_obsv.json" ~artifact:"micro-obsv"
+    [ ("kernel", Emit.Str "correlation");
+      ("n", Emit.Int n);
+      ("iterations", Emit.Int trip);
+      ("chunk", Emit.Int chunk);
+      ( "ns_per_iter",
+        Emit.Obj
+          [ ("walk_uninstrumented_full", Emit.F (bare_full, 2));
+            ("walk_uninstrumented_chunked", Emit.F (bare_chunked, 2));
+            ("walk_disabled_full", Emit.F (disabled_full, 2));
+            ("walk_disabled_chunked", Emit.F (disabled_chunked, 2));
+            ("walk_enabled_chunked", Emit.F (enabled_chunked, 2))
+          ] );
+      ( "overhead_pct",
+        Emit.Obj
+          [ ("disabled_full", Emit.F (pct disabled_full bare_full, 3));
+            ("disabled_chunked", Emit.F (pct disabled_chunked bare_chunked, 3));
+            ("enabled_chunked", Emit.F (pct enabled_chunked bare_chunked, 3))
+          ] );
+      ("parallel", Emit.Arr sections);
+      ("trace_events", Emit.Int (Obsv.Trace.event_count ()))
+    ]
 
 (* positive integer from the environment, for CI to shrink the bench
    sizes without patching the source *)
@@ -673,7 +620,7 @@ let env_int name default =
 let micro_lanes () =
   let n = env_int "BENCH_LANES_N" 1000 in
   header (Printf.sprintf "micro-lanes: walk vs walk_lanes ns/iter (correlation, N=%d)" n);
-  ensure_writable "BENCH_lanes.json";
+  Emit.ensure_writable "BENCH_lanes.json";
   let corr = Option.get (Kernels.Registry.find "correlation") in
   let rc = K.recovery corr ~n in
   let trip = Trahrhe.Recovery.trip_count rc in
@@ -717,36 +664,28 @@ let micro_lanes () =
         (Printf.sprintf "walk_lanes, vlength %d" v)
         ns (walk_ns /. ns))
     rows;
-  let json_rows =
-    rows
-    |> List.map (fun (v, ns) ->
-           Printf.sprintf
-             {|    { "vlength": %d, "ns_per_iter": %.2f, "speedup_vs_walk": %.3f }|} v ns
-             (walk_ns /. ns))
-    |> String.concat ",\n"
-  in
-  write_file "BENCH_lanes.json"
-    (Printf.sprintf
-       {|{
-  "artifact": "micro-lanes",
-  %s
-  "kernel": "correlation",
-  "n": %d,
-  "iterations": %d,
-  "chunk": %d,
-  "walk_ns_per_iter": %.2f,
-  "lanes": [
-%s
-  ],
-  "speedup": {
-    "vlength_8_vs_walk": %.3f,
-    "vlength_32_vs_walk": %.3f
-  }
-}
-|}
-       (json_provenance ()) n trip chunk walk_ns json_rows
-       (walk_ns /. List.assoc 8 rows)
-       (walk_ns /. List.assoc 32 rows))
+  Emit.write ~path:"BENCH_lanes.json" ~artifact:"micro-lanes"
+    [ ("kernel", Emit.Str "correlation");
+      ("n", Emit.Int n);
+      ("iterations", Emit.Int trip);
+      ("chunk", Emit.Int chunk);
+      ("walk_ns_per_iter", Emit.F (walk_ns, 2));
+      ( "lanes",
+        Emit.Arr
+          (List.map
+             (fun (v, ns) ->
+               Emit.Obj
+                 [ ("vlength", Emit.Int v);
+                   ("ns_per_iter", Emit.F (ns, 2));
+                   ("speedup_vs_walk", Emit.F (walk_ns /. ns, 3))
+                 ])
+             rows) );
+      ( "speedup",
+        Emit.Obj
+          [ ("vlength_8_vs_walk", Emit.F (walk_ns /. List.assoc 8 rows, 3));
+            ("vlength_32_vs_walk", Emit.F (walk_ns /. List.assoc 32 rows, 3))
+          ] )
+    ]
 
 (* scheduling-overhead shootout on a skewed-cost workload: a central
    mutex-protected chunk queue (the textbook dynamic scheduler), the
@@ -756,7 +695,7 @@ let micro_lanes () =
 let micro_steal () =
   let n = env_int "BENCH_STEAL_N" 200_000 in
   header (Printf.sprintf "micro-steal: scheduler overhead on %d skewed iterations" n);
-  ensure_writable "BENCH_steal.json";
+  Emit.ensure_writable "BENCH_steal.json";
   (* default 2 workers: the schedulers are compared under modest
      oversubscription — with many more domains than cores the run is
      dominated by OS descheduling (a parked owner strands its claimed
@@ -850,37 +789,33 @@ let micro_steal () =
     "ws counters: %d local pops + %d steals = %d (ground truth %d chunks, %d CAS retries) %s\n"
     pops steals (pops + steals) truth retries
     (if reconciled then "ok" else "MISMATCH");
-  write_file "BENCH_steal.json"
-    (Printf.sprintf
-       {|{
-  "artifact": "micro-steal",
-  %s
-  "n": %d,
-  "chunk": %d,
-  "nthreads": %d,
-  "skew": %d,
-  "ground_truth_chunks": %d,
-  "time_ms": {
-    "mutex_queue": %.3f,
-    "dynamic_atomic": %.3f,
-    "work_stealing": %.3f
-  },
-  "speedup": {
-    "ws_vs_mutex": %.3f,
-    "ws_vs_dynamic": %.3f
-  },
-  "counters": {
-    "local_pops": %d,
-    "steals": %d,
-    "steal_retries": %d,
-    "pops_plus_steals": %d,
-    "par_chunks": %d,
-    "reconciled": %b
-  }
-}
-|}
-       (json_provenance ()) n chunk nthreads skew truth t_mutex t_dyn t_ws (t_mutex /. t_ws)
-       (t_dyn /. t_ws) pops steals retries (pops + steals) par_chunks reconciled)
+  Emit.write ~path:"BENCH_steal.json" ~artifact:"micro-steal"
+    [ ("n", Emit.Int n);
+      ("chunk", Emit.Int chunk);
+      ("nthreads", Emit.Int nthreads);
+      ("skew", Emit.Int skew);
+      ("ground_truth_chunks", Emit.Int truth);
+      ( "time_ms",
+        Emit.Obj
+          [ ("mutex_queue", Emit.F (t_mutex, 3));
+            ("dynamic_atomic", Emit.F (t_dyn, 3));
+            ("work_stealing", Emit.F (t_ws, 3))
+          ] );
+      ( "speedup",
+        Emit.Obj
+          [ ("ws_vs_mutex", Emit.F (t_mutex /. t_ws, 3));
+            ("ws_vs_dynamic", Emit.F (t_dyn /. t_ws, 3))
+          ] );
+      ( "counters",
+        Emit.Obj
+          [ ("local_pops", Emit.Int pops);
+            ("steals", Emit.Int steals);
+            ("steal_retries", Emit.Int retries);
+            ("pops_plus_steals", Emit.Int (pops + steals));
+            ("par_chunks", Emit.Int par_chunks);
+            ("reconciled", Emit.Bool reconciled)
+          ] )
+    ]
 
 (* micro-fault: cost of the fault-tolerance layer. Two questions:
    (1) what does supervision cost when nothing ever fails — the
@@ -892,7 +827,7 @@ let micro_steal () =
 let micro_fault () =
   let n = env_int "BENCH_FAULT_N" 200_000 in
   header (Printf.sprintf "micro-fault: supervision overhead + recovery latency on %d iterations" n);
-  ensure_writable "BENCH_fault.json";
+  Emit.ensure_writable "BENCH_fault.json";
   let nthreads = env_int "BENCH_FAULT_T" 2 in
   let chunk = env_int "BENCH_FAULT_CHUNK" 64 in
   let retries = 2 in
@@ -999,38 +934,222 @@ let micro_fault () =
         Printf.printf "p=%-36g %10.2f %9d %8d %10d %9d %s\n" p t_ms injected retried cancelled
           fallbacks
           (if sum_ok then "ok" else "CHECKSUM MISMATCH");
-        Printf.sprintf
-          {|    { "p": %g, "time_ms": %.3f, "injected": %d, "retries": %d, "cancelled": %d, "serial_fallbacks": %d, "iterations": %d, "checksum_ok": %b }|}
-          p t_ms injected retried cancelled fallbacks iters sum_ok)
+        Emit.Obj
+          [ ("p", Emit.G p);
+            ("time_ms", Emit.F (t_ms, 3));
+            ("injected", Emit.Int injected);
+            ("retries", Emit.Int retried);
+            ("cancelled", Emit.Int cancelled);
+            ("serial_fallbacks", Emit.Int fallbacks);
+            ("iterations", Emit.Int iters);
+            ("checksum_ok", Emit.Bool sum_ok)
+          ])
       rates
   in
   Obsv.Trace.clear ();
   Ompsim.Stats.reset ();
-  write_file "BENCH_fault.json"
-    (Printf.sprintf
-       {|{
-  "artifact": "micro-fault",
-  %s
-  "n": %d,
-  "chunk": %d,
-  "nthreads": %d,
-  "retries": %d,
-  "supervision_overhead": {
-    "plain_ms": %.3f,
-    "resilient_ms": %.3f,
-    "overhead_pct": %.2f,
-    "overhead_ns_per_chunk": %.1f,
-    "overhead_ns_per_iter": %.3f
-  },
-  "rates": [
-%s
-  ],
-  "reconciled": %b
-}
-|}
-       (json_provenance ()) n chunk nthreads retries t_plain t_resilient overhead_pct
-       ns_per_chunk ns_per_iter
-       (String.concat ",\n" rows) !all_ok)
+  Emit.write ~path:"BENCH_fault.json" ~artifact:"micro-fault"
+    [ ("n", Emit.Int n);
+      ("chunk", Emit.Int chunk);
+      ("nthreads", Emit.Int nthreads);
+      ("retries", Emit.Int retries);
+      ( "supervision_overhead",
+        Emit.Obj
+          [ ("plain_ms", Emit.F (t_plain, 3));
+            ("resilient_ms", Emit.F (t_resilient, 3));
+            ("overhead_pct", Emit.F (overhead_pct, 2));
+            ("overhead_ns_per_chunk", Emit.F (ns_per_chunk, 1));
+            ("overhead_ns_per_iter", Emit.F (ns_per_iter, 3))
+          ] );
+      ("rates", Emit.Arr rows);
+      ("reconciled", Emit.Bool !all_ok)
+    ]
+
+(* micro-cache: the compilation service's plan cache. Phases:
+   (1) cold — compile BENCH_CACHE_NESTS distinct nests through an
+   ample cache, timing the misses; (2) warm — re-request every nest,
+   timing pure in-memory hits (the ISSUE acceptance wants warm >= 20x
+   cold); (3) a Zipf-ish skewed workload against a deliberately
+   undersized cache, with a per-request outcome log rebuilt from
+   sequential stats deltas — the log must reconcile exactly against
+   both the cache's always-on counters and the Obsv cache.* metrics;
+   (4) single-flight — concurrent requests for one fresh fingerprint
+   with an artificially slow compile must dedup to exactly one miss. *)
+let micro_cache () =
+  let nnests = env_int "BENCH_CACHE_NESTS" 32 in
+  let reqs = env_int "BENCH_CACHE_REQS" 512 in
+  header
+    (Printf.sprintf "micro-cache: plan cache cold/warm latency, %d nests, %d skewed requests"
+       nnests reqs);
+  Emit.ensure_writable "BENCH_cache.json";
+  let module A = Polymath.Affine in
+  let module Q = Zmath.Rat in
+  (* distinct triangular nests: the inner upper bound's constant offset
+     varies, so every nest gets its own fingerprint but inversion always
+     succeeds (depth 2) *)
+  let nest_of_seed s =
+    Trahrhe.Nest.make ~params:[ "N" ]
+      [ { var = "i"; lower = A.const Q.zero; upper = A.var "N" };
+        { var = "j"; lower = A.var "i"; upper = A.make [ ("N", Q.one) ] (Q.of_int (1 + s)) } ]
+  in
+  let nests = Array.init nnests nest_of_seed in
+  let time_ns f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    (Unix.gettimeofday () -. t0) *. 1e9
+  in
+  let request cache nest =
+    match Service.Cache.find_or_compile cache nest with
+    | Ok _ -> ()
+    | Error e -> failwith ("plan compile failed: " ^ e)
+  in
+  Obsv.Control.with_enabled true @@ fun () ->
+  Ompsim.Stats.reset ();
+  (* (1)+(2) cold misses then warm hits on an ample cache *)
+  let ample = Service.Cache.create ~capacity:(2 * nnests) ~dir:None () in
+  let cold_total = time_ns (fun () -> Array.iter (request ample) nests) in
+  let warm_rounds = 5 in
+  let warm_total =
+    time_ns (fun () ->
+        for _ = 1 to warm_rounds do
+          Array.iter (request ample) nests
+        done)
+  in
+  let cold_ns = cold_total /. float_of_int nnests in
+  let warm_ns = warm_total /. float_of_int (warm_rounds * nnests) in
+  let warm_speedup = cold_ns /. warm_ns in
+  let ample_stats = Service.Cache.stats ample in
+  Printf.printf "%-38s %12.0f ns\n" "cold compile (miss)" cold_ns;
+  Printf.printf "%-38s %12.0f ns\n" "warm lookup (memory hit)" warm_ns;
+  Printf.printf "%-38s %11.1fx\n" "warm speedup" warm_speedup;
+  (* (3) Zipf-ish workload against an undersized cache: quadratically
+     skewed toward nest 0, so popular plans stay resident and the tail
+     churns through evictions; the outcome of every request is logged
+     from the always-on stats deltas *)
+  let small = Service.Cache.create ~capacity:(max 2 (nnests / 4)) ~dir:None () in
+  let log_hits = ref 0 and log_misses = ref 0 and log_waits = ref 0 in
+  let state = ref 12345 in
+  let zipf_time =
+    time_ns (fun () ->
+        for _ = 1 to reqs do
+          state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+          let u = float_of_int !state /. 1073741824.0 in
+          let idx = min (nnests - 1) (int_of_float (float_of_int nnests *. u *. u)) in
+          let before = Service.Cache.stats small in
+          request small nests.(idx);
+          let after = Service.Cache.stats small in
+          if after.Service.Cache.hits > before.Service.Cache.hits then incr log_hits
+          else if after.Service.Cache.misses > before.Service.Cache.misses then incr log_misses
+          else incr log_waits
+        done)
+  in
+  let zs = Service.Cache.stats small in
+  let hit_ratio = float_of_int zs.Service.Cache.hits /. float_of_int reqs in
+  Printf.printf
+    "zipf workload: %d requests, %d hits (%.1f%%), %d misses, %d evictions, %.0f ns/request\n" reqs
+    zs.Service.Cache.hits (100.0 *. hit_ratio) zs.Service.Cache.misses
+    zs.Service.Cache.evictions
+    (zipf_time /. float_of_int reqs);
+  (* (4) single-flight: 4 workers race for one fresh fingerprint whose
+     compile is slowed enough that every follower arrives in time *)
+  let sf = Service.Cache.create ~capacity:8 ~dir:None () in
+  let sf_nest = nest_of_seed (nnests + 1) in
+  let sf_workers = 4 in
+  let slow_compile nest =
+    Unix.sleepf 0.02;
+    Service.Plan.compile nest
+  in
+  Ompsim.Pool.run ~nthreads:sf_workers (fun _ ->
+      match Service.Cache.find_or_compile ~compile:slow_compile sf sf_nest with
+      | Ok _ -> ()
+      | Error e -> failwith ("single-flight compile failed: " ^ e));
+  let ss = Service.Cache.stats sf in
+  let dedup = ss.Service.Cache.singleflight_waits in
+  Printf.printf "single-flight: %d concurrent requests -> %d compile, %d deduplicated\n" sf_workers
+    ss.Service.Cache.misses dedup;
+  (* reconciliation: request log vs always-on stats vs Obsv metrics *)
+  let total_stats c =
+    let s = Service.Cache.stats c in
+    ( s.Service.Cache.hits,
+      s.Service.Cache.misses,
+      s.Service.Cache.singleflight_waits,
+      s.Service.Cache.evictions )
+  in
+  let sum3 (a1, b1, c1, d1) (a2, b2, c2, d2) = (a1 + a2, b1 + b2, c1 + c2, d1 + d2) in
+  let hits_all, misses_all, waits_all, evicts_all =
+    List.fold_left sum3 (0, 0, 0, 0) (List.map total_stats [ ample; small; sf ])
+  in
+  let metric name =
+    match Obsv.Metrics.find name with Some m -> Obsv.Metrics.total m | None -> -1
+  in
+  let log_ok =
+    !log_hits = zs.Service.Cache.hits
+    && !log_misses = zs.Service.Cache.misses
+    && !log_waits = zs.Service.Cache.singleflight_waits
+    && !log_hits + !log_misses + !log_waits = reqs
+  in
+  let obsv_ok =
+    metric "cache.hit" = hits_all
+    && metric "cache.miss" = misses_all
+    && metric "cache.singleflight_wait" = waits_all
+    && metric "cache.evict" = evicts_all
+  in
+  let sf_ok = ss.Service.Cache.misses = 1 && dedup = sf_workers - 1 in
+  let ample_ok =
+    ample_stats.Service.Cache.misses = nnests
+    && ample_stats.Service.Cache.hits = warm_rounds * nnests
+  in
+  let reconciled = log_ok && obsv_ok && sf_ok && ample_ok in
+  Printf.printf "counters reconcile (request log = cache stats = obsv cache.*): %s\n"
+    (if reconciled then "ok" else "MISMATCH");
+  (* snapshot the metric totals BEFORE the reset below zeroes them *)
+  let m_hit = metric "cache.hit" in
+  let m_miss = metric "cache.miss" in
+  let m_evict = metric "cache.evict" in
+  let m_wait = metric "cache.singleflight_wait" in
+  Obsv.Trace.clear ();
+  Ompsim.Stats.reset ();
+  Emit.write ~path:"BENCH_cache.json" ~artifact:"micro-cache"
+    [ ("nests", Emit.Int nnests);
+      ("requests", Emit.Int reqs);
+      ( "latency_ns",
+        Emit.Obj
+          [ ("cold_compile", Emit.F (cold_ns, 0));
+            ("warm_hit", Emit.F (warm_ns, 0));
+            ("zipf_per_request", Emit.F (zipf_time /. float_of_int reqs, 0))
+          ] );
+      ("warm_speedup", Emit.F (warm_speedup, 1));
+      ("warm_speedup_ok", Emit.Bool (warm_speedup >= 20.0));
+      ( "zipf",
+        Emit.Obj
+          [ ("capacity", Emit.Int (Service.Cache.capacity small));
+            ("requests", Emit.Int reqs);
+            ("hits", Emit.Int zs.Service.Cache.hits);
+            ("misses", Emit.Int zs.Service.Cache.misses);
+            ("evictions", Emit.Int zs.Service.Cache.evictions);
+            ("hit_ratio", Emit.F (hit_ratio, 4))
+          ] );
+      ( "singleflight",
+        Emit.Obj
+          [ ("concurrent_requests", Emit.Int sf_workers);
+            ("compiles", Emit.Int ss.Service.Cache.misses);
+            ("deduplicated", Emit.Int dedup)
+          ] );
+      ( "request_log",
+        Emit.Obj
+          [ ("hits", Emit.Int !log_hits);
+            ("misses", Emit.Int !log_misses);
+            ("singleflight_waits", Emit.Int !log_waits)
+          ] );
+      ( "obsv_counters",
+        Emit.Obj
+          [ ("cache_hit", Emit.Int m_hit);
+            ("cache_miss", Emit.Int m_miss);
+            ("cache_evict", Emit.Int m_evict);
+            ("cache_singleflight_wait", Emit.Int m_wait)
+          ] );
+      ("reconciled", Emit.Bool reconciled)
+    ]
 
 (* ---------------- driver ---------------- *)
 
@@ -1051,7 +1170,8 @@ let artifacts =
     ("micro-obsv", micro_obsv);
     ("micro-lanes", micro_lanes);
     ("micro-steal", micro_steal);
-    ("micro-fault", micro_fault) ]
+    ("micro-fault", micro_fault);
+    ("micro-cache", micro_cache) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

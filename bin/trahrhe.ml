@@ -281,7 +281,7 @@ let iter_hash idx =
   Array.iter (fun v -> h := (!h * 1000003) + v) idx;
   !h
 
-let exec_run kernel size threads schedule lanes faults retries deadline_ms trace stats =
+let exec_run kernel size threads schedule lanes repeat faults retries deadline_ms trace stats =
   with_obsv ~trace ~stats @@ fun () ->
   match
     Option.to_result ~none:"--kernel is required" kernel |> fun k ->
@@ -291,15 +291,14 @@ let exec_run kernel size threads schedule lanes faults retries deadline_ms trace
   | Error e ->
     prerr_endline e;
     1
-  | Ok k ->
+  | Ok k -> (
     let n = match size with Some n -> n | None -> k.Kernels.Kernel.default_n in
-    let rc = Kernels.Kernel.recovery k ~n in
-    let trip = Trahrhe.Recovery.trip_count rc in
-    (* padded per-worker partial checksums: one writer per slot *)
-    let stride = 16 in
-    let partial = Array.make (threads * stride) 0 in
     if lanes <= 0 then begin
       prerr_endline "--lanes needs a positive integer";
+      exit 1
+    end;
+    if repeat <= 0 then begin
+      prerr_endline "--repeat needs a positive integer";
       exit 1
     end;
     let fault_cfg =
@@ -315,78 +314,109 @@ let exec_run kernel size threads schedule lanes faults retries deadline_ms trace
     (* any fault-tolerance knob routes execution through the
        supervised region; otherwise the plain unsupervised path runs *)
     let resilient = fault_cfg <> None || retries > 0 || deadline_ms <> None in
-    let body ~thread ~start ~len =
-      let cell = thread * stride in
-      if lanes > 1 then
-        (* §VI-A batched body: one hash per lane of each lockstep block *)
-        Trahrhe.Recovery.walk_lanes rc ~pc:(start + 1) ~len ~vlength:lanes
-          (fun ~base:_ ~count buf ->
-            let d = Array.length buf in
-            for l = 0 to count - 1 do
-              let h = ref 0 in
-              for k = 0 to d - 1 do
-                h := (!h * 1000003) + buf.(k).(l)
-              done;
-              partial.(cell) <- partial.(cell) + !h
-            done)
-      else
-        Trahrhe.Recovery.walk rc ~pc:(start + 1) ~len (fun idx ->
-            partial.(cell) <- partial.(cell) + iter_hash idx)
-    in
-    let t0 = Unix.gettimeofday () in
-    let outcome =
-      if resilient then
-        Ompsim.Par.run_resilient ~retries ?deadline_ms ~faults:fault_cfg ~nthreads:threads
-          ~schedule ~n:trip body
-      else begin
-        Ompsim.Par.parallel_for_chunks ~nthreads:threads ~schedule ~n:trip body;
-        Ok ()
-      end
-    in
-    let elapsed = Unix.gettimeofday () -. t0 in
-    (match outcome with
-    | Error err ->
-      print_endline (Ompsim.Par.describe_error err);
+    (* compile once through the plan cache (warm OMPSIM_PLAN_CACHE dirs
+       skip the symbolic pipeline entirely); the recovery and the
+       serial reference are then reused across every --repeat run *)
+    match Service.Cache.find_or_compile (Service.Cache.default ()) k.Kernels.Kernel.nest with
+    | Error e ->
+      Printf.eprintf "inversion failed: %s\n" e;
       1
-    | Ok () ->
-      let parallel_sum = ref 0 in
-      for t = 0 to threads - 1 do
-        parallel_sum := !parallel_sum + partial.(t * stride)
-      done;
+    | Ok (plan, renaming) ->
+      let param =
+        Service.Fingerprint.canonical_param renaming (Kernels.Kernel.param_of k ~n)
+      in
+      let rc = Service.Plan.recovery plan ~param in
+      let trip = Trahrhe.Recovery.trip_count rc in
+      (* padded per-worker partial checksums: one writer per slot *)
+      let stride = 16 in
+      let partial = Array.make (threads * stride) 0 in
+      let body ~thread ~start ~len =
+        let cell = thread * stride in
+        if lanes > 1 then
+          (* §VI-A batched body: one hash per lane of each lockstep block *)
+          Trahrhe.Recovery.walk_lanes rc ~pc:(start + 1) ~len ~vlength:lanes
+            (fun ~base:_ ~count buf ->
+              let d = Array.length buf in
+              for l = 0 to count - 1 do
+                let h = ref 0 in
+                for k = 0 to d - 1 do
+                  h := (!h * 1000003) + buf.(k).(l)
+                done;
+                partial.(cell) <- partial.(cell) + !h
+              done)
+        else
+          Trahrhe.Recovery.walk rc ~pc:(start + 1) ~len (fun idx ->
+              partial.(cell) <- partial.(cell) + iter_hash idx)
+      in
+      (* serial reference, once: the plan's canonical nest enumerates
+         the same integer tuples as the kernel's own *)
       let serial_sum = ref 0 in
-      Trahrhe.Nest.iterate k.Kernels.Kernel.nest ~param:(Kernels.Kernel.param_of k ~n) (fun idx ->
+      Trahrhe.Nest.iterate plan.Service.Plan.inversion.Trahrhe.Inversion.nest ~param (fun idx ->
           serial_sum := !serial_sum + iter_hash idx);
-      Printf.printf "kernel %s, n=%d, %d threads, schedule(%s)%s: %d collapsed iterations in %.4fs\n"
-        k.Kernels.Kernel.name n threads
-        (Ompsim.Schedule.to_string schedule)
-        (if lanes > 1 then Printf.sprintf ", %d lanes" lanes else "")
-        trip elapsed;
-      (match Obsv.Metrics.per_slot Ompsim.Stats.par_iterations with
-      | [] -> ()
-      | cells ->
-        List.iter
-          (fun (slot, iters) ->
-            Printf.printf "  worker %2d: %4d chunks %10d iterations\n" slot
-              (Obsv.Metrics.get Ompsim.Stats.par_chunks ~slot)
-              iters)
-          cells;
-        Printf.printf "  iteration imbalance (max/mean): %.3f\n"
-          (Obsv.Metrics.imbalance Ompsim.Stats.par_iterations));
-      if resilient && Obsv.Control.enabled () then
-        Printf.printf "  faults: %d injected, %d stalls, %d retries, %d cancellations, %d serial fallbacks\n"
-          (Obsv.Metrics.total Ompsim.Stats.faults_injected)
-          (Obsv.Metrics.total Ompsim.Stats.fault_stalls)
-          (Obsv.Metrics.total Ompsim.Stats.chunk_retries)
-          (Obsv.Metrics.total Ompsim.Stats.regions_cancelled)
-          (Obsv.Metrics.total Ompsim.Stats.serial_fallbacks);
-      if !parallel_sum = !serial_sum then begin
-        Printf.printf "checksum ok (%d)\n" !parallel_sum;
-        0
-      end
-      else begin
-        Printf.printf "CHECKSUM MISMATCH: parallel %d vs serial %d\n" !parallel_sum !serial_sum;
+      let t0 = Unix.gettimeofday () in
+      let rec run_repeats r =
+        if r > repeat then Ok ()
+        else begin
+          Array.fill partial 0 (Array.length partial) 0;
+          let outcome =
+            if resilient then
+              Ompsim.Par.run_resilient ~retries ?deadline_ms ~faults:fault_cfg ~nthreads:threads
+                ~schedule ~n:trip body
+            else begin
+              Ompsim.Par.parallel_for_chunks ~nthreads:threads ~schedule ~n:trip body;
+              Ok ()
+            end
+          in
+          match outcome with
+          | Error err -> Error (Ompsim.Par.describe_error err)
+          | Ok () ->
+            let parallel_sum = ref 0 in
+            for t = 0 to threads - 1 do
+              parallel_sum := !parallel_sum + partial.(t * stride)
+            done;
+            if !parallel_sum <> !serial_sum then
+              Error
+                (Printf.sprintf "CHECKSUM MISMATCH on run %d/%d: parallel %d vs serial %d" r
+                   repeat !parallel_sum !serial_sum)
+            else run_repeats (r + 1)
+        end
+      in
+      let result = run_repeats 1 in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      (match result with
+      | Error msg ->
+        print_endline msg;
         1
-      end)
+      | Ok () ->
+        Printf.printf
+          "kernel %s, n=%d, %d threads, schedule(%s)%s: %d collapsed iterations%s in %.4fs\n"
+          k.Kernels.Kernel.name n threads
+          (Ompsim.Schedule.to_string schedule)
+          (if lanes > 1 then Printf.sprintf ", %d lanes" lanes else "")
+          trip
+          (if repeat > 1 then Printf.sprintf " x%d runs" repeat else "")
+          elapsed;
+        (match Obsv.Metrics.per_slot Ompsim.Stats.par_iterations with
+        | [] -> ()
+        | cells ->
+          List.iter
+            (fun (slot, iters) ->
+              Printf.printf "  worker %2d: %4d chunks %10d iterations\n" slot
+                (Obsv.Metrics.get Ompsim.Stats.par_chunks ~slot)
+                iters)
+            cells;
+          Printf.printf "  iteration imbalance (max/mean): %.3f\n"
+            (Obsv.Metrics.imbalance Ompsim.Stats.par_iterations));
+        if resilient && Obsv.Control.enabled () then
+          Printf.printf
+            "  faults: %d injected, %d stalls, %d retries, %d cancellations, %d serial fallbacks\n"
+            (Obsv.Metrics.total Ompsim.Stats.faults_injected)
+            (Obsv.Metrics.total Ompsim.Stats.fault_stalls)
+            (Obsv.Metrics.total Ompsim.Stats.chunk_retries)
+            (Obsv.Metrics.total Ompsim.Stats.regions_cancelled)
+            (Obsv.Metrics.total Ompsim.Stats.serial_fallbacks);
+        Printf.printf "checksum ok (%d)\n" !serial_sum;
+        0))
 
 let exec_cmd =
   let size =
@@ -411,6 +441,15 @@ let exec_cmd =
             "Lane width for the §VI-A batched walk: blocks of $(docv) consecutive collapsed \
              iterations are materialized in lockstep before the body runs (1 = per-iteration \
              walk).")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"R"
+          ~doc:
+            "Execute the parallel region $(docv) times, reusing one compiled plan, one runtime \
+             recovery and one serial reference across all runs (each run's checksum is still \
+             verified).")
   in
   let faults =
     Arg.(
@@ -446,7 +485,7 @@ let exec_cmd =
          "Really execute a kernel's collapsed nest on OCaml domains (one recovery per chunk, §V \
           walk) and check the result against serial enumeration.")
     Term.(
-      const exec_run $ kernel_arg $ size $ threads $ schedule $ lanes $ faults $ retries
+      const exec_run $ kernel_arg $ size $ threads $ schedule $ lanes $ repeat $ faults $ retries
       $ deadline_ms $ trace_arg $ stats_arg)
 
 (* ---- emit ---- *)
@@ -492,6 +531,65 @@ let emit_cmd =
        ~doc:"Print the collapsed OpenMP C skeleton for a kernel or the first construct of a file.")
     Term.(const emit_run $ file_arg $ kernel_arg $ scheme $ guarded)
 
+(* ---- batch ---- *)
+
+let batch_run file workers trace stats =
+  with_obsv ~trace ~stats @@ fun () ->
+  if workers <= 0 then begin
+    prerr_endline "--workers needs a positive integer";
+    exit 1
+  end;
+  let ic = if file = "-" then stdin else open_in file in
+  Fun.protect
+    ~finally:(fun () -> if ic != stdin then close_in_noerr ic)
+    (fun () -> Service.Server.run_batch ~workers ic stdout)
+
+let batch_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Request file, one request per line ($(b,-) reads stdin).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 4
+      & info [ "workers"; "j" ] ~docv:"W"
+          ~doc:
+            "Concurrent admission slots: at most $(docv) requests are in flight at once; the \
+             rest queue (backpressure).")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Serve a file of compile/exec requests through the plan cache and print one JSON \
+          response line per request (deterministic; the cache hit/miss summary goes to stderr). \
+          Set OMPSIM_PLAN_CACHE=DIR to persist compiled plans across runs.")
+    Term.(const batch_run $ file $ workers $ trace_arg $ stats_arg)
+
+(* ---- serve ---- *)
+
+let serve_run socket =
+  match Service.Server.serve ~socket () with
+  | Ok () -> 0
+  | Error e ->
+    prerr_endline e;
+    1
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path to listen on.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Listen on a Unix domain socket and serve compile/exec requests (same line protocol as \
+          $(b,batch)) until a client sends $(b,shutdown).")
+    Term.(const serve_run $ socket)
+
 (* ---- kernels ---- *)
 
 let kernels_run () =
@@ -511,6 +609,15 @@ let main =
   Cmd.group
     (Cmd.info "trahrhe" ~version:"1.0.0"
        ~doc:"Automatic collapsing of non-rectangular OpenMP loops (IPDPS'17 reproduction).")
-    [ info_cmd; collapse_cmd; validate_cmd; simulate_cmd; exec_cmd; emit_cmd; kernels_cmd ]
+    [ info_cmd;
+      collapse_cmd;
+      validate_cmd;
+      simulate_cmd;
+      exec_cmd;
+      batch_cmd;
+      serve_cmd;
+      emit_cmd;
+      kernels_cmd
+    ]
 
 let () = exit (Cmd.eval' main)

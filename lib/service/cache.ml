@@ -1,0 +1,240 @@
+type node = {
+  key : string;
+  plan : Plan.t;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type flight = { cond : Condition.t; mutable result : (Plan.t, string) result option }
+
+type stats = {
+  hits : int;
+  disk_hits : int;
+  misses : int;
+  evictions : int;
+  singleflight_waits : int;
+}
+
+type t = {
+  capacity : int;
+  dir : string option;
+  mutex : Mutex.t;
+  tbl : (string, node) Hashtbl.t;
+  mutable head : node option;  (* most recently used *)
+  mutable tail : node option;  (* least recently used *)
+  inflight : (string, flight) Hashtbl.t;
+  mutable hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable singleflight_waits : int;
+}
+
+let create ?(capacity = 256) ?dir () =
+  let dir = match dir with Some d -> d | None -> Sys.getenv_opt "OMPSIM_PLAN_CACHE" in
+  { capacity = max 1 capacity;
+    dir;
+    mutex = Mutex.create ();
+    tbl = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    inflight = Hashtbl.create 8;
+    hits = 0;
+    disk_hits = 0;
+    misses = 0;
+    evictions = 0;
+    singleflight_waits = 0 }
+
+let default_cache = lazy (create ())
+let default () = Lazy.force default_cache
+
+let obsv_incr metric = if Obsv.Control.enabled () then Obsv.Metrics.incr_here metric
+
+(* ---- LRU plumbing; every call below holds t.mutex ---- *)
+
+let unlink t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some s -> s.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let lookup t fp =
+  match Hashtbl.find_opt t.tbl fp with
+  | None -> None
+  | Some node ->
+    unlink t node;
+    push_front t node;
+    Some node.plan
+
+let insert t fp plan =
+  if not (Hashtbl.mem t.tbl fp) then begin
+    let node = { key = fp; plan; prev = None; next = None } in
+    Hashtbl.replace t.tbl fp node;
+    push_front t node;
+    if Hashtbl.length t.tbl > t.capacity then begin
+      match t.tail with
+      | Some victim ->
+        unlink t victim;
+        Hashtbl.remove t.tbl victim.key;
+        t.evictions <- t.evictions + 1;
+        obsv_incr Stats.cache_evictions
+      | None -> ()
+    end
+  end
+
+let record_hit t ~disk =
+  t.hits <- t.hits + 1;
+  obsv_incr Stats.cache_hits;
+  if disk then begin
+    t.disk_hits <- t.disk_hits + 1;
+    obsv_incr Stats.cache_disk_hits
+  end
+
+let record_miss t =
+  t.misses <- t.misses + 1;
+  obsv_incr Stats.cache_misses
+
+(* ---- disk tier (no lock held; failures are misses or no-ops) ---- *)
+
+let plan_path dir fp = Filename.concat dir (fp ^ ".plan")
+
+let disk_load t fp =
+  match t.dir with
+  | None -> None
+  | Some dir -> (
+    match
+      let ic = open_in_bin (plan_path dir fp) in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | exception Sys_error _ -> None
+    | exception End_of_file -> None
+    | content -> (
+      match Plan.decode content with
+      | Ok p when p.Plan.fingerprint = fp -> Some p
+      | Ok _ | Error _ -> None))
+
+let rec mkdir_p d =
+  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+  else begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* atomic publish: write a private temp file, then rename into place —
+   a concurrent reader sees the old entry or the new one, never a
+   torn write. Purely best-effort: a read-only dir silently disables
+   the tier for this entry. *)
+let disk_store t fp plan =
+  match t.dir with
+  | None -> ()
+  | Some dir -> (
+    try
+      mkdir_p dir;
+      let tmp = Filename.concat dir (Printf.sprintf ".%s.%d.tmp" fp (Unix.getpid ())) in
+      let oc = open_out_bin tmp in
+      (try
+         output_string oc (Plan.encode plan);
+         close_out oc
+       with e ->
+         close_out_noerr oc;
+         raise e);
+      Unix.rename tmp (plan_path dir fp)
+    with Sys_error _ | Unix.Unix_error _ -> ())
+
+(* ---- the request path ---- *)
+
+let find_or_compile ?(compile = Plan.compile) t nest =
+  Obsv.Trace.with_span "service.cache" @@ fun () ->
+  let canonical, renaming = Fingerprint.canonicalize nest in
+  let fp = Fingerprint.digest canonical in
+  let with_renaming = Result.map (fun p -> (p, renaming)) in
+  Mutex.lock t.mutex;
+  match lookup t fp with
+  | Some plan ->
+    record_hit t ~disk:false;
+    Mutex.unlock t.mutex;
+    Ok (plan, renaming)
+  | None -> (
+    match Hashtbl.find_opt t.inflight fp with
+    | Some fl ->
+      (* single-flight follower: park until the winner publishes *)
+      t.singleflight_waits <- t.singleflight_waits + 1;
+      obsv_incr Stats.singleflight_waits;
+      let rec await () =
+        match fl.result with
+        | Some r -> r
+        | None ->
+          Condition.wait fl.cond t.mutex;
+          await ()
+      in
+      let r = await () in
+      Mutex.unlock t.mutex;
+      with_renaming r
+    | None ->
+      (* single-flight winner: compile with the lock released *)
+      let fl = { cond = Condition.create (); result = None } in
+      Hashtbl.replace t.inflight fp fl;
+      Mutex.unlock t.mutex;
+      let result, origin =
+        match disk_load t fp with
+        | Some plan -> (Ok plan, `Disk)
+        | None -> (
+          match compile canonical with
+          | Ok plan -> (Ok plan, `Compiled)
+          | Error e -> (Error e, `Failed))
+      in
+      (match (result, origin) with
+      | Ok plan, `Compiled -> disk_store t fp plan
+      | _ -> ());
+      Mutex.lock t.mutex;
+      (match origin with
+      | `Disk -> record_hit t ~disk:true
+      | `Compiled | `Failed -> record_miss t);
+      (match result with Ok plan -> insert t fp plan | Error _ -> ());
+      (* publish, then forget the flight: a failed compile reaches its
+         waiters but poisons nothing — the next request retries *)
+      fl.result <- Some result;
+      Hashtbl.remove t.inflight fp;
+      Condition.broadcast fl.cond;
+      Mutex.unlock t.mutex;
+      with_renaming result)
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    { hits = t.hits;
+      disk_hits = t.disk_hits;
+      misses = t.misses;
+      evictions = t.evictions;
+      singleflight_waits = t.singleflight_waits }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let size t =
+  Mutex.lock t.mutex;
+  let n = Hashtbl.length t.tbl in
+  Mutex.unlock t.mutex;
+  n
+
+let capacity t = t.capacity
+let dir t = t.dir
+
+let clear t =
+  Mutex.lock t.mutex;
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None;
+  t.hits <- 0;
+  t.disk_hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0;
+  t.singleflight_waits <- 0;
+  Mutex.unlock t.mutex

@@ -1,0 +1,72 @@
+(** Two-tier plan cache with single-flight stampede protection.
+
+    Tier 1 is a bounded in-memory LRU keyed by nest fingerprint; tier
+    2 is an optional on-disk store (one [<fingerprint>.plan] file per
+    plan, written atomically via rename) enabled by passing [~dir] or
+    setting the [OMPSIM_PLAN_CACHE] environment variable. Disk reads
+    that fail for any reason — missing file, truncated or corrupted
+    content, a plan written by an older format version — are treated
+    as misses and recompiled, never surfaced as errors; a successful
+    recompile overwrites the bad entry.
+
+    Concurrent requests for the same fingerprint are single-flighted:
+    the first runs the compile, the rest park on a condition variable
+    and receive the winner's result. A failed compile propagates its
+    error to every parked waiter but is {e not} cached — the next
+    request for that fingerprint compiles again.
+
+    All operations are thread-safe; the per-request critical sections
+    take one mutex and never hold it across a compile or disk I/O. *)
+
+type t
+
+(** Always-on counters (independent of {!Obsv.Control}); with the
+    observability layer enabled the [cache.*] {!Stats} metrics advance
+    in lockstep. Per request exactly one of [hits]/[misses]/
+    [singleflight_waits] advances, and [disk_hits <= hits]. *)
+type stats = {
+  hits : int;
+  disk_hits : int;
+  misses : int;
+  evictions : int;
+  singleflight_waits : int;
+}
+
+(** [create ()] makes a cache. [capacity] (default 256) bounds the
+    in-memory tier; [dir] (default: [OMPSIM_PLAN_CACHE] when set)
+    locates the disk tier, created on first store if missing. *)
+val create : ?capacity:int -> ?dir:string option -> unit -> t
+
+(** [default ()] is the shared process-wide cache, configured from the
+    environment (created on first use). *)
+val default : unit -> t
+
+(** [find_or_compile t nest] canonicalizes and fingerprints [nest],
+    then returns its plan — from memory, from disk, from a concurrent
+    in-flight compile, or by compiling — together with the renaming
+    that maps [nest]'s names onto the plan's canonical ones (pass it
+    to {!Fingerprint.canonical_param} when executing).
+
+    [?compile] overrides the compiler (default {!Plan.compile} of the
+    canonical nest) — the tests use it to inject slow or failing
+    compiles; the contract is that it returns a plan for the canonical
+    nest it is given. The whole lookup runs under a [service.cache]
+    span. *)
+val find_or_compile :
+  ?compile:(Trahrhe.Nest.t -> (Plan.t, string) result) ->
+  t ->
+  Trahrhe.Nest.t ->
+  (Plan.t * Fingerprint.renaming, string) result
+
+val stats : t -> stats
+
+(** [size t] is the current in-memory entry count ([<= capacity]). *)
+val size : t -> int
+
+val capacity : t -> int
+val dir : t -> string option
+
+(** [clear t] empties the in-memory tier (the disk tier is untouched)
+    and zeroes {!stats}. Waits for no one: only call when no request
+    is in flight. *)
+val clear : t -> unit

@@ -1,0 +1,181 @@
+module B = Zmath.Bigint
+module Q = Zmath.Rat
+module M = Polymath.Monomial
+module P = Polymath.Polynomial
+module A = Polymath.Affine
+module E = Symx.Expr
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let atom = function Sexp.Atom a -> a | Sexp.List _ -> fail "expected atom, got list"
+let list = function Sexp.List l -> l | Sexp.Atom a -> fail "expected list, got atom %s" a
+
+let of_bigint b = Sexp.Atom (B.to_string b)
+
+let to_bigint s =
+  let a = atom s in
+  try B.of_string a with Invalid_argument _ -> fail "bad bigint %s" a
+
+let of_rat q = Sexp.Atom (Q.to_string q)
+
+let to_rat s =
+  let a = atom s in
+  try Q.of_string a
+  with Invalid_argument _ | Failure _ | Division_by_zero -> fail "bad rational %s" a
+
+let of_int_sexp n = Sexp.Atom (string_of_int n)
+
+let to_int_sexp s =
+  let a = atom s in
+  match int_of_string_opt a with Some n -> n | None -> fail "bad integer %s" a
+
+(* variable names travel as bare atoms; reject anything the sexp
+   printer could not round-trip *)
+let of_var v =
+  if not (Sexp.atom_ok v) then fail "unserializable variable name %S" v;
+  Sexp.Atom v
+
+let of_monomial m =
+  Sexp.List
+    (List.map (fun (v, e) -> Sexp.List [ of_var v; of_int_sexp e ]) (M.to_list m))
+
+let to_monomial s =
+  let pairs =
+    List.map
+      (fun p ->
+        match list p with
+        | [ v; e ] -> (atom v, to_int_sexp e)
+        | _ -> fail "bad monomial factor")
+      (list s)
+  in
+  try M.of_list pairs with Invalid_argument e -> fail "bad monomial: %s" e
+
+let of_poly p =
+  Sexp.List (List.map (fun (c, m) -> Sexp.List [ of_rat c; of_monomial m ]) (P.terms p))
+
+let to_poly s =
+  P.of_terms
+    (List.map
+       (fun t ->
+         match list t with
+         | [ c; m ] -> (to_rat c, to_monomial m)
+         | _ -> fail "bad polynomial term")
+       (list s))
+
+let of_affine a =
+  Sexp.List
+    [ Sexp.List
+        (List.map (fun (v, c) -> Sexp.List [ of_var v; of_rat c ]) (A.terms a));
+      of_rat (A.const_part a) ]
+
+let to_affine s =
+  match list s with
+  | [ terms; const ] ->
+    let terms =
+      List.map
+        (fun t ->
+          match list t with
+          | [ v; c ] -> (atom v, to_rat c)
+          | _ -> fail "bad affine term")
+        (list terms)
+    in
+    A.make terms (to_rat const)
+  | _ -> fail "bad affine expression"
+
+let rec of_expr = function
+  | E.Const q -> Sexp.List [ Sexp.Atom "c"; of_rat q ]
+  | E.I -> Sexp.Atom "i"
+  | E.Var v -> Sexp.List [ Sexp.Atom "v"; of_var v ]
+  | E.Sum es -> Sexp.List (Sexp.Atom "+" :: List.map of_expr es)
+  | E.Prod es -> Sexp.List (Sexp.Atom "*" :: List.map of_expr es)
+  | E.Pow (b, q) -> Sexp.List [ Sexp.Atom "^"; of_expr b; of_rat q ]
+
+(* rebuild with the raw constructors, NOT the smart ones: the smart
+   constructors fold/flatten, and a decoded plan must be structurally
+   identical to what was encoded *)
+let rec to_expr = function
+  | Sexp.Atom "i" -> E.I
+  | Sexp.Atom a -> fail "bad expression atom %s" a
+  | Sexp.List [ Sexp.Atom "c"; q ] -> E.Const (to_rat q)
+  | Sexp.List [ Sexp.Atom "v"; v ] -> E.Var (atom v)
+  | Sexp.List (Sexp.Atom "+" :: es) -> E.Sum (List.map to_expr es)
+  | Sexp.List (Sexp.Atom "*" :: es) -> E.Prod (List.map to_expr es)
+  | Sexp.List [ Sexp.Atom "^"; b; q ] -> E.Pow (to_expr b, to_rat q)
+  | Sexp.List _ -> fail "bad expression node"
+
+let of_mode = function
+  | Symx.Cemit.Real -> Sexp.Atom "real"
+  | Symx.Cemit.Complex -> Sexp.Atom "complex"
+
+let to_mode s =
+  match atom s with
+  | "real" -> Symx.Cemit.Real
+  | "complex" -> Symx.Cemit.Complex
+  | a -> fail "bad emission mode %s" a
+
+let of_nest (n : Trahrhe.Nest.t) =
+  Sexp.List
+    [ Sexp.List (List.map of_var n.Trahrhe.Nest.params);
+      Sexp.List
+        (List.map
+           (fun (l : Trahrhe.Nest.level) ->
+             Sexp.List [ of_var l.var; of_affine l.lower; of_affine l.upper ])
+           n.Trahrhe.Nest.levels) ]
+
+let to_nest s =
+  match list s with
+  | [ params; levels ] ->
+    let params = List.map atom (list params) in
+    let levels =
+      List.map
+        (fun l ->
+          match list l with
+          | [ v; lo; hi ] ->
+            { Trahrhe.Nest.var = atom v; lower = to_affine lo; upper = to_affine hi }
+          | _ -> fail "bad nest level")
+        (list levels)
+    in
+    (try Trahrhe.Nest.make ~params levels
+     with Invalid_argument e -> fail "invalid nest: %s" e)
+  | _ -> fail "bad nest"
+
+let of_recovery = function
+  | Trahrhe.Inversion.Root { var; expr; mode } ->
+    Sexp.List [ Sexp.Atom "root"; of_var var; of_expr expr; of_mode mode ]
+  | Trahrhe.Inversion.Last { var; poly } ->
+    Sexp.List [ Sexp.Atom "last"; of_var var; of_poly poly ]
+
+let to_recovery s =
+  match list s with
+  | [ Sexp.Atom "root"; v; e; m ] ->
+    Trahrhe.Inversion.Root { var = atom v; expr = to_expr e; mode = to_mode m }
+  | [ Sexp.Atom "last"; v; p ] -> Trahrhe.Inversion.Last { var = atom v; poly = to_poly p }
+  | _ -> fail "bad level recovery"
+
+let of_inversion (inv : Trahrhe.Inversion.t) =
+  Sexp.List
+    [ of_nest inv.Trahrhe.Inversion.nest;
+      of_var inv.pc_var;
+      of_poly inv.ranking;
+      of_poly inv.trip_count;
+      Sexp.List (Array.to_list (Array.map of_poly inv.r_sub));
+      Sexp.List (Array.to_list (Array.map of_recovery inv.recoveries)) ]
+
+let to_inversion s =
+  match list s with
+  | [ nest; pc_var; ranking; trip_count; r_sub; recoveries ] ->
+    let nest = to_nest nest in
+    let r_sub = Array.of_list (List.map to_poly (list r_sub)) in
+    let recoveries = Array.of_list (List.map to_recovery (list recoveries)) in
+    let d = Trahrhe.Nest.depth nest in
+    if Array.length r_sub <> d || Array.length recoveries <> d then
+      fail "inversion arity does not match nest depth %d" d;
+    { Trahrhe.Inversion.nest;
+      pc_var = atom pc_var;
+      ranking = to_poly ranking;
+      trip_count = to_poly trip_count;
+      r_sub;
+      recoveries }
+  | _ -> fail "bad inversion"

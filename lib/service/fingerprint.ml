@@ -1,0 +1,85 @@
+module A = Polymath.Affine
+module Q = Zmath.Rat
+module N = Trahrhe.Nest
+
+type renaming = { iterators : (string * string) list; params : (string * string) list }
+
+let format_version = 1
+
+(* all bounds of the nest in a fixed order: level 0 lower, level 0
+   upper, level 1 lower, ... — the axis along which parameter
+   signatures are read *)
+let bounds_in_order (n : N.t) =
+  List.concat_map (fun (l : N.level) -> [ l.lower; l.upper ]) n.N.levels
+
+(* coefficient signature of one parameter: name-independent, so
+   sorting by it orders parameters canonically; parameters with equal
+   signatures are interchangeable in every bound and any tiebreak
+   yields the same canonical nest *)
+let signature bounds p = List.map (fun b -> A.coeff p b) bounds
+
+let rec compare_signature a b =
+  match (a, b) with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: a, y :: b ->
+    let c = Q.compare x y in
+    if c <> 0 then c else compare_signature a b
+
+let canonicalize (n : N.t) =
+  let bounds = bounds_in_order n in
+  let params_sorted =
+    List.stable_sort
+      (fun p q -> compare_signature (signature bounds p) (signature bounds q))
+      n.N.params
+  in
+  let params = List.mapi (fun i p -> (p, Printf.sprintf "p%d" i)) params_sorted in
+  let iterators =
+    List.mapi (fun i (l : N.level) -> (l.var, Printf.sprintf "x%d" i)) n.N.levels
+  in
+  let rename_tbl = Hashtbl.create 16 in
+  List.iter (fun (o, c) -> Hashtbl.replace rename_tbl o c) (params @ iterators);
+  let rename_var v =
+    match Hashtbl.find_opt rename_tbl v with
+    | Some c -> c
+    | None -> invalid_arg ("Fingerprint.canonicalize: unbound variable " ^ v)
+  in
+  let rename_affine a =
+    A.make (List.map (fun (v, c) -> (rename_var v, c)) (A.terms a)) (A.const_part a)
+  in
+  let levels =
+    List.map
+      (fun (l : N.level) ->
+        { N.var = rename_var l.var; lower = rename_affine l.lower; upper = rename_affine l.upper })
+      n.N.levels
+  in
+  let canonical = N.make ~params:(List.map snd params) levels in
+  (canonical, { iterators; params })
+
+let render (n : N.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (String.concat "," n.N.params);
+  List.iter
+    (fun (l : N.level) ->
+      Buffer.add_char buf ';';
+      Buffer.add_string buf l.var;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf (A.to_string l.lower);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (A.to_string l.upper))
+    n.N.levels;
+  Buffer.contents buf
+
+let digest canonical =
+  Digest.to_hex
+    (Digest.string (Printf.sprintf "ompsim-plan-v%d|%s" format_version (render canonical)))
+
+let hash nest = digest (fst (canonicalize nest))
+
+let canonical_param r param =
+  let reverse = List.map (fun (o, c) -> (c, o)) r.params in
+  fun canonical_name ->
+    match List.assoc_opt canonical_name reverse with
+    | Some original -> param original
+    | None -> invalid_arg ("Fingerprint.canonical_param: unknown parameter " ^ canonical_name)

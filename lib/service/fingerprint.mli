@@ -1,0 +1,52 @@
+(** Canonicalization and content hashing of loop nests.
+
+    Two nests that differ only in variable names (or in the textual
+    order of their affine bound terms — {!Polymath.Affine} is already
+    canonical about that) describe the same iteration space and must
+    hit the same cached plan. {!canonicalize} alpha-renames a nest
+    into a canonical form:
+
+    - iterators become [x0, x1, ...] in nest order (their position is
+      semantically significant, so position {e is} the canonical
+      order);
+    - parameters become [p0, p1, ...] ordered by their {e coefficient
+      signature}: the vector of coefficients the parameter carries in
+      every bound, read in nest order. The signature is independent of
+      the original names, and two parameters with identical signatures
+      are algebraically interchangeable (every bound treats them the
+      same), so ties cannot change the canonical nest.
+
+    {!hash} digests the canonical rendering, salted with the plan
+    format version ({!Plan.format_version}) so any change to the plan
+    wire format invalidates every existing cache entry cleanly. *)
+
+(** Maps from original to canonical names, as produced by
+    {!canonicalize} for one specific input nest. *)
+type renaming = {
+  iterators : (string * string) list;  (** original iterator -> [xK] *)
+  params : (string * string) list;  (** original parameter -> [pK] *)
+}
+
+(** The version salt baked into every fingerprint and plan header.
+    Bump it whenever the serialized plan format changes shape. *)
+val format_version : int
+
+(** [canonicalize nest] is the canonical alpha-renamed nest plus the
+    renaming that produced it. Idempotent: canonicalizing a canonical
+    nest is the identity (modulo the trivial renaming). *)
+val canonicalize : Trahrhe.Nest.t -> Trahrhe.Nest.t * renaming
+
+(** [digest canonical] is the hex content hash of an
+    already-canonical nest (as returned by {!canonicalize}). *)
+val digest : Trahrhe.Nest.t -> string
+
+(** [hash nest] is [digest (fst (canonicalize nest))] — the stable
+    fingerprint under which plans for [nest] are cached. *)
+val hash : Trahrhe.Nest.t -> string
+
+(** [canonical_param r param] lifts a parameter valuation keyed by the
+    {e original} names into one keyed by the canonical [pK] names —
+    what {!Plan.recovery} needs, since cached plans are compiled from
+    the canonical nest.
+    @raise Invalid_argument on a name outside the renaming. *)
+val canonical_param : renaming -> (string -> int) -> string -> int

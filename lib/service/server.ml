@@ -1,0 +1,515 @@
+module A = Polymath.Affine
+module P = Polymath.Polynomial
+module Q = Zmath.Rat
+module N = Trahrhe.Nest
+module R = Trahrhe.Recovery
+
+type exec_opts = {
+  threads : int;
+  schedule : Ompsim.Schedule.t;
+  lanes : int;
+  repeat : int;
+  retries : int;
+}
+
+type request =
+  | Compile of { label : string; nest : N.t }
+  | Exec of { label : string; nest : N.t; param : string -> int; opts : exec_opts }
+  | Shutdown
+
+(* ---- request-line parsing ---- *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let is_ident s =
+  s <> ""
+  && (let c = s.[0] in
+      (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_')
+  && String.for_all is_ident_char s
+
+let is_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+let ( let* ) = Result.bind
+
+(* bound grammar: ['-'] term (('+'|'-') term)*, term = INT['*'IDENT] | IDENT *)
+let parse_affine s =
+  let n = String.length s in
+  if n = 0 then Error "empty affine bound"
+  else begin
+    (* split into (sign, atom) pieces at top-level +/- *)
+    let i0, sign0 = if s.[0] = '-' then (1, -1) else (0, 1) in
+    let atoms = ref [] in
+    let bad = ref None in
+    let start = ref i0 in
+    let sign = ref sign0 in
+    let flush upto =
+      if upto = !start then bad := Some (Printf.sprintf "dangling sign in bound %S" s)
+      else atoms := (!sign, String.sub s !start (upto - !start)) :: !atoms
+    in
+    for i = i0 to n - 1 do
+      if !bad = None then
+        match s.[i] with
+        | '+' | '-' ->
+          flush i;
+          sign := (if s.[i] = '-' then -1 else 1);
+          start := i + 1
+        | _ -> ()
+    done;
+    if !bad = None then flush n;
+    match !bad with
+    | Some e -> Error e
+    | None ->
+      let coeffs = Hashtbl.create 8 in
+      let const = ref Q.zero in
+      let add_coeff v c =
+        let prev = Option.value ~default:Q.zero (Hashtbl.find_opt coeffs v) in
+        Hashtbl.replace coeffs v (Q.add prev c)
+      in
+      let atom_err = ref None in
+      List.iter
+        (fun (sg, a) ->
+          if !atom_err = None then
+            match String.index_opt a '*' with
+            | Some k ->
+              let c = String.sub a 0 k in
+              let v = String.sub a (k + 1) (String.length a - k - 1) in
+              if is_digits c && is_ident v then add_coeff v (Q.of_int (sg * int_of_string c))
+              else atom_err := Some (Printf.sprintf "bad term %S in bound %S" a s)
+            | None ->
+              if is_digits a then const := Q.add !const (Q.of_int (sg * int_of_string a))
+              else if is_ident a then add_coeff a (Q.of_int sg)
+              else atom_err := Some (Printf.sprintf "bad term %S in bound %S" a s))
+        (List.rev !atoms);
+      match !atom_err with
+      | Some e -> Error e
+      | None ->
+        let terms = Hashtbl.fold (fun v c acc -> (v, c) :: acc) coeffs [] in
+        Ok (A.make (List.sort compare terms) !const)
+  end
+
+(* one entry of levels=: VAR=LOWER..UPPER *)
+let parse_level entry =
+  match String.index_opt entry '=' with
+  | None -> Error (Printf.sprintf "level %S needs VAR=LOWER..UPPER" entry)
+  | Some i ->
+    let var = String.sub entry 0 i in
+    let rest = String.sub entry (i + 1) (String.length entry - i - 1) in
+    if not (is_ident var) then Error (Printf.sprintf "bad iterator name %S" var)
+    else begin
+      let dots = ref None in
+      for j = 0 to String.length rest - 2 do
+        if !dots = None && rest.[j] = '.' && rest.[j + 1] = '.' then dots := Some j
+      done;
+      match !dots with
+      | None -> Error (Printf.sprintf "level %S needs LOWER..UPPER bounds" entry)
+      | Some j ->
+        let* lower = parse_affine (String.sub rest 0 j) in
+        let* upper = parse_affine (String.sub rest (j + 2) (String.length rest - j - 2)) in
+        Ok { N.var; lower; upper }
+    end
+
+(* one entry of params=: NAME or NAME=INT *)
+let parse_param entry =
+  match String.index_opt entry '=' with
+  | None ->
+    if is_ident entry then Ok (entry, None)
+    else Error (Printf.sprintf "bad parameter name %S" entry)
+  | Some i ->
+    let name = String.sub entry 0 i in
+    let v = String.sub entry (i + 1) (String.length entry - i - 1) in
+    if not (is_ident name) then Error (Printf.sprintf "bad parameter name %S" name)
+    else (
+      match int_of_string_opt v with
+      | Some value when is_digits v || (v.[0] = '-' && is_digits (String.sub v 1 (String.length v - 1)))
+        -> Ok (name, Some value)
+      | _ -> Error (Printf.sprintf "bad parameter value %S for %s" v name))
+
+let split_commas s = if s = "" then [] else String.split_on_char ',' s
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let fields_of_tokens tokens =
+  let* fields =
+    map_result
+      (fun tok ->
+        match String.index_opt tok '=' with
+        | None -> Error (Printf.sprintf "malformed field %S (expected key=value)" tok)
+        | Some i -> Ok (String.sub tok 0 i, String.sub tok (i + 1) (String.length tok - i - 1)))
+      tokens
+  in
+  let rec dup = function
+    | [] -> None
+    | (k, _) :: rest -> if List.mem_assoc k rest then Some k else dup rest
+  in
+  match dup fields with
+  | Some k -> Error (Printf.sprintf "duplicate field %s" k)
+  | None -> Ok fields
+
+let check_keys ~allowed fields =
+  match List.find_opt (fun (k, _) -> not (List.mem k allowed)) fields with
+  | Some (k, _) -> Error (Printf.sprintf "unknown field %s" k)
+  | None -> Ok ()
+
+let int_field fields key ~default ~min_value =
+  match List.assoc_opt key fields with
+  | None -> Ok default
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some n when n >= min_value -> Ok n
+    | _ -> Error (Printf.sprintf "%s needs an integer >= %d, got %S" key min_value v))
+
+(* the nest named by the fields, plus the parameter valuation declared
+   alongside it (for kernels: the registry's param_map at size [n]) *)
+let nest_of_fields fields ~size =
+  match
+    (List.assoc_opt "kernel" fields, List.assoc_opt "params" fields, List.assoc_opt "levels" fields)
+  with
+  | Some name, None, None -> (
+    match Kernels.Registry.find name with
+    | None ->
+      Error
+        (Printf.sprintf "unknown kernel %S (try: %s)" name
+           (String.concat ", " Kernels.Registry.names))
+    | Some k ->
+      let n = match size with Some n -> n | None -> k.Kernels.Kernel.default_n in
+      Ok (name, k.Kernels.Kernel.nest, List.map (fun p -> (p, Some (Kernels.Kernel.param_of k ~n p))) k.Kernels.Kernel.nest.N.params))
+  | None, params, Some levels_v -> (
+    if size <> None then Error "n= is only valid with kernel="
+    else
+      let* bindings = map_result parse_param (split_commas (Option.value ~default:"" params)) in
+      let* levels = map_result parse_level (split_commas levels_v) in
+      if levels = [] then Error "levels= must declare at least one loop"
+      else
+        match N.make ~params:(List.map fst bindings) levels with
+        | nest -> Ok ("nest", nest, bindings)
+        | exception Invalid_argument e -> Error e)
+  | Some _, _, _ -> Error "give kernel= or params=/levels=, not both"
+  | None, _, None -> Error "a nest needs kernel= or levels="
+
+let param_of_bindings bindings =
+  let* () =
+    match List.find_opt (fun (_, v) -> v = None) bindings with
+    | Some (name, _) -> Error (Printf.sprintf "exec needs a value for parameter %s (params=%s=...)" name name)
+    | None -> Ok ()
+  in
+  Ok (fun name ->
+      match List.assoc_opt name bindings with
+      | Some (Some v) -> v
+      | _ -> invalid_arg ("unbound parameter " ^ name))
+
+let parse_request line =
+  let tokens = List.filter (fun s -> s <> "") (String.split_on_char ' ' line) in
+  match tokens with
+  | [] -> Ok None
+  | op :: _ when op.[0] = '#' -> Ok None
+  | "shutdown" :: rest -> if rest = [] then Ok (Some Shutdown) else Error "shutdown takes no fields"
+  | "compile" :: rest ->
+    let* fields = fields_of_tokens rest in
+    let* () = check_keys ~allowed:[ "kernel"; "params"; "levels"; "label" ] fields in
+    let* name, nest, _ = nest_of_fields fields ~size:None in
+    let label = Option.value ~default:name (List.assoc_opt "label" fields) in
+    Ok (Some (Compile { label; nest }))
+  | "exec" :: rest ->
+    let* fields = fields_of_tokens rest in
+    let* () =
+      check_keys
+        ~allowed:
+          [ "kernel"; "params"; "levels"; "label"; "n"; "threads"; "schedule"; "lanes"; "repeat"; "retries" ]
+        fields
+    in
+    let* size =
+      match List.assoc_opt "n" fields with
+      | None -> Ok None
+      | Some v -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 -> Ok (Some n)
+        | _ -> Error (Printf.sprintf "n needs a positive integer, got %S" v))
+    in
+    let* name, nest, bindings = nest_of_fields fields ~size in
+    let* param = param_of_bindings bindings in
+    let* threads = int_field fields "threads" ~default:4 ~min_value:1 in
+    let* lanes = int_field fields "lanes" ~default:1 ~min_value:1 in
+    let* repeat = int_field fields "repeat" ~default:1 ~min_value:1 in
+    let* retries = int_field fields "retries" ~default:0 ~min_value:0 in
+    let* schedule =
+      match List.assoc_opt "schedule" fields with
+      | None -> Ok Ompsim.Schedule.Static
+      | Some s -> Ompsim.Schedule.of_string s
+    in
+    let label = Option.value ~default:name (List.assoc_opt "label" fields) in
+    Ok (Some (Exec { label; nest; param; opts = { threads; schedule; lanes; repeat; retries } }))
+  | op :: _ -> Error (Printf.sprintf "unknown operation %S (compile | exec | shutdown)" op)
+
+(* ---- responses ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let error_json ~op ~label e =
+  Printf.sprintf {|{"op":"%s","label":"%s","status":"error","error":"%s"}|} op (json_escape label)
+    (json_escape e)
+
+(* order-independent checksum of one iteration tuple (same hash as
+   [trahrhe exec], so responses are comparable across front ends) *)
+let iter_hash idx =
+  let h = ref 0 in
+  Array.iter (fun v -> h := (!h * 1000003) + v) idx;
+  !h
+
+(* one parallel execution of the collapsed nest; returns the checksum *)
+let run_once rc opts =
+  let trip = R.trip_count rc in
+  let stride = 16 in
+  let partial = Array.make (opts.threads * stride) 0 in
+  let body ~thread ~start ~len =
+    let cell = thread * stride in
+    if opts.lanes > 1 then
+      R.walk_lanes rc ~pc:(start + 1) ~len ~vlength:opts.lanes (fun ~base:_ ~count buf ->
+          let d = Array.length buf in
+          for l = 0 to count - 1 do
+            let h = ref 0 in
+            for k = 0 to d - 1 do
+              h := (!h * 1000003) + buf.(k).(l)
+            done;
+            partial.(cell) <- partial.(cell) + !h
+          done)
+    else R.walk rc ~pc:(start + 1) ~len (fun idx -> partial.(cell) <- partial.(cell) + iter_hash idx)
+  in
+  let outcome =
+    try
+      if opts.retries > 0 then
+        Ompsim.Par.run_resilient ~retries:opts.retries ~nthreads:opts.threads
+          ~schedule:opts.schedule ~n:trip body
+        |> Result.map_error Ompsim.Par.describe_error
+      else begin
+        Ompsim.Par.parallel_for_chunks ~nthreads:opts.threads ~schedule:opts.schedule ~n:trip body;
+        Ok ()
+      end
+    with e -> Error (Printexc.to_string e)
+  in
+  Result.map
+    (fun () ->
+      let sum = ref 0 in
+      for t = 0 to opts.threads - 1 do
+        sum := !sum + partial.(t * stride)
+      done;
+      !sum)
+    outcome
+
+let handle cache req =
+  match req with
+  | Shutdown -> ({|{"op":"shutdown","status":"ok"}|}, true)
+  | Compile { label; nest } -> (
+    match Cache.find_or_compile cache nest with
+    | Error e -> (error_json ~op:"compile" ~label e, false)
+    | Ok (plan, _) ->
+      let inv = plan.Plan.inversion in
+      ( Printf.sprintf
+          {|{"op":"compile","label":"%s","status":"ok","fingerprint":"%s","depth":%d,"trip_count":"%s"}|}
+          (json_escape label) plan.Plan.fingerprint
+          (N.depth inv.Trahrhe.Inversion.nest)
+          (json_escape (P.to_string inv.Trahrhe.Inversion.trip_count)),
+        true ))
+  | Exec { label; nest; param; opts } -> (
+    let err e = (error_json ~op:"exec" ~label e, false) in
+    match Cache.find_or_compile cache nest with
+    | Error e -> err e
+    | Ok (plan, renaming) -> (
+      (* the plan was compiled from the canonical nest, so both the
+         recovery and the serial reference run under canonical names *)
+      match
+        let cparam = Fingerprint.canonical_param renaming param in
+        (Plan.recovery plan ~param:cparam, cparam)
+      with
+      | exception Invalid_argument e -> err e
+      | rc, cparam ->
+        let trip = R.trip_count rc in
+        let serial = ref 0 in
+        N.iterate plan.Plan.inversion.Trahrhe.Inversion.nest ~param:cparam (fun idx ->
+            serial := !serial + iter_hash idx);
+        let rec runs r =
+          if r > opts.repeat then Ok ()
+          else
+            match run_once rc opts with
+            | Error e -> Error (Printf.sprintf "run %d/%d: %s" r opts.repeat e)
+            | Ok sum when sum <> !serial ->
+              Error
+                (Printf.sprintf "checksum mismatch on run %d/%d: parallel %d vs serial %d" r
+                   opts.repeat sum !serial)
+            | Ok _ -> runs (r + 1)
+        in
+        (match runs 1 with
+        | Error e -> err e
+        | Ok () ->
+          ( Printf.sprintf
+              {|{"op":"exec","label":"%s","status":"ok","fingerprint":"%s","trip":%d,"checksum":%d,"repeat":%d}|}
+              (json_escape label) plan.Plan.fingerprint trip !serial opts.repeat,
+            true ))))
+
+(* ---- batch front end ---- *)
+
+type item = Blank | Ready of string * bool | Todo of request
+
+let run_batch ?cache ?(workers = 4) ic oc =
+  let cache = match cache with Some c -> c | None -> Cache.default () in
+  let before = Cache.stats cache in
+  let lines =
+    let rec read acc = match input_line ic with
+      | line -> read (line :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    read []
+  in
+  (* parse everything up front; input after a shutdown line is dropped *)
+  let items =
+    let stopped = ref false in
+    List.mapi
+      (fun i line ->
+        if !stopped then Blank
+        else
+          match parse_request line with
+          | Ok None -> Blank
+          | Error e -> Ready (error_json ~op:"parse" ~label:(Printf.sprintf "line:%d" (i + 1)) e, false)
+          | Ok (Some Shutdown) ->
+            stopped := true;
+            Ready ({|{"op":"shutdown","status":"ok"}|}, true)
+          | Ok (Some req) -> Todo req)
+      lines
+    |> Array.of_list
+  in
+  let jobs =
+    Array.of_list
+      (List.filteri (fun i _ -> match items.(i) with Todo _ -> true | _ -> false)
+         (List.init (Array.length items) Fun.id))
+  in
+  let results = Array.make (Array.length items) None in
+  let njobs = Array.length jobs in
+  if njobs > 0 then begin
+    (* [workers] admission slots over the domain pool: the in-flight
+       bound; requests beyond it queue on the shared index *)
+    let next = Atomic.make 0 in
+    let level = Atomic.make 0 in
+    Ompsim.Pool.run ~nthreads:(max 1 (min workers njobs)) (fun _slot ->
+        let rec pull () =
+          let j = Atomic.fetch_and_add next 1 in
+          if j < njobs then begin
+            let i = jobs.(j) in
+            let lvl = 1 + Atomic.fetch_and_add level 1 in
+            if Obsv.Control.enabled () then begin
+              Obsv.Metrics.incr_here Stats.inflight_admissions;
+              Obsv.Trace.counter "service.inflight" lvl
+            end;
+            (match items.(i) with
+            | Todo req -> results.(i) <- Some (handle cache req)
+            | Blank | Ready _ -> ());
+            let after = Atomic.fetch_and_add level (-1) - 1 in
+            if Obsv.Control.enabled () then Obsv.Trace.counter "service.inflight" after;
+            pull ()
+          end
+        in
+        pull ())
+  end;
+  let ok_count = ref 0 and err_count = ref 0 in
+  Array.iteri
+    (fun i item ->
+      let emit (line, ok) =
+        output_string oc line;
+        output_char oc '\n';
+        if ok then incr ok_count else incr err_count
+      in
+      match item with
+      | Blank -> ()
+      | Ready (line, ok) -> emit (line, ok)
+      | Todo _ -> (
+        match results.(i) with
+        | Some r -> emit r
+        | None -> emit (error_json ~op:"batch" ~label:(Printf.sprintf "line:%d" (i + 1)) "request was not served", false)))
+    items;
+  flush oc;
+  let s = Cache.stats cache in
+  Printf.eprintf
+    "batch: %d requests, %d ok, %d errors; plan cache: %d hits (%d disk), %d misses, %d single-flight waits\n%!"
+    (!ok_count + !err_count) !ok_count !err_count
+    (s.Cache.hits - before.Cache.hits)
+    (s.Cache.disk_hits - before.Cache.disk_hits)
+    (s.Cache.misses - before.Cache.misses)
+    (s.Cache.singleflight_waits - before.Cache.singleflight_waits);
+  if !err_count = 0 then 0 else 1
+
+(* ---- socket front end ---- *)
+
+let serve_connection cache ic oc =
+  let respond line =
+    output_string oc line;
+    output_char oc '\n';
+    flush oc
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> `Eof
+    | line -> (
+      match parse_request line with
+      | Ok None -> loop ()
+      | Error e ->
+        respond (error_json ~op:"parse" ~label:"-" e);
+        loop ()
+      | Ok (Some Shutdown) ->
+        respond {|{"op":"shutdown","status":"ok"}|};
+        `Shutdown
+      | Ok (Some req) ->
+        respond (fst (handle cache req));
+        loop ())
+  in
+  loop ()
+
+let serve ?cache ~socket () =
+  let cache = match cache with Some c -> c | None -> Cache.default () in
+  match
+    (match Unix.lstat socket with
+    | { Unix.st_kind = Unix.S_SOCK; _ } -> Ok (Unix.unlink socket)
+    | _ -> Error (Printf.sprintf "%s exists and is not a socket" socket)
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Ok ())
+  with
+  | Error e -> Error e
+  | Ok () -> (
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let cleanup () =
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Unix.unlink socket with Unix.Unix_error _ -> ()
+    in
+    try
+      Unix.bind fd (Unix.ADDR_UNIX socket);
+      Unix.listen fd 8;
+      let rec accept_loop () =
+        let client, _ = Unix.accept fd in
+        let ic = Unix.in_channel_of_descr client in
+        let oc = Unix.out_channel_of_descr client in
+        let outcome = serve_connection cache ic oc in
+        (try flush oc with Sys_error _ -> ());
+        (try Unix.close client with Unix.Unix_error _ -> ());
+        match outcome with `Eof -> accept_loop () | `Shutdown -> ()
+      in
+      accept_loop ();
+      cleanup ();
+      Ok ()
+    with Unix.Unix_error (e, fn, _) ->
+      cleanup ();
+      Error (Printf.sprintf "serve: %s: %s" fn (Unix.error_message e)))

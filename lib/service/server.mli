@@ -1,0 +1,87 @@
+(** The compilation-service front end: a line-oriented request
+    protocol served over batch files ([trahrhe batch]) or a Unix
+    domain socket ([trahrhe serve]), with every plan lookup going
+    through a shared {!Cache}.
+
+    {2 Protocol}
+
+    One request per line; blank lines and lines starting with [#] are
+    ignored. A request is an operation followed by [key=value] fields
+    (no spaces inside a field; the first [=] splits key from value):
+
+    {v
+    compile kernel=utma
+    compile params=N levels=i=0..N,j=i..N label=tri
+    exec kernel=correlation n=40 threads=4 schedule=dynamic:2
+    exec params=N=25 levels=i=0..N,j=i..i+1 lanes=8 repeat=3
+    shutdown
+    v}
+
+    - [kernel=NAME] names a built-in kernel; alternatively
+      [params=...] + [levels=...] give an inline nest. [params] is a
+      comma-separated list of [NAME] or [NAME=VALUE] (values are
+      required for [exec]); [levels] is a comma-separated list of
+      [VAR=LOWER..UPPER] with affine bounds over parameters and outer
+      iterators — grammar [['-'] term (('+'|'-') term)*] where a term
+      is [INT], [IDENT] or [INT*IDENT].
+    - [exec] options: [n] (kernel headline size), [threads], [schedule]
+      (as in [trahrhe exec -s]), [lanes], [repeat], [retries],
+      [label].
+    - [shutdown] stops a server loop (and ends a batch early).
+
+    Every request yields exactly one JSON response line. Responses are
+    deterministic — they carry no timings and no cache state, so two
+    batch runs over the same input produce byte-identical output (the
+    CI cache smoke depends on this); hit/miss accounting goes to the
+    batch summary on stderr instead. *)
+
+type exec_opts = {
+  threads : int;  (** domains for the parallel region (default 4) *)
+  schedule : Ompsim.Schedule.t;  (** default [Static] *)
+  lanes : int;  (** §VI-A lane width; 1 = per-iteration walk *)
+  repeat : int;  (** executions of the region per request (default 1) *)
+  retries : int;  (** > 0 routes through [Par.run_resilient] *)
+}
+
+type request =
+  | Compile of { label : string; nest : Trahrhe.Nest.t }
+  | Exec of {
+      label : string;
+      nest : Trahrhe.Nest.t;
+      param : string -> int;  (** valuation in the nest's own names *)
+      opts : exec_opts;
+    }
+  | Shutdown
+
+(** [parse_request line] is [Ok None] for a blank/comment line,
+    [Ok (Some r)] for a well-formed request, [Error msg] otherwise. *)
+val parse_request : string -> (request option, string) result
+
+(** [handle cache r] serves one request and returns its JSON response
+    line together with whether the request succeeded. [Exec] compiles
+    (or fetches) the plan, runs the collapsed nest [repeat] times on
+    OCaml domains reusing one recovery, and checks every run against a
+    serial reference computed once. *)
+val handle : Cache.t -> request -> string * bool
+
+(** [run_batch ic oc] reads requests from [ic] (stopping early at
+    [shutdown]), serves them on [workers] concurrent admission slots
+    (default 4 — the in-flight bound; excess requests queue, which is
+    the batch front end's backpressure), and writes all response lines
+    to [oc] in input order. Admissions bump the [service.inflight]
+    counter and, with tracing on, emit the instantaneous in-flight
+    level as Chrome counter samples. A one-line cache/hit summary goes
+    to stderr. Returns the exit code: 0 when every request succeeded,
+    1 otherwise. *)
+val run_batch : ?cache:Cache.t -> ?workers:int -> in_channel -> out_channel -> int
+
+(** [serve_connection cache ic oc] serves one connection's requests
+    sequentially until end-of-stream or a [shutdown] request,
+    flushing each response line as it is written. *)
+val serve_connection : Cache.t -> in_channel -> out_channel -> [ `Eof | `Shutdown ]
+
+(** [serve ?cache ~socket ()] listens on a Unix domain socket at path
+    [socket] (replacing a stale socket file), serves connections one
+    at a time, and returns after a client sends [shutdown]. The socket
+    file is unlinked on return. *)
+val serve : ?cache:Cache.t -> socket:string -> unit -> (unit, string) result

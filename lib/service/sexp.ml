@@ -1,0 +1,68 @@
+type t = Atom of string | List of t list
+
+let atom_ok s =
+  s <> ""
+  && String.for_all
+       (fun c -> not (c = '(' || c = ')' || c = ' ' || c = '\t' || c = '\n' || c = '\r'))
+       s
+
+let to_string s =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Atom a ->
+      if not (atom_ok a) then invalid_arg (Printf.sprintf "Sexp.to_string: bad atom %S" a);
+      Buffer.add_string buf a
+    | List items ->
+      Buffer.add_char buf '(';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ' ';
+          go item)
+        items;
+      Buffer.add_char buf ')'
+  in
+  go s;
+  Buffer.contents buf
+
+let of_string text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r' in
+  let skip () =
+    while !pos < n && is_space text.[!pos] do
+      incr pos
+    done
+  in
+  let exception Bad of string in
+  let rec parse () =
+    skip ();
+    if !pos >= n then raise (Bad "unexpected end of input")
+    else if text.[!pos] = '(' then begin
+      incr pos;
+      let items = ref [] in
+      let rec loop () =
+        skip ();
+        if !pos >= n then raise (Bad "unclosed parenthesis")
+        else if text.[!pos] = ')' then incr pos
+        else begin
+          items := parse () :: !items;
+          loop ()
+        end
+      in
+      loop ();
+      List (List.rev !items)
+    end
+    else if text.[!pos] = ')' then raise (Bad "unexpected )")
+    else begin
+      let start = !pos in
+      while !pos < n && (not (is_space text.[!pos])) && text.[!pos] <> '(' && text.[!pos] <> ')' do
+        incr pos
+      done;
+      Atom (String.sub text start (!pos - start))
+    end
+  in
+  try
+    let s = parse () in
+    skip ();
+    if !pos <> n then Error "trailing garbage after s-expression" else Ok s
+  with Bad e -> Error e

@@ -1,0 +1,22 @@
+(** Minimal s-expressions — the wire format of serialized plans.
+
+    Atoms are bare tokens (no whitespace, no parentheses); everything
+    the plan codec serializes — identifiers, decimal bigints,
+    [num/den] rationals — satisfies that, so no quoting machinery is
+    needed. The parser is total: any input, including truncated or
+    corrupted cache files, yields [Error], never an exception. *)
+
+type t = Atom of string | List of t list
+
+(** [atom_ok s] is true when [s] can travel as a bare atom: nonempty,
+    no whitespace, no parentheses. *)
+val atom_ok : string -> bool
+
+(** [to_string s] renders [s] on one line.
+    @raise Invalid_argument if an atom is empty or contains
+    whitespace/parentheses (a codec bug, not a data condition). *)
+val to_string : t -> string
+
+(** [of_string text] parses exactly one s-expression (surrounding
+    whitespace allowed). *)
+val of_string : string -> (t, string) result

@@ -1,0 +1,35 @@
+(** Service-layer {!Obsv.Metrics} counters.
+
+    Like {!Ompsim.Stats}, these register globally at module link time,
+    are written only when {!Obsv.Control.enabled}, and reset with
+    {!Obsv.Metrics.reset_all} (so [Ompsim.Stats.reset] covers them).
+    The cache additionally keeps its own always-on counters
+    ({!Cache.stats}) for the batch summary, which must not depend on
+    the observability switch; when the switch is on the two agree
+    exactly — the [micro-cache] bench reconciles them. *)
+
+val cache_hits : Obsv.Metrics.t
+(** [cache.hit]: requests satisfied without a compile — in-memory LRU
+    hits plus disk-tier hits *)
+
+val cache_disk_hits : Obsv.Metrics.t
+(** [cache.disk_hit]: the subset of hits served by decoding an on-disk
+    plan (a fresh process with a warm [OMPSIM_PLAN_CACHE] dir sees
+    only these) *)
+
+val cache_misses : Obsv.Metrics.t
+(** [cache.miss]: requests that ran the symbolic pipeline (corrupt or
+    version-stale disk entries land here, never as errors) *)
+
+val cache_evictions : Obsv.Metrics.t
+(** [cache.evict]: plans dropped from the LRU tail at capacity *)
+
+val singleflight_waits : Obsv.Metrics.t
+(** [cache.singleflight_wait]: requests that parked behind an
+    in-flight compile of the same fingerprint instead of compiling —
+    per request: hits + misses + single-flight waits = requests *)
+
+val inflight_admissions : Obsv.Metrics.t
+(** [service.inflight]: requests admitted by the batch front end; the
+    instantaneous in-flight level is also emitted as a Chrome counter
+    sample under the same name *)

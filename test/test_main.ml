@@ -4,5 +4,5 @@ let () =
    @ Test_rootsolve.suites @ Test_trahrhe.suites @ Test_codegen.suites @ Test_cfront.suites
    @ Test_ompsim.suites @ Test_fault.suites @ Test_kernels.suites @ Test_xforms.suites @ Test_figures.suites
    @ Test_looptrans.suites
-   @ Test_obsv.suites @ Test_oracle.suites
+   @ Test_obsv.suites @ Test_oracle.suites @ Test_service.suites
    @ Test_integration.suites)

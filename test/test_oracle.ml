@@ -226,6 +226,134 @@ let check_case_resilient (nest, nval) =
       vlengths;
     true
 
+(* Cached-plan differential (ISSUE 5): a plan served by the service
+   cache — whether from the in-memory LRU, from a disk round-trip, or
+   received as a single-flight follower — must drive the collapsed
+   walk to exactly the nest's enumeration, same as a fresh compile.
+   The follower is made deterministic by gating the injected compile
+   until the cache has counted the waiter. *)
+
+let walk_all rc trip =
+  let out = Array.make trip [||] in
+  let j = ref 0 in
+  Trahrhe.Recovery.walk rc ~pc:1 ~len:trip (fun idx ->
+      if !j < trip then out.(!j) <- Array.copy idx;
+      incr j);
+  if !j <> trip then QCheck.Test.fail_reportf "walk delivered %d of %d ranks" !j trip;
+  out
+
+let check_against ~what reference walked =
+  Array.iteri
+    (fun r idx ->
+      if idx <> reference.(r) then
+        QCheck.Test.fail_reportf "%s: rank %d walked %s, nest enumerates %s" what (r + 1)
+          (idx_to_string idx) (idx_to_string reference.(r)))
+    walked
+
+let cached_tmp_dir =
+  lazy
+    (let dir =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "ompsim-oracle-cache-%d" (Unix.getpid ()))
+     in
+     (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+     dir)
+
+let follower_plan cache nest =
+  (* two concurrent requests; the compile parks until the cache
+     reports the second one waiting, so exactly one is a follower *)
+  let gate = Mutex.create () in
+  let open_flag = ref false in
+  let opened = Condition.create () in
+  let gated n =
+    Mutex.lock gate;
+    while not !open_flag do
+      Condition.wait opened gate
+    done;
+    Mutex.unlock gate;
+    Service.Plan.compile n
+  in
+  let results = Array.make 2 (Error "unset") in
+  let domains =
+    Array.init 2 (fun r ->
+        Domain.spawn (fun () ->
+            results.(r) <- Service.Cache.find_or_compile ~compile:gated cache nest))
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while
+    (Service.Cache.stats cache).Service.Cache.singleflight_waits < 1
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.0005
+  done;
+  Mutex.lock gate;
+  open_flag := true;
+  Condition.broadcast opened;
+  Mutex.unlock gate;
+  Array.iter Domain.join domains;
+  if (Service.Cache.stats cache).Service.Cache.singleflight_waits <> 1 then
+    QCheck.Test.fail_reportf "single-flight: expected exactly one follower";
+  results
+
+let check_case_cached (nest, nval) =
+  let param _ = nval in
+  let reference =
+    let buf = ref [] in
+    N.iterate nest ~param (fun idx -> buf := Array.copy idx :: !buf);
+    Array.of_list (List.rev !buf)
+  in
+  let canonical, renaming = Service.Fingerprint.canonicalize nest in
+  let fresh =
+    match Service.Plan.compile canonical with
+    | Ok p -> p
+    | Error e -> QCheck.Test.fail_reportf "plan compile failed on a valid nest: %s" e
+  in
+  let run_plan ~what plan renaming =
+    if not (Service.Plan.equal fresh plan) then
+      QCheck.Test.fail_reportf "%s: served plan differs from a fresh compile" what;
+    let cparam = Service.Fingerprint.canonical_param renaming param in
+    let rc = Service.Plan.recovery plan ~param:cparam in
+    let trip = Trahrhe.Recovery.trip_count rc in
+    if trip <> Array.length reference then
+      QCheck.Test.fail_reportf "%s: trip count %d, nest enumerates %d" what trip
+        (Array.length reference);
+    check_against ~what reference (walk_all rc trip)
+  in
+  run_plan ~what:"fresh compile" fresh renaming;
+  (* memory hit: second lookup in the same cache *)
+  let mem = Service.Cache.create ~capacity:4 ~dir:None () in
+  (match Service.Cache.find_or_compile mem nest with
+  | Error e -> QCheck.Test.fail_reportf "memory miss path failed: %s" e
+  | Ok _ -> ());
+  (match Service.Cache.find_or_compile mem nest with
+  | Error e -> QCheck.Test.fail_reportf "memory hit path failed: %s" e
+  | Ok (plan, rn) ->
+    if (Service.Cache.stats mem).Service.Cache.hits <> 1 then
+      QCheck.Test.fail_reportf "second lookup was not a memory hit";
+    run_plan ~what:"memory hit" plan rn);
+  (* disk hit: a fresh cache (cold memory) over a populated store *)
+  let dir = Lazy.force cached_tmp_dir in
+  (match Service.Cache.find_or_compile (Service.Cache.create ~dir:(Some dir) ()) nest with
+  | Error e -> QCheck.Test.fail_reportf "disk populate failed: %s" e
+  | Ok _ -> ());
+  (match Service.Cache.find_or_compile (Service.Cache.create ~dir:(Some dir) ()) nest with
+  | Error e -> QCheck.Test.fail_reportf "disk hit path failed: %s" e
+  | Ok (plan, rn) -> run_plan ~what:"disk hit" plan rn);
+  (* single-flight follower: both racers' plans must drive the walk *)
+  let sf = Service.Cache.create ~capacity:4 ~dir:None () in
+  Array.iter
+    (fun r ->
+      match r with
+      | Error e -> QCheck.Test.fail_reportf "single-flight request failed: %s" e
+      | Ok (plan, rn) -> run_plan ~what:"single-flight" plan rn)
+    (follower_plan sf nest);
+  true
+
+let prop_cached_plan_matches =
+  QCheck.Test.make ~name:"cached plan walk = fresh compile walk (100 nests)" ~count:100
+    arb_case check_case_cached
+
 (* 200 random nests; each runs on both backends and all five
    schedules, plus the serial lane-walk at every width, so >= 200
    nests per backend as the issue requires. The seed is pinned:
@@ -244,4 +372,5 @@ let rand = Random.State.make [| 0x7ca1e5ce |]
 let suites =
   [ ( "oracle",
       [ QCheck_alcotest.to_alcotest ~rand prop_walk_matches_enumeration;
-        QCheck_alcotest.to_alcotest ~rand prop_resilient_walk_matches ] ) ]
+        QCheck_alcotest.to_alcotest ~rand prop_resilient_walk_matches;
+        QCheck_alcotest.to_alcotest ~rand prop_cached_plan_matches ] ) ]
