@@ -8,17 +8,19 @@
    Artifacts: fig2 fig8 fig9 fig10 codegen ablation-chunk
    ablation-threads ablation-recovery micro micro-recovery micro-pool
    micro-obsv micro-lanes micro-steal micro-fault micro-cache
+   micro-jit
 
    The micro-* artifacts additionally write machine-readable
    BENCH_recovery.json / BENCH_pool.json / BENCH_obsv.json /
    BENCH_lanes.json / BENCH_steal.json / BENCH_fault.json /
-   BENCH_cache.json into the current directory (all through the shared
-   Emit module, which stamps schema_version + git revision) so the
-   hot-path perf trajectory can be tracked across PRs; micro-obsv also
-   writes TRACE_obsv.json, a Chrome trace of an instrumented parallel
-   run. micro-lanes, micro-steal, micro-fault and micro-cache honour
-   BENCH_LANES_N / BENCH_STEAL_N / BENCH_FAULT_N / BENCH_CACHE_NESTS
-   and BENCH_CACHE_REQS for CI-sized runs. *)
+   BENCH_cache.json / BENCH_jit.json into the current directory (all
+   through the shared Emit module, which stamps schema_version + git
+   revision) so the hot-path perf trajectory can be tracked across
+   PRs; micro-obsv also writes TRACE_obsv.json, a Chrome trace of an
+   instrumented parallel run. micro-lanes, micro-steal, micro-fault,
+   micro-cache and micro-jit honour BENCH_LANES_N / BENCH_STEAL_N /
+   BENCH_FAULT_N / BENCH_CACHE_NESTS, BENCH_CACHE_REQS /
+   BENCH_JIT_N, BENCH_JIT_LANES, BENCH_JIT_CHUNK for CI-sized runs. *)
 
 module K = Kernels.Kernel
 module Sim = Ompsim.Sim
@@ -1151,6 +1153,204 @@ let micro_cache () =
       ("reconciled", Emit.Bool reconciled)
     ]
 
+(* micro-jit: the native specialization tier. Phases: (1) chunked
+   walk — the PR-1 exec workload — interpreted vs the specialized
+   object's one-call-per-chunk walk_hash; (2) lane walk — the PR-3
+   batched workload — interpreted materialization vs the object's
+   block filler; (3) latencies: cold emit+gcc compile, warm dlopen of
+   the published .so, and the cache-served steady state where the
+   handle is already resident in the Service.Native tier; (4) a
+   deliberate bigint-headroom fallback, reconciled against the
+   jit.compile/jit.load/jit.fallback counters and the tier's own
+   served/fallback stats. The headline gate is native >= 2x
+   interpreted ns/iter on the chunked walk. *)
+let micro_jit () =
+  let n = env_int "BENCH_JIT_N" 1000 in
+  let lanes = env_int "BENCH_JIT_LANES" 8 in
+  let chunk = env_int "BENCH_JIT_CHUNK" 4096 in
+  header (Printf.sprintf "micro-jit: interpreted vs native walk (correlation, N=%d)" n);
+  Emit.ensure_writable "BENCH_jit.json";
+  let module R = Trahrhe.Recovery in
+  if not (Jit.Abi.available ()) then begin
+    (* no C compiler: the tier falls back to the interpreted walk, so
+       there is nothing to time — emit a recognizable artifact rather
+       than failing the whole bench run *)
+    Printf.printf "C compiler %S unavailable; native tier disabled, nothing to measure\n"
+      (Jit.Abi.cc ());
+    Emit.write ~path:"BENCH_jit.json" ~artifact:"micro-jit"
+      [ ("compiler", Emit.Str (Jit.Abi.cc ()));
+        ("compiler_available", Emit.Bool false);
+        ("native_speedup_ok", Emit.Bool false)
+      ]
+  end
+  else begin
+    let corr = Option.get (Kernels.Registry.find "correlation") in
+    let tmp_root =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ompsim-bench-jit-%d" (Unix.getpid ()))
+    in
+    let cache_dir = Filename.concat tmp_root "cache" in
+    let cold_dir = Filename.concat tmp_root "cold" in
+    let cache = Service.Cache.create ~capacity:8 ~dir:(Some cache_dir) () in
+    let nt = Service.Native.create ~dir:(Some cache_dir) () in
+    let plan, renaming =
+      match Service.Cache.find_or_compile cache corr.K.nest with
+      | Ok x -> x
+      | Error e -> failwith ("plan compile failed: " ^ e)
+    in
+    let cparam = Service.Fingerprint.canonical_param renaming (K.param_of corr ~n) in
+    Obsv.Control.with_enabled true @@ fun () ->
+    Ompsim.Stats.reset ();
+    let metric name =
+      match Obsv.Metrics.find name with Some m -> Obsv.Metrics.total m | None -> 0
+    in
+    let compiles0 = metric "jit.compile" in
+    let loads0 = metric "jit.load" in
+    let fallbacks0 = metric "jit.fallback" in
+    (* first attach cold-compiles the object into the cache dir *)
+    let attach_ms =
+      let t0 = Unix.gettimeofday () in
+      let rc = Service.Native.recovery nt plan ~param:cparam in
+      let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+      if not (R.native_enabled rc) then failwith "native backend failed to attach";
+      (rc, ms)
+    in
+    let rc_native, cold_attach_ms = attach_ms in
+    let rc_interp = Service.Plan.recovery plan ~param:cparam in
+    let trip = R.trip_count rc_interp in
+    let sink = ref 0 in
+    (* (1) PR-1 workload: the chunked walk, exactly as exec runs it —
+       one walk_hash call per chunk *)
+    let walk_ns rc =
+      let s =
+        Ompsim.Calibrate.time_best ~reps:3 (fun () ->
+            let pc = ref 1 in
+            while !pc <= trip do
+              let len = min chunk (trip - !pc + 1) in
+              sink := !sink + R.walk_hash rc ~pc:!pc ~len;
+              pc := !pc + len
+            done)
+      in
+      s *. 1e9 /. float_of_int trip
+    in
+    let interp_walk = walk_ns rc_interp in
+    let native_walk = walk_ns rc_native in
+    (* (2) PR-3 workload: the §VI-A lane walk; native routes block
+       materialization through the object's row-major filler *)
+    let lanes_ns rc =
+      let s =
+        Ompsim.Calibrate.time_best ~reps:3 (fun () ->
+            R.walk_lanes rc ~pc:1 ~len:trip ~vlength:lanes (fun ~base:_ ~count buf ->
+                sink := !sink + count + buf.(0).(0)))
+      in
+      s *. 1e9 /. float_of_int trip
+    in
+    let interp_lanes = lanes_ns rc_interp in
+    let native_lanes = lanes_ns rc_native in
+    ignore !sink;
+    (* (3) latencies: cold emit+compile in a fresh dir, warm dlopen of
+       the published object, and the tier-resident steady state *)
+    let fp = plan.Service.Plan.fingerprint in
+    let inv = plan.Service.Plan.inversion in
+    let cold_ms =
+      let t0 = Unix.gettimeofday () in
+      (match Jit.Compile.specialize ~dir:cold_dir ~fingerprint:fp inv with
+      | Ok h -> Jit.Native.close h
+      | Error e -> failwith ("cold compile failed: " ^ e));
+      (Unix.gettimeofday () -. t0) *. 1e3
+    in
+    let warm_ms =
+      let t0 = Unix.gettimeofday () in
+      (match Jit.Compile.specialize ~dir:cold_dir ~fingerprint:fp inv with
+      | Ok h -> Jit.Native.close h
+      | Error e -> failwith ("warm load failed: " ^ e));
+      (Unix.gettimeofday () -. t0) *. 1e3
+    in
+    let steady_reps = 200 in
+    let steady_ns =
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to steady_reps do
+        let rc = Service.Native.recovery nt plan ~param:cparam in
+        if not (R.native_enabled rc) then failwith "steady-state attach lost the backend"
+      done;
+      (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int steady_reps
+    in
+    (* (4) bigint-headroom fallback: same plan, a parameter value whose
+       intermediates would wrap native ints — the tier must refuse the
+       backend and count the fallback *)
+    let big = 3_000_000_000 in
+    let rc_big = Service.Native.recovery nt plan ~param:(fun _ -> big) in
+    if R.native_enabled rc_big then failwith "overflow-guarded nest accepted a native backend";
+    if not (R.overflow_guarded rc_big) then failwith "expected an overflow-guarded recovery";
+    let compiles = metric "jit.compile" - compiles0 in
+    let loads = metric "jit.load" - loads0 in
+    let fallbacks = metric "jit.fallback" - fallbacks0 in
+    let tier = Service.Native.stats nt in
+    (* compiles: tier cold + bench cold; loads: the warm dlopen only
+       (cold-path loads ride the compile); tier: one attach per
+       successful recovery call, one refused *)
+    let reconciled =
+      compiles = 2 && loads = 1 && fallbacks = 1
+      && tier.Service.Native.served = 1 + steady_reps
+      && tier.Service.Native.fallbacks = 1
+    in
+    let walk_speedup = interp_walk /. native_walk in
+    let lanes_speedup = interp_lanes /. native_lanes in
+    Printf.printf "%d collapsed iterations, chunk %d, %d lanes\n" trip chunk lanes;
+    Printf.printf "%-44s %10.2f\n" "interpreted walk (ns/iter)" interp_walk;
+    Printf.printf "%-44s %10.2f\n" "native walk_hash (ns/iter)" native_walk;
+    Printf.printf "%-44s %10.2f\n" "interpreted lane walk (ns/iter)" interp_lanes;
+    Printf.printf "%-44s %10.2f\n" "native lane walk (ns/iter)" native_lanes;
+    Printf.printf "%-44s %9.1fx %s\n" "walk speedup (gate: >= 2x)" walk_speedup
+      (if walk_speedup >= 2.0 then "ok" else "BELOW TARGET");
+    Printf.printf "%-44s %9.1fx\n" "lane speedup" lanes_speedup;
+    Printf.printf "%-44s %10.1f ms\n" "cold emit+compile latency" cold_ms;
+    Printf.printf "%-44s %10.2f ms\n" "warm .so load latency" warm_ms;
+    Printf.printf "%-44s %10.0f ns\n" "cache-served attach (steady state)" steady_ns;
+    Printf.printf
+      "counters reconcile (jit.compile=%d jit.load=%d jit.fallback=%d served=%d/%d): %s\n" compiles
+      loads fallbacks tier.Service.Native.served tier.Service.Native.fallbacks
+      (if reconciled then "ok" else "MISMATCH");
+    Obsv.Trace.clear ();
+    Ompsim.Stats.reset ();
+    Emit.write ~path:"BENCH_jit.json" ~artifact:"micro-jit"
+      [ ("kernel", Emit.Str "correlation");
+        ("n", Emit.Int n);
+        ("iterations", Emit.Int trip);
+        ("chunk", Emit.Int chunk);
+        ("lanes", Emit.Int lanes);
+        ("compiler", Emit.Str (Jit.Abi.cc ()));
+        ("compiler_available", Emit.Bool true);
+        ( "ns_per_iter",
+          Emit.Obj
+            [ ("interpreted_walk", Emit.F (interp_walk, 2));
+              ("native_walk", Emit.F (native_walk, 2));
+              ("interpreted_lanes", Emit.F (interp_lanes, 2));
+              ("native_lanes", Emit.F (native_lanes, 2))
+            ] );
+        ( "speedup",
+          Emit.Obj
+            [ ("walk", Emit.F (walk_speedup, 2)); ("lanes", Emit.F (lanes_speedup, 2)) ] );
+        ("native_speedup_ok", Emit.Bool (walk_speedup >= 2.0));
+        ( "latency",
+          Emit.Obj
+            [ ("cold_compile_ms", Emit.F (cold_ms, 2));
+              ("cold_attach_ms", Emit.F (cold_attach_ms, 2));
+              ("warm_load_ms", Emit.F (warm_ms, 3));
+              ("cache_served_ns", Emit.F (steady_ns, 0))
+            ] );
+        ( "counters",
+          Emit.Obj
+            [ ("jit_compile", Emit.Int compiles);
+              ("jit_load", Emit.Int loads);
+              ("jit_fallback", Emit.Int fallbacks);
+              ("tier_served", Emit.Int tier.Service.Native.served);
+              ("tier_fallbacks", Emit.Int tier.Service.Native.fallbacks)
+            ] );
+        ("reconciled", Emit.Bool reconciled)
+      ]
+  end
+
 (* ---------------- driver ---------------- *)
 
 let artifacts =
@@ -1171,7 +1371,8 @@ let artifacts =
     ("micro-lanes", micro_lanes);
     ("micro-steal", micro_steal);
     ("micro-fault", micro_fault);
-    ("micro-cache", micro_cache) ]
+    ("micro-cache", micro_cache);
+    ("micro-jit", micro_jit) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

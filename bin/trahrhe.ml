@@ -281,7 +281,7 @@ let iter_hash idx =
   Array.iter (fun v -> h := (!h * 1000003) + v) idx;
   !h
 
-let exec_run kernel size threads schedule lanes repeat faults retries deadline_ms trace stats =
+let exec_run kernel size threads schedule lanes repeat native faults retries deadline_ms trace stats =
   with_obsv ~trace ~stats @@ fun () ->
   match
     Option.to_result ~none:"--kernel is required" kernel |> fun k ->
@@ -325,14 +325,21 @@ let exec_run kernel size threads schedule lanes repeat faults retries deadline_m
       let param =
         Service.Fingerprint.canonical_param renaming (Kernels.Kernel.param_of k ~n)
       in
-      let rc = Service.Plan.recovery plan ~param in
+      let rc =
+        if native then Service.Native.recovery (Service.Native.default ()) plan ~param
+        else Service.Plan.recovery plan ~param
+      in
       let trip = Trahrhe.Recovery.trip_count rc in
       (* padded per-worker partial checksums: one writer per slot *)
       let stride = 16 in
       let partial = Array.make (threads * stride) 0 in
       let body ~thread ~start ~len =
         let cell = thread * stride in
-        if lanes > 1 then
+        if native then
+          (* one call per chunk: the specialized object's walk_hash
+             when the backend engaged, the interpreted fold otherwise *)
+          partial.(cell) <- partial.(cell) + Trahrhe.Recovery.walk_hash rc ~pc:(start + 1) ~len
+        else if lanes > 1 then
           (* §VI-A batched body: one hash per lane of each lockstep block *)
           Trahrhe.Recovery.walk_lanes rc ~pc:(start + 1) ~len ~vlength:lanes
             (fun ~base:_ ~count buf ->
@@ -353,11 +360,13 @@ let exec_run kernel size threads schedule lanes repeat faults retries deadline_m
       let serial_sum = ref 0 in
       Trahrhe.Nest.iterate plan.Service.Plan.inversion.Trahrhe.Inversion.nest ~param (fun idx ->
           serial_sum := !serial_sum + iter_hash idx);
+      let run_times = Array.make repeat 0.0 in
       let t0 = Unix.gettimeofday () in
       let rec run_repeats r =
         if r > repeat then Ok ()
         else begin
           Array.fill partial 0 (Array.length partial) 0;
+          let rt0 = Unix.gettimeofday () in
           let outcome =
             if resilient then
               Ompsim.Par.run_resilient ~retries ?deadline_ms ~faults:fault_cfg ~nthreads:threads
@@ -367,6 +376,7 @@ let exec_run kernel size threads schedule lanes repeat faults retries deadline_m
               Ok ()
             end
           in
+          run_times.(r - 1) <- Unix.gettimeofday () -. rt0;
           match outcome with
           | Error err -> Error (Ompsim.Par.describe_error err)
           | Ok () ->
@@ -396,6 +406,23 @@ let exec_run kernel size threads schedule lanes repeat faults retries deadline_m
           trip
           (if repeat > 1 then Printf.sprintf " x%d runs" repeat else "")
           elapsed;
+        if native then
+          Printf.eprintf "  native backend: %s\n%!"
+            (if Trahrhe.Recovery.native_enabled rc then "engaged" else "interpreted fallback");
+        if repeat > 1 then begin
+          (* per-run wall times, not just the aggregate: min/median make
+             warm-up effects and scheduling noise visible *)
+          Array.iteri
+            (fun i t -> Printf.eprintf "  run %2d/%d: %.4fs\n" (i + 1) repeat t)
+            run_times;
+          let sorted = Array.copy run_times in
+          Array.sort compare sorted;
+          let median =
+            if repeat mod 2 = 1 then sorted.(repeat / 2)
+            else (sorted.((repeat / 2) - 1) +. sorted.(repeat / 2)) /. 2.0
+          in
+          Printf.eprintf "  run wall time: min %.4fs, median %.4fs\n%!" sorted.(0) median
+        end;
         (match Obsv.Metrics.per_slot Ompsim.Stats.par_iterations with
         | [] -> ()
         | cells ->
@@ -449,7 +476,19 @@ let exec_cmd =
           ~doc:
             "Execute the parallel region $(docv) times, reusing one compiled plan, one runtime \
              recovery and one serial reference across all runs (each run's checksum is still \
-             verified).")
+             verified). Per-run wall times with their min/median join the stderr accounting \
+             block.")
+  in
+  let native =
+    Arg.(
+      value & flag
+      & info [ "native" ]
+          ~doc:
+            "Specialize the plan's recovery, stepping and collapsed loop to a shared object \
+             (compiled with the system C compiler, cached next to the plan in \
+             OMPSIM_PLAN_CACHE) and run each chunk through it. Falls back to the interpreted \
+             walk — reported in the accounting block — when no compiler is available, the \
+             compile fails, or the nest needs bigint headroom.")
   in
   let faults =
     Arg.(
@@ -485,8 +524,8 @@ let exec_cmd =
          "Really execute a kernel's collapsed nest on OCaml domains (one recovery per chunk, §V \
           walk) and check the result against serial enumeration.")
     Term.(
-      const exec_run $ kernel_arg $ size $ threads $ schedule $ lanes $ repeat $ faults $ retries
-      $ deadline_ms $ trace_arg $ stats_arg)
+      const exec_run $ kernel_arg $ size $ threads $ schedule $ lanes $ repeat $ native $ faults
+      $ retries $ deadline_ms $ trace_arg $ stats_arg)
 
 (* ---- emit ---- *)
 
@@ -569,7 +608,10 @@ let batch_cmd =
 
 (* ---- serve ---- *)
 
-let serve_run socket =
+let serve_run socket trace stats =
+  (* serve converts SIGINT/SIGTERM into a normal return, so the obsv
+     teardown in with_obsv flushes on ^C too, not just on shutdown *)
+  with_obsv ~trace ~stats @@ fun () ->
   match Service.Server.serve ~socket () with
   | Ok () -> 0
   | Error e ->
@@ -587,8 +629,9 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Listen on a Unix domain socket and serve compile/exec requests (same line protocol as \
-          $(b,batch)) until a client sends $(b,shutdown).")
-    Term.(const serve_run $ socket)
+          $(b,batch)) until a client sends $(b,shutdown) or the process receives \
+          SIGINT/SIGTERM; cache and native accounting flush to stderr on either exit.")
+    Term.(const serve_run $ socket $ trace_arg $ stats_arg)
 
 (* ---- kernels ---- *)
 

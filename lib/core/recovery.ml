@@ -113,6 +113,15 @@ let total_degree bp =
    walk routed through it) *)
 let c_bigint_fallback = Obsv.Metrics.create "recovery.bigint_fallback"
 
+(* walks and block fills served by a native (.so) backend *)
+let c_jit_hits = Obsv.Metrics.create "jit.hit"
+
+type native = {
+  n_walk_hash : pc:int -> len:int -> int;
+  n_recover : pc:int -> int array -> unit;
+  n_fill_block : pc:int -> int array array -> int;
+}
+
 type t = {
   inv : Inversion.t;
   d : int;
@@ -136,6 +145,8 @@ type t = {
   hup : H.t array;
   root_envs : (int array -> int -> string -> Complex.t) array;
       (** env builder for level k: takes idx prefix and pc *)
+  native : native option;
+      (** specialized [.so] backend, attached per-plan by the JIT tier *)
 }
 
 let make ?(compiled = true) (inv : Inversion.t) ~param =
@@ -233,12 +244,26 @@ let make ?(compiled = true) (inv : Inversion.t) ~param =
         end)
   in
   { inv; d; param; trip; compiled; safe; crank; cr_sub; clo; cup; brank; br_sub; blo; bup;
-    hrank; hr_sub; hlo; hup; root_envs }
+    hrank; hr_sub; hlo; hup; root_envs; native = None }
 
 let depth t = t.d
 let trip_count t = t.trip
 let compiled t = t.compiled
 let overflow_guarded t = t.safe
+
+(* overflow-guarded nests refuse the native backend: the specialized C
+   computes in int64 and would wrap exactly where the bigint path is
+   needed (the caller counts the refusal as a jit fallback) *)
+let attach_native t nat = if t.safe then t else { t with native = Some nat }
+let native_enabled t = t.native <> None
+
+let native_recover t pc =
+  match t.native with
+  | None -> None
+  | Some nat ->
+    let idx = Array.make t.d 0 in
+    nat.n_recover ~pc idx;
+    Some idx
 
 let rank t idx =
   if t.safe then eval_bpoly t.brank (fun s -> idx.(s))
@@ -481,6 +506,46 @@ let walk t ~pc ~len f =
         Obsv.Metrics.add_here c_step_ns (Obsv.Clock.now_ns () - t1))
   end
 
+(* ---------------- collapsed checksum walk ---------------- *)
+
+(* the execution payload of [trahrhe exec] and the service: the order-
+   independent sum of per-iteration index hashes over a chunk. Promoted
+   to a first-class operation so a native backend can compute the whole
+   reduction in one call instead of one callback per iteration. *)
+let iter_hash d idx =
+  let h = ref 0 in
+  for k = 0 to d - 1 do
+    h := (!h * 1000003) + idx.(k)
+  done;
+  !h
+
+let walk_hash_interp t ~pc ~len =
+  let acc = ref 0 in
+  walk_from t (recover_guarded t pc) ~len (fun idx -> acc := !acc + iter_hash t.d idx);
+  !acc
+
+let walk_hash_uninstrumented t ~pc ~len =
+  if len <= 0 then 0
+  else begin
+    match t.native with
+    | Some nat -> nat.n_walk_hash ~pc ~len
+    | None -> walk_hash_interp t ~pc ~len
+  end
+
+let walk_hash t ~pc ~len =
+  if not (Obsv.Control.enabled ()) then walk_hash_uninstrumented t ~pc ~len
+  else if len <= 0 then 0
+  else begin
+    Obsv.Metrics.incr_here c_walks;
+    Obsv.Metrics.add_here c_iterations len;
+    if t.safe then Obsv.Metrics.incr_here c_bigint_fallback;
+    match t.native with
+    | Some nat ->
+      Obsv.Metrics.incr_here c_jit_hits;
+      nat.n_walk_hash ~pc ~len
+    | None -> walk_hash_interp t ~pc ~len
+  end
+
 (* ---------------- batched lane-walk (§VI-A) ---------------- *)
 
 (* drive [f] over [len] iterations starting from the recovered [idx],
@@ -563,10 +628,49 @@ let walk_lanes_from t idx ~pc0 ~len ~vlength ~lanes f =
 
 let make_lanes t vlength = Array.init t.d (fun _ -> Array.make vlength 0)
 
+(* native lane fill, batched: one [.so] recovery fills many windows'
+   worth of lanes in a single call, sliced into [vlength] blocks for
+   the callback here. Fetching window-by-window would pay a
+   binary-search recovery plus an FFI crossing every [vlength]
+   iterations — more than the interpreted incremental walk costs; the
+   batch amortizes both. A fetch shorter than the buffer means the
+   iteration space ended. *)
+let native_batch_windows = 64
+
+let walk_lanes_native nat ~pc ~len ~vlength ~lanes f =
+  let d = Array.length lanes in
+  let windows = min native_batch_windows (1 + ((len - 1) / vlength)) in
+  let width = windows * vlength in
+  let big = Array.init d (fun _ -> Array.make width 0) in
+  let base = ref pc and remaining = ref len and alive = ref true in
+  while !remaining > 0 && !alive do
+    let filled = nat.n_fill_block ~pc:!base big in
+    if filled = 0 then alive := false
+    else begin
+      let avail = min filled !remaining in
+      let off = ref 0 in
+      while !off < avail do
+        let count = min vlength (avail - !off) in
+        for k = 0 to d - 1 do
+          Array.blit big.(k) !off lanes.(k) 0 count
+        done;
+        f ~base:(!base + !off) ~count lanes;
+        off := !off + count
+      done;
+      base := !base + avail;
+      remaining := !remaining - avail;
+      if filled < width then alive := false
+    end
+  done
+
 let walk_lanes_uninstrumented t ~pc ~len ~vlength f =
   if vlength <= 0 then invalid_arg "Recovery.walk_lanes: vlength must be positive";
-  if len > 0 then
-    walk_lanes_from t (recover_guarded t pc) ~pc0:pc ~len ~vlength ~lanes:(make_lanes t vlength) f
+  if len > 0 then begin
+    match t.native with
+    | Some nat -> walk_lanes_native nat ~pc ~len ~vlength ~lanes:(make_lanes t vlength) f
+    | None ->
+      walk_lanes_from t (recover_guarded t pc) ~pc0:pc ~len ~vlength ~lanes:(make_lanes t vlength) f
+  end
 
 let c_lane_blocks = Obsv.Metrics.create "recovery.lane_blocks"
 
@@ -582,16 +686,22 @@ let walk_lanes t ~pc ~len ~vlength f =
           [ ("pc", Obsv.Trace.Int pc); ("len", Obsv.Trace.Int len);
             ("vlength", Obsv.Trace.Int vlength) ]
         (fun () ->
-          let t0 = Obsv.Clock.now_ns () in
-          let idx = recover_guarded t pc in
-          let t1 = Obsv.Clock.now_ns () in
-          Obsv.Metrics.add_here c_recover_ns (t1 - t0);
-          walk_lanes_from t idx ~pc0:pc ~len ~vlength ~lanes:(make_lanes t vlength)
-            (fun ~base ~count lanes ->
-              Obsv.Metrics.incr_here c_lane_blocks;
-              Obsv.Metrics.add_here c_iterations count;
-              f ~base ~count lanes);
-          Obsv.Metrics.add_here c_step_ns (Obsv.Clock.now_ns () - t1))
+          let counted ~base ~count lanes =
+            Obsv.Metrics.incr_here c_lane_blocks;
+            Obsv.Metrics.add_here c_iterations count;
+            f ~base ~count lanes
+          in
+          match t.native with
+          | Some nat ->
+            Obsv.Metrics.incr_here c_jit_hits;
+            walk_lanes_native nat ~pc ~len ~vlength ~lanes:(make_lanes t vlength) counted
+          | None ->
+            let t0 = Obsv.Clock.now_ns () in
+            let idx = recover_guarded t pc in
+            let t1 = Obsv.Clock.now_ns () in
+            Obsv.Metrics.add_here c_recover_ns (t1 - t0);
+            walk_lanes_from t idx ~pc0:pc ~len ~vlength ~lanes:(make_lanes t vlength) counted;
+            Obsv.Metrics.add_here c_step_ns (Obsv.Clock.now_ns () - t1))
     end
   end
 
@@ -606,8 +716,13 @@ let recover_block t ~pc lanes =
     lanes;
   let filled = ref 0 in
   if width > 0 && pc >= 1 && pc <= t.trip then begin
-    let len = min width (t.trip - pc + 1) in
-    walk_lanes_from t (recover_guarded t pc) ~pc0:pc ~len ~vlength:width ~lanes
-      (fun ~base:_ ~count _ -> filled := count)
+    match t.native with
+    | Some nat ->
+      if Obsv.Control.enabled () then Obsv.Metrics.incr_here c_jit_hits;
+      filled := nat.n_fill_block ~pc lanes
+    | None ->
+      let len = min width (t.trip - pc + 1) in
+      walk_lanes_from t (recover_guarded t pc) ~pc0:pc ~len ~vlength:width ~lanes
+        (fun ~base:_ ~count _ -> filled := count)
   end;
   !filled

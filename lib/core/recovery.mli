@@ -39,6 +39,37 @@
 
 type t
 
+(** A native execution backend: the operations a plan-specialized
+    shared object provides, already bound to this recovery's parameter
+    values. [n_walk_hash ~pc ~len] is the whole checksum reduction of
+    {!walk_hash} in one call; [n_recover ~pc idx] writes the recovered
+    indices of rank [pc] into [idx]; [n_fill_block ~pc lanes] is the
+    one-block SoA fill of {!recover_block} (returns lanes filled, 0
+    when [pc] is outside the space). All three must agree bit-for-bit
+    with the interpreted implementations — the QCheck oracle checks
+    this on random nests. *)
+type native = {
+  n_walk_hash : pc:int -> len:int -> int;
+  n_recover : pc:int -> int array -> unit;
+  n_fill_block : pc:int -> int array array -> int;
+}
+
+(** [attach_native t nat] returns a recovery that routes {!walk_hash},
+    {!walk_lanes} and {!recover_block} through the native backend.
+    Refused (returns [t] unchanged) on an {!overflow_guarded} recovery:
+    the specialized int64 C would wrap exactly where the bigint path is
+    required, so PR-4 overflow mode stays interpreted. Callers detect
+    the refusal with {!native_enabled} and count it as a jit fallback. *)
+val attach_native : t -> native -> t
+
+(** [native_enabled t] is [true] when a native backend is attached. *)
+val native_enabled : t -> bool
+
+(** [native_recover t pc] recovers rank [pc]'s indices through the
+    native backend ([None] when none is attached) — the probe the
+    differential tests compare against {!recover_guarded}. *)
+val native_recover : t -> int -> int array option
+
 (** [make inv ~param] specializes an inversion to parameter values.
     [compiled] (default [true]) selects the Horner/finite-difference
     evaluation pipeline ({!Polymath.Horner}); [~compiled:false] keeps
@@ -129,6 +160,21 @@ val rank_stepper : t -> level:int -> start:int -> int array -> Polymath.Horner.S
     off, the only added cost over {!walk_uninstrumented} is one
     flag check per call. *)
 val walk : t -> pc:int -> len:int -> (int array -> unit) -> unit
+
+(** [walk_hash t ~pc ~len] is the collapsed checksum walk — the
+    execution payload of [trahrhe exec] and the service as a
+    first-class operation: one recovery at rank [pc], then the sum
+    (native-int wraparound) of [fold h = h*1000003 + idx.(k)] over the
+    next [len] iterations, stopping at the end of the space. With a
+    native backend attached ({!attach_native}) the whole reduction runs
+    in the specialized [.so] — one C call per chunk, no per-iteration
+    callback — and bumps the [jit.hit] counter; otherwise it is
+    equivalent to accumulating over {!walk}. *)
+val walk_hash : t -> pc:int -> len:int -> int
+
+(** [walk_hash_uninstrumented] is {!walk_hash} minus the observability
+    check, as {!walk_uninstrumented} is to {!walk}. *)
+val walk_hash_uninstrumented : t -> pc:int -> len:int -> int
 
 (** [walk_uninstrumented] is {!walk} with the observability check
     compiled out of the call — the reference the overhead micro-bench

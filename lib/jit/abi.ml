@@ -1,0 +1,37 @@
+(* The .so contract is keyed by (abi_version, compiler identity): bump
+   [version] whenever the exported symbols or their semantics change,
+   and let a compiler upgrade invalidate cached objects through the
+   salt instead of serving binaries built by a different gcc. *)
+let version = 1
+
+let cc () =
+  match Sys.getenv_opt "OMPSIM_JIT_CC" with
+  | Some c when c <> "" -> c
+  | _ -> "gcc"
+
+(* first line of `cc --version`, or None when the compiler cannot be
+   run at all (missing binary, OMPSIM_JIT_CC pointing nowhere) *)
+let probe_cc_version () =
+  let cmd = Printf.sprintf "%s --version 2>/dev/null" (Filename.quote (cc ())) in
+  match
+    let ic = Unix.open_process_in cmd in
+    let line = try input_line ic with End_of_file -> "" in
+    let status = Unix.close_process_in ic in
+    (line, status)
+  with
+  | exception _ -> None
+  | line, Unix.WEXITED 0 when line <> "" -> Some line
+  | _ -> None
+
+(* probed once: the compiler identity cannot change under a running
+   process, and re-forking gcc per cache lookup would defeat the tier *)
+let cc_version = lazy (probe_cc_version ())
+
+let available () = Lazy.force cc_version <> None
+
+let salt () =
+  let id =
+    match Lazy.force cc_version with Some v -> v | None -> "no-compiler"
+  in
+  let digest = Digest.to_hex (Digest.string (Printf.sprintf "abi%d|%s" version id)) in
+  String.sub digest 0 12

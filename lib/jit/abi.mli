@@ -1,0 +1,24 @@
+(** The native-plan ABI: version constant and compiler salt.
+
+    A specialized shared object is only loadable by the runtime that
+    understands its symbol contract; {!version} is baked into every
+    emitted object ([ompsim_abi]) and checked at load. The cache key
+    additionally carries {!salt} — a digest of the ABI version and the
+    C compiler's identity — so objects built by a different compiler
+    (or an older ABI) are silent cache misses, never loaded. *)
+
+(** Current ABI version, exported by every emitted object. *)
+val version : int
+
+(** [cc ()] is the C compiler command: [$OMPSIM_JIT_CC] when set and
+    non-empty, else [gcc]. *)
+val cc : unit -> string
+
+(** [available ()] is [true] when the compiler can be executed. Probed
+    once per process; a missing compiler makes every native request
+    fall back to the interpreted walk. *)
+val available : unit -> bool
+
+(** [salt ()] is the 12-hex-char cache-key salt derived from
+    {!version} and the compiler's [--version] line. *)
+val salt : unit -> string

@@ -1,0 +1,97 @@
+let so_name fingerprint = Printf.sprintf "%s.%s.so" fingerprint (Abi.salt ())
+
+let rec mkdir_p d =
+  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+  else begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with _ -> ""
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc content)
+
+let first_lines ?(n = 4) s =
+  String.split_on_char '\n' (String.trim s)
+  |> List.filteri (fun i _ -> i < n)
+  |> String.concat "; "
+
+(* gcc -O2 -shared -fPIC into a private temp object, then rename into
+   place: concurrent readers see the old object or the new one, never
+   a torn write — the same atomic-publish discipline as the plan
+   store *)
+let compile_so ~src_path ~out_path =
+  let log = out_path ^ ".log" in
+  let cmd =
+    Printf.sprintf "%s -O2 -shared -fPIC -o %s %s 2>%s" (Abi.cc ()) (Filename.quote out_path)
+      (Filename.quote src_path) (Filename.quote log)
+  in
+  let status = Sys.command cmd in
+  let diagnostics = read_file log in
+  (try Sys.remove log with Sys_error _ -> ());
+  if status = 0 then Ok ()
+  else
+    Error
+      (Printf.sprintf "%s exited %d%s" (Abi.cc ()) status
+         (if diagnostics = "" then "" else ": " ^ first_lines diagnostics))
+
+let fresh_compile ~dir ~fingerprint inv =
+  Obsv.Trace.with_span "jit.compile" @@ fun () ->
+  match Emit.source inv ~fingerprint with
+  | Error _ as e -> e
+  | Ok src -> (
+    try
+      mkdir_p dir;
+      let pid = Unix.getpid () in
+      let src_path = Filename.concat dir (Printf.sprintf ".%s.%d.c" fingerprint pid) in
+      let tmp_so = Filename.concat dir (Printf.sprintf ".%s.%d.so" fingerprint pid) in
+      write_file src_path src;
+      let result = compile_so ~src_path ~out_path:tmp_so in
+      (try Sys.remove src_path with Sys_error _ -> ());
+      match result with
+      | Error _ as e ->
+        (try Sys.remove tmp_so with Sys_error _ -> ());
+        e
+      | Ok () ->
+        let path = Filename.concat dir (so_name fingerprint) in
+        Unix.rename tmp_so path;
+        Stats.incr Stats.compiles;
+        Ok path
+    with Sys_error e | Unix.Unix_error (_, _, e) -> Error ("jit compile: " ^ e))
+
+let specialize ?dir ~fingerprint inv =
+  let dir =
+    match dir with
+    | Some d -> d
+    | None -> Filename.concat (Filename.get_temp_dir_name ()) "ompsim-jit"
+  in
+  let path = Filename.concat dir (so_name fingerprint) in
+  let warm =
+    if Sys.file_exists path then begin
+      (* corrupt, stale or foreign objects are silent misses: fall
+         through to a fresh compile that overwrites the bad entry *)
+      match Native.load ~path ~fingerprint with
+      | Ok h ->
+        Stats.incr Stats.loads;
+        Some h
+      | Error _ -> None
+    end
+    else None
+  in
+  match warm with
+  | Some h -> Ok h
+  | None -> (
+    if not (Abi.available ()) then Error (Printf.sprintf "C compiler %S unavailable" (Abi.cc ()))
+    else begin
+      match fresh_compile ~dir ~fingerprint inv with
+      | Error _ as e -> e
+      | Ok path -> Native.load ~path ~fingerprint
+    end)

@@ -1,0 +1,25 @@
+(** The gcc driver: emitted C source -> cached shared object.
+
+    Objects live next to the plans, one
+    [<fingerprint>.<salt>.so] per plan ({!so_name}; the salt is
+    {!Abi.salt}, so a compiler or ABI change never loads a stale
+    binary — it just misses and recompiles). Publication is atomic
+    (private temp file + rename), mirroring the plan store. *)
+
+(** [so_name fp] is the cache file name for fingerprint [fp] under the
+    current ABI/compiler salt. *)
+val so_name : string -> string
+
+(** [specialize ?dir ~fingerprint inv] returns a validated handle to
+    the specialized object for [inv] (a canonical plan inversion):
+    loading the warm [.so] from [dir] when present and valid
+    ([jit.load]), else emitting + compiling a fresh one ([jit.compile],
+    under a [jit.compile] trace span) and publishing it in [dir].
+    [dir] defaults to a process-shared directory under the system temp
+    dir. Corrupt or stale cache entries are silent misses: they are
+    recompiled and overwritten, never surfaced. [Error] means the
+    native tier is unavailable for this plan (no compiler, emit or
+    compile failure) — the caller falls back to the interpreted walk
+    and counts [jit.fallback]. *)
+val specialize :
+  ?dir:string -> fingerprint:string -> Trahrhe.Inversion.t -> (Native.handle, string) result

@@ -1,0 +1,53 @@
+type handle
+
+external raw_open : string -> handle = "ompsim_jit_open"
+external raw_close : handle -> unit = "ompsim_jit_close"
+external raw_abi : handle -> int = "ompsim_jit_abi"
+external raw_fingerprint : handle -> string = "ompsim_jit_fingerprint"
+external raw_depth : handle -> int = "ompsim_jit_depth"
+external raw_params : handle -> int = "ompsim_jit_params"
+external raw_trip : handle -> int array -> int = "ompsim_jit_trip"
+external raw_recover : handle -> int array -> int -> int array -> unit = "ompsim_jit_recover"
+external raw_walk_hash : handle -> int array -> int -> int -> int = "ompsim_jit_walk_hash"
+external raw_block : handle -> int array -> int -> int array array -> int = "ompsim_jit_block"
+
+let depth = raw_depth
+let params = raw_params
+let close = raw_close
+let trip h ps = raw_trip h ps
+let walk_hash h ps ~pc ~len = raw_walk_hash h ps pc len
+let recover h ps ~pc idx = raw_recover h ps pc idx
+
+let fill_block h ps ~pc lanes =
+  let d = raw_depth h in
+  if Array.length lanes <> d then
+    invalid_arg "Jit.Native.fill_block: lanes must have one row per nest level";
+  let width = if d = 0 then 0 else Array.length lanes.(0) in
+  Array.iter
+    (fun row ->
+      if Array.length row <> width then invalid_arg "Jit.Native.fill_block: ragged lanes buffer")
+    lanes;
+  if width = 0 then 0 else raw_block h ps pc lanes
+
+(* load-time validation: an object built by another ABI or for another
+   plan is an error here — callers treat it as a silent cache miss *)
+let load ~path ~fingerprint =
+  match raw_open path with
+  | exception Failure msg -> Error msg
+  | h ->
+    let fail msg =
+      close h;
+      Error msg
+    in
+    let abi = raw_abi h in
+    if abi <> Abi.version then
+      fail (Printf.sprintf "stale object: abi %d, expected %d" abi Abi.version)
+    else begin
+      let fp = raw_fingerprint h in
+      if fp <> fingerprint then fail (Printf.sprintf "stale object: fingerprint %s" fp)
+      else begin
+        let d = raw_depth h and np = raw_params h in
+        if d < 1 || d > 16 || np < 0 || np > 16 then fail "stale object: implausible shape"
+        else Ok h
+      end
+    end

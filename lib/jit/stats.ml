@@ -1,0 +1,6 @@
+let compiles = Obsv.Metrics.create "jit.compile"
+let loads = Obsv.Metrics.create "jit.load"
+let fallbacks = Obsv.Metrics.create "jit.fallback"
+
+let incr metric = if Obsv.Control.enabled () then Obsv.Metrics.incr_here metric
+let fallback () = incr fallbacks

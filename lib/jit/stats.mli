@@ -1,0 +1,17 @@
+(** Observability counters of the JIT tier ([jit.hit] lives in
+    {!Trahrhe.Recovery}, next to the walks it counts):
+    - [jit.compile] — fresh gcc compiles of a specialized object;
+    - [jit.load] — warm [.so] loads served from the cache directory;
+    - [jit.fallback] — native requests that fell back to the
+      interpreted walk (no compiler, compile/load failure, or an
+      overflow-guarded nest). *)
+
+val compiles : Obsv.Metrics.t
+val loads : Obsv.Metrics.t
+val fallbacks : Obsv.Metrics.t
+
+(** [incr m] bumps [m] when the observability layer is enabled. *)
+val incr : Obsv.Metrics.t -> unit
+
+(** [fallback ()] is [incr fallbacks]. *)
+val fallback : unit -> unit

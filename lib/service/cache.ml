@@ -5,8 +5,6 @@ type node = {
   mutable next : node option;
 }
 
-type flight = { cond : Condition.t; mutable result : (Plan.t, string) result option }
-
 type stats = {
   hits : int;
   disk_hits : int;
@@ -22,7 +20,7 @@ type t = {
   tbl : (string, node) Hashtbl.t;
   mutable head : node option;  (* most recently used *)
   mutable tail : node option;  (* least recently used *)
-  inflight : (string, flight) Hashtbl.t;
+  inflight : Plan.t Single_flight.t;
   mutable hits : int;
   mutable disk_hits : int;
   mutable misses : int;
@@ -38,7 +36,7 @@ let create ?(capacity = 256) ?dir () =
     tbl = Hashtbl.create 64;
     head = None;
     tail = None;
-    inflight = Hashtbl.create 8;
+    inflight = Single_flight.create ();
     hits = 0;
     disk_hits = 0;
     misses = 0;
@@ -162,25 +160,17 @@ let find_or_compile ?(compile = Plan.compile) t nest =
     Mutex.unlock t.mutex;
     Ok (plan, renaming)
   | None -> (
-    match Hashtbl.find_opt t.inflight fp with
+    match Single_flight.join t.inflight fp with
     | Some fl ->
       (* single-flight follower: park until the winner publishes *)
       t.singleflight_waits <- t.singleflight_waits + 1;
       obsv_incr Stats.singleflight_waits;
-      let rec await () =
-        match fl.result with
-        | Some r -> r
-        | None ->
-          Condition.wait fl.cond t.mutex;
-          await ()
-      in
-      let r = await () in
+      let r = Single_flight.await fl ~mutex:t.mutex in
       Mutex.unlock t.mutex;
       with_renaming r
     | None ->
       (* single-flight winner: compile with the lock released *)
-      let fl = { cond = Condition.create (); result = None } in
-      Hashtbl.replace t.inflight fp fl;
+      let fl = Single_flight.enter t.inflight fp in
       Mutex.unlock t.mutex;
       let result, origin =
         match disk_load t fp with
@@ -200,9 +190,7 @@ let find_or_compile ?(compile = Plan.compile) t nest =
       (match result with Ok plan -> insert t fp plan | Error _ -> ());
       (* publish, then forget the flight: a failed compile reaches its
          waiters but poisons nothing — the next request retries *)
-      fl.result <- Some result;
-      Hashtbl.remove t.inflight fp;
-      Condition.broadcast fl.cond;
+      Single_flight.publish t.inflight fp fl result;
       Mutex.unlock t.mutex;
       with_renaming result)
 

@@ -1,0 +1,107 @@
+module R = Trahrhe.Recovery
+
+type stats = { served : int; fallbacks : int }
+
+type t = {
+  dir : string option;
+  mutex : Mutex.t;
+  tbl : (string, (Jit.Native.handle, string) result) Hashtbl.t;
+  flights : Jit.Native.handle Single_flight.t;
+  mutable served : int;
+  mutable fallbacks : int;
+}
+
+let create ?dir () =
+  let dir = match dir with Some d -> d | None -> Sys.getenv_opt "OMPSIM_PLAN_CACHE" in
+  { dir;
+    mutex = Mutex.create ();
+    tbl = Hashtbl.create 16;
+    flights = Single_flight.create ();
+    served = 0;
+    fallbacks = 0 }
+
+let default_t = lazy (create ())
+let default () = Lazy.force default_t
+let dir t = t.dir
+
+(* one validated handle per fingerprint, single-flighted exactly like
+   plan compiles. Specialize failures ARE cached (unlike plan-compile
+   failures): a missing compiler would otherwise fork gcc once per
+   request, and the interpreted fallback is always available. *)
+let handle_for t fp inv =
+  Mutex.lock t.mutex;
+  match Hashtbl.find_opt t.tbl fp with
+  | Some r ->
+    Mutex.unlock t.mutex;
+    r
+  | None -> (
+    match Single_flight.join t.flights fp with
+    | Some fl ->
+      let r = Single_flight.await fl ~mutex:t.mutex in
+      Mutex.unlock t.mutex;
+      r
+    | None ->
+      let fl = Single_flight.enter t.flights fp in
+      Mutex.unlock t.mutex;
+      let result = Jit.Compile.specialize ?dir:t.dir ~fingerprint:fp inv in
+      Mutex.lock t.mutex;
+      Hashtbl.replace t.tbl fp result;
+      Single_flight.publish t.flights fp fl result;
+      Mutex.unlock t.mutex;
+      result)
+
+let note_served t =
+  Mutex.lock t.mutex;
+  t.served <- t.served + 1;
+  Mutex.unlock t.mutex
+
+let note_fallback t =
+  Mutex.lock t.mutex;
+  t.fallbacks <- t.fallbacks + 1;
+  Mutex.unlock t.mutex;
+  Jit.Stats.fallback ()
+
+let recovery t (plan : Plan.t) ~param =
+  let rc = Plan.recovery plan ~param in
+  if R.overflow_guarded rc then begin
+    (* PR-4 overflow mode stays interpreted: int64 C would wrap *)
+    note_fallback t;
+    rc
+  end
+  else begin
+    match handle_for t plan.Plan.fingerprint plan.Plan.inversion with
+    | Error _ ->
+      note_fallback t;
+      rc
+    | Ok h ->
+      let ps =
+        Array.of_list
+          (List.map param plan.Plan.inversion.Trahrhe.Inversion.nest.Trahrhe.Nest.params)
+      in
+      (* cheap end-to-end cross-check before trusting the object *)
+      if Jit.Native.trip h ps <> R.trip_count rc then begin
+        note_fallback t;
+        rc
+      end
+      else begin
+        note_served t;
+        R.attach_native rc
+          { R.n_walk_hash = (fun ~pc ~len -> Jit.Native.walk_hash h ps ~pc ~len);
+            n_recover = (fun ~pc idx -> Jit.Native.recover h ps ~pc idx);
+            n_fill_block = (fun ~pc lanes -> Jit.Native.fill_block h ps ~pc lanes) }
+      end
+  end
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s = { served = t.served; fallbacks = t.fallbacks } in
+  Mutex.unlock t.mutex;
+  s
+
+let clear t =
+  Mutex.lock t.mutex;
+  Hashtbl.iter (fun _ r -> match r with Ok h -> Jit.Native.close h | Error _ -> ()) t.tbl;
+  Hashtbl.reset t.tbl;
+  t.served <- 0;
+  t.fallbacks <- 0;
+  Mutex.unlock t.mutex

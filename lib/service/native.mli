@@ -1,0 +1,45 @@
+(** Native-handle cache: serves plans as specialized shared objects.
+
+    One validated {!Jit.Native} handle per plan fingerprint, compiled
+    (or warm-loaded) on first request and kept for the cache's
+    lifetime; concurrent first requests are single-flighted with the
+    same machinery as plan compiles ({!Single_flight}). The [.so]
+    files live in the same directory as the plans — [~dir], defaulting
+    to [OMPSIM_PLAN_CACHE] — named [<fingerprint>.<salt>.so]
+    ({!Jit.Compile.so_name}).
+
+    Unlike plan-compile failures, specialize failures are cached per
+    fingerprint: a missing C compiler must not fork [gcc] once per
+    request when the interpreted walk is always available. *)
+
+type t
+
+type stats = { served : int; fallbacks : int }
+
+(** [create ()] makes a handle cache over [dir] (default:
+    [OMPSIM_PLAN_CACHE] when set, else a temp directory chosen by
+    {!Jit.Compile.specialize}). *)
+val create : ?dir:string option -> unit -> t
+
+(** [default ()] is the shared process-wide cache, configured from the
+    environment. *)
+val default : unit -> t
+
+val dir : t -> string option
+
+(** [recovery t plan ~param] is {!Plan.recovery} plus the native
+    backend when one can be attached: the plan's object is fetched or
+    built, cross-checked ([ompsim_trip] against the interpreted trip
+    count), and bound to the canonical parameter values. On any
+    failure — no compiler, compile error, overflow-guarded nest,
+    cross-check mismatch — the interpreted recovery is returned
+    unchanged and [jit.fallback] is counted; probe with
+    {!Trahrhe.Recovery.native_enabled}. *)
+val recovery : t -> Plan.t -> param:(string -> int) -> Trahrhe.Recovery.t
+
+val stats : t -> stats
+
+(** [clear t] closes every cached handle and forgets all entries
+    (including cached failures). Only call when no recovery obtained
+    from [t] is still in use. *)
+val clear : t -> unit

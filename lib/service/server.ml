@@ -10,6 +10,7 @@ type exec_opts = {
   lanes : int;
   repeat : int;
   retries : int;
+  native : bool;
 }
 
 type request =
@@ -164,6 +165,13 @@ let int_field fields key ~default ~min_value =
     | Some n when n >= min_value -> Ok n
     | _ -> Error (Printf.sprintf "%s needs an integer >= %d, got %S" key min_value v))
 
+let bool_field fields key ~default =
+  match List.assoc_opt key fields with
+  | None -> Ok default
+  | Some ("1" | "true") -> Ok true
+  | Some ("0" | "false") -> Ok false
+  | Some v -> Error (Printf.sprintf "%s needs 0/1 or true/false, got %S" key v)
+
 (* the nest named by the fields, plus the parameter valuation declared
    alongside it (for kernels: the registry's param_map at size [n]) *)
 let nest_of_fields fields ~size =
@@ -220,7 +228,7 @@ let parse_request line =
     let* () =
       check_keys
         ~allowed:
-          [ "kernel"; "params"; "levels"; "label"; "n"; "threads"; "schedule"; "lanes"; "repeat"; "retries" ]
+          [ "kernel"; "params"; "levels"; "label"; "n"; "threads"; "schedule"; "lanes"; "repeat"; "retries"; "native" ]
         fields
     in
     let* size =
@@ -237,13 +245,14 @@ let parse_request line =
     let* lanes = int_field fields "lanes" ~default:1 ~min_value:1 in
     let* repeat = int_field fields "repeat" ~default:1 ~min_value:1 in
     let* retries = int_field fields "retries" ~default:0 ~min_value:0 in
+    let* native = bool_field fields "native" ~default:false in
     let* schedule =
       match List.assoc_opt "schedule" fields with
       | None -> Ok Ompsim.Schedule.Static
       | Some s -> Ompsim.Schedule.of_string s
     in
     let label = Option.value ~default:name (List.assoc_opt "label" fields) in
-    Ok (Some (Exec { label; nest; param; opts = { threads; schedule; lanes; repeat; retries } }))
+    Ok (Some (Exec { label; nest; param; opts = { threads; schedule; lanes; repeat; retries; native } }))
   | op :: _ -> Error (Printf.sprintf "unknown operation %S (compile | exec | shutdown)" op)
 
 (* ---- responses ---- *)
@@ -281,7 +290,11 @@ let run_once rc opts =
   let partial = Array.make (opts.threads * stride) 0 in
   let body ~thread ~start ~len =
     let cell = thread * stride in
-    if opts.lanes > 1 then
+    if opts.native then
+      (* the whole chunk reduction in one call: native when a backend
+         is attached, the equivalent interpreted fold otherwise *)
+      partial.(cell) <- partial.(cell) + R.walk_hash rc ~pc:(start + 1) ~len
+    else if opts.lanes > 1 then
       R.walk_lanes rc ~pc:(start + 1) ~len ~vlength:opts.lanes (fun ~base:_ ~count buf ->
           let d = Array.length buf in
           for l = 0 to count - 1 do
@@ -314,9 +327,16 @@ let run_once rc opts =
       !sum)
     outcome
 
-let handle cache req =
+(* the shutdown acknowledgement carries the cache totals so clients
+   (and the accounting block) see hit rates without a separate op *)
+let shutdown_json cache =
+  let s = Cache.stats cache in
+  Printf.sprintf {|{"op":"shutdown","status":"ok","cache":{"hits":%d,"misses":%d}}|}
+    s.Cache.hits s.Cache.misses
+
+let handle ?native cache req =
   match req with
-  | Shutdown -> ({|{"op":"shutdown","status":"ok"}|}, true)
+  | Shutdown -> (shutdown_json cache, true)
   | Compile { label; nest } -> (
     match Cache.find_or_compile cache nest with
     | Error e -> (error_json ~op:"compile" ~label e, false)
@@ -337,7 +357,13 @@ let handle cache req =
          recovery and the serial reference run under canonical names *)
       match
         let cparam = Fingerprint.canonical_param renaming param in
-        (Plan.recovery plan ~param:cparam, cparam)
+        let rc =
+          if opts.native then
+            let nt = match native with Some nt -> nt | None -> Native.default () in
+            Native.recovery nt plan ~param:cparam
+          else Plan.recovery plan ~param:cparam
+        in
+        (rc, cparam)
       with
       | exception Invalid_argument e -> err e
       | rc, cparam ->
@@ -359,18 +385,25 @@ let handle cache req =
         (match runs 1 with
         | Error e -> err e
         | Ok () ->
+          (* "native" reports whether the backend actually engaged —
+             false under fallback, which CI's no-gcc job asserts on *)
+          let native_field =
+            if opts.native then Printf.sprintf {|,"native":%b|} (R.native_enabled rc) else ""
+          in
           ( Printf.sprintf
-              {|{"op":"exec","label":"%s","status":"ok","fingerprint":"%s","trip":%d,"checksum":%d,"repeat":%d}|}
-              (json_escape label) plan.Plan.fingerprint trip !serial opts.repeat,
+              {|{"op":"exec","label":"%s","status":"ok","fingerprint":"%s","trip":%d,"checksum":%d,"repeat":%d%s}|}
+              (json_escape label) plan.Plan.fingerprint trip !serial opts.repeat native_field,
             true ))))
 
 (* ---- batch front end ---- *)
 
-type item = Blank | Ready of string * bool | Todo of request
+type item = Blank | Ready of string * bool | Todo of request | Stop
 
-let run_batch ?cache ?(workers = 4) ic oc =
+let run_batch ?cache ?native ?(workers = 4) ic oc =
   let cache = match cache with Some c -> c | None -> Cache.default () in
+  let native = match native with Some nt -> nt | None -> Native.default () in
   let before = Cache.stats cache in
+  let before_native = Native.stats native in
   let lines =
     let rec read acc = match input_line ic with
       | line -> read (line :: acc)
@@ -390,14 +423,16 @@ let run_batch ?cache ?(workers = 4) ic oc =
           | Error e -> Ready (error_json ~op:"parse" ~label:(Printf.sprintf "line:%d" (i + 1)) e, false)
           | Ok (Some Shutdown) ->
             stopped := true;
-            Ready ({|{"op":"shutdown","status":"ok"}|}, true)
+            (* deferred: the totals in the acknowledgement must cover
+               the batch's own requests, so format at emission time *)
+            Stop
           | Ok (Some req) -> Todo req)
       lines
     |> Array.of_list
   in
   let jobs =
     Array.of_list
-      (List.filteri (fun i _ -> match items.(i) with Todo _ -> true | _ -> false)
+      (List.filteri (fun i _ -> match items.(i) with Todo _ -> true | Blank | Ready _ | Stop -> false)
          (List.init (Array.length items) Fun.id))
   in
   let results = Array.make (Array.length items) None in
@@ -418,8 +453,8 @@ let run_batch ?cache ?(workers = 4) ic oc =
               Obsv.Trace.counter "service.inflight" lvl
             end;
             (match items.(i) with
-            | Todo req -> results.(i) <- Some (handle cache req)
-            | Blank | Ready _ -> ());
+            | Todo req -> results.(i) <- Some (handle ~native cache req)
+            | Blank | Ready _ | Stop -> ());
             let after = Atomic.fetch_and_add level (-1) - 1 in
             if Obsv.Control.enabled () then Obsv.Trace.counter "service.inflight" after;
             pull ()
@@ -438,6 +473,7 @@ let run_batch ?cache ?(workers = 4) ic oc =
       match item with
       | Blank -> ()
       | Ready (line, ok) -> emit (line, ok)
+      | Stop -> emit (shutdown_json cache, true)
       | Todo _ -> (
         match results.(i) with
         | Some r -> emit r
@@ -452,11 +488,16 @@ let run_batch ?cache ?(workers = 4) ic oc =
     (s.Cache.disk_hits - before.Cache.disk_hits)
     (s.Cache.misses - before.Cache.misses)
     (s.Cache.singleflight_waits - before.Cache.singleflight_waits);
+  let ns = Native.stats native in
+  let served = ns.Native.served - before_native.Native.served in
+  let fallbacks = ns.Native.fallbacks - before_native.Native.fallbacks in
+  if served + fallbacks > 0 then
+    Printf.eprintf "batch: native: %d served, %d interpreted fallbacks\n%!" served fallbacks;
   if !err_count = 0 then 0 else 1
 
 (* ---- socket front end ---- *)
 
-let serve_connection cache ic oc =
+let serve_connection ?native cache ic oc =
   let respond line =
     output_string oc line;
     output_char oc '\n';
@@ -472,16 +513,36 @@ let serve_connection cache ic oc =
         respond (error_json ~op:"parse" ~label:"-" e);
         loop ()
       | Ok (Some Shutdown) ->
-        respond {|{"op":"shutdown","status":"ok"}|};
+        respond (shutdown_json cache);
         `Shutdown
       | Ok (Some req) ->
-        respond (fst (handle cache req));
+        respond (fst (handle ?native cache req));
         loop ())
   in
   loop ()
 
-let serve ?cache ~socket () =
+let serve ?cache ?native ~socket () =
   let cache = match cache with Some c -> c | None -> Cache.default () in
+  let nt = match native with Some nt -> nt | None -> Native.default () in
+  let before = Cache.stats cache in
+  let before_native = Native.stats nt in
+  let connections = ref 0 in
+  let summary how =
+    let s = Cache.stats cache in
+    Printf.eprintf
+      "serve (%s): %d connection(s); plan cache: %d hits (%d disk), %d misses, %d single-flight waits\n%!"
+      how !connections
+      (s.Cache.hits - before.Cache.hits)
+      (s.Cache.disk_hits - before.Cache.disk_hits)
+      (s.Cache.misses - before.Cache.misses)
+      (s.Cache.singleflight_waits - before.Cache.singleflight_waits);
+    let ns = Native.stats nt in
+    let served = ns.Native.served - before_native.Native.served in
+    let fallbacks = ns.Native.fallbacks - before_native.Native.fallbacks in
+    if served + fallbacks > 0 then
+      Printf.eprintf "serve (%s): native: %d served, %d interpreted fallbacks\n%!" how served
+        fallbacks
+  in
   match
     (match Unix.lstat socket with
     | { Unix.st_kind = Unix.S_SOCK; _ } -> Ok (Unix.unlink socket)
@@ -495,21 +556,49 @@ let serve ?cache ~socket () =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       try Unix.unlink socket with Unix.Unix_error _ -> ()
     in
+    (* SIGINT/SIGTERM turn into a graceful stop: the handler flips
+       [stop], accept returns EINTR, and the loop exits normally — so
+       the accounting below (and any --trace/--stats teardown in the
+       caller) still runs. Previous dispositions are restored before
+       returning. *)
+    let stop = ref false in
+    let install sg =
+      match Sys.signal sg (Sys.Signal_handle (fun _ -> stop := true)) with
+      | prev -> Some prev
+      | exception (Invalid_argument _ | Sys_error _) -> None
+    in
+    let restore sg = function
+      | Some prev -> ( try Sys.set_signal sg prev with Invalid_argument _ | Sys_error _ -> ())
+      | None -> ()
+    in
+    let prev_int = install Sys.sigint in
+    let prev_term = install Sys.sigterm in
+    let finish how =
+      cleanup ();
+      restore Sys.sigint prev_int;
+      restore Sys.sigterm prev_term;
+      summary how
+    in
     try
       Unix.bind fd (Unix.ADDR_UNIX socket);
       Unix.listen fd 8;
       let rec accept_loop () =
-        let client, _ = Unix.accept fd in
-        let ic = Unix.in_channel_of_descr client in
-        let oc = Unix.out_channel_of_descr client in
-        let outcome = serve_connection cache ic oc in
-        (try flush oc with Sys_error _ -> ());
-        (try Unix.close client with Unix.Unix_error _ -> ());
-        match outcome with `Eof -> accept_loop () | `Shutdown -> ()
+        if !stop then `Signal
+        else
+          match Unix.accept fd with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+          | client, _ -> (
+            incr connections;
+            let ic = Unix.in_channel_of_descr client in
+            let oc = Unix.out_channel_of_descr client in
+            let outcome = serve_connection ~native:nt cache ic oc in
+            (try flush oc with Sys_error _ -> ());
+            (try Unix.close client with Unix.Unix_error _ -> ());
+            match outcome with `Eof -> accept_loop () | `Shutdown -> `Shutdown)
       in
-      accept_loop ();
-      cleanup ();
+      let how = accept_loop () in
+      finish (match how with `Signal -> "signal" | `Shutdown -> "shutdown");
       Ok ()
     with Unix.Unix_error (e, fn, _) ->
-      cleanup ();
+      finish "error";
       Error (Printf.sprintf "serve: %s: %s" fn (Unix.error_message e)))

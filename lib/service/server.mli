@@ -26,14 +26,21 @@
       is [INT], [IDENT] or [INT*IDENT].
     - [exec] options: [n] (kernel headline size), [threads], [schedule]
       (as in [trahrhe exec -s]), [lanes], [repeat], [retries],
-      [label].
-    - [shutdown] stops a server loop (and ends a batch early).
+      [native] ([0/1] or [true/false]: route the walk through the
+      JIT-specialized shared object, falling back to the interpreted
+      walk when none can be attached), [label].
+    - [shutdown] stops a server loop (and ends a batch early); its
+      acknowledgement carries the cache's [hits]/[misses] totals.
 
     Every request yields exactly one JSON response line. Responses are
     deterministic — they carry no timings and no cache state, so two
     batch runs over the same input produce byte-identical output (the
     CI cache smoke depends on this); hit/miss accounting goes to the
-    batch summary on stderr instead. *)
+    batch summary on stderr instead. The one exception is the
+    [shutdown] acknowledgement, whose cache totals reflect the run
+    (tooling that needs byte-stable output should diff response lines
+    excluding it). An [exec] with [native=1] reports
+    ["native":true|false] — whether the backend actually engaged. *)
 
 type exec_opts = {
   threads : int;  (** domains for the parallel region (default 4) *)
@@ -41,6 +48,7 @@ type exec_opts = {
   lanes : int;  (** §VI-A lane width; 1 = per-iteration walk *)
   repeat : int;  (** executions of the region per request (default 1) *)
   retries : int;  (** > 0 routes through [Par.run_resilient] *)
+  native : bool;  (** route walks through the native backend ({!Native}) *)
 }
 
 type request =
@@ -61,8 +69,11 @@ val parse_request : string -> (request option, string) result
     line together with whether the request succeeded. [Exec] compiles
     (or fetches) the plan, runs the collapsed nest [repeat] times on
     OCaml domains reusing one recovery, and checks every run against a
-    serial reference computed once. *)
-val handle : Cache.t -> request -> string * bool
+    serial reference computed once. With [opts.native], the recovery
+    comes from [native] (default: {!Native.default}) and each chunk's
+    checksum is one [walk_hash] call — a single native invocation when
+    the backend engaged, the equivalent interpreted fold otherwise. *)
+val handle : ?native:Native.t -> Cache.t -> request -> string * bool
 
 (** [run_batch ic oc] reads requests from [ic] (stopping early at
     [shutdown]), serves them on [workers] concurrent admission slots
@@ -73,15 +84,23 @@ val handle : Cache.t -> request -> string * bool
     level as Chrome counter samples. A one-line cache/hit summary goes
     to stderr. Returns the exit code: 0 when every request succeeded,
     1 otherwise. *)
-val run_batch : ?cache:Cache.t -> ?workers:int -> in_channel -> out_channel -> int
+val run_batch :
+  ?cache:Cache.t -> ?native:Native.t -> ?workers:int -> in_channel -> out_channel -> int
 
 (** [serve_connection cache ic oc] serves one connection's requests
     sequentially until end-of-stream or a [shutdown] request,
     flushing each response line as it is written. *)
-val serve_connection : Cache.t -> in_channel -> out_channel -> [ `Eof | `Shutdown ]
+val serve_connection :
+  ?native:Native.t -> Cache.t -> in_channel -> out_channel -> [ `Eof | `Shutdown ]
 
-(** [serve ?cache ~socket ()] listens on a Unix domain socket at path
-    [socket] (replacing a stale socket file), serves connections one
-    at a time, and returns after a client sends [shutdown]. The socket
+(** [serve ?cache ?native ~socket ()] listens on a Unix domain socket
+    at path [socket] (replacing a stale socket file), serves
+    connections one at a time, and returns after a client sends
+    [shutdown]. SIGINT/SIGTERM also stop the loop gracefully — the
+    handler is installed for the accept loop's lifetime and the
+    previous dispositions are restored — so the accounting summary
+    (connections served, plan-cache hits/misses, native
+    served/fallback counts) reaches stderr on both exits. The socket
     file is unlinked on return. *)
-val serve : ?cache:Cache.t -> socket:string -> unit -> (unit, string) result
+val serve :
+  ?cache:Cache.t -> ?native:Native.t -> socket:string -> unit -> (unit, string) result

@@ -1,0 +1,30 @@
+(* Keyed single-flight: the machinery Cache grew in PR 5, extracted so
+   the native-handle cache can reuse it verbatim. The owner supplies
+   the mutex; EVERY function here must be called with it held. *)
+
+type 'a flight = { cond : Condition.t; mutable result : ('a, string) result option }
+type 'a t = (string, 'a flight) Hashtbl.t
+
+let create () : 'a t = Hashtbl.create 8
+
+let join t key = Hashtbl.find_opt t key
+
+let enter t key =
+  let fl = { cond = Condition.create (); result = None } in
+  Hashtbl.replace t key fl;
+  fl
+
+let await fl ~mutex =
+  let rec go () =
+    match fl.result with
+    | Some r -> r
+    | None ->
+      Condition.wait fl.cond mutex;
+      go ()
+  in
+  go ()
+
+let publish t key fl result =
+  fl.result <- Some result;
+  Hashtbl.remove t key;
+  Condition.broadcast fl.cond

@@ -1,0 +1,214 @@
+(* Native plan specialization: emitted-C shape, the gcc driver, the
+   dlopen shim, and bit-exactness of the native entry points against
+   the interpreted recovery on hand-written nests. (The random-nest
+   differential corpus lives in Test_oracle; the service-level cache
+   behaviour in Test_service.) *)
+
+module A = Polymath.Affine
+module Q = Zmath.Rat
+module R = Trahrhe.Recovery
+
+let aff terms c = A.make (List.map (fun (x, k) -> (x, Q.of_int k)) terms) (Q.of_int c)
+
+let triangular_nest =
+  lazy
+    (Trahrhe.Nest.make ~params:[ "N" ]
+       [ { var = "i"; lower = aff [] 0; upper = aff [ ("N", 1) ] 0 };
+         { var = "j"; lower = aff [ ("i", 1) ] 0; upper = aff [ ("N", 1) ] 0 } ])
+
+let tmp_dir =
+  lazy
+    (let d =
+       Filename.concat (Filename.get_temp_dir_name ())
+         (Printf.sprintf "ompsim-test-jit-%d" (Unix.getpid ()))
+     in
+     d)
+
+let gcc_available = lazy (Jit.Abi.available ())
+
+let require_gcc () =
+  if not (Lazy.force gcc_available) then
+    Alcotest.skip ()
+
+let specialize_exn ?(fingerprint = "testfp") nest =
+  let inv = Trahrhe.Inversion.invert_exn nest in
+  match Jit.Compile.specialize ~dir:(Lazy.force tmp_dir) ~fingerprint inv with
+  | Ok h -> (inv, h)
+  | Error e -> Alcotest.failf "specialize failed: %s" e
+
+let test_emit_source () =
+  let inv = Trahrhe.Inversion.invert_exn (Lazy.force triangular_nest) in
+  match Jit.Emit.source inv ~fingerprint:"deadbeef" with
+  | Error e -> Alcotest.failf "emit failed: %s" e
+  | Ok src ->
+    let contains needle =
+      let nl = String.length needle and hl = String.length src in
+      let rec go i = i + nl <= hl && (String.sub src i nl = needle || go (i + 1)) in
+      go 0
+    in
+    List.iter
+      (fun needle ->
+        if not (contains needle) then Alcotest.failf "emitted C lacks %S:\n%s" needle src)
+      [ "ompsim_abi"; "ompsim_fingerprint"; "ompsim_depth"; "ompsim_params"; "ompsim_trip";
+        "ompsim_recover"; "ompsim_walk_hash"; "ompsim_block"; "deadbeef" ]
+
+let test_specialize_and_identity () =
+  require_gcc ();
+  let _inv, h = specialize_exn (Lazy.force triangular_nest) in
+  Alcotest.(check int) "depth" 2 (Jit.Native.depth h);
+  Alcotest.(check int) "params" 1 (Jit.Native.params h)
+
+let iter_hash idx = Array.fold_left (fun h v -> (h * 1000003) + v) 0 idx
+
+let test_native_matches_interpreted () =
+  require_gcc ();
+  let nest = Lazy.force triangular_nest in
+  let inv, h = specialize_exn nest in
+  let n = 13 in
+  let param x = if x = "N" then n else Alcotest.failf "unknown param %s" x in
+  let rc = R.make inv ~param in
+  let ps = [| n |] in
+  let trip = R.trip_count rc in
+  Alcotest.(check int) "trip" trip (Jit.Native.trip h ps);
+  let idx = Array.make 2 0 in
+  for pc = 1 to trip do
+    Jit.Native.recover h ps ~pc idx;
+    let expect = R.recover_guarded rc pc in
+    if idx <> expect then
+      Alcotest.failf "recover mismatch at pc=%d: native [%d;%d] vs [%d;%d]" pc idx.(0) idx.(1)
+        expect.(0) expect.(1)
+  done;
+  (* chunked checksum walk, several chunk sizes, including overruns *)
+  List.iter
+    (fun chunk ->
+      let pc = ref 1 in
+      while !pc <= trip do
+        let len = min chunk (trip - !pc + 1) in
+        let interp = ref 0 in
+        R.walk rc ~pc:!pc ~len (fun i -> interp := !interp + iter_hash i);
+        let native = Jit.Native.walk_hash h ps ~pc:!pc ~len in
+        Alcotest.(check int) (Printf.sprintf "walk_hash pc=%d len=%d" !pc len) !interp native;
+        pc := !pc + len
+      done;
+      (* an overrunning len must clamp to the end of the space *)
+      let interp = ref 0 in
+      R.walk rc ~pc:1 ~len:(trip + 100) (fun i -> interp := !interp + iter_hash i);
+      Alcotest.(check int) "walk_hash overrun" !interp
+        (Jit.Native.walk_hash h ps ~pc:1 ~len:(trip + 100)))
+    [ 1; 3; 7; 64; trip ];
+  (* out-of-range pcs contribute nothing *)
+  Alcotest.(check int) "pc=0" 0 (Jit.Native.walk_hash h ps ~pc:0 ~len:5);
+  Alcotest.(check int) "pc>trip" 0 (Jit.Native.walk_hash h ps ~pc:(trip + 1) ~len:5);
+  (* block fill vs recover_block *)
+  List.iter
+    (fun width ->
+      let lanes_n = Array.init 2 (fun _ -> Array.make width 0) in
+      let lanes_i = Array.init 2 (fun _ -> Array.make width 0) in
+      let pc = ref 1 in
+      while !pc <= trip do
+        let fn = Jit.Native.fill_block h ps ~pc:!pc lanes_n in
+        let fi = R.recover_block rc ~pc:!pc lanes_i in
+        Alcotest.(check int) (Printf.sprintf "block count pc=%d w=%d" !pc width) fi fn;
+        for k = 0 to 1 do
+          for l = 0 to fi - 1 do
+            Alcotest.(check int)
+              (Printf.sprintf "block lane pc=%d w=%d k=%d l=%d" !pc width k l)
+              lanes_i.(k).(l) lanes_n.(k).(l)
+          done
+        done;
+        pc := !pc + max 1 fn
+      done)
+    [ 1; 4; 9 ]
+
+let test_attach_native () =
+  require_gcc ();
+  let nest = Lazy.force triangular_nest in
+  let inv, h = specialize_exn nest in
+  let n = 11 in
+  let rc = R.make inv ~param:(fun _ -> n) in
+  let ps = [| n |] in
+  let nat =
+    { R.n_walk_hash = (fun ~pc ~len -> Jit.Native.walk_hash h ps ~pc ~len);
+      n_recover = (fun ~pc idx -> Jit.Native.recover h ps ~pc idx);
+      n_fill_block = (fun ~pc lanes -> Jit.Native.fill_block h ps ~pc lanes) }
+  in
+  let rcn = R.attach_native rc nat in
+  Alcotest.(check bool) "enabled" true (R.native_enabled rcn);
+  Alcotest.(check bool) "baseline not enabled" false (R.native_enabled rc);
+  let trip = R.trip_count rc in
+  for pc = 1 to trip do
+    Alcotest.(check int)
+      (Printf.sprintf "walk_hash via t pc=%d" pc)
+      (R.walk_hash rc ~pc ~len:5) (R.walk_hash rcn ~pc ~len:5)
+  done;
+  (* native_recover probe *)
+  (match R.native_recover rcn 7 with
+  | None -> Alcotest.fail "native_recover returned None with a backend attached"
+  | Some idx -> Alcotest.(check bool) "native_recover" true (idx = R.recover_guarded rc 7));
+  Alcotest.(check bool) "no backend -> None" true (R.native_recover rc 1 = None);
+  (* lane-walk equivalence through the attached backend *)
+  let collect r =
+    let acc = ref [] in
+    R.walk_lanes r ~pc:1 ~len:trip ~vlength:4 (fun ~base ~count lanes ->
+        for l = 0 to count - 1 do
+          acc := (base + l, lanes.(0).(l), lanes.(1).(l)) :: !acc
+        done);
+    List.rev !acc
+  in
+  Alcotest.(check bool) "walk_lanes equal" true (collect rc = collect rcn)
+
+let test_stale_so_recompiles () =
+  require_gcc ();
+  let dir = Lazy.force tmp_dir in
+  let fingerprint = "stalecheck" in
+  let inv = Trahrhe.Inversion.invert_exn (Lazy.force triangular_nest) in
+  (match Jit.Compile.specialize ~dir ~fingerprint inv with
+  | Error e -> Alcotest.failf "first specialize: %s" e
+  | Ok h -> Jit.Native.close h);
+  let path = Filename.concat dir (Jit.Compile.so_name fingerprint) in
+  Alcotest.(check bool) "so published" true (Sys.file_exists path);
+  (* corrupt it: the next specialize must silently miss and recompile *)
+  let oc = open_out_bin path in
+  output_string oc "not an ELF object";
+  close_out oc;
+  (match Jit.Compile.specialize ~dir ~fingerprint inv with
+  | Error e -> Alcotest.failf "recompile after corruption: %s" e
+  | Ok h ->
+    Alcotest.(check int) "recompiled object works" 2 (Jit.Native.depth h);
+    Jit.Native.close h);
+  (* a foreign fingerprint under our name is a stale miss, not a hit *)
+  (match Jit.Compile.specialize ~dir ~fingerprint:"otherplan" inv with
+  | Error e -> Alcotest.failf "other specialize: %s" e
+  | Ok h -> Jit.Native.close h);
+  let other = Filename.concat dir (Jit.Compile.so_name "otherplan") in
+  let content =
+    let ic = open_in_bin other in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc;
+  match Jit.Compile.specialize ~dir ~fingerprint inv with
+  | Error e -> Alcotest.failf "recompile after stale overwrite: %s" e
+  | Ok h ->
+    Alcotest.(check string) "load validated the fingerprint" fingerprint
+      (let idx = Array.make 2 0 in
+       Jit.Native.recover h [| 5 |] ~pc:1 idx;
+       fingerprint);
+    Jit.Native.close h
+
+let test_load_missing () =
+  match Jit.Native.load ~path:"/nonexistent/ompsim.so" ~fingerprint:"x" with
+  | Ok _ -> Alcotest.fail "loading a missing path succeeded"
+  | Error _ -> ()
+
+let suites =
+  [ ( "jit",
+      [ Alcotest.test_case "emit source" `Quick test_emit_source;
+        Alcotest.test_case "specialize + identity" `Quick test_specialize_and_identity;
+        Alcotest.test_case "native = interpreted" `Quick test_native_matches_interpreted;
+        Alcotest.test_case "attach_native routing" `Quick test_attach_native;
+        Alcotest.test_case "corrupt/stale .so recompiles" `Quick test_stale_so_recompiles;
+        Alcotest.test_case "load missing path" `Quick test_load_missing ] ) ]

@@ -1,8 +1,9 @@
 let () =
   Alcotest.run "nonrect-collapse"
     (Test_zmath.suites @ Test_polymath.suites @ Test_polyhedral.suites @ Test_symx.suites
-   @ Test_rootsolve.suites @ Test_trahrhe.suites @ Test_codegen.suites @ Test_cfront.suites
+   @ Test_rootsolve.suites @ Test_trahrhe.suites @ Test_codegen.suites @ Test_cprint.suites
+   @ Test_cfront.suites
    @ Test_ompsim.suites @ Test_fault.suites @ Test_kernels.suites @ Test_xforms.suites @ Test_figures.suites
    @ Test_looptrans.suites
-   @ Test_obsv.suites @ Test_oracle.suites @ Test_service.suites
+   @ Test_obsv.suites @ Test_jit.suites @ Test_oracle.suites @ Test_service.suites
    @ Test_integration.suites)

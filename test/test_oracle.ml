@@ -354,6 +354,155 @@ let prop_cached_plan_matches =
   QCheck.Test.make ~name:"cached plan walk = fresh compile walk (100 nests)" ~count:100
     arb_case check_case_cached
 
+(* Native-specialization differential (ISSUE 6): a recovery served by
+   the native tier — plan specialized to a shared object, recovery /
+   stepping / hashing running as compiled C — must reproduce the
+   interpreted walk and the nest's exact enumeration bit for bit:
+   same indices per rank, same chunked checksums for every chunking,
+   same lane blocks. Without a C compiler the tier must fall back to
+   the interpreted walk and still be exact. *)
+
+let native_tier =
+  lazy
+    (let dir =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "ompsim-oracle-jit-%d" (Unix.getpid ()))
+     in
+     (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+     ( Service.Cache.create ~capacity:512 ~dir:(Some dir) (),
+       Service.Native.create ~dir:(Some dir) () ))
+
+let check_case_native (nest, nval) =
+  let param _ = nval in
+  let cache, tier = Lazy.force native_tier in
+  let reference =
+    let buf = ref [] in
+    N.iterate nest ~param (fun idx -> buf := Array.copy idx :: !buf);
+    Array.of_list (List.rev !buf)
+  in
+  match Service.Cache.find_or_compile cache nest with
+  | Error e -> QCheck.Test.fail_reportf "plan compile failed on a valid nest: %s" e
+  | Ok (plan, renaming) ->
+    let module R = Trahrhe.Recovery in
+    let cparam = Service.Fingerprint.canonical_param renaming param in
+    let rc_i = Service.Plan.recovery plan ~param:cparam in
+    let rc_n = Service.Native.recovery tier plan ~param:cparam in
+    let trip = R.trip_count rc_n in
+    if trip <> Array.length reference then
+      QCheck.Test.fail_reportf "native trip count %d, nest enumerates %d" trip
+        (Array.length reference);
+    let compiled = Jit.Abi.available () in
+    if compiled <> R.native_enabled rc_n then
+      QCheck.Test.fail_reportf "native backend %s with compiler %savailable"
+        (if R.native_enabled rc_n then "attached" else "missing")
+        (if compiled then "" else "un");
+    (* walk: same ranks, same indices, same order as the enumeration *)
+    check_against ~what:"native walk" reference (walk_all rc_n trip);
+    (* per-rank recovery straight through the object *)
+    if compiled then
+      for pc = 1 to trip do
+        match R.native_recover rc_n pc with
+        | None -> QCheck.Test.fail_reportf "native_recover lost the backend at rank %d" pc
+        | Some idx ->
+          if idx <> reference.(pc - 1) then
+            QCheck.Test.fail_reportf "native recover: rank %d is %s, nest enumerates %s" pc
+              (idx_to_string idx)
+              (idx_to_string reference.(pc - 1))
+      done;
+    (* chunked checksums: native reduction = interpreted fold, for
+       chunk sizes that stress intra-run, run-crossing and whole-space
+       calls *)
+    List.iter
+      (fun chunk ->
+        let pc = ref 1 in
+        while !pc <= trip do
+          let len = min chunk (trip - !pc + 1) in
+          let hn = R.walk_hash rc_n ~pc:!pc ~len in
+          let hi = R.walk_hash rc_i ~pc:!pc ~len in
+          if hn <> hi then
+            QCheck.Test.fail_reportf "walk_hash(pc=%d, len=%d): native %d, interpreted %d" !pc
+              len hn hi;
+          pc := !pc + len
+        done)
+      [ 1; 3; 7; max 1 (trip / 2); trip ];
+    (* lane blocks through the object's block filler *)
+    List.iter (fun vlength -> run_lanes ~vlength rc_n reference trip) vlengths;
+    true
+
+let prop_native_matches_interpreted =
+  QCheck.Test.make ~name:"native specialized walk = interpreted walk (100 nests)" ~count:100
+    arb_case check_case_native
+
+(* Store-recovery differential (ISSUE 6): corrupting the published
+   [.so] must read as a silent miss — a cold tier recompiles and
+   serves an exact native walk, mirroring the plan store's
+   corrupt-entry behavior — while a bigint-headroom parameter refuses
+   the backend; both reconcile against jit.compile / jit.fallback and
+   the tier's own served/fallback counts. *)
+let test_native_store_recovery () =
+  if not (Jit.Abi.available ()) then Alcotest.skip ();
+  let module R = Trahrhe.Recovery in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ompsim-oracle-jit-store-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let nest =
+    N.make ~params:[ "N" ]
+      [ { N.var = "i"; lower = A.const Q.zero; upper = A.var "N" };
+        { N.var = "j"; lower = A.var "i"; upper = A.make [ ("N", Q.one) ] Q.one } ]
+  in
+  let cache = Service.Cache.create ~capacity:4 ~dir:(Some dir) () in
+  let plan, renaming =
+    match Service.Cache.find_or_compile cache nest with
+    | Ok x -> x
+    | Error e -> Alcotest.failf "plan compile failed: %s" e
+  in
+  let cparam = Service.Fingerprint.canonical_param renaming (fun _ -> 9) in
+  Obsv.Control.with_enabled true @@ fun () ->
+  let metric name =
+    match Obsv.Metrics.find name with Some m -> Obsv.Metrics.total m | None -> 0
+  in
+  let compiles0 = metric "jit.compile" in
+  let fallbacks0 = metric "jit.fallback" in
+  (* populate the store *)
+  let t1 = Service.Native.create ~dir:(Some dir) () in
+  let rc1 = Service.Native.recovery t1 plan ~param:cparam in
+  Alcotest.(check bool) "first attach engages" true (R.native_enabled rc1);
+  let t1_stats = Service.Native.stats t1 in
+  (* unmap before clobbering: overwriting a dlopen'd object in place
+     scribbles on live text pages *)
+  Service.Native.clear t1;
+  (* clobber the object; a cold tier must recompile, not fail *)
+  let so = Filename.concat dir (Jit.Compile.so_name plan.Service.Plan.fingerprint) in
+  Alcotest.(check bool) "object published" true (Sys.file_exists so);
+  let oc = open_out_bin so in
+  output_string oc "this is not a shared object\n";
+  close_out oc;
+  let t2 = Service.Native.create ~dir:(Some dir) () in
+  let rc2 = Service.Native.recovery t2 plan ~param:cparam in
+  Alcotest.(check bool) "recompiled after corruption" true (R.native_enabled rc2);
+  let rc_i = Service.Plan.recovery plan ~param:cparam in
+  let trip = R.trip_count rc_i in
+  Alcotest.(check int) "hash parity after recompile"
+    (R.walk_hash rc_i ~pc:1 ~len:trip)
+    (R.walk_hash rc2 ~pc:1 ~len:trip);
+  (* bigint headroom refuses the backend and counts the fallback *)
+  let rc_big = Service.Native.recovery t2 plan ~param:(fun _ -> 3_000_000_000) in
+  Alcotest.(check bool) "overflow-guarded stays interpreted" false (R.native_enabled rc_big);
+  Alcotest.(check bool) "overflow guard engaged" true (R.overflow_guarded rc_big);
+  (* reconciliation: populate + recompile, exactly one fallback, and
+     the tier's own accounting agrees *)
+  Alcotest.(check int) "jit.compile counts both compiles" (compiles0 + 2) (metric "jit.compile");
+  Alcotest.(check int) "jit.fallback counts the refusal" (fallbacks0 + 1) (metric "jit.fallback");
+  Alcotest.(check int) "first tier served" 1 t1_stats.Service.Native.served;
+  let s = Service.Native.stats t2 in
+  Alcotest.(check int) "tier served" 1 s.Service.Native.served;
+  Alcotest.(check int) "tier fallbacks" 1 s.Service.Native.fallbacks;
+  Service.Native.clear t2
+
 (* 200 random nests; each runs on both backends and all five
    schedules, plus the serial lane-walk at every width, so >= 200
    nests per backend as the issue requires. The seed is pinned:
@@ -373,4 +522,7 @@ let suites =
   [ ( "oracle",
       [ QCheck_alcotest.to_alcotest ~rand prop_walk_matches_enumeration;
         QCheck_alcotest.to_alcotest ~rand prop_resilient_walk_matches;
-        QCheck_alcotest.to_alcotest ~rand prop_cached_plan_matches ] ) ]
+        QCheck_alcotest.to_alcotest ~rand prop_cached_plan_matches;
+        QCheck_alcotest.to_alcotest ~rand prop_native_matches_interpreted;
+        Alcotest.test_case "corrupt .so is a silent miss (recompile + fallback counters)" `Quick
+          test_native_store_recovery ] ) ]

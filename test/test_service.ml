@@ -581,7 +581,12 @@ let test_handle_compile () =
   then Alcotest.failf "response lacks the nest fingerprint: %s" response
 
 let default_opts =
-  { Server.threads = 2; schedule = Ompsim.Schedule.Static; lanes = 1; repeat = 2; retries = 0 }
+  { Server.threads = 2;
+    schedule = Ompsim.Schedule.Static;
+    lanes = 1;
+    repeat = 2;
+    retries = 0;
+    native = false }
 
 let test_handle_exec () =
   let cache = Cache.create ~capacity:4 ~dir:None () in
