@@ -8,19 +8,22 @@
    Artifacts: fig2 fig8 fig9 fig10 codegen ablation-chunk
    ablation-threads ablation-recovery micro micro-recovery micro-pool
    micro-obsv micro-lanes micro-steal micro-fault micro-cache
-   micro-jit
+   micro-jit micro-serve
 
    The micro-* artifacts additionally write machine-readable
    BENCH_recovery.json / BENCH_pool.json / BENCH_obsv.json /
    BENCH_lanes.json / BENCH_steal.json / BENCH_fault.json /
-   BENCH_cache.json / BENCH_jit.json into the current directory (all
-   through the shared Emit module, which stamps schema_version + git
-   revision) so the hot-path perf trajectory can be tracked across
-   PRs; micro-obsv also writes TRACE_obsv.json, a Chrome trace of an
-   instrumented parallel run. micro-lanes, micro-steal, micro-fault,
-   micro-cache and micro-jit honour BENCH_LANES_N / BENCH_STEAL_N /
-   BENCH_FAULT_N / BENCH_CACHE_NESTS, BENCH_CACHE_REQS /
-   BENCH_JIT_N, BENCH_JIT_LANES, BENCH_JIT_CHUNK for CI-sized runs. *)
+   BENCH_cache.json / BENCH_jit.json / BENCH_serve.json into the
+   current directory (all through the shared Emit module, which stamps
+   schema_version + git revision) so the hot-path perf trajectory can
+   be tracked across PRs; micro-obsv also writes TRACE_obsv.json, a
+   Chrome trace of an instrumented parallel run. micro-lanes,
+   micro-steal, micro-fault, micro-cache, micro-jit and micro-serve
+   honour BENCH_LANES_N / BENCH_STEAL_N / BENCH_FAULT_N /
+   BENCH_CACHE_NESTS, BENCH_CACHE_REQS / BENCH_JIT_N, BENCH_JIT_LANES,
+   BENCH_JIT_CHUNK / BENCH_SERVE_CLIENTS, BENCH_SERVE_REQS,
+   BENCH_SERVE_WINDOW, BENCH_SERVE_TRIALS, BENCH_SERVE_NESTS for
+   CI-sized runs. *)
 
 module K = Kernels.Kernel
 module Sim = Ompsim.Sim
@@ -1351,6 +1354,445 @@ let micro_jit () =
       ]
   end
 
+(* micro-serve: the non-blocking multi-client serve loop. One server
+   (event loop + plan cache) in its own domain; a client driver issues
+   Zipf-skewed compile requests over the kernel registry and measures
+   per-request round-trip latency. Phases: (1) cold — a single
+   blocking client touches every kernel for the first time, so each
+   distinct fingerprint pays a compile; (2) warm — 1..BENCH_SERVE_CLIENTS
+   concurrent clients against the now-hot cache. The 1-client row is
+   the blocking baseline: strict request/response, window 1 — the best
+   case of a blocking accept-loop server, which can never overlap
+   round trips. Multi-client rows pipeline up to BENCH_SERVE_WINDOW
+   outstanding requests per connection, which only a multiplexing loop
+   can serve. The ISSUE acceptance gate wants warm 8-client throughput
+   >= 4x the 1-client baseline. Afterwards the serve_stats the loop
+   returns, the client-side request log, and the obsv serve.* /
+   service.inflight counters must reconcile exactly. *)
+let micro_serve () =
+  let module Server = Service.Server in
+  let max_clients = env_int "BENCH_SERVE_CLIENTS" 8 in
+  let reqs_total = env_int "BENCH_SERVE_REQS" 16000 in
+  let window = max 1 (env_int "BENCH_SERVE_WINDOW" 16) in
+  (* each warm phase reports its median-throughput trial: one 10ms
+     wall is at the mercy of a single GC pause or scheduler hiccup,
+     and "sustained" means the typical rate, not the unluckiest *)
+  let trials = max 1 (env_int "BENCH_SERVE_TRIALS" 3) in
+  (* the Zipf mix draws from the kernel registry: every [kernel=NAME]
+     request resolves to the registry's shared nest value, which is
+     exactly the workload the fingerprint memo serves *)
+  let nests = Array.of_list Kernels.Registry.names in
+  let nnests = min (Array.length nests) (env_int "BENCH_SERVE_NESTS" (Array.length nests)) in
+  header
+    (Printf.sprintf
+       "micro-serve: multi-client serve loop, %d kernels, %d requests/phase, up to %d clients (pipeline window %d)"
+       nnests reqs_total max_clients window);
+  Emit.ensure_writable "BENCH_serve.json";
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ompsim-bench-serve-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let req_strs = Array.init nnests (fun idx -> Printf.sprintf "compile kernel=%s\n" nests.(idx)) in
+  let connect () =
+    let rec go tries =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX socket) with
+      | () -> fd
+      | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _) when tries > 0 ->
+        Unix.close fd;
+        Unix.sleepf 0.01;
+        go (tries - 1)
+    in
+    go 500
+  in
+  let send_all fd s =
+    let n = String.length s in
+    let rec go off = if off < n then go (off + Unix.write_substring fd s off (n - off)) in
+    go 0
+  in
+  (* incremental line reader with an explicit scan position, so a
+     batch of pipelined responses is split without re-copying *)
+  let make_reader fd =
+    let buf = Buffer.create 4096 in
+    let pos = ref 0 in
+    let chunk = Bytes.create 4096 in
+    fun () ->
+      let rec next () =
+        let s = Buffer.contents buf in
+        match String.index_from_opt s !pos '\n' with
+        | Some i ->
+          let line = String.sub s !pos (i - !pos) in
+          pos := i + 1;
+          if !pos = String.length s then begin
+            Buffer.clear buf;
+            pos := 0
+          end;
+          line
+        | None -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> failwith "micro-serve: unexpected EOF"
+          | r ->
+            Buffer.add_subbytes buf chunk 0 r;
+            next ())
+      in
+      next ()
+  in
+  let ok_marker = "\"status\":\"ok\"" in
+  let is_ok line =
+    let nl = String.length ok_marker and hl = String.length line in
+    let rec find i = i + nl <= hl && (String.sub line i nl = ok_marker || find (i + 1)) in
+    find 0
+  in
+  (* one client: [count] Zipf-skewed requests with at most [window]
+     outstanding. window=1 is the classic blocking request/response
+     client (the baseline); window>1 pipelines — the framing layer
+     makes that safe, and responses still come back in order. *)
+  let client_loop seed count window =
+    let fd = connect () in
+    let read_line = make_reader fd in
+    let lat = Array.make (max 1 count) 0.0 in
+    let t_sent = Array.make (max 1 count) 0.0 in
+    let oks = ref 0 in
+    let state = ref (12345 + (seed * 9973)) in
+    let pick () =
+      state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+      let u = float_of_int !state /. 1073741824.0 in
+      min (nnests - 1) (int_of_float (float_of_int nnests *. u *. u))
+    in
+    let sent = ref 0 and recvd = ref 0 in
+    let batch = Buffer.create 1024 in
+    while !recvd < count do
+      if !sent < count && !sent - !recvd < window then begin
+        (* fill the window in one write *)
+        Buffer.clear batch;
+        let now = Unix.gettimeofday () in
+        while !sent < count && !sent - !recvd < window do
+          Buffer.add_string batch req_strs.(pick ());
+          t_sent.(!sent) <- now;
+          incr sent
+        done;
+        send_all fd (Buffer.contents batch)
+      end;
+      let line = read_line () in
+      lat.(!recvd) <- (Unix.gettimeofday () -. t_sent.(!recvd)) *. 1e6;
+      if is_ok line then incr oks;
+      incr recvd
+    done;
+    Unix.close fd;
+    (lat, !oks)
+  in
+  let percentile sorted p =
+    let n = Array.length sorted in
+    if n = 0 then 0.0 else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  (* N concurrent clients driven from ONE domain: each client is a
+     connection with up to [window] outstanding pipelined requests,
+     multiplexed over its own select. What the server sees is real
+     concurrency — N sockets with interleaved outstanding requests —
+     but the measurement stays about the serve loop: on a small (even
+     single-core) box, a domain per client would mostly measure the OS
+     scheduler and the runtime's stop-the-world synchronization across
+     domains. The 1-client phase instead runs [client_loop], the
+     classic blocking request/response client. *)
+  (* every request of every trial goes through the one server, so the
+     reconciliation at the end must see them all, not just the median
+     trials the report keeps *)
+  let total_sent = ref 0 in
+  let total_oks = ref 0 in
+  let total_conns = ref 0 in
+  let run_phase nclients window =
+    let per_client = max 1 (reqs_total / nclients) in
+    total_sent := !total_sent + (nclients * per_client);
+    total_conns := !total_conns + nclients;
+    if nclients = 1 && window = 1 then begin
+      let t0 = Unix.gettimeofday () in
+      let lat, oks = client_loop 0 per_client 1 in
+      let wall = Unix.gettimeofday () -. t0 in
+      total_oks := !total_oks + oks;
+      Array.sort compare lat;
+      (per_client, oks, wall, float_of_int per_client /. wall, lat)
+    end
+    else begin
+      let fds = Array.init nclients (fun _ -> connect ()) in
+      let bufs = Array.init nclients (fun _ -> Buffer.create 4096) in
+      let poss = Array.make nclients 0 in
+      let sent = Array.make nclients 0 in
+      let recvd = Array.make nclients 0 in
+      let states = Array.init nclients (fun c -> 12345 + (c * 9973)) in
+      let lats = Array.make (nclients * per_client) 0.0 in
+      let t_sent = Array.make (nclients * per_client) 0.0 in
+      let oks = ref 0 in
+      let finished = ref 0 in
+      let chunk = Bytes.create 65536 in
+      let batch = Buffer.create 1024 in
+      let contains_ok s lo hi =
+        let m = String.length ok_marker in
+        let rec at i j = j = m || (s.[i + j] = ok_marker.[j] && at i (j + 1)) in
+        let rec find i = i + m <= hi && (at i 0 || find (i + 1)) in
+        find lo
+      in
+      (* top up [c]'s window with one batched write *)
+      let fill c =
+        if sent.(c) < per_client && sent.(c) - recvd.(c) < window then begin
+          Buffer.clear batch;
+          let now = Unix.gettimeofday () in
+          while sent.(c) < per_client && sent.(c) - recvd.(c) < window do
+            states.(c) <- ((states.(c) * 1103515245) + 12345) land 0x3FFFFFFF;
+            let u = float_of_int states.(c) /. 1073741824.0 in
+            let idx = min (nnests - 1) (int_of_float (float_of_int nnests *. u *. u)) in
+            Buffer.add_string batch req_strs.(idx);
+            t_sent.((c * per_client) + sent.(c)) <- now;
+            sent.(c) <- sent.(c) + 1
+          done;
+          send_all fds.(c) (Buffer.contents batch)
+        end
+      in
+      (* one read, then pop every complete response line it brought *)
+      let read_burst c =
+        match Unix.read fds.(c) chunk 0 (Bytes.length chunk) with
+        | 0 -> failwith "micro-serve: unexpected EOF"
+        | r ->
+          Buffer.add_subbytes bufs.(c) chunk 0 r;
+          let now = Unix.gettimeofday () in
+          let s = Buffer.contents bufs.(c) in
+          let n = String.length s in
+          let pos = ref poss.(c) in
+          let scanning = ref true in
+          while !scanning do
+            match String.index_from_opt s !pos '\n' with
+            | None -> scanning := false
+            | Some i ->
+              if contains_ok s !pos i then incr oks;
+              let slot = (c * per_client) + recvd.(c) in
+              lats.(slot) <- (now -. t_sent.(slot)) *. 1e6;
+              recvd.(c) <- recvd.(c) + 1;
+              pos := i + 1;
+              if recvd.(c) = per_client then begin
+                incr finished;
+                scanning := false
+              end
+          done;
+          if !pos = n then begin
+            Buffer.clear bufs.(c);
+            poss.(c) <- 0
+          end
+          else poss.(c) <- !pos
+      in
+      let t0 = Unix.gettimeofday () in
+      while !finished < nclients do
+        for c = 0 to nclients - 1 do
+          fill c
+        done;
+        let waiting = ref [] in
+        for c = nclients - 1 downto 0 do
+          if recvd.(c) < sent.(c) then waiting := fds.(c) :: !waiting
+        done;
+        match Unix.select !waiting [] [] 1.0 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | ready, _, _ ->
+          for c = 0 to nclients - 1 do
+            if recvd.(c) < per_client && List.mem fds.(c) ready then read_burst c
+          done
+      done;
+      let wall = Unix.gettimeofday () -. t0 in
+      Array.iter Unix.close fds;
+      Array.sort compare lats;
+      total_oks := !total_oks + !oks;
+      let total = nclients * per_client in
+      (total, !oks, wall, float_of_int total /. wall, lats)
+    end
+  in
+  let run_phase_median nclients window =
+    let runs = List.init trials (fun _ -> run_phase nclients window) in
+    let sorted = List.sort (fun (_, _, _, a, _) (_, _, _, b, _) -> compare a b) runs in
+    List.nth sorted (trials / 2)
+  in
+  Obsv.Control.with_enabled true @@ fun () ->
+  let metric name =
+    match Obsv.Metrics.find name with Some m -> Obsv.Metrics.total m | None -> 0
+  in
+  let accept0 = metric "serve.accept" in
+  let timeout0 = metric "serve.timeout" in
+  let rejected0 = metric "serve.rejected" in
+  let inflight0 = metric "service.inflight" in
+  let cache = Service.Cache.create ~capacity:(2 * nnests) ~dir:None () in
+  let config =
+    { Server.default_serve_config with
+      max_clients = 2 * max_clients;
+      (* admission-capped throughput is the tests' concern; the bench
+         measures loop capacity, so the cap covers every outstanding
+         request the client fleet can have in flight *)
+      max_inflight = max Server.default_serve_config.max_inflight (max_clients * window);
+      (* let one turn retire a connection's whole pipeline window, so
+         its responses batch into one write *)
+      service_quantum = max Server.default_serve_config.service_quantum window }
+  in
+  let server = Domain.spawn (fun () -> Server.serve ~cache ~config ~socket ()) in
+  let rec wait_ready tries =
+    if not (Sys.file_exists socket) then
+      if tries = 0 then failwith "micro-serve: server socket never appeared"
+      else begin
+        Unix.sleepf 0.01;
+        wait_ready (tries - 1)
+      end
+  in
+  wait_ready 500;
+  (* (1) cold: one blocking client, every kernel's first touch pays a
+     compile through the symbolic pipeline *)
+  let cold_sent, cold_oks, _, cold_rps, cold_lats =
+    let fd = connect () in
+    let read_line = make_reader fd in
+    let t0 = Unix.gettimeofday () in
+    let lats =
+      Array.init nnests (fun idx ->
+          let t = Unix.gettimeofday () in
+          send_all fd req_strs.(idx);
+          ignore (read_line ());
+          (Unix.gettimeofday () -. t) *. 1e6)
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    Unix.close fd;
+    total_sent := !total_sent + nnests;
+    total_oks := !total_oks + nnests;
+    total_conns := !total_conns + 1;
+    Array.sort compare lats;
+    (nnests, nnests, wall, float_of_int nnests /. wall, lats)
+  in
+  ignore cold_oks;
+  Printf.printf "cold: %d compiles, %8.0f req/s, p50 %.0f us, p99 %.0f us\n" cold_sent cold_rps
+    (percentile cold_lats 0.50) (percentile cold_lats 0.99);
+  (* (2) warm: 1..max clients against the hot cache. The 1-client
+     phase runs with window 1 — a strictly blocking request/response
+     client, which is also the best case of the old blocking server —
+     and the multi-client phases pipeline up to [window] outstanding
+     requests each, which only a multiplexing loop can serve fairly. *)
+  let rec client_counts c = if c >= max_clients then [ max_clients ] else c :: client_counts (c * 2) in
+  let counts = client_counts 1 in
+  let phases =
+    List.map
+      (fun nclients ->
+        let w = if nclients = 1 then 1 else window in
+        let sent, oks, wall, rps, lats = run_phase_median nclients w in
+        Printf.printf
+          "warm %2d client(s) (window %2d): %6d reqs in %6.3f s, %8.0f req/s, p50 %.0f us, p99 %.0f us, p999 %.0f us\n"
+          nclients w sent wall rps (percentile lats 0.50) (percentile lats 0.99)
+          (percentile lats 0.999);
+        (nclients, sent, oks, wall, rps, lats))
+      counts
+  in
+  (* shut the loop down and reconcile every ledger *)
+  let shutdown_fd = connect () in
+  let read_ack = make_reader shutdown_fd in
+  send_all shutdown_fd "shutdown\n";
+  ignore (read_ack ());
+  Unix.close shutdown_fd;
+  let stats =
+    match Domain.join server with
+    | Ok s -> s
+    | Error e -> failwith ("micro-serve: serve failed: " ^ e)
+  in
+  let sent_total = !total_sent + 1 in
+  let oks_total = !total_oks + 1 in
+  let conns_total = !total_conns + 1 in
+  let cs = Service.Cache.stats cache in
+  (* several registry kernels canonicalize to the same iteration space
+     (alpha-renaming erases their differences), so the cold sweep
+     compiles one plan per DISTINCT fingerprint, not one per kernel *)
+  let distinct_plans =
+    List.init nnests (fun idx ->
+        match Kernels.Registry.find nests.(idx) with
+        | Some k -> Service.Fingerprint.hash k.Kernels.Kernel.nest
+        | None -> assert false)
+    |> List.sort_uniq compare |> List.length
+  in
+  let reconciled =
+    stats.Server.requests = sent_total
+    && stats.Server.ok_responses = oks_total
+    && stats.Server.connections = conns_total
+    && stats.Server.connections = metric "serve.accept" - accept0
+    && stats.Server.timeouts = metric "serve.timeout" - timeout0
+    && stats.Server.rejected = metric "serve.rejected" - rejected0
+    && stats.Server.requests = metric "service.inflight" - inflight0
+    && stats.Server.inflight_final = 0
+    && stats.Server.dropped = 0
+    && cs.Service.Cache.hits + cs.Service.Cache.misses + cs.Service.Cache.singleflight_waits
+       = sent_total - 1 (* every request but [shutdown] touched the cache *)
+    && cs.Service.Cache.misses = distinct_plans
+  in
+  Printf.printf "counters reconcile (serve_stats = request log = obsv serve.*): %s\n"
+    (if reconciled then "ok" else "MISMATCH");
+  let baseline_rps =
+    match phases with (1, _, _, _, rps, _) :: _ -> rps | _ -> cold_rps
+  in
+  let peak_clients, peak_rps =
+    List.fold_left
+      (fun (bc, br) (n, _, _, _, rps, _) -> if rps > br then (n, rps) else (bc, br))
+      (1, baseline_rps) phases
+  in
+  (* the acceptance gate reads the [max_clients]-client row itself,
+     not whichever client count happened to peak *)
+  let gate_rps =
+    List.fold_left
+      (fun acc (n, _, _, _, rps, _) -> if n = max_clients then rps else acc)
+      peak_rps phases
+  in
+  let speedup = gate_rps /. baseline_rps in
+  Printf.printf "throughput: 1 client %8.0f req/s, %d clients %8.0f req/s -> %.2fx\n" baseline_rps
+    max_clients gate_rps speedup;
+  Emit.write ~path:"BENCH_serve.json" ~artifact:"micro-serve"
+    [ ("kernels", Emit.Int nnests);
+      ("requests_per_phase", Emit.Int reqs_total);
+      ("trials_per_phase", Emit.Int trials);
+      ("max_clients", Emit.Int max_clients);
+      ("pipeline_window", Emit.Int window);
+      ( "cold",
+        Emit.Obj
+          [ ("requests", Emit.Int cold_sent);
+            ("req_per_s", Emit.F (cold_rps, 0));
+            ("p50_us", Emit.F (percentile cold_lats 0.50, 0));
+            ("p99_us", Emit.F (percentile cold_lats 0.99, 0))
+          ] );
+      ( "warm",
+        Emit.Arr
+          (List.map
+             (fun (nclients, sent, _, wall, rps, lats) ->
+               Emit.Obj
+                 [ ("clients", Emit.Int nclients);
+                   ("requests", Emit.Int sent);
+                   ("wall_s", Emit.F (wall, 3));
+                   ("req_per_s", Emit.F (rps, 0));
+                   ("p50_us", Emit.F (percentile lats 0.50, 0));
+                   ("p99_us", Emit.F (percentile lats 0.99, 0));
+                   ("p999_us", Emit.F (percentile lats 0.999, 0))
+                 ])
+             phases) );
+      ( "throughput",
+        Emit.Obj
+          [ ("baseline_1_client_req_per_s", Emit.F (baseline_rps, 0));
+            ("gate_clients", Emit.Int max_clients);
+            ("gate_req_per_s", Emit.F (gate_rps, 0));
+            ("peak_clients", Emit.Int peak_clients);
+            ("peak_req_per_s", Emit.F (peak_rps, 0));
+            ("speedup", Emit.F (speedup, 2))
+          ] );
+      ("serve_speedup_ok", Emit.Bool (speedup >= 4.0));
+      ( "counters",
+        Emit.Obj
+          [ ("connections", Emit.Int stats.Server.connections);
+            ("requests", Emit.Int stats.Server.requests);
+            ("ok_responses", Emit.Int stats.Server.ok_responses);
+            ("error_responses", Emit.Int stats.Server.error_responses);
+            ("timeouts", Emit.Int stats.Server.timeouts);
+            ("rejected", Emit.Int stats.Server.rejected);
+            ("dropped", Emit.Int stats.Server.dropped);
+            ("max_concurrent", Emit.Int stats.Server.max_concurrent);
+            ("cache_hits", Emit.Int cs.Service.Cache.hits);
+            ("cache_misses", Emit.Int cs.Service.Cache.misses)
+          ] );
+      ("reconciled", Emit.Bool reconciled)
+    ]
+
 (* ---------------- driver ---------------- *)
 
 let artifacts =
@@ -1372,7 +1814,8 @@ let artifacts =
     ("micro-steal", micro_steal);
     ("micro-fault", micro_fault);
     ("micro-cache", micro_cache);
-    ("micro-jit", micro_jit) ]
+    ("micro-jit", micro_jit);
+    ("micro-serve", micro_serve) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

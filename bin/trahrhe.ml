@@ -608,12 +608,27 @@ let batch_cmd =
 
 (* ---- serve ---- *)
 
-let serve_run socket trace stats =
-  (* serve converts SIGINT/SIGTERM into a normal return, so the obsv
-     teardown in with_obsv flushes on ^C too, not just on shutdown *)
+let serve_run socket max_clients request_timeout_ms trace stats =
+  (* serve converts SIGINT/SIGTERM into a graceful drain and a normal
+     return, so the obsv teardown in with_obsv flushes on ^C too, not
+     just on shutdown *)
   with_obsv ~trace ~stats @@ fun () ->
-  match Service.Server.serve ~socket () with
-  | Ok () -> 0
+  if max_clients <= 0 then begin
+    prerr_endline "--max-clients needs a positive integer";
+    exit 1
+  end;
+  (match request_timeout_ms with
+  | Some ms when ms < 0 ->
+    prerr_endline "--request-timeout-ms needs a non-negative integer";
+    exit 1
+  | _ -> ());
+  let config = { Service.Server.default_serve_config with max_clients; request_timeout_ms } in
+  match Service.Server.serve ~config ~socket () with
+  | Ok stats ->
+    if stats.Service.Server.dropped > 0 then
+      Printf.eprintf "serve: %d response(s)/request(s) dropped at drain deadline\n%!"
+        stats.Service.Server.dropped;
+    0
   | Error e ->
     prerr_endline e;
     1
@@ -625,13 +640,33 @@ let serve_cmd =
       & opt (some string) None
       & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path to listen on.")
   in
+  let max_clients =
+    Arg.(
+      value
+      & opt int Service.Server.default_serve_config.Service.Server.max_clients
+      & info [ "max-clients" ] ~docv:"N"
+          ~doc:
+            "Connections multiplexed at once; the listen backlog is derived from this, so a \
+             connect burst up to $(docv) queues instead of being refused.")
+  in
+  let request_timeout_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "request-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-request execution deadline: an exec whose runs exceed $(docv) milliseconds \
+             answers with a deterministic error response instead of running to completion.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Listen on a Unix domain socket and serve compile/exec requests (same line protocol as \
-          $(b,batch)) until a client sends $(b,shutdown) or the process receives \
-          SIGINT/SIGTERM; cache and native accounting flush to stderr on either exit.")
-    Term.(const serve_run $ socket $ trace_arg $ stats_arg)
+         "Listen on a Unix domain socket and multiplex compile/exec requests from many clients \
+          over one event loop (same line protocol as $(b,batch)) until a client sends \
+          $(b,shutdown) or the process receives SIGINT/SIGTERM; both exits drain gracefully — \
+          in-flight responses flush before the socket disappears — and cache/native accounting \
+          goes to stderr.")
+    Term.(const serve_run $ socket $ max_clients $ request_timeout_ms $ trace_arg $ stats_arg)
 
 (* ---- kernels ---- *)
 

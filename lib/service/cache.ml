@@ -149,9 +149,7 @@ let disk_store t fp plan =
 (* ---- the request path ---- *)
 
 let find_or_compile ?(compile = Plan.compile) t nest =
-  Obsv.Trace.with_span "service.cache" @@ fun () ->
-  let canonical, renaming = Fingerprint.canonicalize nest in
-  let fp = Fingerprint.digest canonical in
+  let canonical, renaming, fp = Fingerprint.canonicalize_cached nest in
   let with_renaming = Result.map (fun p -> (p, renaming)) in
   Mutex.lock t.mutex;
   match lookup t fp with
@@ -172,7 +170,12 @@ let find_or_compile ?(compile = Plan.compile) t nest =
       (* single-flight winner: compile with the lock released *)
       let fl = Single_flight.enter t.inflight fp in
       Mutex.unlock t.mutex;
+      (* the trace span covers the slow path only — disk probe plus
+         compile. A span per warm hit would drown the trace (and cost
+         more than the lookup it wraps); hits are counted exactly by
+         the metrics either way. *)
       let result, origin =
+        Obsv.Trace.with_span "service.cache" @@ fun () ->
         match disk_load t fp with
         | Some plan -> (Ok plan, `Disk)
         | None -> (

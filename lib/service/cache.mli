@@ -50,8 +50,9 @@ val default : unit -> t
     [?compile] overrides the compiler (default {!Plan.compile} of the
     canonical nest) — the tests use it to inject slow or failing
     compiles; the contract is that it returns a plan for the canonical
-    nest it is given. The whole lookup runs under a [service.cache]
-    span. *)
+    nest it is given. The slow path — disk probe plus compile — runs
+    under a [service.cache] trace span; warm hits record only the
+    metrics (a span per sub-microsecond hit would drown the trace). *)
 val find_or_compile :
   ?compile:(Trahrhe.Nest.t -> (Plan.t, string) result) ->
   t ->

@@ -77,6 +77,38 @@ let digest canonical =
 
 let hash nest = digest (fst (canonicalize nest))
 
+(* Canonicalization memo keyed by PHYSICAL identity. The service
+   parses every [kernel=NAME] request into the registry's shared nest
+   value, so a warm server would otherwise re-canonicalize and
+   re-digest the same physical nest on every request — the single
+   biggest CPU cost of a warm cache hit. Nests are immutable, so [==]
+   is a sound (if conservative) key: a miss only costs the recompute.
+   The MRU array is tiny (scans stay cheap, memory stays bounded) and
+   swapped atomically — a lost race between two writers just drops one
+   entry, never corrupts. *)
+let memo_cap = 16
+let memo : (N.t * (N.t * renaming * string)) array Atomic.t = Atomic.make [||]
+
+let canonicalize_cached nest =
+  let arr = Atomic.get memo in
+  let n = Array.length arr in
+  let rec find i =
+    if i >= n then None
+    else
+      let k, v = Array.unsafe_get arr i in
+      if k == nest then Some v else find (i + 1)
+  in
+  match find 0 with
+  | Some hit -> hit
+  | None ->
+    let canonical, renaming = canonicalize nest in
+    let fp = digest canonical in
+    let entry = (nest, (canonical, renaming, fp)) in
+    let keep = min n (memo_cap - 1) in
+    let arr' = Array.append [| entry |] (Array.sub arr 0 keep) in
+    Atomic.set memo arr';
+    (canonical, renaming, fp)
+
 let canonical_param r param =
   let reverse = List.map (fun (o, c) -> (c, o)) r.params in
   fun canonical_name ->

@@ -44,6 +44,17 @@ val digest : Trahrhe.Nest.t -> string
     fingerprint under which plans for [nest] are cached. *)
 val hash : Trahrhe.Nest.t -> string
 
+(** [canonicalize_cached nest] is
+    [(canonical, renaming, digest canonical)], memoized by the
+    {e physical} identity of [nest]. Requests that name a registered
+    kernel all share the registry's one nest value, so a warm server
+    serves them without re-canonicalizing — the dominant CPU cost of a
+    cache hit. Structurally equal but physically distinct nests simply
+    miss the memo and pay the normal recompute; results are identical
+    either way. The memo is a small lock-free MRU (bounded memory,
+    safe under concurrent lookups). *)
+val canonicalize_cached : Trahrhe.Nest.t -> Trahrhe.Nest.t * renaming * string
+
 (** [canonical_param r param] lifts a parameter valuation keyed by the
     {e original} names into one keyed by the canonical [pK] names —
     what {!Plan.recovery} needs, since cached plans are compiled from

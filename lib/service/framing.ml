@@ -1,0 +1,54 @@
+(* Incremental line framing: see framing.mli for the contract. *)
+
+let default_max_line = 8192
+
+type t = {
+  cur : Buffer.t;  (* bytes of the not-yet-terminated line *)
+  lines : string Queue.t;  (* complete lines, input order *)
+  max_line : int;
+  mutable overflowed : bool;
+}
+
+let create ?(max_line = default_max_line) () =
+  if max_line <= 0 then invalid_arg "Framing.create: max_line must be positive";
+  { cur = Buffer.create 256; lines = Queue.create (); max_line; overflowed = false }
+
+let overflowed t = t.overflowed
+let buffered t = Buffer.length t.cur
+
+let overflow t =
+  t.overflowed <- true;
+  (* drop the partial line: nothing after an overflow is served, so
+     holding its bytes would only tie down memory *)
+  Buffer.clear t.cur
+
+let terminate t =
+  let raw = Buffer.contents t.cur in
+  Buffer.clear t.cur;
+  let n = String.length raw in
+  let content = if n > 0 && raw.[n - 1] = '\r' then String.sub raw 0 (n - 1) else raw in
+  if String.length content > t.max_line then overflow t else Queue.push content t.lines
+
+let feed t buf off len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then invalid_arg "Framing.feed";
+  for i = off to off + len - 1 do
+    if not t.overflowed then
+      match Bytes.get buf i with
+      | '\n' -> terminate t
+      | c ->
+        Buffer.add_char t.cur c;
+        (* content of max_line bytes plus its CR may sit unterminated;
+           one byte more cannot become a legal line, overflow now so
+           the buffer stays bounded without waiting for a terminator *)
+        if Buffer.length t.cur > t.max_line + 1 then overflow t
+  done
+
+let feed_string t s =
+  feed t (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let pop t =
+  match Queue.take_opt t.lines with
+  | Some line -> `Line line
+  | None -> if t.overflowed then `Overflow else `Pending
+
+let has_line t = (not (Queue.is_empty t.lines)) || t.overflowed

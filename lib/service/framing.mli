@@ -1,0 +1,61 @@
+(** Incremental line framing for the non-blocking serve loop.
+
+    A framer turns an arbitrary re-chunking of a byte stream back into
+    the stream's lines: bytes arrive via {!feed} in whatever slices
+    [Unix.read] produced, complete lines come out of {!pop} in input
+    order, and a partial trailing line waits (bounded) for its
+    terminator. The framer is what makes pipelined clients and
+    partial reads safe — the serve loop never assumes a read ends on
+    a line boundary.
+
+    Framing rules:
+    - a line is terminated by [\n]; a single trailing [\r] before the
+      terminator is stripped (CRLF clients work unmodified);
+    - empty lines are real lines (the protocol treats them as blanks);
+    - a line whose content (after CR stripping) exceeds [max_line]
+      bytes overflows the framer: {!pop} returns [`Overflow] after the
+      lines framed before it, and every later byte is discarded. The
+      check also fires {e before} the terminator arrives, so a client
+      streaming an unterminated megabyte holds at most
+      [max_line + 2] buffered bytes.
+
+    Overflow is terminal by design: a framer that lost sync cannot
+    re-synchronize safely, so the serve loop answers with one error
+    response and closes the connection. *)
+
+type t
+
+val create : ?max_line:int -> unit -> t
+(** [create ()] is an empty framer. [max_line] bounds the content
+    length of a single line (default {!default_max_line}). *)
+
+val default_max_line : int
+(** 8192 bytes — generous for the request grammar, small enough that a
+    misbehaving client cannot balloon the server. *)
+
+val feed : t -> bytes -> int -> int -> unit
+(** [feed t buf off len] appends [len] bytes of [buf] starting at
+    [off] — typically the exact slice a [Unix.read] filled. Bytes
+    after an overflow are discarded. *)
+
+val feed_string : t -> string -> unit
+(** [feed_string t s] is {!feed} over all of [s] (tests, batch glue). *)
+
+val pop : t -> [ `Line of string | `Overflow | `Pending ]
+(** [pop t] returns the next complete line, [`Overflow] once the
+    stream overflowed and every earlier complete line was popped, or
+    [`Pending] when more bytes are needed. After [`Overflow] every
+    further pop is [`Overflow]. *)
+
+val has_line : t -> bool
+(** Whether {!pop} would return something other than [`Pending] right
+    now — lets the serve loop poll readiness without consuming. *)
+
+val overflowed : t -> bool
+(** Whether the stream has overflowed (complete lines framed before
+    the overflow may still be waiting in {!pop}). *)
+
+val buffered : t -> int
+(** Bytes of the current partial line held by the framer — the
+    framer's whole memory footprint beyond already-framed lines;
+    always [<= max_line + 2]. *)

@@ -211,7 +211,7 @@ let param_of_bindings bindings =
       | Some (Some v) -> v
       | _ -> invalid_arg ("unbound parameter " ^ name))
 
-let parse_request line =
+let parse_request_uncached line =
   let tokens = List.filter (fun s -> s <> "") (String.split_on_char ' ' line) in
   match tokens with
   | [] -> Ok None
@@ -255,6 +255,39 @@ let parse_request line =
     Ok (Some (Exec { label; nest; param; opts = { threads; schedule; lanes; repeat; retries; native } }))
   | op :: _ -> Error (Printf.sprintf "unknown operation %S (compile | exec | shutdown)" op)
 
+(* Parsed request lines, memoized by the line itself. Clients of a
+   line protocol repeat identical lines constantly (every [kernel=]
+   request for the same kernel is the same bytes), and tokenizing plus
+   field validation costs several times a warm cache lookup. Parsing
+   is pure — a [request] is an immutable value (the [param] closure
+   reads only its captured bindings) — so replaying the parsed result
+   for the same bytes is indistinguishable from reparsing. Long lines
+   are not memoized: they are rare one-offs and would bloat the scan.
+   Same atomic-MRU discipline as the fingerprint memo. *)
+let parse_memo_cap = 16
+let parse_memo_max_len = 256
+let parse_memo : (string * (request option, string) result) array Atomic.t = Atomic.make [||]
+
+let parse_request line =
+  if String.length line > parse_memo_max_len then parse_request_uncached line
+  else begin
+    let arr = Atomic.get parse_memo in
+    let n = Array.length arr in
+    let rec find i =
+      if i >= n then None
+      else
+        let k, v = Array.unsafe_get arr i in
+        if String.equal k line then Some v else find (i + 1)
+    in
+    match find 0 with
+    | Some v -> v
+    | None ->
+      let v = parse_request_uncached line in
+      let keep = min n (parse_memo_cap - 1) in
+      Atomic.set parse_memo (Array.append [| (line, v) |] (Array.sub arr 0 keep));
+      v
+  end
+
 (* ---- responses ---- *)
 
 let json_escape s =
@@ -283,8 +316,15 @@ let iter_hash idx =
   Array.iter (fun v -> h := (!h * 1000003) + v) idx;
   !h
 
-(* one parallel execution of the collapsed nest; returns the checksum *)
-let run_once rc opts =
+(* how one parallel execution failed: the deadline is distinguished so
+   the serve loop can count [serve.timeout] without string matching *)
+type run_failure = Run_timeout | Run_error of string
+
+(* one parallel execution of the collapsed nest; returns the checksum.
+   A deadline (the per-request timeout) routes through the PR-4
+   supervised region, whose cooperative cancellation token every
+   schedule polls at chunk granularity. *)
+let run_once ?deadline_ms rc opts =
   let trip = R.trip_count rc in
   let stride = 16 in
   let partial = Array.make (opts.threads * stride) 0 in
@@ -308,15 +348,18 @@ let run_once rc opts =
   in
   let outcome =
     try
-      if opts.retries > 0 then
-        Ompsim.Par.run_resilient ~retries:opts.retries ~nthreads:opts.threads
+      if opts.retries > 0 || deadline_ms <> None then
+        Ompsim.Par.run_resilient ~retries:opts.retries ?deadline_ms ~nthreads:opts.threads
           ~schedule:opts.schedule ~n:trip body
-        |> Result.map_error Ompsim.Par.describe_error
+        |> Result.map_error (fun (e : Ompsim.Par.region_error) ->
+               match e.Ompsim.Par.reason with
+               | Ompsim.Par.Deadline_expired -> Run_timeout
+               | Ompsim.Par.Chunk_failed -> Run_error (Ompsim.Par.describe_error e))
       else begin
         Ompsim.Par.parallel_for_chunks ~nthreads:opts.threads ~schedule:opts.schedule ~n:trip body;
         Ok ()
       end
-    with e -> Error (Printexc.to_string e)
+    with e -> Error (Run_error (Printexc.to_string e))
   in
   Result.map
     (fun () ->
@@ -334,22 +377,69 @@ let shutdown_json cache =
   Printf.sprintf {|{"op":"shutdown","status":"ok","cache":{"hits":%d,"misses":%d}}|}
     s.Cache.hits s.Cache.misses
 
-let handle ?native cache req =
+(* Rendered [compile] responses, memoized by the plan's PHYSICAL
+   identity plus the request label. The response is a pure function of
+   the two (fingerprint, depth, symbolic trip count — all read off the
+   immutable plan), and rendering it — polynomial pretty-printing,
+   escaping, formatting — dwarfs the warm cache lookup itself. The
+   cache path still runs on every request (it owns the LRU order and
+   the hit/miss ledger); only the final string is reused. Same MRU
+   discipline as {!Fingerprint.canonicalize_cached}: tiny atomic
+   array, a lost update costs a recompute, never correctness. *)
+let compile_memo_cap = 16
+let compile_memo : ((Plan.t * string) * string) array Atomic.t = Atomic.make [||]
+
+let compile_json ~label plan =
+  let arr = Atomic.get compile_memo in
+  let n = Array.length arr in
+  let rec find i =
+    if i >= n then None
+    else
+      let (p, l), resp = Array.unsafe_get arr i in
+      if p == plan && String.equal l label then Some resp else find (i + 1)
+  in
+  match find 0 with
+  | Some resp -> resp
+  | None ->
+    let inv = plan.Plan.inversion in
+    let resp =
+      Printf.sprintf
+        {|{"op":"compile","label":"%s","status":"ok","fingerprint":"%s","depth":%d,"trip_count":"%s"}|}
+        (json_escape label) plan.Plan.fingerprint
+        (N.depth inv.Trahrhe.Inversion.nest)
+        (json_escape (P.to_string inv.Trahrhe.Inversion.trip_count))
+    in
+    let keep = min n (compile_memo_cap - 1) in
+    Atomic.set compile_memo (Array.append [| ((plan, label), resp) |] (Array.sub arr 0 keep));
+    resp
+
+(* [handle_full] additionally reports whether the request died on its
+   deadline, so the serve loop can count [serve.timeout] exactly *)
+let handle_full ?native ?deadline_ms cache req =
   match req with
-  | Shutdown -> (shutdown_json cache, true)
+  | Shutdown -> (shutdown_json cache, true, false)
   | Compile { label; nest } -> (
     match Cache.find_or_compile cache nest with
-    | Error e -> (error_json ~op:"compile" ~label e, false)
-    | Ok (plan, _) ->
-      let inv = plan.Plan.inversion in
-      ( Printf.sprintf
-          {|{"op":"compile","label":"%s","status":"ok","fingerprint":"%s","depth":%d,"trip_count":"%s"}|}
-          (json_escape label) plan.Plan.fingerprint
-          (N.depth inv.Trahrhe.Inversion.nest)
-          (json_escape (P.to_string inv.Trahrhe.Inversion.trip_count)),
-        true ))
+    | Error e -> (error_json ~op:"compile" ~label e, false, false)
+    | Ok (plan, _) -> (compile_json ~label plan, true, false))
   | Exec { label; nest; param; opts } -> (
-    let err e = (error_json ~op:"exec" ~label e, false) in
+    let err e = (error_json ~op:"exec" ~label e, false, false) in
+    (* the deadline budget covers all [repeat] parallel executions of
+       this request: each run gets whatever of it remains. The message
+       is deterministic (no elapsed time), keeping responses
+       byte-stable across runs that time out. *)
+    let t_start = Unix.gettimeofday () in
+    let remaining () =
+      Option.map
+        (fun ms -> max 0 (ms - int_of_float ((Unix.gettimeofday () -. t_start) *. 1e3)))
+        deadline_ms
+    in
+    let timeout () =
+      ( error_json ~op:"exec" ~label
+          (Printf.sprintf "request deadline expired (timeout %dms)" (Option.get deadline_ms)),
+        false,
+        true )
+    in
     match Cache.find_or_compile cache nest with
     | Error e -> err e
     | Ok (plan, renaming) -> (
@@ -374,16 +464,23 @@ let handle ?native cache req =
         let rec runs r =
           if r > opts.repeat then Ok ()
           else
-            match run_once rc opts with
-            | Error e -> Error (Printf.sprintf "run %d/%d: %s" r opts.repeat e)
-            | Ok sum when sum <> !serial ->
-              Error
-                (Printf.sprintf "checksum mismatch on run %d/%d: parallel %d vs serial %d" r
-                   opts.repeat sum !serial)
-            | Ok _ -> runs (r + 1)
+            match remaining () with
+            | Some 0 -> Error Run_timeout
+            | budget -> (
+              match run_once ?deadline_ms:budget rc opts with
+              | Error Run_timeout -> Error Run_timeout
+              | Error (Run_error e) ->
+                Error (Run_error (Printf.sprintf "run %d/%d: %s" r opts.repeat e))
+              | Ok sum when sum <> !serial ->
+                Error
+                  (Run_error
+                     (Printf.sprintf "checksum mismatch on run %d/%d: parallel %d vs serial %d" r
+                        opts.repeat sum !serial))
+              | Ok _ -> runs (r + 1))
         in
         (match runs 1 with
-        | Error e -> err e
+        | Error Run_timeout -> timeout ()
+        | Error (Run_error e) -> err e
         | Ok () ->
           (* "native" reports whether the backend actually engaged —
              false under fallback, which CI's no-gcc job asserts on *)
@@ -393,7 +490,12 @@ let handle ?native cache req =
           ( Printf.sprintf
               {|{"op":"exec","label":"%s","status":"ok","fingerprint":"%s","trip":%d,"checksum":%d,"repeat":%d%s}|}
               (json_escape label) plan.Plan.fingerprint trip !serial opts.repeat native_field,
-            true ))))
+            true,
+            false ))))
+
+let handle ?native ?deadline_ms cache req =
+  let line, ok, _ = handle_full ?native ?deadline_ms cache req in
+  (line, ok)
 
 (* ---- batch front end ---- *)
 
@@ -521,17 +623,83 @@ let serve_connection ?native cache ic oc =
   in
   loop ()
 
-let serve ?cache ?native ~socket () =
+(* ---- non-blocking multi-client event loop ---- *)
+
+type serve_config = {
+  max_clients : int;
+  max_inflight : int;
+  request_timeout_ms : int option;
+  max_line : int;
+  max_write_buffer : int;
+  drain_timeout_ms : int;
+  service_quantum : int;
+}
+
+let default_serve_config =
+  { max_clients = 64;
+    max_inflight = 16;
+    request_timeout_ms = None;
+    max_line = Framing.default_max_line;
+    max_write_buffer = 256 * 1024;
+    drain_timeout_ms = 5_000;
+    service_quantum = 4 }
+
+type serve_stats = {
+  connections : int;
+  requests : int;
+  responses : int;
+  ok_responses : int;
+  error_responses : int;
+  timeouts : int;
+  rejected : int;
+  dropped : int;
+  max_concurrent : int;
+  inflight_final : int;
+  stopped_by : [ `Shutdown | `Signal ];
+}
+
+(* a connection's ordered work: responses that are already decided
+   (parse errors, oversized-line rejections) interleave with requests
+   awaiting service, so the one-response-per-line order is preserved
+   under pipelining *)
+type queued = Queued_response of string * bool | Queued_request of request
+
+type conn = {
+  fd : Unix.file_descr;
+  framer : Framing.t;
+  work : queued Queue.t;
+  out : Buffer.t;  (* bytes not yet accepted by the peer's socket *)
+  mutable sent : int;  (* prefix of [out] already written *)
+  mutable closing : bool;  (* read side done; flush work + out, then close *)
+  mutable reject_sent : bool;  (* the framer-overflow error was queued *)
+}
+
+let serve ?cache ?native ?(config = default_serve_config) ~socket () =
   let cache = match cache with Some c -> c | None -> Cache.default () in
   let nt = match native with Some nt -> nt | None -> Native.default () in
+  if config.max_clients < 1 then invalid_arg "Server.serve: max_clients must be positive";
+  if config.max_inflight < 1 then invalid_arg "Server.serve: max_inflight must be positive";
+  if config.service_quantum < 1 then invalid_arg "Server.serve: service_quantum must be positive";
   let before = Cache.stats cache in
   let before_native = Native.stats nt in
-  let connections = ref 0 in
+  (* run accounting *)
+  let accepted = ref 0 in
+  let requests = ref 0 in
+  let ok_responses = ref 0 in
+  let error_responses = ref 0 in
+  let timeouts = ref 0 in
+  let rejected = ref 0 in
+  let dropped = ref 0 in
+  let max_concurrent = ref 0 in
+  let inflight = ref 0 in
+  let obsv () = Obsv.Control.enabled () in
   let summary how =
     let s = Cache.stats cache in
     Printf.eprintf
-      "serve (%s): %d connection(s); plan cache: %d hits (%d disk), %d misses, %d single-flight waits\n%!"
-      how !connections
+      "serve (%s): %d connection(s), %d request(s), %d ok, %d errors (%d timeouts, %d rejected); \
+       plan cache: %d hits (%d disk), %d misses, %d single-flight waits\n\
+       %!"
+      how !accepted !requests !ok_responses !error_responses !timeouts !rejected
       (s.Cache.hits - before.Cache.hits)
       (s.Cache.disk_hits - before.Cache.disk_hits)
       (s.Cache.misses - before.Cache.misses)
@@ -552,15 +720,19 @@ let serve ?cache ?native ~socket () =
   | Error e -> Error e
   | Ok () -> (
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let conns : conn list ref = ref [] in
     let cleanup () =
+      List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
+      conns := [];
       (try Unix.close fd with Unix.Unix_error _ -> ());
       try Unix.unlink socket with Unix.Unix_error _ -> ()
     in
-    (* SIGINT/SIGTERM turn into a graceful stop: the handler flips
-       [stop], accept returns EINTR, and the loop exits normally — so
-       the accounting below (and any --trace/--stats teardown in the
-       caller) still runs. Previous dispositions are restored before
-       returning. *)
+    (* SIGINT/SIGTERM turn into a graceful drain: the handler flips
+       [stop], select returns (EINTR or timeout), and the loop stops
+       accepting/reading, serves every admitted request, flushes every
+       response, then exits normally — so the accounting below (and
+       any --trace/--stats teardown in the caller) still runs.
+       Previous dispositions are restored before returning. *)
     let stop = ref false in
     let install sg =
       match Sys.signal sg (Sys.Signal_handle (fun _ -> stop := true)) with
@@ -573,32 +745,281 @@ let serve ?cache ?native ~socket () =
     in
     let prev_int = install Sys.sigint in
     let prev_term = install Sys.sigterm in
+    (* a peer that resets mid-write must surface as EPIPE on the write,
+       not as a process-killing SIGPIPE *)
+    let prev_pipe =
+      match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+      | prev -> Some prev
+      | exception (Invalid_argument _ | Sys_error _) -> None
+    in
     let finish how =
       cleanup ();
       restore Sys.sigint prev_int;
       restore Sys.sigterm prev_term;
+      restore Sys.sigpipe prev_pipe;
       summary how
     in
     try
       Unix.bind fd (Unix.ADDR_UNIX socket);
-      Unix.listen fd 8;
-      let rec accept_loop () =
-        if !stop then `Signal
-        else
-          match Unix.accept fd with
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-          | client, _ -> (
-            incr connections;
-            let ic = Unix.in_channel_of_descr client in
-            let oc = Unix.out_channel_of_descr client in
-            let outcome = serve_connection ~native:nt cache ic oc in
-            (try flush oc with Sys_error _ -> ());
-            (try Unix.close client with Unix.Unix_error _ -> ());
-            match outcome with `Eof -> accept_loop () | `Shutdown -> `Shutdown)
+      (* backlog derived from the admission cap, not a magic constant:
+         a connect burst up to the cap must queue while the loop is
+         busy in a handler, instead of bouncing with ECONNREFUSED *)
+      Unix.listen fd (max 16 (2 * config.max_clients));
+      Unix.set_nonblock fd;
+      let scratch = Bytes.create 4096 in
+      let draining = ref false in
+      let drain_deadline = ref infinity in
+      let stopped_by = ref `Signal in
+      let begin_drain how =
+        if not !draining then begin
+          draining := true;
+          stopped_by := how;
+          drain_deadline := Unix.gettimeofday () +. (float_of_int config.drain_timeout_ms /. 1e3)
+        end
       in
-      let how = accept_loop () in
+      let out_pending c = Buffer.length c.out - c.sent in
+      let emit c line ok =
+        Buffer.add_string c.out line;
+        Buffer.add_char c.out '\n';
+        if ok then incr ok_responses else incr error_responses
+      in
+      let note_admitted () =
+        incr requests;
+        incr inflight;
+        if obsv () then Obsv.Metrics.incr_here Stats.inflight_admissions
+      in
+      let note_settled () = decr inflight in
+      (* the trace stream samples the admission level once per batch of
+         transitions (post-admit peak, post-service residual), not per
+         transition: the [service.inflight] metric above stays exact
+         per request, and at hundreds of thousands of requests per
+         second a trace record per transition would cost more than the
+         work it annotates *)
+      let last_traced = ref 0 in
+      let trace_inflight () =
+        if obsv () && !inflight <> !last_traced then begin
+          last_traced := !inflight;
+          Obsv.Trace.counter "service.inflight" !inflight
+        end
+      in
+      (* forget a connection's unserved requests (its own pipeline
+         after [shutdown], or a force-close at the drain deadline) *)
+      let clear_work c =
+        Queue.iter
+          (function
+            | Queued_request _ ->
+              note_settled ();
+              incr dropped
+            | Queued_response _ -> incr dropped)
+          c.work;
+        Queue.clear c.work
+      in
+      (* admit framed lines into the work queue while the admission
+         counter is under the cap — the cap is what stops this loop,
+         and the unread socket (plus at most one framer line burst) is
+         the backpressure buffer *)
+      let admit c =
+        let continue = ref true in
+        while !continue && !inflight < config.max_inflight do
+          match Framing.pop c.framer with
+          | `Pending -> continue := false
+          | `Overflow ->
+            if not c.reject_sent then begin
+              c.reject_sent <- true;
+              c.closing <- true;
+              incr rejected;
+              if obsv () then Obsv.Metrics.incr_here Stats.serve_rejected;
+              Queue.push
+                (Queued_response
+                   ( error_json ~op:"parse" ~label:"-"
+                       (Printf.sprintf "request line exceeds %d bytes" config.max_line),
+                     false ))
+                c.work
+            end;
+            continue := false
+          | `Line line -> (
+            match parse_request line with
+            | Ok None -> ()
+            | Error e -> Queue.push (Queued_response (error_json ~op:"parse" ~label:"-" e, false)) c.work
+            | Ok (Some req) ->
+              note_admitted ();
+              Queue.push (Queued_request req) c.work)
+        done
+      in
+      let read_conn c =
+        match Unix.read c.fd scratch 0 (Bytes.length scratch) with
+        | 0 -> c.closing <- true (* half-close: serve what was framed, then close *)
+        | n -> Framing.feed c.framer scratch 0 n
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+        | exception Unix.Unix_error _ ->
+          c.closing <- true;
+          Buffer.clear c.out;
+          c.sent <- 0;
+          clear_work c
+      in
+      let flush_conn c =
+        let continue = ref true in
+        while !continue && out_pending c > 0 do
+          let len = out_pending c in
+          match Unix.write_substring c.fd (Buffer.contents c.out) c.sent len with
+          | written ->
+            c.sent <- c.sent + written;
+            if c.sent = Buffer.length c.out then begin
+              Buffer.clear c.out;
+              c.sent <- 0
+            end;
+            if written < len then continue := false
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+            continue := false
+          | exception Unix.Unix_error _ ->
+            (* the peer is gone; its pending responses are undeliverable *)
+            dropped := !dropped + (if out_pending c > 0 then 1 else 0);
+            Buffer.clear c.out;
+            c.sent <- 0;
+            c.closing <- true;
+            clear_work c;
+            continue := false
+        done
+      in
+      (* serve up to [service_quantum] admitted requests (and any
+         number of ready responses) from this connection — the
+         per-connection, per-turn quantum bounds how long a pipelining
+         client can monopolize the loop, so it cannot starve everyone
+         else, while batching its responses into one write *)
+      let rec service_step budget c =
+        if budget > 0 then
+          match Queue.take_opt c.work with
+          | None -> ()
+          | Some (Queued_response (line, ok)) ->
+            emit c line ok;
+            service_step budget c
+          | Some (Queued_request Shutdown) ->
+            note_settled ();
+            emit c (shutdown_json cache) true;
+            (* like the batch front end, a connection's own input after
+               its [shutdown] is dropped; everyone else drains normally *)
+            clear_work c;
+            c.closing <- true;
+            begin_drain `Shutdown
+          | Some (Queued_request req) ->
+            let line, ok, timed_out =
+              handle_full ~native:nt ?deadline_ms:config.request_timeout_ms cache req
+            in
+            note_settled ();
+            if timed_out then begin
+              incr timeouts;
+              if obsv () then Obsv.Metrics.incr_here Stats.serve_timeouts
+            end;
+            emit c line ok;
+            service_step (budget - 1) c
+      in
+      let accept_burst () =
+        let continue = ref true in
+        while (not !draining) && !continue && List.length !conns < config.max_clients do
+          match Unix.accept fd with
+          | client, _ ->
+            Unix.set_nonblock client;
+            incr accepted;
+            if obsv () then Obsv.Metrics.incr_here Stats.serve_accepts;
+            conns :=
+              { fd = client;
+                framer = Framing.create ~max_line:config.max_line ();
+                work = Queue.create ();
+                out = Buffer.create 512;
+                sent = 0;
+                closing = false;
+                reject_sent = false }
+              :: !conns;
+            max_concurrent := max !max_concurrent (List.length !conns)
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> continue := false
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | exception Unix.Unix_error (Unix.ECONNABORTED, _, _) -> ()
+        done
+      in
+      (* while draining, a connection with nothing left to say is done
+         even if the peer never closed its end *)
+      let finished c =
+        Queue.is_empty c.work && out_pending c = 0
+        && (c.closing || (!draining && not (Framing.has_line c.framer)))
+      in
+      let loop_running = ref true in
+      while !loop_running do
+        if !stop then begin_drain `Signal;
+        (* close connections that are done (their framer may still
+           hold an unterminated partial line — by then unanswerable) *)
+        let closing, live = List.partition finished !conns in
+        List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) closing;
+        conns := live;
+        if !draining && !conns = [] then loop_running := false
+        else if !draining && Unix.gettimeofday () > !drain_deadline then begin
+          (* a peer that stopped reading cannot hold shutdown hostage:
+             force-close whatever could not be flushed in time *)
+          List.iter
+            (fun c ->
+              clear_work c;
+              if out_pending c > 0 then incr dropped;
+              try Unix.close c.fd with Unix.Unix_error _ -> ())
+            !conns;
+          conns := [];
+          loop_running := false
+        end
+        else begin
+          let readable_wanted c =
+            (not !draining) && (not c.closing)
+            && (not (Framing.overflowed c.framer))
+            && !inflight < config.max_inflight
+            && out_pending c < config.max_write_buffer
+          in
+          let read_fds =
+            (if (not !draining) && List.length !conns < config.max_clients then [ fd ] else [])
+            @ List.filter_map (fun c -> if readable_wanted c then Some c.fd else None) !conns
+          in
+          let write_fds = List.filter_map (fun c -> if out_pending c > 0 then Some c.fd else None) !conns in
+          (* work already in hand (queued items, or framed lines that
+             the admission cap will let through) means the select is
+             just an I/O poll, not a wait *)
+          let work_pending =
+            List.exists
+              (fun c ->
+                (not (Queue.is_empty c.work))
+                || (!inflight < config.max_inflight
+                   && (not c.reject_sent)
+                   && Framing.has_line c.framer))
+              !conns
+          in
+          let timeout = if work_pending then 0.0 else 0.05 in
+          (match Unix.select read_fds write_fds [] timeout with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | ready_read, ready_write, _ ->
+            if List.mem fd ready_read then accept_burst ();
+            List.iter
+              (fun c -> if List.mem c.fd ready_read then read_conn c)
+              !conns;
+            List.iter (fun c -> if not c.reject_sent then admit c) !conns;
+            trace_inflight ();
+            List.iter (service_step config.service_quantum) !conns;
+            trace_inflight ();
+            (* opportunistic flush for low latency; select-driven flush
+               for peers whose buffers were full *)
+            List.iter
+              (fun c -> if out_pending c > 0 || List.mem c.fd ready_write then flush_conn c)
+              !conns)
+        end
+      done;
+      let how = !stopped_by in
       finish (match how with `Signal -> "signal" | `Shutdown -> "shutdown");
-      Ok ()
+      Ok
+        { connections = !accepted;
+          requests = !requests;
+          responses = !ok_responses + !error_responses;
+          ok_responses = !ok_responses;
+          error_responses = !error_responses;
+          timeouts = !timeouts;
+          rejected = !rejected;
+          dropped = !dropped;
+          max_concurrent = !max_concurrent;
+          inflight_final = !inflight;
+          stopped_by = how }
     with Unix.Unix_error (e, fn, _) ->
       finish "error";
       Error (Printf.sprintf "serve: %s: %s" fn (Unix.error_message e)))

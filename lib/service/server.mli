@@ -72,8 +72,16 @@ val parse_request : string -> (request option, string) result
     serial reference computed once. With [opts.native], the recovery
     comes from [native] (default: {!Native.default}) and each chunk's
     checksum is one [walk_hash] call — a single native invocation when
-    the backend engaged, the equivalent interpreted fold otherwise. *)
-val handle : ?native:Native.t -> Cache.t -> request -> string * bool
+    the backend engaged, the equivalent interpreted fold otherwise.
+
+    [deadline_ms] budgets the request's execution (all [repeat] runs
+    share it, measured from entry): when it expires the response is a
+    deterministic [status:"error"] line naming the timeout, so the
+    byte-stability contract above still holds. Parallel runs are
+    supervised through [Par.run_resilient], which stops launching
+    chunks once the deadline passes; [compile] requests are never
+    deadlined (the symbolic pipeline is not cancellable mid-flight). *)
+val handle : ?native:Native.t -> ?deadline_ms:int -> Cache.t -> request -> string * bool
 
 (** [run_batch ic oc] reads requests from [ic] (stopping early at
     [shutdown]), serves them on [workers] concurrent admission slots
@@ -93,14 +101,76 @@ val run_batch :
 val serve_connection :
   ?native:Native.t -> Cache.t -> in_channel -> out_channel -> [ `Eof | `Shutdown ]
 
-(** [serve ?cache ?native ~socket ()] listens on a Unix domain socket
-    at path [socket] (replacing a stale socket file), serves
-    connections one at a time, and returns after a client sends
-    [shutdown]. SIGINT/SIGTERM also stop the loop gracefully — the
-    handler is installed for the accept loop's lifetime and the
-    previous dispositions are restored — so the accounting summary
-    (connections served, plan-cache hits/misses, native
-    served/fallback counts) reaches stderr on both exits. The socket
-    file is unlinked on return. *)
+type serve_config = {
+  max_clients : int;
+      (** connections multiplexed at once (default 64); the listen
+          backlog is derived from this, so a connect burst up to the
+          cap queues instead of bouncing *)
+  max_inflight : int;
+      (** admission cap: requests admitted (queued or executing)
+          across all connections (default 16). At the cap the loop
+          stops selecting readable fds — unread sockets are the
+          backpressure buffer. *)
+  request_timeout_ms : int option;
+      (** per-request deadline passed to {!handle} (default [None]) *)
+  max_line : int;  (** framer line bound (default {!Framing.default_max_line}) *)
+  max_write_buffer : int;
+      (** a connection whose unflushed output exceeds this stops being
+          read — a slow reader throttles itself, not the loop
+          (default 256 KiB) *)
+  drain_timeout_ms : int;
+      (** on shutdown/signal, how long to keep flushing in-flight
+          responses before force-closing laggards (default 5000) *)
+  service_quantum : int;
+      (** requests served per connection per loop turn (default 4):
+          the fairness/throughput dial. A pipelining client gets at
+          most this many answers before the loop moves on, and its
+          responses batch into one write. *)
+}
+
+val default_serve_config : serve_config
+
+type serve_stats = {
+  connections : int;  (** accepted over the run ([serve.accept]) *)
+  requests : int;  (** admitted requests (= [service.inflight] bumps) *)
+  responses : int;  (** response lines emitted, including errors *)
+  ok_responses : int;
+  error_responses : int;
+  timeouts : int;  (** deadline-expired requests ([serve.timeout]) *)
+  rejected : int;  (** oversized-line rejections ([serve.rejected]) *)
+  dropped : int;
+      (** admitted requests or finished responses discarded because
+          the peer vanished or the drain deadline passed — 0 in any
+          clean run *)
+  max_concurrent : int;  (** peak simultaneous connections *)
+  inflight_final : int;  (** admission counter at exit — always 0 *)
+  stopped_by : [ `Shutdown | `Signal ];
+}
+
+(** [serve ?cache ?native ?config ~socket ()] listens on a Unix domain
+    socket at path [socket] (replacing a stale socket file) and
+    multiplexes up to [config.max_clients] connections over one
+    [Unix.select] event loop: nonblocking fds, per-connection
+    incremental line framing ({!Framing} — partial reads and pipelined
+    requests are first-class), bounded read/write buffers, and at most
+    [config.service_quantum] requests served per connection per loop
+    turn so a pipelining client cannot starve the rest. Requests execute inline in the loop's
+    domain — their parallel regions ride the shared {!Ompsim.Pool} —
+    so concurrency buys overlap of client round-trips, not parallel
+    request execution.
+
+    Returns after a client sends [shutdown], or on SIGINT/SIGTERM;
+    both paths drain gracefully: stop accepting and reading, serve
+    every admitted request, flush every response (bounded by
+    [drain_timeout_ms]), then unlink the socket, restore the previous
+    signal dispositions, and write the accounting summary to stderr.
+    The returned {!serve_stats} reconciles against the obsv counters
+    ([serve.accept], [serve.timeout], [serve.rejected],
+    [service.inflight]) when observability is on. *)
 val serve :
-  ?cache:Cache.t -> ?native:Native.t -> socket:string -> unit -> (unit, string) result
+  ?cache:Cache.t ->
+  ?native:Native.t ->
+  ?config:serve_config ->
+  socket:string ->
+  unit ->
+  (serve_stats, string) result

@@ -30,6 +30,21 @@ val singleflight_waits : Obsv.Metrics.t
     per request: hits + misses + single-flight waits = requests *)
 
 val inflight_admissions : Obsv.Metrics.t
-(** [service.inflight]: requests admitted by the batch front end; the
-    instantaneous in-flight level is also emitted as a Chrome counter
-    sample under the same name *)
+(** [service.inflight]: requests admitted by the batch and serve front
+    ends; the instantaneous in-flight level is also emitted as a
+    Chrome counter sample under the same name *)
+
+val serve_accepts : Obsv.Metrics.t
+(** [serve.accept]: connections accepted by the serve event loop —
+    after a run, accepts − closes = 0 (every accepted connection is
+    closed by the loop before it returns) *)
+
+val serve_timeouts : Obsv.Metrics.t
+(** [serve.timeout]: requests whose per-request deadline
+    ([--request-timeout-ms]) expired before execution finished; each
+    one produced an error response, never a silent drop *)
+
+val serve_rejected : Obsv.Metrics.t
+(** [serve.rejected]: protocol-level rejections by the serve loop — an
+    oversized request line overflows the connection's framer, which
+    answers with one error response and closes that connection *)

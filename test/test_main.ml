@@ -6,4 +6,5 @@ let () =
    @ Test_ompsim.suites @ Test_fault.suites @ Test_kernels.suites @ Test_xforms.suites @ Test_figures.suites
    @ Test_looptrans.suites
    @ Test_obsv.suites @ Test_jit.suites @ Test_oracle.suites @ Test_service.suites
+   @ Test_serve.suites
    @ Test_integration.suites)
