@@ -17,7 +17,29 @@ type t =
   | G of float  (* shortest %g rendering, for rates like 0.02 *)
 
 (* bump when the shape of any BENCH_*.json changes *)
-let schema_version = 2
+let schema_version = 3
+
+(* hardware context: perf numbers are meaningless across machines
+   without it, and the reduction/steal artifacts gate on parallel
+   speedups that only make sense relative to the domain count *)
+let cpu_model =
+  lazy
+    (try
+       let ic = open_in "/proc/cpuinfo" in
+       let rec scan () =
+         match input_line ic with
+         | exception End_of_file -> "unknown"
+         | line ->
+           if String.length line >= 10 && String.sub line 0 10 = "model name" then
+             match String.index_opt line ':' with
+             | Some i -> String.trim (String.sub line (i + 1) (String.length line - i - 1))
+             | None -> scan ()
+           else scan ()
+       in
+       let m = scan () in
+       close_in ic;
+       m
+     with Sys_error _ -> "unknown")
 
 let git_describe =
   lazy
@@ -101,6 +123,8 @@ let write ~path ~artifact fields =
       (("artifact", Str artifact)
       :: ("schema_version", Int schema_version)
       :: ("git", Str (Lazy.force git_describe))
+      :: ("cpu_model", Str (Lazy.force cpu_model))
+      :: ("domains", Int (Domain.recommended_domain_count ()))
       :: fields)
   in
   (try

@@ -8,12 +8,13 @@
    Artifacts: fig2 fig8 fig9 fig10 codegen ablation-chunk
    ablation-threads ablation-recovery micro micro-recovery micro-pool
    micro-obsv micro-lanes micro-steal micro-fault micro-cache
-   micro-jit micro-serve
+   micro-jit micro-reduce micro-serve
 
    The micro-* artifacts additionally write machine-readable
    BENCH_recovery.json / BENCH_pool.json / BENCH_obsv.json /
    BENCH_lanes.json / BENCH_steal.json / BENCH_fault.json /
-   BENCH_cache.json / BENCH_jit.json / BENCH_serve.json into the
+   BENCH_cache.json / BENCH_jit.json / BENCH_reduce.json /
+   BENCH_serve.json into the
    current directory (all through the shared Emit module, which stamps
    schema_version + git revision) so the hot-path perf trajectory can
    be tracked across PRs; micro-obsv also writes TRACE_obsv.json, a
@@ -23,7 +24,8 @@
    BENCH_CACHE_NESTS, BENCH_CACHE_REQS / BENCH_JIT_N, BENCH_JIT_LANES,
    BENCH_JIT_CHUNK / BENCH_SERVE_CLIENTS, BENCH_SERVE_REQS,
    BENCH_SERVE_WINDOW, BENCH_SERVE_TRIALS, BENCH_SERVE_NESTS for
-   CI-sized runs. *)
+   CI-sized runs; micro-reduce honours BENCH_REDUCE_N,
+   BENCH_REDUCE_SPIN, BENCH_REDUCE_SWEEP_N. *)
 
 module K = Kernels.Kernel
 module Sim = Ompsim.Sim
@@ -1183,7 +1185,8 @@ let micro_jit () =
     Emit.write ~path:"BENCH_jit.json" ~artifact:"micro-jit"
       [ ("compiler", Emit.Str (Jit.Abi.cc ()));
         ("compiler_available", Emit.Bool false);
-        ("native_speedup_ok", Emit.Bool false)
+        ("native_speedup_ok", Emit.Bool false);
+        ("lanes_speedup_ok", Emit.Bool false)
       ]
   end
   else begin
@@ -1306,7 +1309,8 @@ let micro_jit () =
     Printf.printf "%-44s %10.2f\n" "native lane walk (ns/iter)" native_lanes;
     Printf.printf "%-44s %9.1fx %s\n" "walk speedup (gate: >= 2x)" walk_speedup
       (if walk_speedup >= 2.0 then "ok" else "BELOW TARGET");
-    Printf.printf "%-44s %9.1fx\n" "lane speedup" lanes_speedup;
+    Printf.printf "%-44s %9.1fx %s\n" "lane speedup (gate: >= 1.1x)" lanes_speedup
+      (if lanes_speedup >= 1.1 then "ok" else "BELOW TARGET");
     Printf.printf "%-44s %10.1f ms\n" "cold emit+compile latency" cold_ms;
     Printf.printf "%-44s %10.2f ms\n" "warm .so load latency" warm_ms;
     Printf.printf "%-44s %10.0f ns\n" "cache-served attach (steady state)" steady_ns;
@@ -1335,6 +1339,7 @@ let micro_jit () =
           Emit.Obj
             [ ("walk", Emit.F (walk_speedup, 2)); ("lanes", Emit.F (lanes_speedup, 2)) ] );
         ("native_speedup_ok", Emit.Bool (walk_speedup >= 2.0));
+        ("lanes_speedup_ok", Emit.Bool (lanes_speedup >= 1.1));
         ( "latency",
           Emit.Obj
             [ ("cold_compile_ms", Emit.F (cold_ms, 2));
@@ -1353,6 +1358,297 @@ let micro_jit () =
         ("reconciled", Emit.Bool reconciled)
       ]
   end
+
+(* micro-reduce: parallel reductions over the collapsed range. The
+   workload is the skewed triangle (ltmp's space: i in [0,N), j in
+   [0,i]) with a sum clause attached; each point additionally spins
+   proportionally to i - j + 1 — the ltmp work profile — so
+   equal-count static chunks are load-imbalanced and the
+   divide-and-conquer splitter has something to win. Phases:
+   (1) serial fold baseline and parallel reductions at 1..8 domains
+   under static chunking, work stealing and D&C; (2) native
+   one-call-per-chunk reduce_sum vs the interpreted clause fold;
+   (3) a bit-identical sweep — every schedule x backend x lane width
+   x faults-armed must reproduce the serial fold exactly — plus a
+   D&C counter reconciliation against Schedule.dnc_leaves ground
+   truth. The speedup gates (8-domain parallel >= 3x serial, D&C >=
+   static on the skew) are hardware-dependent and emitted honestly
+   next to the machine's domain count; the correctness gates must
+   hold everywhere. *)
+let micro_reduce () =
+  let n = env_int "BENCH_REDUCE_N" 400 in
+  let spin_scale = env_int "BENCH_REDUCE_SPIN" 2 in
+  let n_sweep = env_int "BENCH_REDUCE_SWEEP_N" 40 in
+  header (Printf.sprintf "micro-reduce: parallel sum over the skewed triangle (N=%d)" n);
+  Emit.ensure_writable "BENCH_reduce.json";
+  let module R = Trahrhe.Recovery in
+  let module N = Trahrhe.Nest in
+  let ltmp = Option.get (Kernels.Registry.find "ltmp") in
+  let reduced param_n =
+    let nest =
+      N.with_reduce ltmp.K.nest
+        (Some { N.op = N.Sum; value = N.default_reduce_value ltmp.K.nest })
+    in
+    let inv =
+      match Trahrhe.Inversion.invert nest with
+      | Ok i -> i
+      | Error e -> failwith ("inversion failed: " ^ Trahrhe.Inversion.error_to_string e)
+    in
+    (nest, R.make inv ~param:(K.param_of ltmp ~n:param_n))
+  in
+  let _, rc = reduced n in
+  let trip = R.trip_count rc in
+  (* the skewed chunk body: fold the clause and spin i - j + 1 units
+     per point, so chunk cost tracks the triangle's work profile *)
+  let chunk_partial ~start ~len =
+    let acc = ref 0 in
+    R.walk rc ~pc:(start + 1) ~len (fun idx ->
+        acc := !acc + R.reduce_value_int rc idx;
+        let w = (idx.(0) - idx.(1) + 1) * spin_scale in
+        let s = ref 0 in
+        for q = 1 to w do
+          s := !s + q
+        done;
+        ignore (Sys.opaque_identity !s));
+    !acc
+  in
+  let serial_value = chunk_partial ~start:0 ~len:trip in
+  let serial_s =
+    Ompsim.Calibrate.time_best ~reps:3 (fun () -> ignore (chunk_partial ~start:0 ~len:trip))
+  in
+  let time_schedule ~nthreads schedule =
+    Ompsim.Calibrate.time_best ~reps:3 (fun () ->
+        match
+          Ompsim.Par.reduce_chunks ~nthreads ~schedule ~n:trip ~combine:( + ) (fun ~thread:_ ->
+              chunk_partial)
+        with
+        | Some v when v = serial_value -> ()
+        | Some v -> failwith (Printf.sprintf "reduction mismatch: %d vs serial %d" v serial_value)
+        | None -> failwith "empty reduction")
+  in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let machine_domains = Domain.recommended_domain_count () in
+  Printf.printf "%d collapsed iterations, spin scale %d, machine has %d domain(s)\n" trip
+    spin_scale machine_domains;
+  Printf.printf "%-10s %12s %12s %12s %10s %10s %10s\n" "domains" "static ms" "ws ms" "dnc ms"
+    "sp static" "sp ws" "sp dnc";
+  let rows =
+    List.map
+      (fun d ->
+        let st = time_schedule ~nthreads:d Sched.Static in
+        let ws = time_schedule ~nthreads:d (Sched.Work_stealing 64) in
+        let dnc = time_schedule ~nthreads:d (Sched.Dnc 64) in
+        Printf.printf "%-10d %12.2f %12.2f %12.2f %9.2fx %9.2fx %9.2fx\n" d (st *. 1e3)
+          (ws *. 1e3) (dnc *. 1e3) (serial_s /. st) (serial_s /. ws) (serial_s /. dnc);
+        (d, st, ws, dnc))
+      domain_counts
+  in
+  let _, st8, ws8, dnc8 = List.nth rows (List.length rows - 1) in
+  let best8 = min st8 (min ws8 dnc8) in
+  let parallel_speedup = serial_s /. best8 in
+  (* D&C vs static on the skew case, with a 5% measurement tolerance *)
+  let dnc_at_least_static = dnc8 <= st8 *. 1.05 in
+  let parallel_3x = parallel_speedup >= 3.0 in
+  Printf.printf "%-44s %9.2fx %s\n" "8-domain speedup vs serial (gate: >= 3x)" parallel_speedup
+    (if parallel_3x then "ok"
+     else if machine_domains < 8 then
+       Printf.sprintf "BELOW TARGET (machine has %d domain(s))" machine_domains
+     else "BELOW TARGET");
+  Printf.printf "%-44s %10s\n" "d&c >= static chunking on the skew (gate)"
+    (if dnc_at_least_static then "ok" else "BELOW TARGET");
+  (* native one-call-per-chunk clause reduction vs the interpreted
+     fold (no spin here: this measures delivery of the clause itself) *)
+  let compiler_available = Jit.Abi.available () in
+  let interp_ns, native_ns, native_speedup =
+    if not compiler_available then begin
+      Printf.printf "C compiler unavailable; native reduce phase skipped\n";
+      (0.0, 0.0, 0.0)
+    end
+    else begin
+      let nest, _ = reduced n in
+      let tmp_root =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "ompsim-bench-reduce-%d" (Unix.getpid ()))
+      in
+      let cache = Service.Cache.create ~capacity:8 ~dir:(Some tmp_root) () in
+      let nt = Service.Native.create ~dir:(Some tmp_root) () in
+      let plan, renaming =
+        match Service.Cache.find_or_compile cache nest with
+        | Ok x -> x
+        | Error e -> failwith ("plan compile failed: " ^ e)
+      in
+      let cparam = Service.Fingerprint.canonical_param renaming (K.param_of ltmp ~n) in
+      let rc_native = Service.Native.recovery nt plan ~param:cparam in
+      if not (R.native_enabled rc_native) then failwith "native backend failed to attach";
+      let rc_interp = Service.Plan.recovery plan ~param:cparam in
+      let chunk = 4096 in
+      let sink = ref 0 in
+      let reduce_ns rc =
+        let s =
+          Ompsim.Calibrate.time_best ~reps:3 (fun () ->
+              let pc = ref 1 in
+              while !pc <= trip do
+                let len = min chunk (trip - !pc + 1) in
+                sink := !sink + R.walk_reduce_sum rc ~pc:!pc ~len;
+                pc := !pc + len
+              done)
+        in
+        s *. 1e9 /. float_of_int trip
+      in
+      let interp = reduce_ns rc_interp in
+      let native = reduce_ns rc_native in
+      ignore !sink;
+      (* the native accumulator must agree bit for bit *)
+      let vi = R.walk_reduce_sum rc_interp ~pc:1 ~len:trip in
+      let vn = R.walk_reduce_sum rc_native ~pc:1 ~len:trip in
+      if vi <> vn then failwith (Printf.sprintf "native reduce %d <> interpreted %d" vn vi);
+      Printf.printf "%-44s %10.2f\n" "interpreted clause fold (ns/iter)" interp;
+      Printf.printf "%-44s %10.2f\n" "native reduce_sum (ns/iter)" native;
+      Printf.printf "%-44s %9.1fx\n" "native reduce speedup" (interp /. native);
+      (interp, native, interp /. native)
+    end
+  in
+  (* bit-identical sweep on a small instance: every schedule x backend
+     x lane width x faults-armed combination must reproduce the serial
+     fold exactly — the combine tree is keyed by chunk position, so
+     nothing here is allowed to move a bit *)
+  let _, rc_s = reduced n_sweep in
+  let trip_s = R.trip_count rc_s in
+  let serial_s_value = R.walk_reduce_sum rc_s ~pc:1 ~len:trip_s in
+  let sweep_cases = ref 0 in
+  let sweep_ok = ref true in
+  let check where = function
+    | Some v when v = serial_s_value -> incr sweep_cases
+    | Some v ->
+      incr sweep_cases;
+      sweep_ok := false;
+      Printf.printf "  sweep MISMATCH at %s: %d vs %d\n" where v serial_s_value
+    | None ->
+      incr sweep_cases;
+      sweep_ok := false;
+      Printf.printf "  sweep EMPTY at %s\n" where
+  in
+  let body ~thread:_ ~start ~len = R.walk_reduce_sum rc_s ~pc:(start + 1) ~len in
+  let faults = Some { Ompsim.Fault.default with p = 0.3; seed = 0x5eed } in
+  let sweep_schedules =
+    [ Sched.Static; Sched.Static_chunk 3; Sched.Dynamic 2; Sched.Guided 2;
+      Sched.Work_stealing 2; Sched.Dnc 2 ]
+  in
+  List.iter
+    (fun (backend, bname) ->
+      Ompsim.Par.with_backend backend (fun () ->
+          List.iter
+            (fun schedule ->
+              let sname = Sched.to_string schedule in
+              check
+                (Printf.sprintf "%s/%s" bname sname)
+                (Ompsim.Par.reduce_chunks ~nthreads:3 ~schedule ~n:trip_s ~combine:( + ) body);
+              match
+                Ompsim.Par.reduce_resilient ~retries:2 ~faults ~nthreads:3 ~schedule ~n:trip_s
+                  ~combine:( + ) body
+              with
+              | Ok r -> check (Printf.sprintf "%s/%s/faults" bname sname) r
+              | Error e ->
+                incr sweep_cases;
+                sweep_ok := false;
+                Printf.printf "  sweep ERROR at %s/%s/faults: %s\n" bname sname
+                  (Ompsim.Par.describe_error e))
+            sweep_schedules))
+    [ (Ompsim.Par.Pool, "pool"); (Ompsim.Par.Spawn, "spawn") ];
+  (* lane widths feeding the fold *)
+  let depth = 2 in
+  List.iter
+    (fun vlength ->
+      let lane_body ~thread:_ ~start ~len =
+        let idx = Array.make depth 0 in
+        let acc = ref 0 in
+        R.walk_lanes rc_s ~pc:(start + 1) ~len ~vlength (fun ~base:_ ~count lanes ->
+            for l = 0 to count - 1 do
+              for k = 0 to depth - 1 do
+                idx.(k) <- lanes.(k).(l)
+              done;
+              acc := !acc + R.reduce_value_int rc_s idx
+            done);
+        !acc
+      in
+      check
+        (Printf.sprintf "lanes/%d" vlength)
+        (Ompsim.Par.reduce_chunks ~nthreads:3 ~schedule:(Sched.Dynamic 2) ~n:trip_s
+           ~combine:( + ) lane_body))
+    [ 1; 4; 8; 32 ];
+  Printf.printf "%-44s %6d cases %s\n" "bit-identical sweep" !sweep_cases
+    (if !sweep_ok then "ok" else "MISMATCH");
+  (* D&C counter reconciliation against dnc_leaves ground truth *)
+  let grain = 16 in
+  let leaves = List.length (Sched.dnc_leaves ~grain ~n:trip_s) in
+  let dnc_reconciled =
+    Obsv.Control.with_enabled true @@ fun () ->
+    let total = Obsv.Metrics.total in
+    let splits0 = total Ompsim.Stats.dnc_splits in
+    let chunks0 = total Ompsim.Stats.dnc_grain_chunks in
+    let partials0 = total Ompsim.Stats.reduce_partials in
+    let combines0 = total Ompsim.Stats.reduce_combines in
+    check "dnc/counters"
+      (Ompsim.Par.reduce_chunks ~nthreads:4 ~schedule:(Sched.Dnc grain) ~n:trip_s
+         ~combine:( + ) body);
+    total Ompsim.Stats.dnc_grain_chunks - chunks0 = leaves
+    && total Ompsim.Stats.dnc_splits - splits0 = leaves - 1
+    && total Ompsim.Stats.reduce_partials - partials0 = leaves
+    && total Ompsim.Stats.reduce_combines - combines0 = leaves - 1
+  in
+  Printf.printf "%-44s %10s\n"
+    (Printf.sprintf "dnc counters = dnc_leaves (%d leaves)" leaves)
+    (if dnc_reconciled then "ok" else "MISMATCH");
+  Obsv.Trace.clear ();
+  Ompsim.Stats.reset ();
+  Emit.write ~path:"BENCH_reduce.json" ~artifact:"micro-reduce"
+    [ ("kernel", Emit.Str "ltmp triangle + sum clause");
+      ("n", Emit.Int n);
+      ("iterations", Emit.Int trip);
+      ("spin_scale", Emit.Int spin_scale);
+      ("serial_ms", Emit.F (serial_s *. 1e3, 2));
+      ( "rows",
+        Emit.Arr
+          (List.map
+             (fun (d, st, ws, dnc) ->
+               Emit.Obj
+                 [ ("domains", Emit.Int d);
+                   ("static_ms", Emit.F (st *. 1e3, 2));
+                   ("ws_ms", Emit.F (ws *. 1e3, 2));
+                   ("dnc_ms", Emit.F (dnc *. 1e3, 2));
+                   ("speedup_static", Emit.F (serial_s /. st, 2));
+                   ("speedup_ws", Emit.F (serial_s /. ws, 2));
+                   ("speedup_dnc", Emit.F (serial_s /. dnc, 2))
+                 ])
+             rows) );
+      ( "native",
+        Emit.Obj
+          [ ("compiler_available", Emit.Bool compiler_available);
+            ("interpreted_ns_iter", Emit.F (interp_ns, 2));
+            ("native_ns_iter", Emit.F (native_ns, 2));
+            ("speedup", Emit.F (native_speedup, 2))
+          ] );
+      ( "sweep",
+        Emit.Obj
+          [ ("n", Emit.Int n_sweep);
+            ("cases", Emit.Int !sweep_cases);
+            ("bit_identical", Emit.Bool !sweep_ok)
+          ] );
+      ( "dnc",
+        Emit.Obj
+          [ ("grain", Emit.Int grain);
+            ("leaves", Emit.Int leaves);
+            ("counters_reconciled", Emit.Bool dnc_reconciled)
+          ] );
+      ( "gates",
+        Emit.Obj
+          [ ("parallel_speedup_3x", Emit.Bool parallel_3x);
+            ("dnc_at_least_static", Emit.Bool dnc_at_least_static);
+            ("bit_identical", Emit.Bool !sweep_ok);
+            ("dnc_counters_reconciled", Emit.Bool dnc_reconciled)
+          ] );
+      ("parallel_speedup", Emit.F (parallel_speedup, 2))
+    ]
 
 (* micro-serve: the non-blocking multi-client serve loop. One server
    (event loop + plan cache) in its own domain; a client driver issues
@@ -1815,6 +2111,7 @@ let artifacts =
     ("micro-fault", micro_fault);
     ("micro-cache", micro_cache);
     ("micro-jit", micro_jit);
+    ("micro-reduce", micro_reduce);
     ("micro-serve", micro_serve) ]
 
 let () =

@@ -281,7 +281,7 @@ let iter_hash idx =
   Array.iter (fun v -> h := (!h * 1000003) + v) idx;
   !h
 
-let exec_run kernel size threads schedule lanes repeat native faults retries deadline_ms trace stats =
+let exec_run kernel size threads schedule lanes repeat native reduce faults retries deadline_ms trace stats =
   with_obsv ~trace ~stats @@ fun () ->
   match
     Option.to_result ~none:"--kernel is required" kernel |> fun k ->
@@ -314,10 +314,26 @@ let exec_run kernel size threads schedule lanes repeat native faults retries dea
     (* any fault-tolerance knob routes execution through the
        supervised region; otherwise the plain unsupervised path runs *)
     let resilient = fault_cfg <> None || retries > 0 || deadline_ms <> None in
+    (* a reduction request rewrites the nest's clause BEFORE the cache
+       lookup so the clause participates in content addressing: the
+       value polynomial is the kernel's declared clause when it has
+       one, the canonical default otherwise *)
+    let nest =
+      match reduce with
+      | None -> k.Kernels.Kernel.nest
+      | Some op ->
+        let base = k.Kernels.Kernel.nest in
+        let value =
+          match base.Trahrhe.Nest.reduce with
+          | Some r -> r.Trahrhe.Nest.value
+          | None -> Trahrhe.Nest.default_reduce_value base
+        in
+        Trahrhe.Nest.with_reduce base (Some { Trahrhe.Nest.op; value })
+    in
     (* compile once through the plan cache (warm OMPSIM_PLAN_CACHE dirs
        skip the symbolic pipeline entirely); the recovery and the
        serial reference are then reused across every --repeat run *)
-    match Service.Cache.find_or_compile (Service.Cache.default ()) k.Kernels.Kernel.nest with
+    match Service.Cache.find_or_compile (Service.Cache.default ()) nest with
     | Error e ->
       Printf.eprintf "inversion failed: %s\n" e;
       1
@@ -330,6 +346,108 @@ let exec_run kernel size threads schedule lanes repeat native faults retries dea
         else Service.Plan.recovery plan ~param
       in
       let trip = Trahrhe.Recovery.trip_count rc in
+      match reduce with
+      | Some op -> (
+        (* parallel reduction over the collapsed range: per-worker
+           partials, deterministic combine tree, checked exactly
+           against the serial fold *)
+        let show = function
+          | `Int v -> string_of_int v
+          | `Rat q -> Zmath.Rat.to_string q
+        in
+        let values_equal a b =
+          match (a, b) with
+          | `Int x, `Int y -> x = y
+          | `Rat x, `Rat y -> Zmath.Rat.compare x y = 0
+          | _ -> false
+        in
+        let cnest = plan.Service.Plan.inversion.Trahrhe.Inversion.nest in
+        let serial =
+          match op with
+          | Trahrhe.Nest.Sum ->
+            let acc = ref 0 in
+            Trahrhe.Nest.iterate cnest ~param (fun idx ->
+                acc := !acc + Trahrhe.Recovery.reduce_value_int rc idx);
+            `Int !acc
+          | _ -> (
+            let acc = ref None in
+            Trahrhe.Nest.iterate cnest ~param (fun idx ->
+                let v = Trahrhe.Recovery.reduce_value_rat rc idx in
+                acc := Some (match !acc with None -> v | Some a -> Trahrhe.Nest.op_apply op a v));
+            match (!acc, Trahrhe.Nest.op_neutral op) with
+            | Some q, _ -> `Rat q
+            | None, Some q -> `Rat q
+            | None, None ->
+              prerr_endline "min/max reduction over an empty iteration space";
+              exit 1)
+        in
+        let run_region combine body =
+          if resilient then
+            Ompsim.Par.reduce_resilient ~retries ?deadline_ms ~faults:fault_cfg ~nthreads:threads
+              ~schedule ~n:trip ~combine body
+            |> Result.map_error Ompsim.Par.describe_error
+          else Ok (Ompsim.Par.reduce_chunks ~nthreads:threads ~schedule ~n:trip ~combine body)
+        in
+        let run_once () =
+          match op with
+          | Trahrhe.Nest.Sum ->
+            run_region ( + ) (fun ~thread:_ ~start ~len ->
+                Trahrhe.Recovery.walk_reduce_sum rc ~pc:(start + 1) ~len)
+            |> Result.map (fun o -> `Int (Option.value ~default:0 o))
+          | _ ->
+            run_region (Trahrhe.Nest.op_apply op) (fun ~thread:_ ~start ~len ->
+                Trahrhe.Recovery.walk_reduce_rat rc ~pc:(start + 1) ~len)
+            |> Result.map (fun o ->
+                   match (o, Trahrhe.Nest.op_neutral op) with
+                   | Some q, _ -> `Rat q
+                   | None, Some q -> `Rat q
+                   | None, None -> `Rat Zmath.Rat.zero)
+        in
+        let t0 = Unix.gettimeofday () in
+        let rec run_repeats r =
+          if r > repeat then Ok ()
+          else begin
+            match run_once () with
+            | Error msg -> Error msg
+            | Ok v when not (values_equal v serial) ->
+              Error
+                (Printf.sprintf "REDUCTION MISMATCH on run %d/%d: parallel %s vs serial %s" r
+                   repeat (show v) (show serial))
+            | Ok _ -> run_repeats (r + 1)
+          end
+        in
+        let result = run_repeats 1 in
+        let elapsed = Unix.gettimeofday () -. t0 in
+        match result with
+        | Error msg ->
+          print_endline msg;
+          1
+        | Ok () ->
+          Printf.printf
+            "kernel %s, n=%d, %d threads, schedule(%s), reduce(%s): %d collapsed iterations%s in \
+             %.4fs\n"
+            k.Kernels.Kernel.name n threads
+            (Ompsim.Schedule.to_string schedule)
+            (Trahrhe.Nest.op_to_string op) trip
+            (if repeat > 1 then Printf.sprintf " x%d runs" repeat else "")
+            elapsed;
+          if native then
+            Printf.eprintf "  native backend: %s\n%!"
+              (if Trahrhe.Recovery.native_enabled rc then "engaged" else "interpreted fallback");
+          if Obsv.Control.enabled () then begin
+            Printf.printf "  reduce: %d partials, %d combines\n"
+              (Obsv.Metrics.total Ompsim.Stats.reduce_partials)
+              (Obsv.Metrics.total Ompsim.Stats.reduce_combines);
+            match schedule with
+            | Ompsim.Schedule.Dnc _ ->
+              Printf.printf "  dnc: %d splits, %d grain chunks\n"
+                (Obsv.Metrics.total Ompsim.Stats.dnc_splits)
+                (Obsv.Metrics.total Ompsim.Stats.dnc_grain_chunks)
+            | _ -> ()
+          end;
+          Printf.printf "reduction ok (%s)\n" (show serial);
+          0)
+      | None ->
       (* padded per-worker partial checksums: one writer per slot *)
       let stride = 16 in
       let partial = Array.make (threads * stride) 0 in
@@ -458,7 +576,9 @@ let exec_cmd =
       value
       & opt schedule_conv Ompsim.Schedule.Static
       & info [ "schedule"; "s" ] ~docv:"SCHED"
-          ~doc:"static | static:N | dynamic[:N] | guided[:N] | ws[:N] (work-stealing).")
+          ~doc:
+            "static | static:N | dynamic[:N] | guided[:N] | ws[:N] (work-stealing) | dnc[:G] \
+             (divide-and-conquer splitting down to grain G).")
   in
   let lanes =
     Arg.(
@@ -489,6 +609,28 @@ let exec_cmd =
              OMPSIM_PLAN_CACHE) and run each chunk through it. Falls back to the interpreted \
              walk — reported in the accounting block — when no compiler is available, the \
              compile fails, or the nest needs bigint headroom.")
+  in
+  let reduce =
+    let reduce_conv =
+      let parse s =
+        match Trahrhe.Nest.op_of_string s with
+        | Some op -> Ok op
+        | None -> Error (`Msg "reduce must be sum | prod | min | max")
+      in
+      let print fmt op = Format.pp_print_string fmt (Trahrhe.Nest.op_to_string op) in
+      Arg.conv (parse, print)
+    in
+    Arg.(
+      value
+      & opt (some reduce_conv) None
+      & info [ "reduce" ] ~docv:"OP"
+          ~doc:
+            "Execute the region as a parallel reduction ($(docv) = sum | prod | min | max) over \
+             the collapsed range instead of the checksum walk: per-worker partial accumulators, \
+             deterministic combine tree keyed by chunk position, checked exactly against the \
+             serial fold. The reduced value polynomial is the kernel's declared clause when it \
+             has one, the canonical default otherwise; sum reduces in wrapped int64 (and runs \
+             natively under $(b,--native)), prod/min/max reduce in exact rationals.")
   in
   let faults =
     Arg.(
@@ -524,8 +666,8 @@ let exec_cmd =
          "Really execute a kernel's collapsed nest on OCaml domains (one recovery per chunk, §V \
           walk) and check the result against serial enumeration.")
     Term.(
-      const exec_run $ kernel_arg $ size $ threads $ schedule $ lanes $ repeat $ native $ faults
-      $ retries $ deadline_ms $ trace_arg $ stats_arg)
+      const exec_run $ kernel_arg $ size $ threads $ schedule $ lanes $ repeat $ native $ reduce
+      $ faults $ retries $ deadline_ms $ trace_arg $ stats_arg)
 
 (* ---- emit ---- *)
 

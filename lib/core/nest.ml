@@ -1,11 +1,30 @@
 module A = Polymath.Affine
+module P = Polymath.Polynomial
 module Q = Zmath.Rat
 
 type level = { var : string; lower : A.t; upper : A.t }
 
-type t = { params : string list; levels : level list }
+type red_op = Sum | Prod | Min | Max
 
-let make ~params levels =
+type reduction = { op : red_op; value : P.t }
+
+type t = { params : string list; levels : level list; reduce : reduction option }
+
+let op_to_string = function Sum -> "sum" | Prod -> "prod" | Min -> "min" | Max -> "max"
+
+let op_of_string = function
+  | "sum" | "+" -> Some Sum
+  | "prod" | "*" -> Some Prod
+  | "min" -> Some Min
+  | "max" -> Some Max
+  | _ -> None
+
+let op_apply op a b =
+  match op with Sum -> Q.add a b | Prod -> Q.mul a b | Min -> Q.min a b | Max -> Q.max a b
+
+let op_neutral = function Sum -> Some Q.zero | Prod -> Some Q.one | Min | Max -> None
+
+let make ~params ?reduce levels =
   let seen = Hashtbl.create 8 in
   List.iter (fun p -> Hashtbl.replace seen p ()) params;
   List.iter
@@ -27,14 +46,41 @@ let make ~params levels =
       Hashtbl.replace seen l.var ())
     levels;
   if levels = [] then invalid_arg "Nest.make: empty nest";
-  { params; levels }
+  (match reduce with
+  | None -> ()
+  | Some r ->
+    List.iter
+      (fun x ->
+        if not (Hashtbl.mem seen x) then
+          invalid_arg
+            (Printf.sprintf
+               "Nest.make: reduction value mentions %s which is not an iterator or parameter" x))
+      (P.vars r.value);
+    List.iter
+      (fun (c, _) ->
+        if not (Q.is_integer c) then
+          invalid_arg "Nest.make: reduction value must have integer coefficients")
+      (P.terms r.value));
+  { params; levels; reduce }
 
 let depth n = List.length n.levels
 let level_vars n = List.map (fun l -> l.var) n.levels
 
+let with_reduce n reduce = make ~params:n.params ?reduce n.levels
+
+(* a canonical integer-valued payload when a nest carries no declared
+   reduction clause: 1 + sum_k (k+1)*x_k, injective enough to make
+   schedule bugs visible and always >= 1 on non-negative domains (so
+   products stay informative) *)
+let default_reduce_value n =
+  List.fold_left P.add (P.const Q.one)
+    (List.mapi (fun k v -> P.scale (Q.of_int (k + 1)) (P.var v)) (level_vars n))
+
 let prefix n c =
   if c < 1 || c > depth n then invalid_arg "Nest.prefix";
-  { n with levels = List.filteri (fun i _ -> i < c) n.levels }
+  (* the reduction value may mention inner iterators being dropped;
+     the prefix drives counting machinery where the clause is moot *)
+  { n with levels = List.filteri (fun i _ -> i < c) n.levels; reduce = None }
 
 let to_count_levels n =
   List.map

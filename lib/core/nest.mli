@@ -16,13 +16,48 @@ type level = {
   upper : A.t;  (** exclusive upper bound, C-style [ik < upper] *)
 }
 
-type t = private { params : string list; levels : level list }
+(** A reduction clause carried by the nest: combine [value], evaluated
+    at every iteration point, with the associative operator [op]. The
+    value polynomial ranges over the nest's iterators and parameters
+    and must have integer coefficients, so per-point evaluation is
+    integer-exact: reductions over [Zmath.Rat] are bit-for-bit
+    schedule-independent, and the [Sum] case additionally admits a
+    wrapping native-int fast path (mod 2^63, matching the JIT's u64
+    accumulator truncated by [Val_long]). *)
+type red_op = Sum | Prod | Min | Max
 
-(** [make ~params levels] validates and builds a nest: level variables
-    must be distinct, disjoint from [params], and each bound may only
-    mention parameters and strictly-outer level variables.
+type reduction = { op : red_op; value : Polymath.Polynomial.t }
+
+type t = private { params : string list; levels : level list; reduce : reduction option }
+
+val op_to_string : red_op -> string
+
+(** [op_of_string s] accepts ["sum"|"+"|"prod"|"*"|"min"|"max"]. *)
+val op_of_string : string -> red_op option
+
+(** [op_apply op a b] combines exactly over rationals. *)
+val op_apply : red_op -> Zmath.Rat.t -> Zmath.Rat.t -> Zmath.Rat.t
+
+(** Neutral element, when the operator has one ([Min]/[Max] do not —
+    callers seed folds with the first value instead). *)
+val op_neutral : red_op -> Zmath.Rat.t option
+
+(** [make ~params ?reduce levels] validates and builds a nest: level
+    variables must be distinct, disjoint from [params], and each bound
+    may only mention parameters and strictly-outer level variables. A
+    reduction clause may only mention iterators and parameters and
+    must have integer coefficients.
     @raise Invalid_argument when the model is violated. *)
-val make : params:string list -> level list -> t
+val make : params:string list -> ?reduce:reduction -> level list -> t
+
+(** [with_reduce n r] is [n] with its reduction clause replaced
+    (revalidated). *)
+val with_reduce : t -> reduction option -> t
+
+(** [default_reduce_value n] is the canonical payload used when a
+    reduction is requested on a nest with no declared clause:
+    [1 + sum_k (k+1)*x_k]. *)
+val default_reduce_value : t -> Polymath.Polynomial.t
 
 val depth : t -> int
 
@@ -31,7 +66,8 @@ val level_vars : t -> string list
 
 (** [prefix n c] is the sub-nest of the [c] outermost loops (the loops
     being collapsed when [c < depth]); bounds of the remaining inner
-    loops are unaffected by collapsing.
+    loops are unaffected by collapsing. Any reduction clause is
+    dropped (its value may mention the discarded inner iterators).
     @raise Invalid_argument unless [1 <= c <= depth n]. *)
 val prefix : t -> int -> t
 

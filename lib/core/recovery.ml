@@ -116,10 +116,25 @@ let c_bigint_fallback = Obsv.Metrics.create "recovery.bigint_fallback"
 (* walks and block fills served by a native (.so) backend *)
 let c_jit_hits = Obsv.Metrics.create "jit.hit"
 
+type flat_lanes = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type native = {
   n_walk_hash : pc:int -> len:int -> int;
   n_recover : pc:int -> int array -> unit;
   n_fill_block : pc:int -> int array array -> int;
+  n_fill_flat : pc:int -> width:int -> flat_lanes -> int;
+  n_reduce_sum : pc:int -> len:int -> int;
+}
+
+(* compiled forms of a nest's reduction value polynomial: the same
+   safe/compiled/flat evaluation triple as the ranking, plus the
+   parameter-substituted polynomial itself for exact rational folds *)
+type reduce_comp = {
+  r_op : Nest.red_op;
+  r_poly : P.t;  (** parameter-substituted value, vars = level vars *)
+  cval : cpoly;
+  bval : bpoly;
+  hval : H.t;
 }
 
 type t = {
@@ -145,6 +160,8 @@ type t = {
   hup : H.t array;
   root_envs : (int array -> int -> string -> Complex.t) array;
       (** env builder for level k: takes idx prefix and pc *)
+  reduce : reduce_comp option;
+      (** compiled reduction clause, when the nest declares one *)
   native : native option;
       (** specialized [.so] backend, attached per-plan by the JIT tier *)
 }
@@ -217,6 +234,13 @@ let make ?(compiled = true) (inv : Inversion.t) ~param =
   Array.iter consider br_sub;
   Array.iter consider blo;
   Array.iter consider bup;
+  (* the reduction value is evaluated at every iteration point by the
+     same native-int pipelines, so it participates in the overflow
+     analysis on equal footing with the rankings and bounds *)
+  let breduce =
+    Option.map (fun (r : Nest.reduction) -> bpoly_of r.Nest.value) nest.Nest.reduce
+  in
+  Option.iter consider breduce;
   let headroom = B.mul (B.mul !worst !bmax) (B.pow (B.of_int 2) (!deg + 1)) in
   let safe = B.compare headroom (B.pow (B.of_int 2) 61) >= 0 in
   if safe && Obsv.Control.enabled () then Obsv.Metrics.incr_here c_bigint_fallback;
@@ -231,6 +255,17 @@ let make ?(compiled = true) (inv : Inversion.t) ~param =
   let hr_sub = Array.map horner_of inv.Inversion.r_sub in
   let hlo = Array.map (fun (l : Nest.level) -> horner_of (A.to_poly l.lower)) levels in
   let hup = Array.map (fun (l : Nest.level) -> horner_of (A.to_poly l.upper)) levels in
+  let reduce =
+    match (nest.Nest.reduce, breduce) with
+    | Some r, Some bval ->
+      Some
+        { r_op = r.Nest.op;
+          r_poly = fold_params r.Nest.value;
+          cval = cpoly_of r.Nest.value;
+          bval;
+          hval = horner_of r.Nest.value }
+    | _ -> None
+  in
   let root_envs =
     Array.init d (fun k idx pc x ->
         if x = pc_var then { Complex.re = float_of_int pc; im = 0.0 }
@@ -244,7 +279,7 @@ let make ?(compiled = true) (inv : Inversion.t) ~param =
         end)
   in
   { inv; d; param; trip; compiled; safe; crank; cr_sub; clo; cup; brank; br_sub; blo; bup;
-    hrank; hr_sub; hlo; hup; root_envs; native = None }
+    hrank; hr_sub; hlo; hup; root_envs; reduce; native = None }
 
 let depth t = t.d
 let trip_count t = t.trip
@@ -546,6 +581,85 @@ let walk_hash t ~pc ~len =
     | None -> walk_hash_interp t ~pc ~len
   end
 
+(* ---------------- reduction walks ---------------- *)
+
+let reduction t = t.inv.Inversion.nest.Nest.reduce
+
+let reduce_comp t =
+  match t.reduce with
+  | Some rc -> rc
+  | None -> invalid_arg "Recovery: nest carries no reduction clause"
+
+(* native-int evaluation of the clause value at one index point. The
+   clause grammar forces integer coefficients (no exact divisions), so
+   native-int wraparound commutes with every + and *: the result is
+   the exact value mod 2^63 — the same residue the JIT's u64
+   accumulator yields after [Val_long] truncation. *)
+let reduce_value_int t idx =
+  let rc = reduce_comp t in
+  if t.safe then eval_bpoly rc.bval (fun s -> idx.(s))
+  else if t.compiled then H.eval rc.hval (fun s -> idx.(s))
+  else eval_cpoly rc.cval (fun s -> idx.(s))
+
+(* exact rational evaluation, for the {+, x, min, max} generic engine *)
+let reduce_rat_eval t rc =
+  let vars = Array.of_list (Nest.level_vars t.inv.Inversion.nest) in
+  fun idx ->
+    P.eval
+      (fun x ->
+        let rec find j =
+          if j >= t.d then invalid_arg ("Recovery.reduce_value_rat: unbound variable " ^ x)
+          else if vars.(j) = x then Q.of_int idx.(j)
+          else find (j + 1)
+        in
+        find 0)
+      rc.r_poly
+
+let reduce_value_rat t idx = reduce_rat_eval t (reduce_comp t) idx
+
+let reduce_sum_interp t rc ~pc ~len =
+  let eval =
+    if t.safe then fun idx -> eval_bpoly rc.bval (fun s -> idx.(s))
+    else if t.compiled then fun idx -> H.eval rc.hval (fun s -> idx.(s))
+    else fun idx -> eval_cpoly rc.cval (fun s -> idx.(s))
+  in
+  let acc = ref 0 in
+  walk_from t (recover_guarded t pc) ~len (fun idx -> acc := !acc + eval idx);
+  !acc
+
+let walk_reduce_sum t ~pc ~len =
+  let rc = reduce_comp t in
+  if rc.r_op <> Nest.Sum then invalid_arg "Recovery.walk_reduce_sum: clause is not a sum";
+  if len <= 0 then 0
+  else begin
+    let obsv = Obsv.Control.enabled () in
+    if obsv then begin
+      Obsv.Metrics.incr_here c_walks;
+      Obsv.Metrics.add_here c_iterations len;
+      if t.safe then Obsv.Metrics.incr_here c_bigint_fallback
+    end;
+    match t.native with
+    | Some nat ->
+      if obsv then Obsv.Metrics.incr_here c_jit_hits;
+      nat.n_reduce_sum ~pc ~len
+    | None -> reduce_sum_interp t rc ~pc ~len
+  end
+
+let walk_reduce_rat t ~pc ~len =
+  let rc = reduce_comp t in
+  if len <= 0 then invalid_arg "Recovery.walk_reduce_rat: empty chunk";
+  let eval = reduce_rat_eval t rc in
+  let acc = ref Q.zero and seeded = ref false in
+  walk t ~pc ~len (fun idx ->
+      let v = eval idx in
+      if !seeded then acc := Nest.op_apply rc.r_op !acc v
+      else begin
+        acc := v;
+        seeded := true
+      end);
+  if not !seeded then invalid_arg "Recovery.walk_reduce_rat: pc outside the iteration space";
+  !acc
+
 (* ---------------- batched lane-walk (§VI-A) ---------------- *)
 
 (* drive [f] over [len] iterations starting from the recovered [idx],
@@ -637,22 +751,52 @@ let make_lanes t vlength = Array.init t.d (fun _ -> Array.make vlength 0)
    iteration space ended. *)
 let native_batch_windows = 64
 
+(* Per-domain scratch for the batched window buffer. Recovery values
+   are immutable and shared across worker domains, so the scratch is
+   keyed to the domain, not the plan: each worker reuses one buffer
+   across every chunk of a parallel region instead of allocating
+   [windows * vlength] words per chunk (the allocation used to cancel
+   out the native fill's advantage — the lane-block path benched at
+   parity with the interpreter). The buffer is *taken* for the
+   duration of the walk (the key is emptied, then restored), so a lane
+   callback that reenters a native lane walk on the same domain gets a
+   fresh buffer instead of clobbering the batch being sliced. *)
+let empty_flat : flat_lanes = Bigarray.Array1.create Bigarray.int Bigarray.c_layout 0
+
+let native_scratch : flat_lanes Domain.DLS.key = Domain.DLS.new_key (fun () -> empty_flat)
+
+let acquire_scratch ~size =
+  let big = Domain.DLS.get native_scratch in
+  if Bigarray.Array1.dim big >= size then begin
+    Domain.DLS.set native_scratch empty_flat;
+    big
+  end
+  else Bigarray.Array1.create Bigarray.int Bigarray.c_layout size
+
 let walk_lanes_native nat ~pc ~len ~vlength ~lanes f =
   let d = Array.length lanes in
   let windows = min native_batch_windows (1 + ((len - 1) / vlength)) in
   let width = windows * vlength in
-  let big = Array.init d (fun _ -> Array.make width 0) in
+  let big = acquire_scratch ~size:(d * width) in
   let base = ref pc and remaining = ref len and alive = ref true in
   while !remaining > 0 && !alive do
-    let filled = nat.n_fill_block ~pc:!base big in
+    let filled = nat.n_fill_flat ~pc:!base ~width big in
     if filled = 0 then alive := false
     else begin
       let avail = min filled !remaining in
       let off = ref 0 in
       while !off < avail do
         let count = min vlength (avail - !off) in
+        (* windows are a handful of words per level: a manual copy of
+           untagged bigarray words beats both [Array.blit]'s
+           out-of-line C call and the boxing a value-array staging
+           buffer would pay *)
         for k = 0 to d - 1 do
-          Array.blit big.(k) !off lanes.(k) 0 count
+          let dst = lanes.(k) in
+          let row = (k * width) + !off in
+          for l = 0 to count - 1 do
+            Array.unsafe_set dst l (Bigarray.Array1.unsafe_get big (row + l))
+          done
         done;
         f ~base:(!base + !off) ~count lanes;
         off := !off + count
@@ -661,7 +805,10 @@ let walk_lanes_native nat ~pc ~len ~vlength ~lanes f =
       remaining := !remaining - avail;
       if filled < width then alive := false
     end
-  done
+  done;
+  (* cache the buffer for the domain's next chunk (not restored when a
+     callback raised — the next walk then simply allocates afresh) *)
+  Domain.DLS.set native_scratch big
 
 let walk_lanes_uninstrumented t ~pc ~len ~vlength f =
   if vlength <= 0 then invalid_arg "Recovery.walk_lanes: vlength must be positive";

@@ -45,13 +45,25 @@ type t
     {!walk_hash} in one call; [n_recover ~pc idx] writes the recovered
     indices of rank [pc] into [idx]; [n_fill_block ~pc lanes] is the
     one-block SoA fill of {!recover_block} (returns lanes filled, 0
-    when [pc] is outside the space). All three must agree bit-for-bit
-    with the interpreted implementations — the QCheck oracle checks
-    this on random nests. *)
+    when [pc] is outside the space); [n_reduce_sum ~pc ~len] is the
+    whole int64 sum reduction of {!walk_reduce_sum} in one call (the
+    shared object always exports the symbol — it returns 0 when the
+    plan's nest carries no clause, and is only routed to when it
+    does). All four must agree bit-for-bit with the interpreted
+    implementations — the QCheck oracle checks this on random nests. *)
+type flat_lanes = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Row-major off-heap lane buffer: level [k]'s value for the [l]-th
+    rank of a fill at stride [width] lives at [k * width + l]. The
+    native fill writes it directly from C — untagged words, no staging
+    copy — which is what makes the batched lane walk beat the
+    interpreted incremental fill. *)
+
 type native = {
   n_walk_hash : pc:int -> len:int -> int;
   n_recover : pc:int -> int array -> unit;
   n_fill_block : pc:int -> int array array -> int;
+  n_fill_flat : pc:int -> width:int -> flat_lanes -> int;
+  n_reduce_sum : pc:int -> len:int -> int;
 }
 
 (** [attach_native t nat] returns a recovery that routes {!walk_hash},
@@ -175,6 +187,45 @@ val walk_hash : t -> pc:int -> len:int -> int
 (** [walk_hash_uninstrumented] is {!walk_hash} minus the observability
     check, as {!walk_uninstrumented} is to {!walk}. *)
 val walk_hash_uninstrumented : t -> pc:int -> len:int -> int
+
+(** {2 Reduction walks}
+
+    Available when the nest declares a reduction clause
+    ({!Nest.reduction}); every entry point raises [Invalid_argument]
+    otherwise. *)
+
+(** [reduction t] is the nest's clause, if any. *)
+val reduction : t -> Nest.reduction option
+
+(** [reduce_value_int t idx] evaluates the clause value at one index
+    point in native-int arithmetic. The clause grammar forces integer
+    coefficients, so wraparound commutes with every operation: the
+    result is the exact value mod 2^63 — the same residue the JIT's
+    u64 accumulator yields after [Val_long] truncation, which is what
+    makes {!walk_reduce_sum} bit-identical across the interpreted and
+    native backends even past overflow. *)
+val reduce_value_int : t -> int array -> int
+
+(** [reduce_value_rat t idx] evaluates the clause value exactly over
+    rationals — the per-point payload of the generic
+    {+, x, min, max} engine and of serial reference folds. *)
+val reduce_value_rat : t -> int array -> Zmath.Rat.t
+
+(** [walk_reduce_sum t ~pc ~len] is the int64 sum reduction over the
+    chunk: one recovery at rank [pc], then the wrapping native-int sum
+    of {!reduce_value_int} over the next [len] iterations (0 when
+    [len <= 0]). With a native backend attached the whole chunk runs
+    in the specialized [.so] ([jit.hit]).
+    @raise Invalid_argument when the clause is not a [Sum]. *)
+val walk_reduce_sum : t -> pc:int -> len:int -> int
+
+(** [walk_reduce_rat t ~pc ~len] folds the clause's operator over the
+    exact rational values of the next [len] iterations, seeded with
+    the first value (so it serves min/max, which have no neutral
+    element). Equals the serial left fold over the same range exactly.
+    @raise Invalid_argument when [len <= 0] or [pc] lies outside the
+    iteration space. *)
+val walk_reduce_rat : t -> pc:int -> len:int -> Zmath.Rat.t
 
 (** [walk_uninstrumented] is {!walk} with the observability check
     compiled out of the call — the reference the overhead micro-bench

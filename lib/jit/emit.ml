@@ -250,6 +250,71 @@ let source (inv : Trahrhe.Inversion.t) ~fingerprint =
                    C.If { cond = "omp_rem <= 0"; then_ = [ C.Raw "break;" ]; else_ = [] } ]
                @ carry ~after_exhausted:[] } ]
       @ [ C.Raw "return omp_acc;" ]);
+    (* reduction value and the native int64 sum walk: always exported —
+       the dlopen shim resolves every symbol — evaluating the clause's
+       value polynomial (constant 0 when the plan carries no clause) at
+       each recovered iteration, with the same u64 wraparound as the
+       checksum walk so the truncated result matches the interpreted
+       native-int accumulation bit for bit *)
+    let rvalue =
+      match nest.N.reduce with
+      | Some r -> r.N.value
+      | None -> P.const Zmath.Rat.zero
+    in
+    poly_fn buf ctx ~name:"omp_val"
+      ~probe:(lvars.(d - 1), "omp_iv")
+      ~avail:(d - 1)
+      ~extra_args:(Printf.sprintf ", %s omp_iv" i64)
+      rvalue;
+    fn buf ~ret:u64 ~name:"ompsim_reduce_sum"
+      ~args:(Printf.sprintf "const %s *omp_P, %s omp_pc, %s omp_len" i64 i64 i64)
+      ([ C.Decl { ty = i64; name = Printf.sprintf "omp_x[%d]" d; init = None };
+         C.Decl { ty = i64; name = Printf.sprintf "omp_lo[%d]" d; init = None };
+         C.Decl { ty = i64; name = Printf.sprintf "omp_hi[%d]" d; init = None };
+         C.Decl { ty = u64; name = "omp_acc"; init = Some "0" };
+         C.Decl { ty = i64; name = "omp_rem"; init = None };
+         C.Decl { ty = i64; name = "omp_trip"; init = Some "ompsim_trip(omp_P)" };
+         C.If
+           { cond = "omp_len <= 0 || omp_pc < 1 || omp_pc > omp_trip";
+             then_ = [ C.Raw "return 0;" ];
+             else_ = [] };
+         C.If
+           { cond = "omp_len > omp_trip - omp_pc + 1";
+             then_ = [ C.Assign ("omp_len", "omp_trip - omp_pc + 1") ];
+             else_ = [] };
+         C.Raw "ompsim_recover(omp_P, omp_pc, omp_x);";
+         rebound_all;
+         C.Assign ("omp_rem", "omp_len");
+         C.For
+           { init = "";
+             cond = "";
+             step = "";
+             body =
+               [ C.Decl
+                   { ty = i64;
+                     name = "omp_run";
+                     init = Some (Printf.sprintf "omp_hi[%d] - omp_x[%d]" (d - 1) (d - 1)) };
+                 C.If
+                   { cond = "omp_run > omp_rem";
+                     then_ = [ C.Assign ("omp_run", "omp_rem") ];
+                     else_ = [] };
+                 C.Decl
+                   { ty = i64;
+                     name = "omp_v0";
+                     init = Some (Printf.sprintf "omp_x[%d]" (d - 1)) };
+                 C.For
+                   { init = Printf.sprintf "%s omp_r = 0" i64;
+                     cond = "omp_r < omp_run";
+                     step = "omp_r++";
+                     body =
+                       [ C.Raw
+                           (Printf.sprintf "omp_acc += (%s)omp_val(omp_P, omp_x, omp_v0 + omp_r);"
+                              u64)
+                       ] };
+                 C.Raw "omp_rem -= omp_run;";
+                 C.If { cond = "omp_rem <= 0"; then_ = [ C.Raw "break;" ]; else_ = [] } ]
+               @ carry ~after_exhausted:[] } ]
+      @ [ C.Raw "return omp_acc;" ]);
     (* one-block SoA lane fill (row-major buffer, one row per level) *)
     fn buf ~ret:i64 ~name:"ompsim_block"
       ~args:

@@ -18,6 +18,7 @@
 
 #include <caml/mlvalues.h>
 #include <caml/alloc.h>
+#include <caml/bigarray.h>
 #include <caml/memory.h>
 #include <caml/fail.h>
 #include <caml/signals.h>
@@ -34,6 +35,7 @@ typedef struct {
   int64_t (*trip)(const int64_t *);
   void (*recover)(const int64_t *, int64_t, int64_t *);
   uint64_t (*walk_hash)(const int64_t *, int64_t, int64_t);
+  uint64_t (*reduce_sum)(const int64_t *, int64_t, int64_t);
   int64_t (*block)(const int64_t *, int64_t, int64_t, int64_t *);
 } jit_handle;
 
@@ -70,10 +72,13 @@ CAMLprim value ompsim_jit_open(value vpath)
   h->recover = (void (*)(const int64_t *, int64_t, int64_t *))dlsym(dl, "ompsim_recover");
   h->walk_hash =
     (uint64_t (*)(const int64_t *, int64_t, int64_t))dlsym(dl, "ompsim_walk_hash");
+  h->reduce_sum =
+    (uint64_t (*)(const int64_t *, int64_t, int64_t))dlsym(dl, "ompsim_reduce_sum");
   h->block =
     (int64_t (*)(const int64_t *, int64_t, int64_t, int64_t *))dlsym(dl, "ompsim_block");
   if (h->abi == NULL || h->fingerprint == NULL || h->depth == NULL || h->nparams == NULL
-      || h->trip == NULL || h->recover == NULL || h->walk_hash == NULL || h->block == NULL) {
+      || h->trip == NULL || h->recover == NULL || h->walk_hash == NULL
+      || h->reduce_sum == NULL || h->block == NULL) {
     dlclose(dl);
     free(h);
     caml_failwith("ompsim jit: missing symbol in shared object");
@@ -146,6 +151,22 @@ CAMLprim value ompsim_jit_walk_hash(value vh, value vp, value vpc, value vlen)
   return Val_long((intnat)acc);
 }
 
+CAMLprim value ompsim_jit_reduce_sum(value vh, value vp, value vpc, value vlen)
+{
+  jit_handle *h = get_handle(vh);
+  int64_t P[OMPSIM_JIT_MAX_PARAMS];
+  int64_t pc = (int64_t)Long_val(vpc);
+  int64_t len = (int64_t)Long_val(vlen);
+  uint64_t acc;
+  copy_params(vp, P);
+  caml_enter_blocking_section();
+  acc = h->reduce_sum(P, pc, len);
+  caml_leave_blocking_section();
+  /* same 63-bit truncation as the walk: the interpreted reduction
+     accumulates in native ints, so the wrapped values agree exactly */
+  return Val_long((intnat)acc);
+}
+
 CAMLprim value ompsim_jit_recover(value vh, value vp, value vpc, value vidx)
 {
   jit_handle *h = get_handle(vh);
@@ -187,5 +208,29 @@ CAMLprim value ompsim_jit_block(value vh, value vp, value vpc, value vlanes)
     for (l = 0; l < n; l++) Field(row, l) = Val_long((intnat)buf[k * width + l]);
   }
   free(buf);
+  return Val_long(n);
+}
+
+/* Flat variant for the batched lane walk: the .so's ompsim_block
+ * already writes a row-major int64 buffer, and an int-kind Bigarray
+ * stores untagged intnat words — on 64-bit those layouts coincide, so
+ * the generated code can fill the caller's buffer directly with no
+ * staging malloc and no per-element boxing. Bigarray data is
+ * off-heap, so handing the pointer to C is safe without pinning. */
+CAMLprim value ompsim_jit_block_flat(value vh, value vp, value vpc, value vwidth, value vba)
+{
+  jit_handle *h = get_handle(vh);
+  int64_t P[OMPSIM_JIT_MAX_PARAMS];
+  intnat width = Long_val(vwidth);
+  intnat n;
+  int d;
+  copy_params(vp, P);
+  d = (int)h->depth();
+  if (d < 1 || width <= 0 || Caml_ba_array_val(vba)->num_dims != 1
+      || Caml_ba_array_val(vba)->dim[0] < (intnat)d * width)
+    caml_invalid_argument("ompsim jit: flat lanes buffer too small");
+  n = (intnat)h->block(P, (int64_t)Long_val(vpc), (int64_t)width,
+                       (int64_t *)Caml_ba_data_val(vba));
+  if (n < 0 || n > width) n = 0; /* defensive, as above */
   return Val_long(n);
 }

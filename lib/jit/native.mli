@@ -35,6 +35,14 @@ val trip : handle -> int array -> int
     outside it). Runs with the OCaml runtime lock released. *)
 val walk_hash : handle -> int array -> pc:int -> len:int -> int
 
+(** [reduce_sum h ps ~pc ~len] is the native int64 sum reduction over
+    the chunk \[[pc], [pc+len-1]\]: one in-object recovery, then the
+    clause's value polynomial accumulated with u64 wraparound (0 when
+    [pc] is outside the space, or when the plan carries no reduction
+    clause — the symbol is always exported). Runs with the OCaml
+    runtime lock released. *)
+val reduce_sum : handle -> int array -> pc:int -> len:int -> int
+
 (** [recover h ps ~pc idx] writes the recovered indices of rank [pc]
     into [idx] (length >= depth).
     @raise Invalid_argument on an undersized buffer. *)
@@ -45,3 +53,17 @@ val recover : handle -> int array -> pc:int -> int array -> unit
     {!Trahrhe.Recovery.recover_block}.
     @raise Invalid_argument on a misshapen buffer. *)
 val fill_block : handle -> int array -> pc:int -> int array array -> int
+
+(** A flat row-major lane buffer: level [k]'s value for the [l]-th rank
+    of a fill at stride [width] lives at index [k * width + l]. An
+    int-kind Bigarray stores untagged machine words off-heap, so the
+    specialized C fills it directly — no staging copy, no boxing. *)
+type flat = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** [fill_block_flat h ps ~pc ~width buf] fills up to [width]
+    consecutive ranks from [pc] into [buf] at stride [width], one row
+    per nest level; returns ranks filled (0 when [pc] is outside the
+    space).
+    @raise Invalid_argument when [width <= 0] or [buf] is shorter than
+    [depth * width]. *)
+val fill_block_flat : handle -> int array -> pc:int -> width:int -> flat -> int

@@ -9,7 +9,9 @@ let kernels =
     Shapes2.dynprog;
     Shapes2.fdtd_skewed;
     Triangular.utma;
-    Triangular.ltmp ]
+    Triangular.ltmp;
+    Reduce.correlation_reduce;
+    Reduce.covariance_reduce ]
 
 let find name = List.find_opt (fun (k : Kernel.t) -> k.name = name) kernels
 let names = List.map (fun (k : Kernel.t) -> k.name) kernels

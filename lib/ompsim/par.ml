@@ -124,6 +124,84 @@ let run_work_stealing ~nthreads ~chunk ~n ~obsv ~stop f =
   (* all workers have joined: the deques are quiescent and empty *)
   Atomic.set ws_deque_cache deques
 
+(* divide-and-conquer execution: instead of dealing a precomputed
+   chunk list, workers recursively halve the collapsed interval down
+   to [grain] iterations, pushing split-tree node ids (see
+   [Schedule.dnc_interval]) through the same Chase-Lev deques the ws
+   schedule uses. An owner pops depth-first (small, cache-near
+   subranges); a thief steals the top — the largest untouched subtree
+   — so load balancing is automatic on skewed non-rectangular ranges.
+   The split tree depends only on (n, grain), so the executed chunk
+   partition is deterministic regardless of timing. Termination is an
+   atomic count of live tree nodes: a split nets +1 (one node becomes
+   two), resolving a node nets -1; zero pending with an empty sweep
+   means the whole tree is accounted for. Tree depth is at most
+   [log2 n + 1 <= 63], so capacity 128 deques can never overfill (a
+   worker drains its own deque before stealing, and a stolen subtree's
+   descent starts from an empty private run). *)
+let run_dnc ~nthreads ~grain ~n ~obsv ~stop f =
+  if grain <= 0 then invalid_arg "Par: dnc grain";
+  if n > 0 then begin
+    let deques = Array.init nthreads (fun _ -> Deque.create ~capacity:128 ~dummy:0) in
+    let pending = Atomic.make 1 in
+    Deque.push deques.(0) 1;
+    run_workers ~nthreads (fun t ->
+        let my = deques.(t) in
+        let resolve () = ignore (Atomic.fetch_and_add pending (-1)) in
+        (* a cancelled region keeps popping without splitting or
+           executing: resolving a node un-pends its entire subtree
+           (children were never pushed), so siblings drain fast and
+           unexecuted ranges surface as coverage gaps for the
+           resilient caller *)
+        let exec_node id =
+          if stop () then resolve ()
+          else begin
+            let start, len = Schedule.dnc_interval ~n id in
+            if len <= grain then begin
+              if obsv then Obsv.Metrics.incr Stats.dnc_grain_chunks ~slot:t;
+              (match f ~thread:t ~start ~len with
+              | () -> ()
+              | exception e ->
+                (* keep the pending count exact so sibling workers can
+                   still reach quiescence and the join can re-raise *)
+                resolve ();
+                raise e);
+              resolve ()
+            end
+            else begin
+              if obsv then Obsv.Metrics.incr Stats.dnc_splits ~slot:t;
+              ignore (Atomic.fetch_and_add pending 1);
+              Deque.push my ((2 * id) + 1);
+              Deque.push my (2 * id)
+            end
+          end
+        in
+        let continue = ref true in
+        while !continue do
+          match Deque.pop my with
+          | Some id -> exec_node id
+          | None ->
+            if Atomic.get pending = 0 then continue := false
+            else begin
+              let progressed = ref false and contended = ref false in
+              for i = 1 to nthreads - 1 do
+                if not !progressed then
+                  match Deque.steal deques.((t + i) mod nthreads) with
+                  | Deque.Stolen id ->
+                    if obsv then Obsv.Metrics.incr Stats.ws_steals ~slot:t;
+                    progressed := true;
+                    exec_node id
+                  | Deque.Retry ->
+                    if obsv then Obsv.Metrics.incr Stats.ws_steal_retries ~slot:t;
+                    contended := true
+                  | Deque.Empty -> ()
+              done;
+              if (not (!progressed || !contended)) && Atomic.get pending <> 0 then
+                Domain.cpu_relax ()
+            end
+        done)
+  end
+
 (* schedule dispatch, shared by the plain and the resilient paths.
    [stop] is the cooperative cancellation token, polled at chunk-claim
    granularity on every schedule — once it reads true, no further
@@ -177,6 +255,7 @@ let run_schedule ~stop ~nthreads ~schedule ~n ~obsv f =
   | Schedule.Work_stealing c ->
     if c <= 0 then invalid_arg "Par: work-stealing chunk";
     run_work_stealing ~nthreads ~chunk:c ~n ~obsv ~stop f
+  | Schedule.Dnc g -> run_dnc ~nthreads ~grain:g ~n ~obsv ~stop f
 
 let never_stop () = false
 
@@ -433,3 +512,71 @@ let run_resilient ?(retries = 0) ?deadline_ms ?faults ~nthreads ~schedule ~n f =
           unrecovered = List.rev !leftover }
   end
   end
+
+(* ---------------------- parallel reductions ---------------------- *)
+
+(* Partial accumulators live in per-worker cells padded 16 slots apart
+   (one writer per cell, no locks, no false sharing on the hot path).
+   After the join the partials are sorted by chunk start — a total
+   order determined by the schedule's chunk partition, never by worker
+   arrival — and folded by a binary combine tree over ADJACENT
+   positions. The bracketing therefore depends only on the partial
+   count, so the result is bit-for-bit schedule-independent whenever
+   [combine] is associative, and equals the serial left fold exactly. *)
+let rd_stride = 16
+
+let combine_partials ~obsv ~nthreads ~combine cells =
+  let all = ref [] in
+  for t = nthreads - 1 downto 0 do
+    all := List.rev_append cells.(t * rd_stride) !all
+  done;
+  match List.sort (fun ((a : int), _) (b, _) -> compare a b) !all with
+  | [] -> None
+  | parts ->
+    let arr = Array.of_list (List.map snd parts) in
+    let fold () =
+      let len = ref (Array.length arr) in
+      while !len > 1 do
+        let half = !len / 2 in
+        for i = 0 to half - 1 do
+          arr.(i) <- combine arr.(2 * i) arr.((2 * i) + 1);
+          if obsv then Obsv.Metrics.incr Stats.reduce_combines ~slot:0
+        done;
+        if !len land 1 = 1 then arr.(half) <- arr.(!len - 1);
+        len := half + (!len land 1)
+      done;
+      arr.(0)
+    in
+    Some
+      (if obsv then
+         Obsv.Trace.with_span "par.reduce.combine"
+           ~args:[ ("partials", Obsv.Trace.Int (Array.length arr)) ]
+           fold
+       else fold ())
+
+let reduce_body ~obsv cells f ~thread ~start ~len =
+  let v = f ~thread ~start ~len in
+  let cell = thread * rd_stride in
+  cells.(cell) <- (start, v) :: cells.(cell);
+  if obsv then Obsv.Metrics.incr Stats.reduce_partials ~slot:thread
+
+let reduce_chunks ~nthreads ~schedule ~n ~combine f =
+  if nthreads <= 0 then invalid_arg "Par.reduce_chunks";
+  let obsv = Obsv.Control.enabled () in
+  let cells = Array.make (nthreads * rd_stride) [] in
+  parallel_for_chunks ~nthreads ~schedule ~n (reduce_body ~obsv cells f);
+  combine_partials ~obsv ~nthreads ~combine cells
+
+let reduce_resilient ?retries ?deadline_ms ?faults ~nthreads ~schedule ~n ~combine f =
+  if nthreads <= 0 then invalid_arg "Par.reduce_resilient";
+  let obsv = Obsv.Control.enabled () in
+  let cells = Array.make (nthreads * rd_stride) [] in
+  (* the partial cons sits AFTER the chunk body, and synthetic faults
+     fire BEFORE it: a failed attempt contributes nothing, a retried
+     chunk contributes exactly once, and the serial fallback's merged
+     gap ranges contribute partials keyed by their own starts — a
+     different partition of [0,n), but the same fold for any
+     associative [combine] *)
+  match run_resilient ?retries ?deadline_ms ?faults ~nthreads ~schedule ~n (reduce_body ~obsv cells f) with
+  | Ok () -> Ok (combine_partials ~obsv ~nthreads ~combine cells)
+  | Error e -> Error e

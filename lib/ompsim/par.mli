@@ -26,7 +26,17 @@
     observability layer on, local pops and steals are counted per slot
     in {!Stats.ws_local_pops} / {!Stats.ws_steals} (their total equals
     the region's chunk count exactly) and each worker's steal phase
-    gets a [par.ws.steal] trace span. *)
+    gets a [par.ws.steal] trace span.
+
+    [Schedule.Dnc g] runs the divide-and-conquer splitter: workers
+    recursively halve the collapsed interval down to [g] iterations
+    through the same deques (split-tree node ids instead of dealt
+    chunk indices), so thieves always steal the largest untouched
+    subtree. The leaf partition is [Schedule.dnc_leaves] exactly —
+    deterministic in [(n, g)] — and with observability on, splits and
+    executed leaves are counted in {!Stats.dnc_splits} /
+    {!Stats.dnc_grain_chunks} (steals still bill to
+    {!Stats.ws_steals}). *)
 
 (** [Pool] (default): dispatch to the persistent domain pool.
     [Spawn]: spawn and join fresh domains per parallel region. *)
@@ -133,3 +143,48 @@ val run_resilient :
   n:int ->
   (thread:int -> start:int -> len:int -> unit) ->
   (unit, region_error) result
+
+(** {2 Parallel reductions}
+
+    A reduction region hands out chunks like {!parallel_for_chunks},
+    but each chunk returns a partial value instead of writing shared
+    state. Partials accumulate in per-worker cells padded one cache
+    line apart — no sharing, no locks on the hot path
+    ({!Stats.reduce_partials}). After the join they are sorted by
+    chunk start and folded by a deterministic binary combine tree over
+    adjacent positions ({!Stats.reduce_combines}, [par.reduce.combine]
+    span): the bracketing is keyed by chunk position in the collapsed
+    range, never by worker arrival order, so for an associative
+    [combine] the result is bit-for-bit identical across schedules,
+    backends, worker counts and fault/retry histories — exactly equal
+    to the serial left fold over the chunk partials. *)
+
+(** [reduce_chunks ~nthreads ~schedule ~n ~combine f] reduces
+    [f ~thread ~start ~len] over the chunk partition of [0..n-1].
+    [None] only when [n <= 0] (no chunks, and reduction operators
+    need not have a neutral element — min/max).
+    @raise Invalid_argument when [nthreads <= 0]. *)
+val reduce_chunks :
+  nthreads:int ->
+  schedule:Schedule.t ->
+  n:int ->
+  combine:('a -> 'a -> 'a) ->
+  (thread:int -> start:int -> len:int -> 'a) ->
+  'a option
+
+(** [reduce_resilient] is {!reduce_chunks} under {!run_resilient}'s
+    supervision: a failed chunk attempt contributes no partial, a
+    retried chunk contributes exactly once, and serial-fallback ranges
+    contribute partials keyed by their own starts — a coarser
+    partition of [0,n), but the identical fold for any associative
+    [combine]. [Error] carries the structured region failure. *)
+val reduce_resilient :
+  ?retries:int ->
+  ?deadline_ms:int ->
+  ?faults:Fault.t option ->
+  nthreads:int ->
+  schedule:Schedule.t ->
+  n:int ->
+  combine:('a -> 'a -> 'a) ->
+  (thread:int -> start:int -> len:int -> 'a) ->
+  ('a option, region_error) result

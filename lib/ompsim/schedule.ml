@@ -4,6 +4,7 @@ type t =
   | Dynamic of int
   | Guided of int
   | Work_stealing of int
+  | Dnc of int
 
 let to_string = function
   | Static -> "static"
@@ -14,6 +15,8 @@ let to_string = function
   | Guided c -> Printf.sprintf "guided, %d" c
   | Work_stealing 1 -> "ws"
   | Work_stealing c -> Printf.sprintf "ws, %d" c
+  | Dnc 1 -> "dnc"
+  | Dnc g -> Printf.sprintf "dnc, %d" g
 
 (* strict chunk parser: decimal digits only, positive, no overflow.
    [int_of_string] would also accept "0x10", "0o17", "1_000" and "+4" —
@@ -71,9 +74,11 @@ let of_string s =
   | "dynamic" -> with_chunk ~default:1 (fun c -> Dynamic c)
   | "guided" -> with_chunk ~default:1 (fun c -> Guided c)
   | "ws" | "work-stealing" | "work_stealing" -> with_chunk ~default:1 (fun c -> Work_stealing c)
+  | "dnc" | "divide-and-conquer" | "divide_and_conquer" -> with_chunk ~default:1 (fun g -> Dnc g)
   | _ ->
     Error
-      (Printf.sprintf "unknown schedule %S (expected static[:N] | dynamic[:N] | guided[:N] | ws[:N])"
+      (Printf.sprintf
+         "unknown schedule %S (expected static[:N] | dynamic[:N] | guided[:N] | ws[:N] | dnc[:G])"
          s)
 
 let static_blocks ~nthreads ~n =
@@ -103,3 +108,37 @@ let round_robin_chunks ~chunk ~nthreads ~n =
 
 let next_guided ~chunk ~nthreads ~remaining =
   max (min chunk remaining) (min remaining ((remaining + (2 * nthreads) - 1) / (2 * nthreads)))
+
+(* Divide-and-conquer splitting tree over [0, n): node 1 covers the
+   whole interval; node [2k] is the left half (length floor(len/2)),
+   node [2k+1] the right. A node splits while [len > grain]. The tree
+   shape depends only on (n, grain) — never on worker count or arrival
+   order — so the leaf partition is deterministic and the dnc.*
+   counters reconcile exactly against [dnc_leaves]. *)
+let dnc_interval ~n id =
+  if id < 1 || n < 0 then invalid_arg "Schedule.dnc_interval";
+  let bits = ref 0 in
+  while id lsr !bits > 1 do
+    incr bits
+  done;
+  let s = ref 0 and l = ref n in
+  for i = !bits - 1 downto 0 do
+    let half = !l / 2 in
+    if (id lsr i) land 1 = 0 then l := half
+    else begin
+      s := !s + half;
+      l := !l - half
+    end
+  done;
+  (!s, !l)
+
+let dnc_leaves ~grain ~n =
+  if grain <= 0 then invalid_arg "Schedule.dnc_leaves";
+  let rec go start len acc =
+    if len <= grain then (start, len) :: acc
+    else begin
+      let half = len / 2 in
+      go start half (go (start + half) (len - half) acc)
+    end
+  in
+  if n <= 0 then [] else go 0 n []

@@ -11,7 +11,17 @@
     the initial distribution equals [Static_chunk c], but an idle
     worker steals chunks from the top of a busy worker's deque instead
     of serializing on a central queue — dynamic-style load balancing
-    with no shared dispatch point on the hot path. *)
+    with no shared dispatch point on the hot path.
+
+    [Dnc g] (also not an OpenMP clause) replaces static chunk dealing
+    with divide-and-conquer splitting: the collapsed interval is
+    recursively halved down to a grain of [g] iterations, and the
+    split tree's nodes flow through the same Chase–Lev deques — owners
+    pop small nearby subranges depth-first while thieves steal the
+    largest untouched subtree. The split tree depends only on [(n, g)],
+    so the chunk partition is deterministic regardless of worker count
+    or timing — which skew-balances non-rectangular ranges without
+    making reduction results schedule-dependent. *)
 
 type t =
   | Static
@@ -19,6 +29,7 @@ type t =
   | Dynamic of int
   | Guided of int
   | Work_stealing of int
+  | Dnc of int
 
 (** [to_string s] is the clause text, e.g. ["static, 64"]; the
     work-stealing policy prints as ["ws"] / ["ws, 64"]. *)
@@ -27,8 +38,9 @@ val to_string : t -> string
 (** [of_string s] parses both {!to_string}'s output (["dynamic, 4"])
     and the CLI colon form (["dynamic:4"]); every schedule is
     reachable by name: [static[:N]], [dynamic[:N]], [guided[:N]],
-    [ws[:N]] (also spelled [work-stealing]). Chunk defaults to 1 for
-    dynamic/guided/ws, as in OpenMP. Round-trips:
+    [ws[:N]] (also spelled [work-stealing]), [dnc[:G]] (also spelled
+    [divide-and-conquer]). Chunk defaults to 1 for dynamic/guided/ws,
+    as in OpenMP, and the grain defaults to 1 for dnc. Round-trips:
     [of_string (to_string s) = Ok s].
 
     The chunk grammar is strict: decimal digits only. Zero, negative
@@ -52,3 +64,18 @@ val round_robin_chunks : chunk:int -> nthreads:int -> n:int -> (int * int) list 
 (** [next_guided ~chunk ~nthreads ~remaining] is the size of the next
     guided chunk. *)
 val next_guided : chunk:int -> nthreads:int -> remaining:int -> int
+
+(** [dnc_interval ~n id] is the [(start, len)] subinterval of [0, n)
+    covered by node [id] of the divide-and-conquer splitting tree:
+    node 1 is the whole interval, node [2k] the left half (length
+    [len/2] rounded down) of node [k], node [2k+1] the right half.
+    @raise Invalid_argument when [id < 1] or [n < 0]. *)
+val dnc_interval : n:int -> int -> int * int
+
+(** [dnc_leaves ~grain ~n] is the deterministic leaf partition of
+    [0, n) under [Dnc grain], in ascending start order: the chunks a
+    [Dnc] region executes, in left-to-right tree order. Splits
+    performed equal [List.length (dnc_leaves ~grain ~n) - 1] (one per
+    internal node) whenever [n > 0].
+    @raise Invalid_argument when [grain <= 0]. *)
+val dnc_leaves : grain:int -> n:int -> (int * int) list

@@ -144,6 +144,35 @@ let run ~costs ~schedule ~nthreads ~overheads:ov =
       total_work;
       chunks_dispatched = !dispatched;
       imbalance = (if total_work = 0.0 then 1.0 else makespan /. ideal) }
+  | Schedule.Dnc g ->
+    if g <= 0 then invalid_arg "Sim.run: dnc grain";
+    (* the divide-and-conquer leaves are a deterministic partition of
+       the range ([Schedule.dnc_leaves]); execution is steal-balanced
+       with no serialized dispatch point, so simulate like the
+       work-stealing engine: each leaf acquisition costs [dispatch] on
+       the acquiring thread only. Splitting work itself is folded into
+       the same per-leaf dispatch charge. *)
+    let heap = Heap.create nthreads in
+    for t = 0 to nthreads - 1 do
+      Heap.push heap 0.0 t
+    done;
+    let dispatched = ref 0 in
+    let finish_time = Array.make nthreads 0.0 in
+    List.iter
+      (fun (start, len) ->
+        let time, t = Heap.pop heap in
+        let done_at = time +. ov.dispatch +. chunk_cost prefix ov start len in
+        incr dispatched;
+        finish_time.(t) <- done_at;
+        Heap.push heap done_at t)
+      (Schedule.dnc_leaves ~grain:g ~n);
+    let makespan = ov.fork_join +. Array.fold_left Float.max 0.0 finish_time in
+    let ideal = ov.fork_join +. (total_work /. float_of_int nthreads) in
+    { makespan;
+      busy = finish_time;
+      total_work;
+      chunks_dispatched = !dispatched;
+      imbalance = (if total_work = 0.0 then 1.0 else makespan /. ideal) }
   | Schedule.Dynamic c | Schedule.Guided c ->
     if c <= 0 then invalid_arg "Sim.run: dynamic/guided chunk";
     (* Event simulation with a serialized work queue: acquiring a chunk

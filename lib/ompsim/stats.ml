@@ -12,6 +12,10 @@ let fault_stalls = Obsv.Metrics.create "faults.stalls"
 let chunk_retries = Obsv.Metrics.create "chunk.retries"
 let regions_cancelled = Obsv.Metrics.create "region.cancelled"
 let serial_fallbacks = Obsv.Metrics.create "fallback.serial"
+let reduce_partials = Obsv.Metrics.create "reduce.partials"
+let reduce_combines = Obsv.Metrics.create "reduce.combines"
+let dnc_splits = Obsv.Metrics.create "dnc.splits"
+let dnc_grain_chunks = Obsv.Metrics.create "dnc.grain_chunks"
 
 let reset () = Obsv.Metrics.reset_all ()
 let summary () = Obsv.Trace.summary ()
@@ -24,4 +28,5 @@ let emit_trace_counters () =
           Obsv.Trace.counter (Printf.sprintf "%s[worker %d]" (Obsv.Metrics.name c) slot) v)
         (Obsv.Metrics.per_slot c))
     [ par_chunks; par_iterations; pool_dispatches; ws_local_pops; ws_steals;
-      faults_injected; chunk_retries; serial_fallbacks ]
+      faults_injected; chunk_retries; serial_fallbacks; reduce_partials;
+      reduce_combines; dnc_splits; dnc_grain_chunks ]

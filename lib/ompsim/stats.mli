@@ -58,6 +58,26 @@ val serial_fallbacks : Obsv.Metrics.t
 (** uncovered ranges re-executed serially by {!Par.run_resilient}
     after the parallel phase (counted on slot 0) *)
 
+val reduce_partials : Obsv.Metrics.t
+(** per-chunk partial accumulators produced by a reduction region,
+    billed to the producing worker's slot; totals reconcile exactly
+    with the chunks the schedule dealt out *)
+
+val reduce_combines : Obsv.Metrics.t
+(** applications of the combine operator in the deterministic binary
+    combine tree (counted on slot 0, where the tree is folded); equals
+    [reduce_partials - 1] whenever at least one partial exists *)
+
+val dnc_splits : Obsv.Metrics.t
+(** divide-and-conquer nodes split in two (internal tree nodes),
+    billed to the splitting worker; equals [dnc_grain_chunks - 1] in
+    an uncancelled region *)
+
+val dnc_grain_chunks : Obsv.Metrics.t
+(** divide-and-conquer leaves executed (subranges at or below the
+    grain), billed to the executing worker; totals reconcile exactly
+    with [Schedule.dnc_leaves] *)
+
 (** [reset ()] zeroes every engine counter (the recovery counters of
     {!Trahrhe.Recovery} included, via the global registry). *)
 val reset : unit -> unit

@@ -115,18 +115,29 @@ let to_mode s =
   | "complex" -> Symx.Cemit.Complex
   | a -> fail "bad emission mode %s" a
 
+(* the reduction clause travels as an OPTIONAL third element, so every
+   plan encoded before reductions existed still decodes byte-for-byte *)
 let of_nest (n : Trahrhe.Nest.t) =
-  Sexp.List
+  let base =
     [ Sexp.List (List.map of_var n.Trahrhe.Nest.params);
       Sexp.List
         (List.map
            (fun (l : Trahrhe.Nest.level) ->
              Sexp.List [ of_var l.var; of_affine l.lower; of_affine l.upper ])
            n.Trahrhe.Nest.levels) ]
+  in
+  let reduce =
+    match n.Trahrhe.Nest.reduce with
+    | None -> []
+    | Some r ->
+      [ Sexp.List
+          [ Sexp.Atom (Trahrhe.Nest.op_to_string r.Trahrhe.Nest.op);
+            of_poly r.Trahrhe.Nest.value ] ]
+  in
+  Sexp.List (base @ reduce)
 
 let to_nest s =
-  match list s with
-  | [ params; levels ] ->
+  let build params levels reduce =
     let params = List.map atom (list params) in
     let levels =
       List.map
@@ -137,8 +148,22 @@ let to_nest s =
           | _ -> fail "bad nest level")
         (list levels)
     in
-    (try Trahrhe.Nest.make ~params levels
-     with Invalid_argument e -> fail "invalid nest: %s" e)
+    try Trahrhe.Nest.make ~params ?reduce levels
+    with Invalid_argument e -> fail "invalid nest: %s" e
+  in
+  match list s with
+  | [ params; levels ] -> build params levels None
+  | [ params; levels; red ] -> (
+    match list red with
+    | [ op; value ] ->
+      let op_name = atom op in
+      let op =
+        match Trahrhe.Nest.op_of_string op_name with
+        | Some o -> o
+        | None -> fail "bad reduction op %s" op_name
+      in
+      build params levels (Some { Trahrhe.Nest.op; value = to_poly value })
+    | _ -> fail "bad reduction clause")
   | _ -> fail "bad nest"
 
 let of_recovery = function

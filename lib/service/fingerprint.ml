@@ -1,4 +1,6 @@
 module A = Polymath.Affine
+module M = Polymath.Monomial
+module P = Polymath.Polynomial
 module Q = Zmath.Rat
 module N = Trahrhe.Nest
 
@@ -48,13 +50,25 @@ let canonicalize (n : N.t) =
   let rename_affine a =
     A.make (List.map (fun (v, c) -> (rename_var v, c)) (A.terms a)) (A.const_part a)
   in
+  let rename_poly p =
+    P.of_terms
+      (List.map
+         (fun (c, m) ->
+           (c, M.of_list (List.map (fun (v, e) -> (rename_var v, e)) (M.to_list m))))
+         (P.terms p))
+  in
   let levels =
     List.map
       (fun (l : N.level) ->
         { N.var = rename_var l.var; lower = rename_affine l.lower; upper = rename_affine l.upper })
       n.N.levels
   in
-  let canonical = N.make ~params:(List.map snd params) levels in
+  let reduce =
+    Option.map
+      (fun (r : N.reduction) -> { N.op = r.N.op; value = rename_poly r.N.value })
+      n.N.reduce
+  in
+  let canonical = N.make ~params:(List.map snd params) ?reduce levels in
   (canonical, { iterators; params })
 
 let render (n : N.t) =
@@ -69,6 +83,16 @@ let render (n : N.t) =
       Buffer.add_char buf ':';
       Buffer.add_string buf (A.to_string l.upper))
     n.N.levels;
+  (* the reduce suffix is appended ONLY when a clause is present, so
+     every pre-reduction fingerprint (and the cached plans keyed by
+     it) is preserved verbatim *)
+  (match n.N.reduce with
+  | None -> ()
+  | Some r ->
+    Buffer.add_string buf ";reduce=";
+    Buffer.add_string buf (N.op_to_string r.N.op);
+    Buffer.add_char buf ':';
+    Buffer.add_string buf (P.to_string r.N.value));
   Buffer.contents buf
 
 let digest canonical =

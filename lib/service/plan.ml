@@ -45,6 +45,13 @@ let decode s =
 
 let recovery p ~param = Trahrhe.Recovery.make p.inversion ~param
 
+let reduce_clause_equal a b =
+  match (a, b) with
+  | None, None -> true
+  | Some (ra : N.reduction), Some (rb : N.reduction) ->
+    ra.N.op = rb.N.op && P.equal ra.N.value rb.N.value
+  | _ -> false
+
 let nest_equal (a : N.t) (b : N.t) =
   a.N.params = b.N.params
   && List.length a.N.levels = List.length b.N.levels
@@ -52,6 +59,7 @@ let nest_equal (a : N.t) (b : N.t) =
        (fun (la : N.level) (lb : N.level) ->
          la.var = lb.var && A.equal la.lower lb.lower && A.equal la.upper lb.upper)
        a.N.levels b.N.levels
+  && reduce_clause_equal a.N.reduce b.N.reduce
 
 let recovery_equal a b =
   match (a, b) with

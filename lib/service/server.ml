@@ -11,6 +11,7 @@ type exec_opts = {
   repeat : int;
   retries : int;
   native : bool;
+  reduce : N.red_op option;
 }
 
 type request =
@@ -228,7 +229,7 @@ let parse_request_uncached line =
     let* () =
       check_keys
         ~allowed:
-          [ "kernel"; "params"; "levels"; "label"; "n"; "threads"; "schedule"; "lanes"; "repeat"; "retries"; "native" ]
+          [ "kernel"; "params"; "levels"; "label"; "n"; "threads"; "schedule"; "lanes"; "repeat"; "retries"; "native"; "reduce" ]
         fields
     in
     let* size =
@@ -251,8 +252,33 @@ let parse_request_uncached line =
       | None -> Ok Ompsim.Schedule.Static
       | Some s -> Ompsim.Schedule.of_string s
     in
+    let* reduce =
+      match List.assoc_opt "reduce" fields with
+      | None -> Ok None
+      | Some s -> (
+        match N.op_of_string s with
+        | Some op -> Ok (Some op)
+        | None -> Error (Printf.sprintf "reduce needs sum|prod|min|max, got %S" s))
+    in
+    (* a reduce request rewrites the nest's clause BEFORE the cache
+       lookup, so the clause participates in content addressing: the
+       value polynomial is the nest's declared clause when it has one,
+       the canonical default otherwise *)
+    let nest =
+      match reduce with
+      | None -> nest
+      | Some op ->
+        let value =
+          match nest.N.reduce with
+          | Some r -> r.N.value
+          | None -> N.default_reduce_value nest
+        in
+        N.with_reduce nest (Some { N.op; value })
+    in
     let label = Option.value ~default:name (List.assoc_opt "label" fields) in
-    Ok (Some (Exec { label; nest; param; opts = { threads; schedule; lanes; repeat; retries; native } }))
+    Ok
+      (Some
+         (Exec { label; nest; param; opts = { threads; schedule; lanes; repeat; retries; native; reduce } }))
   | op :: _ -> Error (Printf.sprintf "unknown operation %S (compile | exec | shutdown)" op)
 
 (* Parsed request lines, memoized by the line itself. Clients of a
@@ -370,6 +396,73 @@ let run_once ?deadline_ms rc opts =
       !sum)
     outcome
 
+(* ---- parallel reductions over the collapsed range ---- *)
+
+(* a reduction result: int64 path for sum (native-able), exact
+   rationals for prod/min/max *)
+type reduce_value = Rint of int | Rrat of Q.t
+
+let reduce_value_json = function
+  | Rint n -> string_of_int n
+  | Rrat q -> Printf.sprintf {|"%s"|} (json_escape (Q.to_string q))
+
+let reduce_value_equal a b =
+  match (a, b) with
+  | Rint x, Rint y -> x = y
+  | Rrat x, Rrat y -> Q.compare x y = 0
+  | _ -> false
+
+(* serial reference: the plain left fold over the canonical nest in
+   iteration order — the value every parallel combine tree must equal
+   bit for bit. [None] only for min/max over an empty space. *)
+let serial_reduce rc nest ~cparam ~op =
+  match op with
+  | N.Sum ->
+    let acc = ref 0 in
+    N.iterate nest ~param:cparam (fun idx -> acc := !acc + R.reduce_value_int rc idx);
+    Some (Rint !acc)
+  | _ ->
+    let acc = ref None in
+    N.iterate nest ~param:cparam (fun idx ->
+        let v = R.reduce_value_rat rc idx in
+        acc := Some (match !acc with None -> v | Some a -> N.op_apply op a v));
+    (match (!acc, N.op_neutral op) with
+    | Some q, _ -> Some (Rrat q)
+    | None, Some q -> Some (Rrat q)
+    | None, None -> None)
+
+(* one parallel reduction over the collapsed range: per-worker
+   partials, deterministic combine tree (Par.reduce_chunks), with the
+   same resilient/deadline routing as the checksum path *)
+let run_reduce ?deadline_ms rc ~op opts =
+  let trip = R.trip_count rc in
+  let region combine body =
+    try
+      if opts.retries > 0 || deadline_ms <> None then
+        Ompsim.Par.reduce_resilient ~retries:opts.retries ?deadline_ms ~nthreads:opts.threads
+          ~schedule:opts.schedule ~n:trip ~combine body
+        |> Result.map_error (fun (e : Ompsim.Par.region_error) ->
+               match e.Ompsim.Par.reason with
+               | Ompsim.Par.Deadline_expired -> Run_timeout
+               | Ompsim.Par.Chunk_failed -> Run_error (Ompsim.Par.describe_error e))
+      else
+        Ok
+          (Ompsim.Par.reduce_chunks ~nthreads:opts.threads ~schedule:opts.schedule ~n:trip
+             ~combine body)
+    with e -> Error (Run_error (Printexc.to_string e))
+  in
+  match op with
+  | N.Sum ->
+    region ( + ) (fun ~thread:_ ~start ~len -> R.walk_reduce_sum rc ~pc:(start + 1) ~len)
+    |> Result.map (fun o -> Rint (Option.value ~default:0 o))
+  | _ ->
+    region (N.op_apply op) (fun ~thread:_ ~start ~len -> R.walk_reduce_rat rc ~pc:(start + 1) ~len)
+    |> Result.map (fun o ->
+           match (o, N.op_neutral op) with
+           | Some q, _ -> Rrat q
+           | None, Some q -> Rrat q
+           | None, None -> Rrat Q.zero (* unreachable: callers reject empty min/max upfront *))
+
 (* the shutdown acknowledgement carries the cache totals so clients
    (and the accounting block) see hit rates without a separate op *)
 let shutdown_json cache =
@@ -456,42 +549,76 @@ let handle_full ?native ?deadline_ms cache req =
         (rc, cparam)
       with
       | exception Invalid_argument e -> err e
-      | rc, cparam ->
+      | rc, cparam -> (
         let trip = R.trip_count rc in
-        let serial = ref 0 in
-        N.iterate plan.Plan.inversion.Trahrhe.Inversion.nest ~param:cparam (fun idx ->
-            serial := !serial + iter_hash idx);
-        let rec runs r =
-          if r > opts.repeat then Ok ()
-          else
-            match remaining () with
-            | Some 0 -> Error Run_timeout
-            | budget -> (
-              match run_once ?deadline_ms:budget rc opts with
-              | Error Run_timeout -> Error Run_timeout
-              | Error (Run_error e) ->
-                Error (Run_error (Printf.sprintf "run %d/%d: %s" r opts.repeat e))
-              | Ok sum when sum <> !serial ->
-                Error
-                  (Run_error
-                     (Printf.sprintf "checksum mismatch on run %d/%d: parallel %d vs serial %d" r
-                        opts.repeat sum !serial))
-              | Ok _ -> runs (r + 1))
+        (* "native" reports whether the backend actually engaged —
+           false under fallback, which CI's no-gcc job asserts on *)
+        let native_field =
+          if opts.native then Printf.sprintf {|,"native":%b|} (R.native_enabled rc) else ""
         in
-        (match runs 1 with
-        | Error Run_timeout -> timeout ()
-        | Error (Run_error e) -> err e
-        | Ok () ->
-          (* "native" reports whether the backend actually engaged —
-             false under fallback, which CI's no-gcc job asserts on *)
-          let native_field =
-            if opts.native then Printf.sprintf {|,"native":%b|} (R.native_enabled rc) else ""
+        match opts.reduce with
+        | Some op -> (
+          let cnest = plan.Plan.inversion.Trahrhe.Inversion.nest in
+          match serial_reduce rc cnest ~cparam ~op with
+          | None -> err "min/max reduction over an empty iteration space"
+          | Some reference ->
+            let rec runs r =
+              if r > opts.repeat then Ok ()
+              else
+                match remaining () with
+                | Some 0 -> Error Run_timeout
+                | budget -> (
+                  match run_reduce ?deadline_ms:budget rc ~op opts with
+                  | Error Run_timeout -> Error Run_timeout
+                  | Error (Run_error e) ->
+                    Error (Run_error (Printf.sprintf "run %d/%d: %s" r opts.repeat e))
+                  | Ok v when not (reduce_value_equal v reference) ->
+                    Error
+                      (Run_error
+                         (Printf.sprintf "reduction mismatch on run %d/%d: parallel %s vs serial %s"
+                            r opts.repeat (reduce_value_json v) (reduce_value_json reference)))
+                  | Ok _ -> runs (r + 1))
+            in
+            (match runs 1 with
+            | Error Run_timeout -> timeout ()
+            | Error (Run_error e) -> err e
+            | Ok () ->
+              ( Printf.sprintf
+                  {|{"op":"exec","label":"%s","status":"ok","fingerprint":"%s","trip":%d,"reduce":"%s","result":%s,"repeat":%d%s}|}
+                  (json_escape label) plan.Plan.fingerprint trip (N.op_to_string op)
+                  (reduce_value_json reference) opts.repeat native_field,
+                true,
+                false )))
+        | None ->
+          let serial = ref 0 in
+          N.iterate plan.Plan.inversion.Trahrhe.Inversion.nest ~param:cparam (fun idx ->
+              serial := !serial + iter_hash idx);
+          let rec runs r =
+            if r > opts.repeat then Ok ()
+            else
+              match remaining () with
+              | Some 0 -> Error Run_timeout
+              | budget -> (
+                match run_once ?deadline_ms:budget rc opts with
+                | Error Run_timeout -> Error Run_timeout
+                | Error (Run_error e) ->
+                  Error (Run_error (Printf.sprintf "run %d/%d: %s" r opts.repeat e))
+                | Ok sum when sum <> !serial ->
+                  Error
+                    (Run_error
+                       (Printf.sprintf "checksum mismatch on run %d/%d: parallel %d vs serial %d" r
+                          opts.repeat sum !serial))
+                | Ok _ -> runs (r + 1))
           in
-          ( Printf.sprintf
-              {|{"op":"exec","label":"%s","status":"ok","fingerprint":"%s","trip":%d,"checksum":%d,"repeat":%d%s}|}
-              (json_escape label) plan.Plan.fingerprint trip !serial opts.repeat native_field,
-            true,
-            false ))))
+          (match runs 1 with
+          | Error Run_timeout -> timeout ()
+          | Error (Run_error e) -> err e
+          | Ok () ->
+            ( Printf.sprintf
+                {|{"op":"exec","label":"%s","status":"ok","fingerprint":"%s","trip":%d,"checksum":%d,"repeat":%d%s}|}
+                (json_escape label) plan.Plan.fingerprint trip !serial opts.repeat native_field,
+              true,
+              false )))))
 
 let handle ?native ?deadline_ms cache req =
   let line, ok, _ = handle_full ?native ?deadline_ms cache req in

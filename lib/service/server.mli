@@ -29,6 +29,16 @@
       [native] ([0/1] or [true/false]: route the walk through the
       JIT-specialized shared object, falling back to the interpreted
       walk when none can be attached), [label].
+    - [reduce=sum|prod|min|max] executes the region as a parallel
+      reduction over the collapsed range instead of the checksum walk:
+      per-worker partial accumulators folded by a deterministic combine
+      tree, checked exactly against the serial fold. The reduced value
+      polynomial is the nest's declared clause when it has one, the
+      canonical default otherwise; the clause participates in the
+      plan's fingerprint. [sum] reduces in wrapped int64 (and can run
+      natively under [native=1]); [prod]/[min]/[max] reduce in exact
+      rationals and report the result as a JSON string. Example:
+      [exec kernel=utma n=50 threads=4 schedule=dnc:2 reduce=sum].
     - [shutdown] stops a server loop (and ends a batch early); its
       acknowledgement carries the cache's [hits]/[misses] totals.
 
@@ -49,6 +59,10 @@ type exec_opts = {
   repeat : int;  (** executions of the region per request (default 1) *)
   retries : int;  (** > 0 routes through [Par.run_resilient] *)
   native : bool;  (** route walks through the native backend ({!Native}) *)
+  reduce : Trahrhe.Nest.red_op option;
+      (** run the region as a parallel reduction instead of the
+          checksum walk; the parser already rewrote [nest]'s clause to
+          match, so the plan is content-addressed with it *)
 }
 
 type request =

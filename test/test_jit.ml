@@ -50,7 +50,7 @@ let test_emit_source () =
       (fun needle ->
         if not (contains needle) then Alcotest.failf "emitted C lacks %S:\n%s" needle src)
       [ "ompsim_abi"; "ompsim_fingerprint"; "ompsim_depth"; "ompsim_params"; "ompsim_trip";
-        "ompsim_recover"; "ompsim_walk_hash"; "ompsim_block"; "deadbeef" ]
+        "ompsim_recover"; "ompsim_walk_hash"; "ompsim_reduce_sum"; "ompsim_block"; "deadbeef" ]
 
 let test_specialize_and_identity () =
   require_gcc ();
@@ -130,7 +130,9 @@ let test_attach_native () =
   let nat =
     { R.n_walk_hash = (fun ~pc ~len -> Jit.Native.walk_hash h ps ~pc ~len);
       n_recover = (fun ~pc idx -> Jit.Native.recover h ps ~pc idx);
-      n_fill_block = (fun ~pc lanes -> Jit.Native.fill_block h ps ~pc lanes) }
+      n_fill_block = (fun ~pc lanes -> Jit.Native.fill_block h ps ~pc lanes);
+      n_fill_flat = (fun ~pc ~width buf -> Jit.Native.fill_block_flat h ps ~pc ~width buf);
+      n_reduce_sum = (fun ~pc ~len -> Jit.Native.reduce_sum h ps ~pc ~len) }
   in
   let rcn = R.attach_native rc nat in
   Alcotest.(check bool) "enabled" true (R.native_enabled rcn);

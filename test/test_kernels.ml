@@ -5,7 +5,7 @@
 module K = Kernels.Kernel
 
 let test_registry () =
-  Alcotest.(check int) "11 kernels (9 + utma + ltmp, as in the paper)" 11
+  Alcotest.(check int) "13 kernels (9 + utma + ltmp + 2 reduction kernels)" 13
     (List.length Kernels.Registry.kernels);
   Alcotest.(check bool) "names unique" true
     (let names = Kernels.Registry.names in
@@ -179,6 +179,49 @@ let test_parallel_execution_matches_serial () =
         serial !sum)
     [ Ompsim.Schedule.Static; Ompsim.Schedule.Dynamic 256; Ompsim.Schedule.Guided 128 ]
 
+let test_reduction_kernels () =
+  (* the reduction kernels carry a declared clause whose serial fold
+     must agree with (a) the hand-written reference loops, (b) the
+     recovery's per-chunk walk_reduce_sum, and (c) the parallel
+     reduce_chunks combine tree under every schedule *)
+  List.iter
+    (fun name ->
+      let k = Option.get (Kernels.Registry.find name) in
+      Alcotest.(check bool) (name ^ " declares a clause") true (k.K.nest.Trahrhe.Nest.reduce <> None);
+      let n = 12 in
+      let param = K.param_of k ~n in
+      let rc = K.recovery k ~n in
+      let trip = Trahrhe.Recovery.trip_count rc in
+      (* serial fold of the clause over the whole space *)
+      let serial = ref 0 in
+      Trahrhe.Nest.iterate k.K.nest ~param (fun idx ->
+          serial := !serial + Trahrhe.Recovery.reduce_value_int rc idx);
+      Alcotest.(check (float 0.0))
+        (name ^ ": hand-written reference = clause fold")
+        (k.K.serial_original ~n)
+        (float_of_int !serial);
+      Alcotest.(check int)
+        (name ^ ": one-shot walk_reduce_sum = serial")
+        !serial
+        (Trahrhe.Recovery.walk_reduce_sum rc ~pc:1 ~len:trip);
+      List.iter
+        (fun schedule ->
+          let r =
+            Ompsim.Par.reduce_chunks ~nthreads:4 ~schedule ~n:trip ~combine:( + )
+              (fun ~thread:_ ~start ~len ->
+                Trahrhe.Recovery.walk_reduce_sum rc ~pc:(start + 1) ~len)
+          in
+          Alcotest.(check (option int))
+            (Printf.sprintf "%s: %s parallel reduction = serial" name
+               (Ompsim.Schedule.to_string schedule))
+            (Some !serial) r)
+        [ Ompsim.Schedule.Static;
+          Ompsim.Schedule.Dynamic 7;
+          Ompsim.Schedule.Guided 5;
+          Ompsim.Schedule.Work_stealing 16;
+          Ompsim.Schedule.Dnc 3 ])
+    [ "correlation_reduce"; "covariance_reduce" ]
+
 let suites =
   [ ( "kernels",
       [ Alcotest.test_case "registry" `Quick test_registry;
@@ -190,6 +233,8 @@ let suites =
         Alcotest.test_case "inversion cache" `Quick test_inversion_cached;
         Alcotest.test_case "ltmp stays imbalanced (paper)" `Quick test_ltmp_stays_imbalanced;
         Alcotest.test_case "correlation balance flip" `Quick test_correlation_collapsed_balanced;
+        Alcotest.test_case "reduction kernels (clause = reference = parallel)" `Quick
+          test_reduction_kernels;
         Alcotest.test_case "collapsed checksums match originals" `Slow test_checksums_match;
         Alcotest.test_case "parallel domains execution (§V end-to-end)" `Slow
           test_parallel_execution_matches_serial ] ) ]

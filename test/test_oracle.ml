@@ -226,6 +226,197 @@ let check_case_resilient (nest, nval) =
       vlengths;
     true
 
+(* Reduction differential: attach a reduction clause to the same
+   random nests and check the parallel combine tree against the serial
+   fold — exactly, for every operator, every schedule (D&C included),
+   both backends, the batched lane-walk feeding the fold, and with
+   fault injection armed. Sum folds in wrapped native ints (the JIT's
+   contract); prod/min/max fold in exact rationals. *)
+
+let red_ops = [ N.Sum; N.Prod; N.Min; N.Max ]
+let red_schedules = schedules @ [ Ompsim.Schedule.Dnc 2 ]
+
+type red_value = Rint of int | Rrat of Q.t
+
+let red_to_string = function Rint v -> string_of_int v | Rrat q -> Q.to_string q
+
+let red_equal a b =
+  match (a, b) with
+  | Rint x, Rint y -> x = y
+  | Rrat x, Rrat y -> Q.compare x y = 0
+  | _ -> false
+
+let serial_reduce nest rc ~param ~op =
+  match op with
+  | N.Sum ->
+    let acc = ref 0 in
+    N.iterate nest ~param (fun idx -> acc := !acc + Trahrhe.Recovery.reduce_value_int rc idx);
+    Rint !acc
+  | _ ->
+    let acc = ref None in
+    N.iterate nest ~param (fun idx ->
+        let v = Trahrhe.Recovery.reduce_value_rat rc idx in
+        acc := Some (match !acc with None -> v | Some a -> N.op_apply op a v));
+    (match !acc with
+    | Some v -> Rrat v
+    | None -> QCheck.Test.fail_reportf "generator produced an empty nest")
+
+let run_reduce ~where ?faults ?lanes ~schedule ~op ~depth rc trip expect =
+  let module R = Trahrhe.Recovery in
+  let combine a b =
+    match (a, b) with
+    | Rint x, Rint y -> Rint (x + y)
+    | Rrat x, Rrat y -> Rrat (N.op_apply op x y)
+    | _ -> QCheck.Test.fail_reportf "%s: mixed partial representations" where
+  in
+  let body ~thread:_ ~start ~len =
+    match (op, lanes) with
+    | N.Sum, None -> Rint (R.walk_reduce_sum rc ~pc:(start + 1) ~len)
+    | _, None -> Rrat (R.walk_reduce_rat rc ~pc:(start + 1) ~len)
+    | _, Some vlength ->
+      (* the §VI-A batched walk feeding the fold: evaluate the clause
+         lane by lane and fold locally, one partial per chunk *)
+      let idx = Array.make depth 0 in
+      let acc = ref None in
+      R.walk_lanes rc ~pc:(start + 1) ~len ~vlength (fun ~base:_ ~count lanes ->
+          for l = 0 to count - 1 do
+            for k = 0 to depth - 1 do
+              idx.(k) <- lanes.(k).(l)
+            done;
+            let v =
+              match op with
+              | N.Sum -> Rint (R.reduce_value_int rc idx)
+              | _ -> Rrat (R.reduce_value_rat rc idx)
+            in
+            acc := Some (match !acc with None -> v | Some a -> combine a v)
+          done);
+      (match !acc with
+      | Some v -> v
+      | None -> QCheck.Test.fail_reportf "%s: chunk of %d delivered no lanes" where len)
+  in
+  let result =
+    match faults with
+    | None -> Ompsim.Par.reduce_chunks ~nthreads:3 ~schedule ~n:trip ~combine body
+    | Some f -> (
+      match
+        Ompsim.Par.reduce_resilient ~retries:2 ~faults:(Some f) ~nthreads:3 ~schedule ~n:trip
+          ~combine body
+      with
+      | Ok r -> r
+      | Error e -> QCheck.Test.fail_reportf "%s: %s" where (Ompsim.Par.describe_error e))
+  in
+  match result with
+  | None -> QCheck.Test.fail_reportf "%s: empty reduction over trip count %d" where trip
+  | Some v ->
+    if not (red_equal v expect) then
+      QCheck.Test.fail_reportf "%s: reduced to %s, serial fold is %s" where (red_to_string v)
+        (red_to_string expect)
+
+let check_case_reduce (nest, nval) =
+  let param _ = nval in
+  List.iter
+    (fun op ->
+      let nest_r = N.with_reduce nest (Some { N.op; value = N.default_reduce_value nest }) in
+      match Trahrhe.Inversion.invert nest_r with
+      | Error e ->
+        QCheck.Test.fail_reportf "inversion failed on a valid nest: %s"
+          (Trahrhe.Inversion.error_to_string e)
+      | Ok inv ->
+        let rc = Trahrhe.Recovery.make inv ~param in
+        let trip = Trahrhe.Recovery.trip_count rc in
+        let depth = N.depth nest_r in
+        let expect = serial_reduce nest_r rc ~param ~op in
+        let faults = { Ompsim.Fault.default with p = 0.3; seed = 0x5eed } in
+        let opname = N.op_to_string op in
+        List.iter
+          (fun schedule ->
+            let sname = Ompsim.Schedule.to_string schedule in
+            run_reduce
+              ~where:(Printf.sprintf "reduce %s / %s" opname sname)
+              ~schedule ~op ~depth rc trip expect;
+            run_reduce
+              ~where:(Printf.sprintf "reduce %s / %s / faults" opname sname)
+              ~faults ~schedule ~op ~depth rc trip expect)
+          red_schedules;
+        (* spawn backend: the combine tree is keyed by chunk position,
+           so a different worker topology must not change a bit *)
+        Ompsim.Par.with_backend Ompsim.Par.Spawn (fun () ->
+            run_reduce
+              ~where:(Printf.sprintf "reduce %s / spawn / dnc" opname)
+              ~schedule:(Ompsim.Schedule.Dnc 1) ~op ~depth rc trip expect);
+        List.iter
+          (fun vlength ->
+            run_reduce
+              ~where:(Printf.sprintf "reduce %s / lanes %d" opname vlength)
+              ~lanes:vlength
+              ~schedule:(Ompsim.Schedule.Dynamic 2)
+              ~op ~depth rc trip expect)
+          vlengths)
+    red_ops;
+  true
+
+let prop_reduce_matches_serial =
+  QCheck.Test.make
+    ~name:"parallel reduction = serial fold (40 nests x 4 ops x schedules x faults)" ~count:40
+    arb_case check_case_reduce
+
+(* D&C soak: the divide-and-conquer splitter's observability counters
+   must reconcile exactly against [Schedule.dnc_leaves] ground truth —
+   grain_chunks = leaves, splits = leaves - 1, and the reduction
+   accounting (partials = leaves, combines = leaves - 1) — while every
+   rank is still visited exactly once. *)
+let test_dnc_counter_soak () =
+  Obsv.Control.with_enabled true @@ fun () ->
+  let total = Obsv.Metrics.total in
+  List.iter
+    (fun (n, grain, nthreads) ->
+      let where = Printf.sprintf "n=%d grain=%d threads=%d" n grain nthreads in
+      let leaves = Ompsim.Schedule.dnc_leaves ~grain ~n in
+      (* ground truth tiles [0, n) contiguously in ascending order *)
+      let covered = List.fold_left (fun acc (_, len) -> acc + len) 0 leaves in
+      Alcotest.(check int) (where ^ ": leaves tile the range") n covered;
+      let rec contiguous = function
+        | (s1, l1) :: ((s2, _) :: _ as rest) -> s1 + l1 = s2 && contiguous rest
+        | _ -> true
+      in
+      Alcotest.(check bool) (where ^ ": leaves contiguous") true (contiguous leaves);
+      let splits0 = total Ompsim.Stats.dnc_splits in
+      let chunks0 = total Ompsim.Stats.dnc_grain_chunks in
+      let partials0 = total Ompsim.Stats.reduce_partials in
+      let combines0 = total Ompsim.Stats.reduce_combines in
+      let seen = Array.make n (Atomic.make 0) in
+      Array.iteri (fun q _ -> seen.(q) <- Atomic.make 0) seen;
+      let r =
+        Ompsim.Par.reduce_chunks ~nthreads ~schedule:(Ompsim.Schedule.Dnc grain) ~n ~combine:( + )
+          (fun ~thread:_ ~start ~len ->
+            for q = start to start + len - 1 do
+              Atomic.incr seen.(q)
+            done;
+            len)
+      in
+      Alcotest.(check (option int)) (where ^ ": lengths sum to n") (Some n) r;
+      let bad = ref 0 in
+      Array.iter (fun c -> if Atomic.get c <> 1 then incr bad) seen;
+      Alcotest.(check int) (where ^ ": every rank exactly once") 0 !bad;
+      let m = List.length leaves in
+      Alcotest.(check int)
+        (where ^ ": dnc.grain_chunks = leaves")
+        m
+        (total Ompsim.Stats.dnc_grain_chunks - chunks0);
+      Alcotest.(check int)
+        (where ^ ": dnc.splits = leaves - 1")
+        (m - 1)
+        (total Ompsim.Stats.dnc_splits - splits0);
+      Alcotest.(check int)
+        (where ^ ": reduce.partials = leaves")
+        m
+        (total Ompsim.Stats.reduce_partials - partials0);
+      Alcotest.(check int)
+        (where ^ ": reduce.combines = leaves - 1")
+        (m - 1)
+        (total Ompsim.Stats.reduce_combines - combines0))
+    [ (1, 1, 3); (7, 2, 3); (64, 1, 4); (100, 3, 4); (1000, 16, 4); (37, 37, 2) ]
+
 (* Cached-plan differential (ISSUE 5): a plan served by the service
    cache — whether from the in-memory LRU, from a disk round-trip, or
    received as a single-flight follower — must drive the collapsed
@@ -522,6 +713,9 @@ let suites =
   [ ( "oracle",
       [ QCheck_alcotest.to_alcotest ~rand prop_walk_matches_enumeration;
         QCheck_alcotest.to_alcotest ~rand prop_resilient_walk_matches;
+        QCheck_alcotest.to_alcotest ~rand prop_reduce_matches_serial;
+        Alcotest.test_case "d&c counters reconcile with dnc_leaves ground truth" `Quick
+          test_dnc_counter_soak;
         QCheck_alcotest.to_alcotest ~rand prop_cached_plan_matches;
         QCheck_alcotest.to_alcotest ~rand prop_native_matches_interpreted;
         Alcotest.test_case "corrupt .so is a silent miss (recompile + fallback counters)" `Quick

@@ -586,7 +586,8 @@ let default_opts =
     lanes = 1;
     repeat = 2;
     retries = 0;
-    native = false }
+    native = false;
+    reduce = None }
 
 let test_handle_exec () =
   let cache = Cache.create ~capacity:4 ~dir:None () in
