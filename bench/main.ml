@@ -8,13 +8,13 @@
    Artifacts: fig2 fig8 fig9 fig10 codegen ablation-chunk
    ablation-threads ablation-recovery micro micro-recovery micro-pool
    micro-obsv micro-lanes micro-steal micro-fault micro-cache
-   micro-jit micro-reduce micro-serve
+   micro-jit micro-reduce micro-serve micro-chaos
 
    The micro-* artifacts additionally write machine-readable
    BENCH_recovery.json / BENCH_pool.json / BENCH_obsv.json /
    BENCH_lanes.json / BENCH_steal.json / BENCH_fault.json /
    BENCH_cache.json / BENCH_jit.json / BENCH_reduce.json /
-   BENCH_serve.json into the
+   BENCH_serve.json / BENCH_chaos.json into the
    current directory (all through the shared Emit module, which stamps
    schema_version + git revision) so the hot-path perf trajectory can
    be tracked across PRs; micro-obsv also writes TRACE_obsv.json, a
@@ -25,7 +25,12 @@
    BENCH_JIT_CHUNK / BENCH_SERVE_CLIENTS, BENCH_SERVE_REQS,
    BENCH_SERVE_WINDOW, BENCH_SERVE_TRIALS, BENCH_SERVE_NESTS for
    CI-sized runs; micro-reduce honours BENCH_REDUCE_N,
-   BENCH_REDUCE_SPIN, BENCH_REDUCE_SWEEP_N. *)
+   BENCH_REDUCE_SPIN, BENCH_REDUCE_SWEEP_N. micro-chaos (bench/chaos.ml)
+   is the robustness harness: kill-9 mid-write, corrupt-store,
+   wedged-cc and flooding-client scenarios with recovery gates,
+   sized by BENCH_CHAOS_SEED, BENCH_CHAOS_TIMEOUT_MS,
+   BENCH_CHAOS_VICTIM_REQS, BENCH_CHAOS_FLOOD_WINDOW,
+   BENCH_CHAOS_RATE. *)
 
 module K = Kernels.Kernel
 module Sim = Ompsim.Sim
@@ -2112,7 +2117,8 @@ let artifacts =
     ("micro-cache", micro_cache);
     ("micro-jit", micro_jit);
     ("micro-reduce", micro_reduce);
-    ("micro-serve", micro_serve) ]
+    ("micro-serve", micro_serve);
+    ("micro-chaos", Chaos.run) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

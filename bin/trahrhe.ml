@@ -341,9 +341,9 @@ let exec_run kernel size threads schedule lanes repeat native reduce faults retr
       let param =
         Service.Fingerprint.canonical_param renaming (Kernels.Kernel.param_of k ~n)
       in
-      let rc =
-        if native then Service.Native.recovery (Service.Native.default ()) plan ~param
-        else Service.Plan.recovery plan ~param
+      let rc, native_reason =
+        if native then Service.Native.recovery_explain (Service.Native.default ()) plan ~param
+        else (Service.Plan.recovery plan ~param, None)
       in
       let trip = Trahrhe.Recovery.trip_count rc in
       match reduce with
@@ -433,7 +433,9 @@ let exec_run kernel size threads schedule lanes repeat native reduce faults retr
             elapsed;
           if native then
             Printf.eprintf "  native backend: %s\n%!"
-              (if Trahrhe.Recovery.native_enabled rc then "engaged" else "interpreted fallback");
+              (match native_reason with
+              | None -> "engaged"
+              | Some reason -> Printf.sprintf "interpreted fallback (%s)" reason);
           if Obsv.Control.enabled () then begin
             Printf.printf "  reduce: %d partials, %d combines\n"
               (Obsv.Metrics.total Ompsim.Stats.reduce_partials)
@@ -526,7 +528,9 @@ let exec_run kernel size threads schedule lanes repeat native reduce faults retr
           elapsed;
         if native then
           Printf.eprintf "  native backend: %s\n%!"
-            (if Trahrhe.Recovery.native_enabled rc then "engaged" else "interpreted fallback");
+            (match native_reason with
+            | None -> "engaged"
+            | Some reason -> Printf.sprintf "interpreted fallback (%s)" reason);
         if repeat > 1 then begin
           (* per-run wall times, not just the aggregate: min/median make
              warm-up effects and scheduling noise visible *)
@@ -750,7 +754,8 @@ let batch_cmd =
 
 (* ---- serve ---- *)
 
-let serve_run socket max_clients request_timeout_ms trace stats =
+let serve_run socket max_clients request_timeout_ms max_inflight_per_client rate_limit rate_burst
+    trace stats =
   (* serve converts SIGINT/SIGTERM into a graceful drain and a normal
      return, so the obsv teardown in with_obsv flushes on ^C too, not
      just on shutdown *)
@@ -764,7 +769,27 @@ let serve_run socket max_clients request_timeout_ms trace stats =
     prerr_endline "--request-timeout-ms needs a non-negative integer";
     exit 1
   | _ -> ());
-  let config = { Service.Server.default_serve_config with max_clients; request_timeout_ms } in
+  if max_inflight_per_client <= 0 then begin
+    prerr_endline "--max-inflight-per-client needs a positive integer";
+    exit 1
+  end;
+  (match rate_limit with
+  | Some r when r <= 0. ->
+    prerr_endline "--rate-limit needs a positive number of requests per second";
+    exit 1
+  | _ -> ());
+  if rate_burst <= 0 then begin
+    prerr_endline "--rate-burst needs a positive integer";
+    exit 1
+  end;
+  let config =
+    { Service.Server.default_serve_config with
+      max_clients;
+      request_timeout_ms;
+      max_inflight_per_client;
+      rate_limit;
+      rate_burst }
+  in
   match Service.Server.serve ~config ~socket () with
   | Ok stats ->
     if stats.Service.Server.dropped > 0 then
@@ -800,6 +825,35 @@ let serve_cmd =
             "Per-request execution deadline: an exec whose runs exceed $(docv) milliseconds \
              answers with a deterministic error response instead of running to completion.")
   in
+  let max_inflight_per_client =
+    Arg.(
+      value
+      & opt int Service.Server.default_serve_config.Service.Server.max_inflight_per_client
+      & info [ "max-inflight-per-client" ] ~docv:"N"
+          ~doc:
+            "Per-connection admission cap: one pipelining client holds at most $(docv) of the \
+             global in-flight slots; at the cap its socket simply stops being read \
+             (backpressure), so a flood cannot starve other clients.")
+  in
+  let rate_limit =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate-limit" ] ~docv:"RPS"
+          ~doc:
+            "Per-connection request rate limit (token bucket, $(b,--rate-burst) capacity). \
+             Over-rate requests get a deterministic $(i,rejected:overload) error response; \
+             $(b,health) and $(b,shutdown) are exempt. Unlimited when absent.")
+  in
+  let rate_burst =
+    Arg.(
+      value
+      & opt int Service.Server.default_serve_config.Service.Server.rate_burst
+      & info [ "rate-burst" ] ~docv:"N"
+          ~doc:
+            "Token-bucket capacity for $(b,--rate-limit): the burst a quiet connection may send \
+             before pacing applies.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -808,7 +862,9 @@ let serve_cmd =
           $(b,shutdown) or the process receives SIGINT/SIGTERM; both exits drain gracefully — \
           in-flight responses flush before the socket disappears — and cache/native accounting \
           goes to stderr.")
-    Term.(const serve_run $ socket $ max_clients $ request_timeout_ms $ trace_arg $ stats_arg)
+    Term.(
+      const serve_run $ socket $ max_clients $ request_timeout_ms $ max_inflight_per_client
+      $ rate_limit $ rate_burst $ trace_arg $ stats_arg)
 
 (* ---- kernels ---- *)
 

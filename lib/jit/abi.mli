@@ -14,10 +14,24 @@ val version : int
     non-empty, else [gcc]. *)
 val cc : unit -> string
 
-(** [available ()] is [true] when the compiler can be executed. Probed
-    once per process; a missing compiler makes every native request
-    fall back to the interpreted walk. *)
+(** [available ()] is [true] when the compiler can be executed. The
+    probe runs under the supervised runner (bounded by
+    [OMPSIM_JIT_TIMEOUT_MS], capped at 5s), so a wedged compiler
+    cannot hang the process, and is memoized per compiler path —
+    repointing [OMPSIM_JIT_CC] triggers a fresh probe. A missing
+    compiler makes every native request fall back to the interpreted
+    walk. *)
 val available : unit -> bool
+
+(** [functional ()] is [true] when the compiler actually produced a
+    trivial shared object under the supervised deadline — a strictly
+    stronger probe than {!available}, which a wedged wrapper script
+    can satisfy by answering [--version] and then hanging on real
+    work. Memoized per compiler path. Tests that assert successful
+    native specialization gate on this; the service tiers do not need
+    it (they bound each real compile with the deadline + circuit
+    breaker and fall back per fingerprint). *)
+val functional : unit -> bool
 
 (** [salt ()] is the 12-hex-char cache-key salt derived from
     {!version} and the compiler's [--version] line. *)

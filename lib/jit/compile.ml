@@ -7,67 +7,106 @@ let rec mkdir_p d =
     try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let read_file path =
-  try
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () -> really_input_string ic (in_channel_length ic))
-  with _ -> ""
-
 let write_file path content =
   let oc = open_out_bin path in
   Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc content)
 
-let first_lines ?(n = 4) s =
-  String.split_on_char '\n' (String.trim s)
-  |> List.filteri (fun i _ -> i < n)
-  |> String.concat "; "
+(* stderr excerpt carried in structured failures: capped by the runner
+   at ~2KB, trimmed, newlines folded so the excerpt stays one logical
+   token in error strings and JSON error responses *)
+let stderr_excerpt s =
+  let s = String.trim s in
+  String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
+
+let breaker_prefix = "breaker:"
+
+let is_breaker_rejection e =
+  String.length e >= String.length breaker_prefix
+  && String.sub e 0 (String.length breaker_prefix) = breaker_prefix
 
 (* gcc -O2 -shared -fPIC into a private temp object, then rename into
    place: concurrent readers see the old object or the new one, never
    a torn write — the same atomic-publish discipline as the plan
-   store *)
+   store. The compile runs supervised: OMPSIM_JIT_TIMEOUT_MS bounds
+   the wall clock (SIGKILL of the whole compiler process group on
+   expiry), a doubled rusage cap bounds CPU spinning, and the first
+   ~2KB of stderr ride along in the failure instead of a discarded
+   log file. *)
 let compile_so ~src_path ~out_path =
-  let log = out_path ^ ".log" in
-  let cmd =
-    Printf.sprintf "%s -O2 -shared -fPIC -o %s %s 2>%s" (Abi.cc ()) (Filename.quote out_path)
-      (Filename.quote src_path) (Filename.quote log)
+  let cc = Abi.cc () in
+  let timeout_ms = Subproc.default_timeout_ms () in
+  let r =
+    Subproc.run ~timeout_ms
+      ~cpu_s:(2 * ((timeout_ms + 999) / 1000))
+      cc
+      [ "-O2"; "-shared"; "-fPIC"; "-o"; out_path; src_path ]
   in
-  let status = Sys.command cmd in
-  let diagnostics = read_file log in
-  (try Sys.remove log with Sys_error _ -> ());
-  if status = 0 then Ok ()
-  else
+  match r.Subproc.outcome with
+  | Subproc.Exited 0 -> Ok ()
+  | Subproc.Timed_out ->
+    Stats.incr Stats.timeouts;
+    Error (Printf.sprintf "%s %s (OMPSIM_JIT_TIMEOUT_MS=%d)" cc (Subproc.describe r) timeout_ms)
+  | _ ->
+    let diagnostics = stderr_excerpt r.Subproc.stderr in
     Error
-      (Printf.sprintf "%s exited %d%s" (Abi.cc ()) status
-         (if diagnostics = "" then "" else ": " ^ first_lines diagnostics))
+      (Printf.sprintf "%s %s%s" cc (Subproc.describe r)
+         (if diagnostics = "" then "" else ": " ^ diagnostics))
 
-let fresh_compile ~dir ~fingerprint inv =
+let fresh_compile ~dir ~fingerprint ~src =
   Obsv.Trace.with_span "jit.compile" @@ fun () ->
-  match Emit.source inv ~fingerprint with
-  | Error _ as e -> e
-  | Ok src -> (
-    try
-      mkdir_p dir;
-      let pid = Unix.getpid () in
-      let src_path = Filename.concat dir (Printf.sprintf ".%s.%d.c" fingerprint pid) in
-      let tmp_so = Filename.concat dir (Printf.sprintf ".%s.%d.so" fingerprint pid) in
-      write_file src_path src;
-      let result = compile_so ~src_path ~out_path:tmp_so in
-      (try Sys.remove src_path with Sys_error _ -> ());
-      match result with
-      | Error _ as e ->
-        (try Sys.remove tmp_so with Sys_error _ -> ());
-        e
-      | Ok () ->
-        let path = Filename.concat dir (so_name fingerprint) in
-        Unix.rename tmp_so path;
-        Stats.incr Stats.compiles;
-        Ok path
-    with Sys_error e | Unix.Unix_error (_, _, e) -> Error ("jit compile: " ^ e))
+  try
+    mkdir_p dir;
+    let pid = Unix.getpid () in
+    let src_path = Filename.concat dir (Printf.sprintf ".%s.%d.c" fingerprint pid) in
+    let tmp_so = Filename.concat dir (Printf.sprintf ".%s.%d.so" fingerprint pid) in
+    write_file src_path src;
+    let result = compile_so ~src_path ~out_path:tmp_so in
+    (try Sys.remove src_path with Sys_error _ -> ());
+    match result with
+    | Error _ as e ->
+      (try Sys.remove tmp_so with Sys_error _ -> ());
+      e
+    | Ok () ->
+      let path = Filename.concat dir (so_name fingerprint) in
+      Unix.rename tmp_so path;
+      Stats.incr Stats.compiles;
+      Ok path
+  with Sys_error e | Unix.Unix_error (_, _, e) -> Error ("jit compile: " ^ e)
 
-let specialize ?dir ~fingerprint inv =
+(* toolchain outcomes feed the breaker; emit errors do not — they are
+   plan-shaped, and tripping the breaker on one odd nest would reject
+   compiles of healthy plans *)
+let run_gated ?breaker ~dir ~fingerprint inv =
+  let note ok =
+    match breaker with
+    | None -> ()
+    | Some b -> if ok then Breaker.success b else Breaker.failure b
+  in
+  if not (Abi.available ()) then begin
+    note false;
+    Error (Printf.sprintf "C compiler %S unavailable" (Abi.cc ()))
+  end
+  else begin
+    match Emit.source inv ~fingerprint with
+    | Error _ as e -> e
+    | Ok src -> (
+      match fresh_compile ~dir ~fingerprint ~src with
+      | Error _ as e ->
+        note false;
+        e
+      | Ok path -> (
+        match Native.load ~path ~fingerprint with
+        | Ok _ as ok ->
+          note true;
+          ok
+        | Error _ as e ->
+          (* the toolchain produced an unloadable object: that is a
+             toolchain failure, not a plan failure *)
+          note false;
+          e))
+  end
+
+let specialize ?dir ?breaker ~fingerprint inv =
   let dir =
     match dir with
     | Some d -> d
@@ -89,9 +128,10 @@ let specialize ?dir ~fingerprint inv =
   match warm with
   | Some h -> Ok h
   | None -> (
-    if not (Abi.available ()) then Error (Printf.sprintf "C compiler %S unavailable" (Abi.cc ()))
-    else begin
-      match fresh_compile ~dir ~fingerprint inv with
-      | Error _ as e -> e
-      | Ok path -> Native.load ~path ~fingerprint
-    end)
+    match breaker with
+    | Some b when not (Breaker.acquire b) ->
+      Error
+        (Printf.sprintf "%s compile circuit %s after %d consecutive failures" breaker_prefix
+           (Breaker.state_name (Breaker.state b))
+           (Breaker.failures b))
+    | _ -> run_gated ?breaker ~dir ~fingerprint inv)

@@ -4,22 +4,47 @@
     [<fingerprint>.<salt>.so] per plan ({!so_name}; the salt is
     {!Abi.salt}, so a compiler or ABI change never loads a stale
     binary — it just misses and recompiles). Publication is atomic
-    (private temp file + rename), mirroring the plan store. *)
+    (private temp file + rename), mirroring the plan store.
+
+    Compiles run under {!Subproc}: [OMPSIM_JIT_TIMEOUT_MS] (default
+    30000) bounds the wall clock — on expiry the compiler's process
+    group is SIGKILLed and the failure counts [jit.timeout] — and the
+    first ~2KB of the compiler's stderr are carried in the [Error]
+    string instead of being discarded. *)
 
 (** [so_name fp] is the cache file name for fingerprint [fp] under the
     current ABI/compiler salt. *)
 val so_name : string -> string
 
-(** [specialize ?dir ~fingerprint inv] returns a validated handle to
-    the specialized object for [inv] (a canonical plan inversion):
-    loading the warm [.so] from [dir] when present and valid
-    ([jit.load]), else emitting + compiling a fresh one ([jit.compile],
-    under a [jit.compile] trace span) and publishing it in [dir].
-    [dir] defaults to a process-shared directory under the system temp
-    dir. Corrupt or stale cache entries are silent misses: they are
-    recompiled and overwritten, never surfaced. [Error] means the
-    native tier is unavailable for this plan (no compiler, emit or
-    compile failure) — the caller falls back to the interpreted walk
-    and counts [jit.fallback]. *)
+(** [is_breaker_rejection e] is [true] when [e] is a circuit-breaker
+    rejection rather than a real compile outcome. Callers that cache
+    specialize failures per fingerprint (see {!Service.Native}) must
+    not cache these: the breaker re-closing would otherwise leave
+    fingerprints pinned to the interpreted fallback forever. *)
+val is_breaker_rejection : string -> bool
+
+(** [specialize ?dir ?breaker ~fingerprint inv] returns a validated
+    handle to the specialized object for [inv] (a canonical plan
+    inversion): loading the warm [.so] from [dir] when present and
+    valid ([jit.load]), else emitting + compiling a fresh one
+    ([jit.compile], under a [jit.compile] trace span) and publishing
+    it in [dir]. [dir] defaults to a process-shared directory under
+    the system temp dir. Corrupt or stale cache entries are silent
+    misses: they are recompiled and overwritten, never surfaced.
+
+    When [breaker] is given, fresh compiles consult it first: a
+    rejected attempt returns an [Error] recognized by
+    {!is_breaker_rejection} without forking the compiler, and
+    toolchain outcomes (compile success/failure/timeout, unloadable
+    object, unavailable compiler) feed {!Breaker.success} /
+    {!Breaker.failure}. Warm loads and emit errors bypass the breaker.
+
+    [Error] means the native tier is unavailable for this plan (no
+    compiler, emit or compile failure, breaker open) — the caller
+    falls back to the interpreted walk and counts [jit.fallback]. *)
 val specialize :
-  ?dir:string -> fingerprint:string -> Trahrhe.Inversion.t -> (Native.handle, string) result
+  ?dir:string ->
+  ?breaker:Breaker.t ->
+  fingerprint:string ->
+  Trahrhe.Inversion.t ->
+  (Native.handle, string) result

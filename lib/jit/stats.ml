@@ -1,6 +1,11 @@
 let compiles = Obsv.Metrics.create "jit.compile"
 let loads = Obsv.Metrics.create "jit.load"
 let fallbacks = Obsv.Metrics.create "jit.fallback"
+let timeouts = Obsv.Metrics.create "jit.timeout"
+let breaker_opens = Obsv.Metrics.create "jit.breaker.open"
+let breaker_closes = Obsv.Metrics.create "jit.breaker.close"
+let breaker_rejects = Obsv.Metrics.create "jit.breaker.reject"
+let breaker_probes = Obsv.Metrics.create "jit.breaker.probe"
 
 let incr metric = if Obsv.Control.enabled () then Obsv.Metrics.incr_here metric
 let fallback () = incr fallbacks

@@ -1,0 +1,50 @@
+(** Supervised subprocess runner for the JIT tier.
+
+    Every external process the tier forks (the C compiler, the
+    [--version] probe) runs under a deadline: the child is spawned as a
+    session leader with stdout/stderr captured through pipes, and when
+    [OMPSIM_JIT_TIMEOUT_MS] expires the whole process group is
+    SIGKILLed, so a wedged or looping toolchain costs one bounded wait
+    instead of hanging every single-flight waiter. An optional
+    [cpu_s] rusage cap ([ulimit -t] through [/bin/sh]) additionally
+    bounds children that keep spinning after the direct child dies. *)
+
+type outcome =
+  | Exited of int  (** normal exit with the given code; 127 = exec failed *)
+  | Signaled of int  (** killed by a signal (OCaml signal number) *)
+  | Timed_out  (** deadline expired; the process group was SIGKILLed *)
+
+type capture = {
+  outcome : outcome;
+  stdout : string;  (** first [stdout_cap] bytes of the child's stdout *)
+  stderr : string;  (** first [stderr_cap] bytes of the child's stderr *)
+  elapsed_ms : float;
+}
+
+(** [default_timeout_ms ()] is [OMPSIM_JIT_TIMEOUT_MS] when set to a
+    positive integer, else 30000. Read per call, so tests and the
+    chaos harness can rearm it. *)
+val default_timeout_ms : unit -> int
+
+(** [run prog args] spawns [prog] (resolved through [PATH]) with
+    [args] (not including the argv[0] convention — it is added),
+    stdin from [/dev/null], and returns once the child exits or the
+    deadline fires. [timeout_ms] defaults to {!default_timeout_ms};
+    [stdout_cap]/[stderr_cap] (default 2048 bytes) bound the captured
+    excerpts — the pipes keep draining past the cap so a chatty child
+    never blocks. [cpu_s] wraps the command in [/bin/sh -c 'ulimit -t
+    n; exec ...'], capping the CPU time of the child and everything it
+    execs. Never raises: spawn failures surface as [Exited 127] with
+    the reason in [stderr]. *)
+val run :
+  ?timeout_ms:int ->
+  ?cpu_s:int ->
+  ?stdout_cap:int ->
+  ?stderr_cap:int ->
+  string ->
+  string list ->
+  capture
+
+(** [describe c] renders an outcome for error messages:
+    ["exited 1"], ["killed by SIGKILL"], ["timed out after 500ms"]. *)
+val describe : capture -> string

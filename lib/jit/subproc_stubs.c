@@ -1,0 +1,65 @@
+/* Supervised spawn for the JIT compile runner.
+ *
+ * Unix.fork is unavailable once domains exist, and Unix.create_process
+ * offers no session control, so the runner spawns through
+ * posix_spawnp: the child is made a session leader (POSIX_SPAWN_SETSID)
+ * so an expired deadline can SIGKILL the entire process group — gcc's
+ * cc1/as children included — and stdout/stderr are wired to the pipe
+ * write ends handed in by the caller. stdin comes from /dev/null: a
+ * compiler must never wait on our terminal.
+ */
+#define _GNU_SOURCE
+#include <errno.h>
+#include <fcntl.h>
+#include <spawn.h>
+#include <stdlib.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+
+extern char **environ;
+
+/* spawn prog argv with fds 1/2 dup'd from out_fd/err_fd.
+   Returns the child pid, or the negated errno on spawn failure. */
+CAMLprim value ompsim_subproc_spawn(value v_prog, value v_argv, value v_out_fd,
+                                    value v_err_fd)
+{
+  CAMLparam4(v_prog, v_argv, v_out_fd, v_err_fd);
+  int n = Wosize_val(v_argv);
+  char **argv = caml_stat_alloc((n + 1) * sizeof *argv);
+  for (int i = 0; i < n; i++)
+    argv[i] = caml_stat_strdup(String_val(Field(v_argv, i)));
+  argv[n] = NULL;
+  char *prog = caml_stat_strdup(String_val(v_prog));
+
+  posix_spawn_file_actions_t fa;
+  posix_spawnattr_t attr;
+  posix_spawn_file_actions_init(&fa);
+  posix_spawn_file_actions_addopen(&fa, 0, "/dev/null", O_RDONLY, 0);
+  posix_spawn_file_actions_adddup2(&fa, Int_val(v_out_fd), 1);
+  posix_spawn_file_actions_adddup2(&fa, Int_val(v_err_fd), 2);
+  posix_spawnattr_init(&attr);
+  short flags = 0;
+#ifdef POSIX_SPAWN_SETSID
+  flags |= POSIX_SPAWN_SETSID;
+#endif
+  posix_spawnattr_setflags(&attr, flags);
+
+  pid_t pid = -1;
+  int rc = posix_spawnp(&pid, prog, &fa, &attr, argv, environ);
+
+  posix_spawn_file_actions_destroy(&fa);
+  posix_spawnattr_destroy(&attr);
+  for (int i = 0; i < n; i++)
+    caml_stat_free(argv[i]);
+  caml_stat_free(argv);
+  caml_stat_free(prog);
+
+  if (rc != 0)
+    CAMLreturn(Val_long(-(long)rc));
+  CAMLreturn(Val_long((long)pid));
+}

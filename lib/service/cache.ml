@@ -11,6 +11,10 @@ type stats = {
   misses : int;
   evictions : int;
   singleflight_waits : int;
+  quarantined : int;
+  lock_waits : int;
+  lock_steals : int;
+  janitor_removed : int;
 }
 
 type t = {
@@ -26,27 +30,100 @@ type t = {
   mutable misses : int;
   mutable evictions : int;
   mutable singleflight_waits : int;
+  mutable quarantined : int;
+  mutable lock_waits : int;
+  mutable lock_steals : int;
+  mutable janitor_removed : int;
 }
+
+let obsv_incr metric = if Obsv.Control.enabled () then Obsv.Metrics.incr_here metric
+
+(* ---- startup janitor ----
+
+   A crashed writer leaves its private [.name.pid.ext] temp (ext one
+   of tmp, c, so, log) behind forever (the atomic-rename publish
+   never happened), a
+   kill -9'd lock holder leaves an unlocked [.lock] file, and
+   quarantined [.bad] entries accumulate. None of these are live
+   state: published entries never start with a dot, live locks resist
+   a try-lock, and [.bad] files exist only for the post-mortem window
+   until the next startup. *)
+
+let temp_exts = [ "tmp"; "c"; "so"; "log" ]
+
+let pid_dead pid =
+  match Unix.kill pid 0 with
+  | () -> false
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> true
+  | exception Unix.Unix_error _ -> false (* EPERM and friends: alive *)
+
+(* [.{name}.{pid}.{ext}] with a dead pid; fingerprints and salts are
+   hex, so the dot-split segments are unambiguous *)
+let orphan_temp name =
+  String.length name > 1
+  && name.[0] = '.'
+  &&
+  match List.rev (String.split_on_char '.' name) with
+  | ext :: pid :: _ when List.mem ext temp_exts -> (
+    match int_of_string_opt pid with Some p when p > 0 -> pid_dead p | _ -> false)
+  | _ -> false
+
+let sweep_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | entries ->
+    Array.fold_left
+      (fun acc name ->
+        let path = Filename.concat dir name in
+        if orphan_temp name || Filename.check_suffix name ".bad" then (
+          match Sys.remove path with
+          | () -> acc + 1
+          | exception Sys_error _ -> acc)
+        else if Filename.check_suffix name ".lock" then
+          if Lockfile.try_clean path then acc + 1 else acc
+        else acc)
+      0 entries
+
+let sweep t =
+  match t.dir with
+  | None -> 0
+  | Some dir ->
+    let n = sweep_dir dir in
+    if n > 0 then begin
+      Mutex.lock t.mutex;
+      t.janitor_removed <- t.janitor_removed + n;
+      Mutex.unlock t.mutex;
+      for _ = 1 to n do
+        obsv_incr Stats.cache_janitor
+      done
+    end;
+    n
 
 let create ?(capacity = 256) ?dir () =
   let dir = match dir with Some d -> d | None -> Sys.getenv_opt "OMPSIM_PLAN_CACHE" in
-  { capacity = max 1 capacity;
-    dir;
-    mutex = Mutex.create ();
-    tbl = Hashtbl.create 64;
-    head = None;
-    tail = None;
-    inflight = Single_flight.create ();
-    hits = 0;
-    disk_hits = 0;
-    misses = 0;
-    evictions = 0;
-    singleflight_waits = 0 }
+  let t =
+    { capacity = max 1 capacity;
+      dir;
+      mutex = Mutex.create ();
+      tbl = Hashtbl.create 64;
+      head = None;
+      tail = None;
+      inflight = Single_flight.create ();
+      hits = 0;
+      disk_hits = 0;
+      misses = 0;
+      evictions = 0;
+      singleflight_waits = 0;
+      quarantined = 0;
+      lock_waits = 0;
+      lock_steals = 0;
+      janitor_removed = 0 }
+  in
+  ignore (sweep t);
+  t
 
 let default_cache = lazy (create ())
 let default () = Lazy.force default_cache
-
-let obsv_incr metric = if Obsv.Control.enabled () then Obsv.Metrics.incr_here metric
 
 (* ---- LRU plumbing; every call below holds t.mutex ---- *)
 
@@ -97,9 +174,40 @@ let record_miss t =
   t.misses <- t.misses + 1;
   obsv_incr Stats.cache_misses
 
+(* the three below are called with the mutex NOT held *)
+
+let record_quarantine t =
+  Mutex.lock t.mutex;
+  t.quarantined <- t.quarantined + 1;
+  Mutex.unlock t.mutex;
+  obsv_incr Stats.cache_quarantined
+
+let record_lock_wait t =
+  Mutex.lock t.mutex;
+  t.lock_waits <- t.lock_waits + 1;
+  Mutex.unlock t.mutex;
+  obsv_incr Stats.cache_lock_waits
+
+let record_lock_steal t =
+  Mutex.lock t.mutex;
+  t.lock_steals <- t.lock_steals + 1;
+  Mutex.unlock t.mutex;
+  obsv_incr Stats.cache_lock_steals
+
 (* ---- disk tier (no lock held; failures are misses or no-ops) ---- *)
 
 let plan_path dir fp = Filename.concat dir (fp ^ ".plan")
+let lock_path dir fp = Filename.concat dir (fp ^ ".lock")
+let bad_path dir fp = Filename.concat dir (fp ^ ".bad")
+
+(* a corrupt entry is moved aside, never deleted (the .bad copy is
+   the post-mortem evidence; the next startup janitor reclaims it)
+   and never re-served *)
+let quarantine t dir fp =
+  let src = plan_path dir fp in
+  (try Sys.rename src (bad_path dir fp)
+   with Sys_error _ -> ( try Sys.remove src with Sys_error _ -> ()));
+  record_quarantine t
 
 let disk_load t fp =
   match t.dir with
@@ -114,9 +222,18 @@ let disk_load t fp =
     | exception Sys_error _ -> None
     | exception End_of_file -> None
     | content -> (
-      match Plan.decode content with
-      | Ok p when p.Plan.fingerprint = fp -> Some p
-      | Ok _ | Error _ -> None))
+      (* envelope failure = corruption (torn write, bit rot):
+         quarantine. A clean envelope around an undecodable payload =
+         staleness (old format version, foreign fingerprint): plain
+         miss, silently overwritten by the recompile. *)
+      match Envelope.unwrap content with
+      | Error `Corrupt ->
+        quarantine t dir fp;
+        None
+      | Ok payload -> (
+        match Plan.decode payload with
+        | Ok p when p.Plan.fingerprint = fp -> Some p
+        | Ok _ | Error _ -> None)))
 
 let rec mkdir_p d =
   if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
@@ -127,8 +244,9 @@ let rec mkdir_p d =
 
 (* atomic publish: write a private temp file, then rename into place —
    a concurrent reader sees the old entry or the new one, never a
-   torn write. Purely best-effort: a read-only dir silently disables
-   the tier for this entry. *)
+   torn write (and the CRC envelope catches anything the filesystem
+   still manages to tear). Purely best-effort: a read-only dir
+   silently disables the tier for this entry. *)
 let disk_store t fp plan =
   match t.dir with
   | None -> ()
@@ -138,7 +256,7 @@ let disk_store t fp plan =
       let tmp = Filename.concat dir (Printf.sprintf ".%s.%d.tmp" fp (Unix.getpid ())) in
       let oc = open_out_bin tmp in
       (try
-         output_string oc (Plan.encode plan);
+         output_string oc (Envelope.wrap (Plan.encode plan));
          close_out oc
        with e ->
          close_out_noerr oc;
@@ -176,16 +294,47 @@ let find_or_compile ?(compile = Plan.compile) t nest =
          the metrics either way. *)
       let result, origin =
         Obsv.Trace.with_span "service.cache" @@ fun () ->
+        let fresh () =
+          match compile canonical with
+          | Ok plan ->
+            disk_store t fp plan;
+            (Ok plan, `Compiled)
+          | Error e -> (Error e, `Failed)
+        in
         match disk_load t fp with
         | Some plan -> (Ok plan, `Disk)
         | None -> (
-          match compile canonical with
-          | Ok plan -> (Ok plan, `Compiled)
-          | Error e -> (Error e, `Failed))
+          match t.dir with
+          | None -> fresh ()
+          | Some dir ->
+            (* cross-process single-flight: processes sharing this
+               store serialize fresh compiles of one fingerprint on
+               an advisory file lock. A kill -9'd holder's lock is
+               released by the kernel; a live-but-wedged holder is
+               bounded by the acquisition timeout, after which we
+               proceed without the lock — a stampede, not a hazard,
+               because publication stays atomic. *)
+            let lk =
+              match mkdir_p dir with
+              | () -> Lockfile.acquire (lock_path dir fp)
+              | exception (Sys_error e | Unix.Unix_error (_, _, e)) ->
+                Error (`Unavailable e)
+            in
+            (match lk with
+            | Ok l when Lockfile.contended l -> record_lock_wait t
+            | Ok _ -> ()
+            | Error `Timeout -> record_lock_steal t
+            | Error (`Unavailable _) -> ());
+            Fun.protect
+              ~finally:(fun () -> match lk with Ok l -> Lockfile.release l | Error _ -> ())
+              (fun () ->
+                (* double-checked probe: whoever held the lock (or
+                   still holds it, on a steal) may have published
+                   this entry while we waited *)
+                match disk_load t fp with
+                | Some plan -> (Ok plan, `Disk)
+                | None -> fresh ()))
       in
-      (match (result, origin) with
-      | Ok plan, `Compiled -> disk_store t fp plan
-      | _ -> ());
       Mutex.lock t.mutex;
       (match origin with
       | `Disk -> record_hit t ~disk:true
@@ -204,7 +353,11 @@ let stats t =
       disk_hits = t.disk_hits;
       misses = t.misses;
       evictions = t.evictions;
-      singleflight_waits = t.singleflight_waits }
+      singleflight_waits = t.singleflight_waits;
+      quarantined = t.quarantined;
+      lock_waits = t.lock_waits;
+      lock_steals = t.lock_steals;
+      janitor_removed = t.janitor_removed }
   in
   Mutex.unlock t.mutex;
   s
@@ -228,4 +381,8 @@ let clear t =
   t.misses <- 0;
   t.evictions <- 0;
   t.singleflight_waits <- 0;
+  t.quarantined <- 0;
+  t.lock_waits <- 0;
+  t.lock_steals <- 0;
+  t.janitor_removed <- 0;
   Mutex.unlock t.mutex

@@ -2,18 +2,30 @@
 
     Tier 1 is a bounded in-memory LRU keyed by nest fingerprint; tier
     2 is an optional on-disk store (one [<fingerprint>.plan] file per
-    plan, written atomically via rename) enabled by passing [~dir] or
-    setting the [OMPSIM_PLAN_CACHE] environment variable. Disk reads
-    that fail for any reason — missing file, truncated or corrupted
-    content, a plan written by an older format version — are treated
-    as misses and recompiled, never surfaced as errors; a successful
-    recompile overwrites the bad entry.
+    plan, written atomically via rename inside a CRC envelope —
+    {!Envelope}) enabled by passing [~dir] or setting the
+    [OMPSIM_PLAN_CACHE] environment variable.
 
-    Concurrent requests for the same fingerprint are single-flighted:
-    the first runs the compile, the rest park on a condition variable
-    and receive the winner's result. A failed compile propagates its
-    error to every parked waiter but is {e not} cached — the next
-    request for that fingerprint compiles again.
+    Disk robustness: an entry whose envelope fails to verify (torn
+    write, bit rot, foreign bytes) is {e quarantined} — moved to
+    [<fingerprint>.bad], counted in [quarantined], recompiled — never
+    silently re-served; an entry that verifies but no longer decodes
+    (older format version) is an ordinary miss and is overwritten.
+    Fresh compiles into a shared store are serialized {e across
+    processes} by an advisory [<fingerprint>.lock] file ({!Lockfile}):
+    the loser of the race finds the winner's entry on a double-checked
+    probe and serves it as a disk hit. A crashed holder's lock is
+    reclaimed by the kernel; a wedged holder is abandoned after
+    [OMPSIM_CACHE_LOCK_TIMEOUT_MS] (counted in [lock_steals]).
+    {!create} runs a startup janitor ({!sweep}) that removes orphaned
+    dot-temps of dead writers, stale [.lock]s and [.bad] files.
+
+    Concurrent in-process requests for the same fingerprint are
+    single-flighted: the first runs the compile, the rest park on a
+    condition variable and receive the winner's result. A failed
+    compile propagates its error to every parked waiter but is {e
+    not} cached — the next request for that fingerprint compiles
+    again.
 
     All operations are thread-safe; the per-request critical sections
     take one mutex and never hold it across a compile or disk I/O. *)
@@ -23,23 +35,38 @@ type t
 (** Always-on counters (independent of {!Obsv.Control}); with the
     observability layer enabled the [cache.*] {!Stats} metrics advance
     in lockstep. Per request exactly one of [hits]/[misses]/
-    [singleflight_waits] advances, and [disk_hits <= hits]. *)
+    [singleflight_waits] advances, and [disk_hits <= hits]. The
+    robustness counters ride along without disturbing that invariant:
+    a quarantined entry also counts as the miss that recompiles it. *)
 type stats = {
   hits : int;
   disk_hits : int;
   misses : int;
   evictions : int;
   singleflight_waits : int;
+  quarantined : int;  (** corrupt disk entries moved to [.bad] *)
+  lock_waits : int;  (** cross-process lock acquisitions that contended *)
+  lock_steals : int;  (** lock timeouts abandoned on a live holder *)
+  janitor_removed : int;  (** orphaned files swept at startup *)
 }
 
 (** [create ()] makes a cache. [capacity] (default 256) bounds the
     in-memory tier; [dir] (default: [OMPSIM_PLAN_CACHE] when set)
-    locates the disk tier, created on first store if missing. *)
+    locates the disk tier, created on first store if missing. When
+    the directory exists, creation runs one janitor {!sweep}. *)
 val create : ?capacity:int -> ?dir:string option -> unit -> t
 
 (** [default ()] is the shared process-wide cache, configured from the
     environment (created on first use). *)
 val default : unit -> t
+
+(** [sweep t] removes orphaned files from the disk tier and returns
+    how many it removed (0 when no disk tier): private
+    [.{name}.{pid}.{ext}] temps whose writer pid is dead, [.lock]
+    files no live process holds, and quarantined [.bad] entries.
+    Published entries are never candidates (they never start with a
+    dot). Also run by {!create}. *)
+val sweep : t -> int
 
 (** [find_or_compile t nest] canonicalizes and fingerprints [nest],
     then returns its plan — from memory, from disk, from a concurrent
@@ -50,9 +77,10 @@ val default : unit -> t
     [?compile] overrides the compiler (default {!Plan.compile} of the
     canonical nest) — the tests use it to inject slow or failing
     compiles; the contract is that it returns a plan for the canonical
-    nest it is given. The slow path — disk probe plus compile — runs
-    under a [service.cache] trace span; warm hits record only the
-    metrics (a span per sub-microsecond hit would drown the trace). *)
+    nest it is given. The slow path — disk probe, cross-process lock,
+    compile — runs under a [service.cache] trace span; warm hits
+    record only the metrics (a span per sub-microsecond hit would
+    drown the trace). *)
 val find_or_compile :
   ?compile:(Trahrhe.Nest.t -> (Plan.t, string) result) ->
   t ->

@@ -1,0 +1,44 @@
+(* CRC-32 (IEEE 802.3, the zlib/gzip polynomial), table-driven,
+   reflected. OCaml ints are 63-bit here so the running value is
+   masked to 32 bits explicitly. *)
+
+let mask32 = 0xFFFFFFFF
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let t = Lazy.force table in
+  let c = ref mask32 in
+  String.iter (fun ch -> c := t.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8)) s;
+  !c lxor mask32 land mask32
+
+let magic = "ompsim-entry"
+let format_version = 1
+
+let wrap payload =
+  Printf.sprintf "%s %d %08x %d\n%s" magic format_version (crc32 payload)
+    (String.length payload) payload
+
+let unwrap content =
+  match String.index_opt content '\n' with
+  | None -> Error `Corrupt
+  | Some nl -> (
+    let header = String.sub content 0 nl in
+    match String.split_on_char ' ' header with
+    | [ m; v; crc_hex; len_s ] when m = magic -> (
+      match (int_of_string_opt v, int_of_string_opt ("0x" ^ crc_hex), int_of_string_opt len_s) with
+      | Some v, Some crc, Some len when v = format_version ->
+        let body_len = String.length content - nl - 1 in
+        if body_len <> len then Error `Corrupt
+        else
+          let payload = String.sub content (nl + 1) len in
+          if crc32 payload = crc then Ok payload else Error `Corrupt
+      | _ -> Error `Corrupt)
+    | _ -> Error `Corrupt)

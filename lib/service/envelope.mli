@@ -1,0 +1,26 @@
+(** Checksummed entry envelope for the disk tiers.
+
+    A disk entry is [ompsim-entry <version> <crc32-hex8> <len>\n]
+    followed by exactly [len] payload bytes. The CRC covers the
+    payload, so a torn write (kill -9 between write and rename on a
+    filesystem that reorders, bit rot, a partial copy) is detected at
+    read time instead of being parsed as a plan. The cache treats
+    {!unwrap} failures as {e corruption} — the entry is quarantined to
+    [<name>.bad] and counted ([cache.quarantined]) — while a payload
+    that unwraps cleanly but fails to decode is an ordinary {e stale}
+    miss (old format version, foreign fingerprint) and is silently
+    overwritten, exactly as before. *)
+
+(** [crc32 s] is the IEEE CRC-32 of [s] (the zlib polynomial), in
+    [0, 0xFFFFFFFF]. *)
+val crc32 : string -> int
+
+val magic : string
+val format_version : int
+
+(** [wrap payload] renders the envelope around [payload]. *)
+val wrap : string -> string
+
+(** [unwrap content] returns the payload iff the header parses, the
+    length matches exactly and the CRC verifies. *)
+val unwrap : string -> (string, [ `Corrupt ]) result

@@ -1,0 +1,101 @@
+type t = {
+  fd : Unix.file_descr;
+  path : string;
+  contended : bool;  (* at least one trylock failed before we won *)
+}
+
+let default_timeout_ms () =
+  match Sys.getenv_opt "OMPSIM_CACHE_LOCK_TIMEOUT_MS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with Some n when n >= 0 -> n | _ -> 10000)
+  | None -> 10000
+
+let contended t = t.contended
+
+(* Advisory cross-process lock via lockf (POSIX record locks): the
+   kernel releases the lock when the holder dies, so a kill -9'd
+   writer never wedges the cache — takeover of such a "stale" lock is
+   just a successful trylock. The timeout guards against a holder
+   that is alive but stuck; on expiry the caller proceeds without the
+   lock (counted as a steal upstream), which is safe because
+   publication is an atomic rename either way.
+
+   Two subtleties:
+   - release unlinks the lock file (no residue), so a winner must
+     revalidate that the inode it locked is still the inode at [path]
+     — losing that race means it locked a file some other process
+     already released and removed, and must retry on the fresh file.
+   - lockf locks are per-process: two threads of one process never
+     conflict here. In-process exclusion is the single-flight table's
+     job; this lock only arbitrates between processes. *)
+let acquire ?timeout_ms ?(poll_ms = 20) path =
+  let timeout_ms = match timeout_ms with Some t -> t | None -> default_timeout_ms () in
+  let deadline = Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.) in
+  let contended = ref false in
+  let rec attempt () =
+    match Unix.openfile path [ Unix.O_CREAT; Unix.O_RDWR; Unix.O_CLOEXEC ] 0o644 with
+    | exception Unix.Unix_error (e, _, _) ->
+      Error (`Unavailable (Unix.error_message e))
+    | fd -> try_lock fd
+  and try_lock fd =
+    match Unix.lockf fd Unix.F_TLOCK 0 with
+    | () -> (
+      (* revalidate: is the inode we locked still the one at [path]? *)
+      match (Unix.fstat fd, Unix.stat path) with
+      | st_fd, st_path
+        when st_fd.Unix.st_ino = st_path.Unix.st_ino
+             && st_fd.Unix.st_dev = st_path.Unix.st_dev ->
+        (* record the holder for post-mortem debugging *)
+        (try
+           Unix.ftruncate fd 0;
+           ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+           let pid = Printf.sprintf "%d\n" (Unix.getpid ()) in
+           ignore (Unix.write_substring fd pid 0 (String.length pid))
+         with Unix.Unix_error _ -> ());
+        Ok { fd; path; contended = !contended }
+      | _ | (exception Unix.Unix_error _) ->
+        (* the file was released+unlinked under us: retry on the
+           fresh path *)
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        wait_retry ())
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+      contended := true;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      wait_retry ()
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (`Unavailable (Unix.error_message e))
+  and wait_retry () =
+    if Unix.gettimeofday () >= deadline then Error `Timeout
+    else begin
+      Unix.sleepf (float_of_int poll_ms /. 1000.);
+      attempt ()
+    end
+  in
+  attempt ()
+
+let release t =
+  (* unlink before unlock: a poller blocked on this inode wakes to a
+     nameless file, notices via revalidation, and retries on the path *)
+  (try Unix.unlink t.path with Unix.Unix_error _ -> ());
+  (try
+     ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+     Unix.lockf t.fd Unix.F_ULOCK 0
+   with Unix.Unix_error _ -> ());
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* a lock file nobody holds is an orphan (crashed holder already lost
+   its kernel lock); one somebody holds is left alone *)
+let try_clean path =
+  match Unix.openfile path [ Unix.O_RDWR; Unix.O_CLOEXEC ] 0o644 with
+  | exception Unix.Unix_error _ -> false
+  | fd -> (
+    match Unix.lockf fd Unix.F_TLOCK 0 with
+    | () ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      true
+    | exception Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      false)

@@ -1,0 +1,42 @@
+(** Advisory cross-process file locks for the disk tier.
+
+    Built on [Unix.lockf] (POSIX record locks): the kernel drops a
+    holder's lock when its process dies, so a kill -9'd cache writer
+    never wedges other processes — taking over such a stale lock is
+    simply a successful acquisition. A holder that is alive but stuck
+    is bounded by the acquisition timeout ([OMPSIM_CACHE_LOCK_TIMEOUT_MS],
+    default 10000 ms): on expiry the caller proceeds {e without} the
+    lock, which the cache counts as a lock steal — safe, because entry
+    publication is an atomic rename regardless of who holds the lock.
+
+    These locks arbitrate between {e processes} only: POSIX record
+    locks do not conflict within one process, where the single-flight
+    table already provides exclusion. Locks must be released by the
+    acquiring thread before the process forks grandchildren that
+    should not inherit them (fds are close-on-exec). *)
+
+type t
+
+val default_timeout_ms : unit -> int
+
+(** [acquire path] polls a try-lock on [path] (creating it if needed)
+    every [poll_ms] (default 20 ms) until it wins or [timeout_ms]
+    (default {!default_timeout_ms}) expires. On success the holder's
+    pid is recorded in the file. [Error `Timeout] means a live holder
+    outlasted the deadline; [Error (`Unavailable _)] means the lock
+    file cannot be used at all (e.g. read-only directory). *)
+val acquire :
+  ?timeout_ms:int -> ?poll_ms:int -> string -> (t, [ `Timeout | `Unavailable of string ]) result
+
+(** [contended t] is [true] when at least one try-lock failed before
+    this acquisition won — i.e. the caller actually waited. *)
+val contended : t -> bool
+
+(** [release t] unlinks the lock file, releases the lock and closes
+    the fd. Never raises. *)
+val release : t -> unit
+
+(** [try_clean path] removes [path] iff no live process holds it
+    locked; returns whether it was removed. Used by the startup
+    janitor to sweep orphaned [.lock] files. *)
+val try_clean : string -> bool

@@ -7,27 +7,37 @@ type t = {
   mutex : Mutex.t;
   tbl : (string, (Jit.Native.handle, string) result) Hashtbl.t;
   flights : Jit.Native.handle Single_flight.t;
+  breaker : Jit.Breaker.t;
   mutable served : int;
   mutable fallbacks : int;
+  mutable last_error : string option;
 }
 
-let create ?dir () =
+let create ?dir ?breaker () =
   let dir = match dir with Some d -> d | None -> Sys.getenv_opt "OMPSIM_PLAN_CACHE" in
+  let breaker = match breaker with Some b -> b | None -> Jit.Breaker.create () in
   { dir;
     mutex = Mutex.create ();
     tbl = Hashtbl.create 16;
     flights = Single_flight.create ();
+    breaker;
     served = 0;
-    fallbacks = 0 }
+    fallbacks = 0;
+    last_error = None }
 
 let default_t = lazy (create ())
 let default () = Lazy.force default_t
 let dir t = t.dir
+let breaker t = t.breaker
 
 (* one validated handle per fingerprint, single-flighted exactly like
    plan compiles. Specialize failures ARE cached (unlike plan-compile
    failures): a missing compiler would otherwise fork gcc once per
-   request, and the interpreted fallback is always available. *)
+   request, and the interpreted fallback is always available. The one
+   exception is a circuit-breaker rejection — that is the breaker
+   talking, not the toolchain, and caching it would pin the
+   fingerprint to the interpreted walk even after the breaker
+   re-closes. *)
 let handle_for t fp inv =
   Mutex.lock t.mutex;
   match Hashtbl.find_opt t.tbl fp with
@@ -43,9 +53,12 @@ let handle_for t fp inv =
     | None ->
       let fl = Single_flight.enter t.flights fp in
       Mutex.unlock t.mutex;
-      let result = Jit.Compile.specialize ?dir:t.dir ~fingerprint:fp inv in
+      let result = Jit.Compile.specialize ?dir:t.dir ~breaker:t.breaker ~fingerprint:fp inv in
       Mutex.lock t.mutex;
-      Hashtbl.replace t.tbl fp result;
+      (match result with
+      | Error e when Jit.Compile.is_breaker_rejection e -> ()
+      | result -> Hashtbl.replace t.tbl fp result);
+      (match result with Error e -> t.last_error <- Some e | Ok _ -> ());
       Single_flight.publish t.flights fp fl result;
       Mutex.unlock t.mutex;
       result)
@@ -61,18 +74,18 @@ let note_fallback t =
   Mutex.unlock t.mutex;
   Jit.Stats.fallback ()
 
-let recovery t (plan : Plan.t) ~param =
+let recovery_explain t (plan : Plan.t) ~param =
   let rc = Plan.recovery plan ~param in
   if R.overflow_guarded rc then begin
     (* PR-4 overflow mode stays interpreted: int64 C would wrap *)
     note_fallback t;
-    rc
+    (rc, Some "overflow-guarded nest stays interpreted")
   end
   else begin
     match handle_for t plan.Plan.fingerprint plan.Plan.inversion with
-    | Error _ ->
+    | Error e ->
       note_fallback t;
-      rc
+      (rc, Some e)
     | Ok h ->
       let ps =
         Array.of_list
@@ -81,18 +94,27 @@ let recovery t (plan : Plan.t) ~param =
       (* cheap end-to-end cross-check before trusting the object *)
       if Jit.Native.trip h ps <> R.trip_count rc then begin
         note_fallback t;
-        rc
+        (rc, Some "native trip-count cross-check mismatch")
       end
       else begin
         note_served t;
-        R.attach_native rc
-          { R.n_walk_hash = (fun ~pc ~len -> Jit.Native.walk_hash h ps ~pc ~len);
-            n_recover = (fun ~pc idx -> Jit.Native.recover h ps ~pc idx);
-            n_fill_block = (fun ~pc lanes -> Jit.Native.fill_block h ps ~pc lanes);
-            n_fill_flat = (fun ~pc ~width buf -> Jit.Native.fill_block_flat h ps ~pc ~width buf);
-            n_reduce_sum = (fun ~pc ~len -> Jit.Native.reduce_sum h ps ~pc ~len) }
+        ( R.attach_native rc
+            { R.n_walk_hash = (fun ~pc ~len -> Jit.Native.walk_hash h ps ~pc ~len);
+              n_recover = (fun ~pc idx -> Jit.Native.recover h ps ~pc idx);
+              n_fill_block = (fun ~pc lanes -> Jit.Native.fill_block h ps ~pc lanes);
+              n_fill_flat = (fun ~pc ~width buf -> Jit.Native.fill_block_flat h ps ~pc ~width buf);
+              n_reduce_sum = (fun ~pc ~len -> Jit.Native.reduce_sum h ps ~pc ~len) },
+          None )
       end
   end
+
+let recovery t plan ~param = fst (recovery_explain t plan ~param)
+
+let last_error t =
+  Mutex.lock t.mutex;
+  let e = t.last_error in
+  Mutex.unlock t.mutex;
+  e
 
 let stats t =
   Mutex.lock t.mutex;
@@ -106,4 +128,5 @@ let clear t =
   Hashtbl.reset t.tbl;
   t.served <- 0;
   t.fallbacks <- 0;
+  t.last_error <- None;
   Mutex.unlock t.mutex

@@ -10,7 +10,12 @@
 
     Unlike plan-compile failures, specialize failures are cached per
     fingerprint: a missing C compiler must not fork [gcc] once per
-    request when the interpreted walk is always available. *)
+    request when the interpreted walk is always available. Two
+    exceptions to that caching, both introduced by the compile
+    circuit breaker the cache threads into every specialize:
+    breaker {e rejections} are never cached (the breaker re-closing
+    must let the fingerprint try again), and breaker state itself is
+    queryable for the serve loop's [health] verb ({!breaker}). *)
 
 type t
 
@@ -18,14 +23,20 @@ type stats = { served : int; fallbacks : int }
 
 (** [create ()] makes a handle cache over [dir] (default:
     [OMPSIM_PLAN_CACHE] when set, else a temp directory chosen by
-    {!Jit.Compile.specialize}). *)
-val create : ?dir:string option -> unit -> t
+    {!Jit.Compile.specialize}). [breaker] (default a fresh
+    {!Jit.Breaker.create}, configured from the environment) guards
+    this cache's fresh compiles. *)
+val create : ?dir:string option -> ?breaker:Jit.Breaker.t -> unit -> t
 
 (** [default ()] is the shared process-wide cache, configured from the
     environment. *)
 val default : unit -> t
 
 val dir : t -> string option
+
+(** [breaker t] is the compile circuit breaker guarding this cache's
+    fresh specializations — the [health] verb reports its state. *)
+val breaker : t -> Jit.Breaker.t
 
 (** [recovery t plan ~param] is {!Plan.recovery} plus the native
     backend when one can be attached: the plan's object is fetched or
@@ -36,6 +47,18 @@ val dir : t -> string option
     unchanged and [jit.fallback] is counted; probe with
     {!Trahrhe.Recovery.native_enabled}. *)
 val recovery : t -> Plan.t -> param:(string -> int) -> Trahrhe.Recovery.t
+
+(** [recovery_explain t plan ~param] is {!recovery} plus the fallback
+    reason when the native backend could not be attached — including
+    the compiler's stderr excerpt on a compile failure — so the serve
+    loop can surface {e why} a request ran interpreted. [None] means
+    the native backend is engaged. *)
+val recovery_explain :
+  t -> Plan.t -> param:(string -> int) -> Trahrhe.Recovery.t * string option
+
+(** [last_error t] is the most recent specialize failure (breaker
+    rejections included), for the [health] report. *)
+val last_error : t -> string option
 
 val stats : t -> stats
 

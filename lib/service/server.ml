@@ -17,6 +17,7 @@ type exec_opts = {
 type request =
   | Compile of { label : string; nest : N.t }
   | Exec of { label : string; nest : N.t; param : string -> int; opts : exec_opts }
+  | Health
   | Shutdown
 
 (* ---- request-line parsing ---- *)
@@ -218,6 +219,7 @@ let parse_request_uncached line =
   | [] -> Ok None
   | op :: _ when op.[0] = '#' -> Ok None
   | "shutdown" :: rest -> if rest = [] then Ok (Some Shutdown) else Error "shutdown takes no fields"
+  | "health" :: rest -> if rest = [] then Ok (Some Health) else Error "health takes no fields"
   | "compile" :: rest ->
     let* fields = fields_of_tokens rest in
     let* () = check_keys ~allowed:[ "kernel"; "params"; "levels"; "label" ] fields in
@@ -279,7 +281,7 @@ let parse_request_uncached line =
     Ok
       (Some
          (Exec { label; nest; param; opts = { threads; schedule; lanes; repeat; retries; native; reduce } }))
-  | op :: _ -> Error (Printf.sprintf "unknown operation %S (compile | exec | shutdown)" op)
+  | op :: _ -> Error (Printf.sprintf "unknown operation %S (compile | exec | health | shutdown)" op)
 
 (* Parsed request lines, memoized by the line itself. Clients of a
    line protocol repeat identical lines constantly (every [kernel=]
@@ -470,6 +472,39 @@ let shutdown_json cache =
   Printf.sprintf {|{"op":"shutdown","status":"ok","cache":{"hits":%d,"misses":%d}}|}
     s.Cache.hits s.Cache.misses
 
+(* the liveness probe: breaker state, cache health, inflight depth.
+   Deliberately NOT byte-stable across runs — it reports live state,
+   which is its whole job; tooling that diffs responses must exclude
+   it like the shutdown acknowledgement *)
+let health_json ?native ?(inflight = 0) cache =
+  let nt = match native with Some nt -> nt | None -> Native.default () in
+  let b = Native.breaker nt in
+  let s = Cache.stats cache in
+  let ns = Native.stats nt in
+  Printf.sprintf
+    {|{"op":"health","status":"ok","breaker":{"state":"%s","consecutive_failures":%d,"opens":%d,"rejections":%d,"probes":%d},"cache":{"hits":%d,"disk_hits":%d,"misses":%d,"evictions":%d,"singleflight_waits":%d,"quarantined":%d,"lock_waits":%d,"lock_steals":%d,"janitor_removed":%d},"native":{"served":%d,"fallbacks":%d%s},"inflight":%d}|}
+    (Jit.Breaker.state_name (Jit.Breaker.state b))
+    (Jit.Breaker.failures b) (Jit.Breaker.opens b) (Jit.Breaker.rejections b)
+    (Jit.Breaker.probes b) s.Cache.hits s.Cache.disk_hits s.Cache.misses s.Cache.evictions
+    s.Cache.singleflight_waits s.Cache.quarantined s.Cache.lock_waits s.Cache.lock_steals
+    s.Cache.janitor_removed ns.Native.served ns.Native.fallbacks
+    (match Native.last_error nt with
+    | None -> ""
+    | Some e -> Printf.sprintf {|,"last_error":"%s"|} (json_escape e))
+    inflight
+
+(* overload rejections answer with the request's own op/label so a
+   pipelining client can still correlate responses to requests *)
+let op_label = function
+  | Compile { label; _ } -> ("compile", label)
+  | Exec { label; _ } -> ("exec", label)
+  | Health -> ("health", "-")
+  | Shutdown -> ("shutdown", "-")
+
+let overload_json req =
+  let op, label = op_label req in
+  error_json ~op ~label "rejected:overload"
+
 (* Rendered [compile] responses, memoized by the plan's PHYSICAL
    identity plus the request label. The response is a pure function of
    the two (fingerprint, depth, symbolic trip count — all read off the
@@ -511,6 +546,7 @@ let compile_json ~label plan =
 let handle_full ?native ?deadline_ms cache req =
   match req with
   | Shutdown -> (shutdown_json cache, true, false)
+  | Health -> (health_json ?native cache, true, false)
   | Compile { label; nest } -> (
     match Cache.find_or_compile cache nest with
     | Error e -> (error_json ~op:"compile" ~label e, false, false)
@@ -540,21 +576,28 @@ let handle_full ?native ?deadline_ms cache req =
          recovery and the serial reference run under canonical names *)
       match
         let cparam = Fingerprint.canonical_param renaming param in
-        let rc =
+        let rc, native_why =
           if opts.native then
             let nt = match native with Some nt -> nt | None -> Native.default () in
-            Native.recovery nt plan ~param:cparam
-          else Plan.recovery plan ~param:cparam
+            Native.recovery_explain nt plan ~param:cparam
+          else (Plan.recovery plan ~param:cparam, None)
         in
-        (rc, cparam)
+        (rc, native_why, cparam)
       with
       | exception Invalid_argument e -> err e
-      | rc, cparam -> (
+      | rc, native_why, cparam -> (
         let trip = R.trip_count rc in
         (* "native" reports whether the backend actually engaged —
-           false under fallback, which CI's no-gcc job asserts on *)
+           false under fallback, which CI's no-gcc job asserts on —
+           and on fallback "native_error" carries the reason,
+           including the compiler's stderr excerpt *)
         let native_field =
-          if opts.native then Printf.sprintf {|,"native":%b|} (R.native_enabled rc) else ""
+          if opts.native then
+            match native_why with
+            | Some reason when not (R.native_enabled rc) ->
+              Printf.sprintf {|,"native":false,"native_error":"%s"|} (json_escape reason)
+            | _ -> Printf.sprintf {|,"native":%b|} (R.native_enabled rc)
+          else ""
         in
         match opts.reduce with
         | Some op -> (
@@ -755,6 +798,9 @@ let serve_connection ?native cache ic oc =
 type serve_config = {
   max_clients : int;
   max_inflight : int;
+  max_inflight_per_client : int;
+  rate_limit : float option;
+  rate_burst : int;
   request_timeout_ms : int option;
   max_line : int;
   max_write_buffer : int;
@@ -765,6 +811,9 @@ type serve_config = {
 let default_serve_config =
   { max_clients = 64;
     max_inflight = 16;
+    max_inflight_per_client = 8;
+    rate_limit = None;
+    rate_burst = 8;
     request_timeout_ms = None;
     max_line = Framing.default_max_line;
     max_write_buffer = 256 * 1024;
@@ -779,6 +828,8 @@ type serve_stats = {
   error_responses : int;
   timeouts : int;
   rejected : int;
+  throttled : int;
+  health_probes : int;
   dropped : int;
   max_concurrent : int;
   inflight_final : int;
@@ -799,6 +850,9 @@ type conn = {
   mutable sent : int;  (* prefix of [out] already written *)
   mutable closing : bool;  (* read side done; flush work + out, then close *)
   mutable reject_sent : bool;  (* the framer-overflow error was queued *)
+  mutable inflight : int;  (* this connection's admitted, unserved requests *)
+  mutable rl_tokens : float;  (* token bucket for --rate-limit *)
+  mutable rl_last : float;  (* last refill instant *)
 }
 
 let serve ?cache ?native ?(config = default_serve_config) ~socket () =
@@ -806,6 +860,12 @@ let serve ?cache ?native ?(config = default_serve_config) ~socket () =
   let nt = match native with Some nt -> nt | None -> Native.default () in
   if config.max_clients < 1 then invalid_arg "Server.serve: max_clients must be positive";
   if config.max_inflight < 1 then invalid_arg "Server.serve: max_inflight must be positive";
+  if config.max_inflight_per_client < 1 then
+    invalid_arg "Server.serve: max_inflight_per_client must be positive";
+  if config.rate_burst < 1 then invalid_arg "Server.serve: rate_burst must be positive";
+  (match config.rate_limit with
+  | Some r when r <= 0. -> invalid_arg "Server.serve: rate_limit must be positive"
+  | _ -> ());
   if config.service_quantum < 1 then invalid_arg "Server.serve: service_quantum must be positive";
   let before = Cache.stats cache in
   let before_native = Native.stats nt in
@@ -816,6 +876,8 @@ let serve ?cache ?native ?(config = default_serve_config) ~socket () =
   let error_responses = ref 0 in
   let timeouts = ref 0 in
   let rejected = ref 0 in
+  let throttled = ref 0 in
+  let health_served = ref 0 in
   let dropped = ref 0 in
   let max_concurrent = ref 0 in
   let inflight = ref 0 in
@@ -823,10 +885,10 @@ let serve ?cache ?native ?(config = default_serve_config) ~socket () =
   let summary how =
     let s = Cache.stats cache in
     Printf.eprintf
-      "serve (%s): %d connection(s), %d request(s), %d ok, %d errors (%d timeouts, %d rejected); \
-       plan cache: %d hits (%d disk), %d misses, %d single-flight waits\n\
+      "serve (%s): %d connection(s), %d request(s), %d ok, %d errors (%d timeouts, %d rejected, \
+       %d throttled); plan cache: %d hits (%d disk), %d misses, %d single-flight waits\n\
        %!"
-      how !accepted !requests !ok_responses !error_responses !timeouts !rejected
+      how !accepted !requests !ok_responses !error_responses !timeouts !rejected !throttled
       (s.Cache.hits - before.Cache.hits)
       (s.Cache.disk_hits - before.Cache.disk_hits)
       (s.Cache.misses - before.Cache.misses)
@@ -910,12 +972,36 @@ let serve ?cache ?native ?(config = default_serve_config) ~socket () =
         Buffer.add_char c.out '\n';
         if ok then incr ok_responses else incr error_responses
       in
-      let note_admitted () =
+      let note_admitted c =
         incr requests;
         incr inflight;
+        c.inflight <- c.inflight + 1;
         if obsv () then Obsv.Metrics.incr_here Stats.inflight_admissions
       in
-      let note_settled () = decr inflight in
+      let note_settled c =
+        decr inflight;
+        c.inflight <- c.inflight - 1
+      in
+      (* the per-connection token bucket: refilled on demand, capped
+         at the burst. Control verbs (health, shutdown) are exempt —
+         throttling the liveness probe or the stop switch would defeat
+         both. *)
+      let rate_admit c =
+        match config.rate_limit with
+        | None -> true
+        | Some rps ->
+          let now = Unix.gettimeofday () in
+          c.rl_tokens <-
+            Float.min
+              (float_of_int config.rate_burst)
+              (c.rl_tokens +. ((now -. c.rl_last) *. rps));
+          c.rl_last <- now;
+          if c.rl_tokens >= 1. then begin
+            c.rl_tokens <- c.rl_tokens -. 1.;
+            true
+          end
+          else false
+      in
       (* the trace stream samples the admission level once per batch of
          transitions (post-admit peak, post-service residual), not per
          transition: the [service.inflight] metric above stays exact
@@ -935,7 +1021,7 @@ let serve ?cache ?native ?(config = default_serve_config) ~socket () =
         Queue.iter
           (function
             | Queued_request _ ->
-              note_settled ();
+              note_settled c;
               incr dropped
             | Queued_response _ -> incr dropped)
           c.work;
@@ -947,7 +1033,10 @@ let serve ?cache ?native ?(config = default_serve_config) ~socket () =
          the backpressure buffer *)
       let admit c =
         let continue = ref true in
-        while !continue && !inflight < config.max_inflight do
+        while
+          !continue && !inflight < config.max_inflight
+          && c.inflight < config.max_inflight_per_client
+        do
           match Framing.pop c.framer with
           | `Pending -> continue := false
           | `Overflow ->
@@ -968,9 +1057,30 @@ let serve ?cache ?native ?(config = default_serve_config) ~socket () =
             match parse_request line with
             | Ok None -> ()
             | Error e -> Queue.push (Queued_response (error_json ~op:"parse" ~label:"-" e, false)) c.work
+            | Ok (Some Health) ->
+              (* liveness probe: answered at admit time with the live
+                 inflight depth, never admitted (it must work exactly
+                 when the server is saturated), never rate-limited,
+                 and not counted in [requests] — the cache-counter
+                 reconciliation invariant covers admitted work only *)
+              incr health_served;
+              Queue.push
+                (Queued_response (health_json ~native:nt ~inflight:!inflight cache, true))
+                c.work
+            | Ok (Some Shutdown) ->
+              (* the stop switch is exempt from rate limiting *)
+              note_admitted c;
+              Queue.push (Queued_request Shutdown) c.work
             | Ok (Some req) ->
-              note_admitted ();
-              Queue.push (Queued_request req) c.work)
+              if rate_admit c then begin
+                note_admitted c;
+                Queue.push (Queued_request req) c.work
+              end
+              else begin
+                incr throttled;
+                if obsv () then Obsv.Metrics.incr_here Stats.serve_throttled;
+                Queue.push (Queued_response (overload_json req, false)) c.work
+              end)
         done
       in
       let read_conn c =
@@ -1021,7 +1131,7 @@ let serve ?cache ?native ?(config = default_serve_config) ~socket () =
             emit c line ok;
             service_step budget c
           | Some (Queued_request Shutdown) ->
-            note_settled ();
+            note_settled c;
             emit c (shutdown_json cache) true;
             (* like the batch front end, a connection's own input after
                its [shutdown] is dropped; everyone else drains normally *)
@@ -1032,7 +1142,7 @@ let serve ?cache ?native ?(config = default_serve_config) ~socket () =
             let line, ok, timed_out =
               handle_full ~native:nt ?deadline_ms:config.request_timeout_ms cache req
             in
-            note_settled ();
+            note_settled c;
             if timed_out then begin
               incr timeouts;
               if obsv () then Obsv.Metrics.incr_here Stats.serve_timeouts
@@ -1055,7 +1165,10 @@ let serve ?cache ?native ?(config = default_serve_config) ~socket () =
                 out = Buffer.create 512;
                 sent = 0;
                 closing = false;
-                reject_sent = false }
+                reject_sent = false;
+                inflight = 0;
+                rl_tokens = float_of_int config.rate_burst;
+                rl_last = Unix.gettimeofday () }
               :: !conns;
             max_concurrent := max !max_concurrent (List.length !conns)
           | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> continue := false
@@ -1095,6 +1208,7 @@ let serve ?cache ?native ?(config = default_serve_config) ~socket () =
             (not !draining) && (not c.closing)
             && (not (Framing.overflowed c.framer))
             && !inflight < config.max_inflight
+            && c.inflight < config.max_inflight_per_client
             && out_pending c < config.max_write_buffer
           in
           let read_fds =
@@ -1110,6 +1224,7 @@ let serve ?cache ?native ?(config = default_serve_config) ~socket () =
               (fun c ->
                 (not (Queue.is_empty c.work))
                 || (!inflight < config.max_inflight
+                   && c.inflight < config.max_inflight_per_client
                    && (not c.reject_sent)
                    && Framing.has_line c.framer))
               !conns
@@ -1146,6 +1261,8 @@ let serve ?cache ?native ?(config = default_serve_config) ~socket () =
           dropped = !dropped;
           max_concurrent = !max_concurrent;
           inflight_final = !inflight;
+          throttled = !throttled;
+          health_probes = !health_served;
           stopped_by = how }
     with Unix.Unix_error (e, fn, _) ->
       finish "error";

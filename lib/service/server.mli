@@ -14,6 +14,7 @@
     compile params=N levels=i=0..N,j=i..N label=tri
     exec kernel=correlation n=40 threads=4 schedule=dynamic:2
     exec params=N=25 levels=i=0..N,j=i..i+1 lanes=8 repeat=3
+    health
     shutdown
     v}
 
@@ -39,6 +40,16 @@
       natively under [native=1]); [prod]/[min]/[max] reduce in exact
       rationals and report the result as a JSON string. Example:
       [exec kernel=utma n=50 threads=4 schedule=dnc:2 reduce=sum].
+    - [health] reports liveness and robustness state in one JSON
+      line: the compile circuit breaker ([state]/[consecutive_failures]/
+      [opens]/[rejections]/[probes]), the plan cache's counters
+      (including [quarantined], [lock_waits], [lock_steals],
+      [janitor_removed]), the native backend's served/fallback totals
+      (plus its [last_error] when one is recorded), and the serve
+      loop's current admitted depth ([inflight]). Under [serve] it is
+      answered at admission time, bypassing the admission cap and the
+      rate limiter, so it works exactly when the server is saturated;
+      it is deliberately {e not} byte-stable.
     - [shutdown] stops a server loop (and ends a batch early); its
       acknowledgement carries the cache's [hits]/[misses] totals.
 
@@ -50,7 +61,9 @@
     [shutdown] acknowledgement, whose cache totals reflect the run
     (tooling that needs byte-stable output should diff response lines
     excluding it). An [exec] with [native=1] reports
-    ["native":true|false] — whether the backend actually engaged. *)
+    ["native":true|false] — whether the backend actually engaged —
+    and, on fallback, ["native_error"] with the reason (including the
+    first ~2 KB of the C compiler's stderr on a compile failure). *)
 
 type exec_opts = {
   threads : int;  (** domains for the parallel region (default 4) *)
@@ -73,6 +86,7 @@ type request =
       param : string -> int;  (** valuation in the nest's own names *)
       opts : exec_opts;
     }
+  | Health
   | Shutdown
 
 (** [parse_request line] is [Ok None] for a blank/comment line,
@@ -125,6 +139,22 @@ type serve_config = {
           across all connections (default 16). At the cap the loop
           stops selecting readable fds — unread sockets are the
           backpressure buffer. *)
+  max_inflight_per_client : int;
+      (** per-connection admission cap (default 8): one pipelining
+          client can hold at most this many of the [max_inflight]
+          slots, so a flood cannot monopolize admission. At its cap a
+          connection simply stops being read (backpressure), it is
+          not sent errors. *)
+  rate_limit : float option;
+      (** requests per second per connection (default [None] =
+          unlimited), enforced by a token bucket of capacity
+          [rate_burst]. Over-rate requests receive a deterministic
+          [status:"error"] line with [error:"rejected:overload"]
+          (counted in [throttled] / [serve.throttled]) and the
+          connection stays open. [health] and [shutdown] are exempt. *)
+  rate_burst : int;
+      (** token-bucket capacity for [rate_limit] (default 8): the
+          burst a quiet connection may send before pacing applies *)
   request_timeout_ms : int option;
       (** per-request deadline passed to {!handle} (default [None]) *)
   max_line : int;  (** framer line bound (default {!Framing.default_max_line}) *)
@@ -152,6 +182,12 @@ type serve_stats = {
   error_responses : int;
   timeouts : int;  (** deadline-expired requests ([serve.timeout]) *)
   rejected : int;  (** oversized-line rejections ([serve.rejected]) *)
+  throttled : int;
+      (** requests refused with [rejected:overload] by the
+          per-connection rate limiter ([serve.throttled]) *)
+  health_probes : int;
+      (** [health] requests answered — not counted in [requests],
+          which covers admitted work only *)
   dropped : int;
       (** admitted requests or finished responses discarded because
           the peer vanished or the drain deadline passed — 0 in any

@@ -48,3 +48,26 @@ val serve_rejected : Obsv.Metrics.t
 (** [serve.rejected]: protocol-level rejections by the serve loop — an
     oversized request line overflows the connection's framer, which
     answers with one error response and closes that connection *)
+
+val serve_throttled : Obsv.Metrics.t
+(** [serve.throttled]: requests refused by per-client overload
+    protection (the token-bucket [--rate-limit]); each one received a
+    deterministic structured [rejected:overload] response *)
+
+val cache_quarantined : Obsv.Metrics.t
+(** [cache.quarantined]: corrupt disk entries (envelope/CRC failures)
+    moved aside to [<fingerprint>.bad] and recompiled — never silently
+    re-served, never silently deleted *)
+
+val cache_lock_waits : Obsv.Metrics.t
+(** [cache.lock_wait]: cross-process lock acquisitions that actually
+    contended (at least one failed try-lock) before winning *)
+
+val cache_lock_steals : Obsv.Metrics.t
+(** [cache.lock_steal]: lock acquisitions that timed out on a live
+    holder ([OMPSIM_CACHE_LOCK_TIMEOUT_MS]) and proceeded without the
+    lock — safe under atomic-rename publication, but worth counting *)
+
+val cache_janitor : Obsv.Metrics.t
+(** [cache.janitor]: orphaned files ([.tmp] temps of dead writers,
+    stale [.lock]s, quarantined [.bad]s) removed by the startup sweep *)

@@ -24,7 +24,10 @@ let tmp_dir =
      in
      d)
 
-let gcc_available = lazy (Jit.Abi.available ())
+(* the functional probe, not just --version: a wedged wrapper (see the
+   CI wedged-cc job) answers the version probe and then hangs, and
+   these tests assert successful specialization *)
+let gcc_available = lazy (Jit.Abi.functional ())
 
 let require_gcc () =
   if not (Lazy.force gcc_available) then
@@ -206,6 +209,186 @@ let test_load_missing () =
   | Ok _ -> Alcotest.fail "loading a missing path succeeded"
   | Error _ -> ()
 
+(* ---------------------------------------------------------------- *)
+(* Supervised subprocess runner                                      *)
+(* ---------------------------------------------------------------- *)
+
+let sh script = Jit.Subproc.run "/bin/sh" [ "-c"; script ]
+
+let test_subproc_exit_and_capture () =
+  let c = sh "echo out-line; echo err-line >&2; exit 3" in
+  (match c.Jit.Subproc.outcome with
+  | Jit.Subproc.Exited 3 -> ()
+  | _ -> Alcotest.failf "expected exit 3, got %s" (Jit.Subproc.describe c));
+  Alcotest.(check string) "stdout captured" "out-line\n" c.Jit.Subproc.stdout;
+  Alcotest.(check string) "stderr captured" "err-line\n" c.Jit.Subproc.stderr
+
+let test_subproc_timeout () =
+  let t0 = Unix.gettimeofday () in
+  let c = Jit.Subproc.run ~timeout_ms:200 "/bin/sh" [ "-c"; "sleep 600" ] in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  (match c.Jit.Subproc.outcome with
+  | Jit.Subproc.Timed_out -> ()
+  | _ -> Alcotest.failf "expected a timeout, got %s" (Jit.Subproc.describe c));
+  (* the wedged child must cost one bounded wait, not its sleep *)
+  Alcotest.(check bool)
+    (Printf.sprintf "killed promptly (%.0fms)" wall_ms)
+    true (wall_ms < 5000.);
+  Alcotest.(check bool)
+    "describe names the deadline" true
+    (String.length (Jit.Subproc.describe c) > 0
+    && String.sub (Jit.Subproc.describe c) 0 9 = "timed out")
+
+let test_subproc_spawn_failure () =
+  let c = Jit.Subproc.run "/nonexistent-ompsim-prog" [] in
+  (match c.Jit.Subproc.outcome with
+  | Jit.Subproc.Exited 127 -> ()
+  | _ -> Alcotest.failf "expected exit 127, got %s" (Jit.Subproc.describe c));
+  Alcotest.(check bool) "stderr explains" true (c.Jit.Subproc.stderr <> "")
+
+let test_subproc_caps_never_block () =
+  (* a child far chattier than the cap must still run to completion:
+     the pipes keep draining past the kept excerpt *)
+  let c =
+    Jit.Subproc.run ~stdout_cap:64 "/bin/sh"
+      [ "-c"; "i=0; while [ $i -lt 20000 ]; do echo 0123456789abcdef; i=$((i+1)); done" ]
+  in
+  (match c.Jit.Subproc.outcome with
+  | Jit.Subproc.Exited 0 -> ()
+  | _ -> Alcotest.failf "chatty child should exit 0, got %s" (Jit.Subproc.describe c));
+  Alcotest.(check bool) "excerpt bounded" true (String.length c.Jit.Subproc.stdout <= 64);
+  Alcotest.(check bool) "excerpt non-empty" true (String.length c.Jit.Subproc.stdout > 0)
+
+let test_subproc_signaled () =
+  let c = sh "kill -TERM $$" in
+  match c.Jit.Subproc.outcome with
+  | Jit.Subproc.Signaled s -> Alcotest.(check int) "SIGTERM" Sys.sigterm s
+  | _ -> Alcotest.failf "expected a signal death, got %s" (Jit.Subproc.describe c)
+
+(* ---------------------------------------------------------------- *)
+(* Compile circuit breaker (fake clock)                              *)
+(* ---------------------------------------------------------------- *)
+
+let fake_clock start =
+  let now = ref start in
+  ((fun () -> !now), fun ms -> now := !now +. ms)
+
+let must_acquire b msg =
+  if not (Jit.Breaker.acquire b) then Alcotest.failf "%s: acquire refused" msg
+
+let must_reject b msg =
+  if Jit.Breaker.acquire b then Alcotest.failf "%s: acquire allowed" msg
+
+let test_breaker_opens_at_threshold () =
+  let now, _advance = fake_clock 0. in
+  let b = Jit.Breaker.create ~threshold:3 ~cooldown_ms:1000 ~now_ms:now () in
+  Alcotest.(check bool) "starts closed" true (Jit.Breaker.state b = Jit.Breaker.Closed);
+  for _ = 1 to 2 do
+    must_acquire b "under threshold";
+    Jit.Breaker.failure b
+  done;
+  Alcotest.(check bool) "still closed at 2/3" true (Jit.Breaker.state b = Jit.Breaker.Closed);
+  must_acquire b "third attempt";
+  Jit.Breaker.failure b;
+  Alcotest.(check bool) "open at threshold" true (Jit.Breaker.state b = Jit.Breaker.Open);
+  Alcotest.(check int) "one open transition" 1 (Jit.Breaker.opens b);
+  must_reject b "open rejects";
+  must_reject b "open keeps rejecting";
+  Alcotest.(check int) "rejections counted" 2 (Jit.Breaker.rejections b)
+
+let test_breaker_success_resets_streak () =
+  let now, _advance = fake_clock 0. in
+  let b = Jit.Breaker.create ~threshold:3 ~cooldown_ms:1000 ~now_ms:now () in
+  must_acquire b "a";
+  Jit.Breaker.failure b;
+  must_acquire b "b";
+  Jit.Breaker.failure b;
+  must_acquire b "c";
+  Jit.Breaker.success b;
+  Alcotest.(check int) "streak reset" 0 (Jit.Breaker.failures b);
+  must_acquire b "d";
+  Jit.Breaker.failure b;
+  Alcotest.(check bool) "still closed: failures not consecutive" true
+    (Jit.Breaker.state b = Jit.Breaker.Closed)
+
+let test_breaker_half_open_probe () =
+  let now, advance = fake_clock 0. in
+  let b = Jit.Breaker.create ~threshold:1 ~cooldown_ms:1000 ~now_ms:now () in
+  must_acquire b "first";
+  Jit.Breaker.failure b;
+  must_reject b "open before cooldown";
+  advance 999.;
+  must_reject b "still cooling down";
+  advance 2.;
+  must_acquire b "cooldown elapsed: probe slot";
+  Alcotest.(check bool) "half-open" true (Jit.Breaker.state b = Jit.Breaker.Half_open);
+  must_reject b "probe slot is exclusive";
+  Alcotest.(check int) "one probe granted" 1 (Jit.Breaker.probes b);
+  Jit.Breaker.success b;
+  Alcotest.(check bool) "probe success closes" true (Jit.Breaker.state b = Jit.Breaker.Closed);
+  must_acquire b "closed again"
+
+let test_breaker_probe_failure_reopens () =
+  let now, advance = fake_clock 0. in
+  let b = Jit.Breaker.create ~threshold:1 ~cooldown_ms:1000 ~now_ms:now () in
+  must_acquire b "first";
+  Jit.Breaker.failure b;
+  advance 1001.;
+  must_acquire b "probe";
+  Jit.Breaker.failure b;
+  Alcotest.(check bool) "probe failure reopens" true (Jit.Breaker.state b = Jit.Breaker.Open);
+  Alcotest.(check int) "two open transitions" 2 (Jit.Breaker.opens b);
+  must_reject b "cooling down again";
+  advance 1001.;
+  must_acquire b "second probe";
+  Jit.Breaker.success b;
+  Alcotest.(check bool) "recovers eventually" true (Jit.Breaker.state b = Jit.Breaker.Closed)
+
+(* the supervised path end to end: a cc that answers --version but
+   wedges on compile must fail within the deadline, not hang.
+   OMPSIM_JIT_CC and OMPSIM_JIT_TIMEOUT_MS are re-read per call by
+   design, so the test drives the real env knobs and restores them. *)
+let with_env kvs f =
+  let saved = List.map (fun (k, _) -> (k, Option.value ~default:"" (Sys.getenv_opt k))) kvs in
+  List.iter (fun (k, v) -> Unix.putenv k v) kvs;
+  Fun.protect ~finally:(fun () -> List.iter (fun (k, v) -> Unix.putenv k v) saved) f
+
+let test_compile_wedged_cc () =
+  let dir = Filename.temp_file "ompsim-wedge" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let cc = Filename.concat dir "wedged-cc" in
+      let oc = open_out cc in
+      output_string oc
+        "#!/bin/sh\ncase \"$1\" in --version) echo wedged-cc 1.0; exit 0;; esac\nsleep 600\n";
+      close_out oc;
+      Unix.chmod cc 0o755;
+      with_env [ ("OMPSIM_JIT_CC", cc); ("OMPSIM_JIT_TIMEOUT_MS", "300") ] @@ fun () ->
+      let inv = Trahrhe.Inversion.invert_exn (Lazy.force triangular_nest) in
+      let t0 = Unix.gettimeofday () in
+      let r = Jit.Compile.specialize ~dir ~fingerprint:"wedgefp" inv in
+      let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+      (match r with
+      | Ok _ -> Alcotest.fail "wedged cc reported success"
+      | Error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error names the deadline knob: %s" e)
+          true
+          (let needle = "OMPSIM_JIT_TIMEOUT_MS" in
+           let nl = String.length needle and hl = String.length e in
+           let rec go i = i + nl <= hl && (String.sub e i nl = needle || go (i + 1)) in
+           go 0));
+      (* deadline 300ms + --version probe + spawn overhead, with slack
+         for loaded CI — nowhere near the 600s the script would hang *)
+      Alcotest.(check bool)
+        (Printf.sprintf "bounded by the deadline, not the hang (%.0fms)" wall_ms)
+        true (wall_ms < 5000.))
+
 let suites =
   [ ( "jit",
       [ Alcotest.test_case "emit source" `Quick test_emit_source;
@@ -213,4 +396,20 @@ let suites =
         Alcotest.test_case "native = interpreted" `Quick test_native_matches_interpreted;
         Alcotest.test_case "attach_native routing" `Quick test_attach_native;
         Alcotest.test_case "corrupt/stale .so recompiles" `Quick test_stale_so_recompiles;
-        Alcotest.test_case "load missing path" `Quick test_load_missing ] ) ]
+        Alcotest.test_case "load missing path" `Quick test_load_missing ] );
+    ( "jit.subproc",
+      [ Alcotest.test_case "exit code + stream capture" `Quick test_subproc_exit_and_capture;
+        Alcotest.test_case "deadline kills a wedged child" `Quick test_subproc_timeout;
+        Alcotest.test_case "spawn failure = exit 127" `Quick test_subproc_spawn_failure;
+        Alcotest.test_case "capture caps never block the child" `Quick
+          test_subproc_caps_never_block;
+        Alcotest.test_case "signal death reported" `Quick test_subproc_signaled;
+        Alcotest.test_case "wedged cc fails within the deadline" `Quick test_compile_wedged_cc ]
+    );
+    ( "jit.breaker",
+      [ Alcotest.test_case "opens at threshold, rejects while open" `Quick
+          test_breaker_opens_at_threshold;
+        Alcotest.test_case "success resets the streak" `Quick test_breaker_success_resets_streak;
+        Alcotest.test_case "half-open grants one probe" `Quick test_breaker_half_open_probe;
+        Alcotest.test_case "probe failure re-opens" `Quick test_breaker_probe_failure_reopens ]
+    ) ]

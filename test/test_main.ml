@@ -1,3 +1,10 @@
+(* re-exec dispatch for the multi-process cache tests: OCaml 5 cannot
+   fork once domains exist, so Test_service spawns this binary with a
+   sentinel argv instead of forking workers *)
+let () =
+  if Array.length Sys.argv >= 3 && Sys.argv.(1) = "--cache-child" then
+    Test_service.cache_child_main (Array.sub Sys.argv 2 (Array.length Sys.argv - 2))
+
 let () =
   Alcotest.run "nonrect-collapse"
     (Test_zmath.suites @ Test_polymath.suites @ Test_polyhedral.suites @ Test_symx.suites

@@ -583,7 +583,7 @@ let check_case_native (nest, nval) =
     if trip <> Array.length reference then
       QCheck.Test.fail_reportf "native trip count %d, nest enumerates %d" trip
         (Array.length reference);
-    let compiled = Jit.Abi.available () in
+    let compiled = Jit.Abi.functional () in
     if compiled <> R.native_enabled rc_n then
       QCheck.Test.fail_reportf "native backend %s with compiler %savailable"
         (if R.native_enabled rc_n then "attached" else "missing")
@@ -632,7 +632,7 @@ let prop_native_matches_interpreted =
    the backend; both reconcile against jit.compile / jit.fallback and
    the tier's own served/fallback counts. *)
 let test_native_store_recovery () =
-  if not (Jit.Abi.available ()) then Alcotest.skip ();
+  if not (Jit.Abi.functional ()) then Alcotest.skip ();
   let module R = Trahrhe.Recovery in
   let dir =
     Filename.concat

@@ -609,6 +609,188 @@ let test_serve_counters_reconcile () =
   Alcotest.(check int) "cache lookups = cache-touching requests" 6
     (s.Cache.hits + s.Cache.misses + s.Cache.singleflight_waits)
 
+(* ---------------------------------------------------------------- *)
+(* Robustness: health verb, quotas, rate limiting, protocol fuzz     *)
+(* ---------------------------------------------------------------- *)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let check_contains what needle hay =
+  if not (contains ~needle hay) then Alcotest.failf "%s: %S not in %s" what needle hay
+
+let test_serve_health_verb () =
+  (match Server.parse_request "health" with
+  | Ok (Some Server.Health) -> ()
+  | _ -> Alcotest.fail "bare health should parse");
+  (match Server.parse_request "health x=1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "health with fields should be rejected");
+  let cache = Cache.create ~capacity:16 ~dir:None () in
+  let (h1, h2), stats =
+    with_server ~cache @@ fun socket ->
+    let fd = connect socket in
+    send_all fd "health\n";
+    let h1 = List.hd (recv_lines fd 1) in
+    send_all fd "compile kernel=utma\n";
+    ignore (recv_lines fd 1);
+    send_all fd "health\n";
+    let h2 = List.hd (recv_lines fd 1) in
+    send_all fd "shutdown\n";
+    ignore (recv_lines fd 1);
+    Unix.close fd;
+    (h1, h2)
+  in
+  check_contains "health response" {|"op":"health","status":"ok"|} h1;
+  check_contains "breaker state reported" {|"breaker":{"state":"|} h1;
+  check_contains "robustness counters reported" {|"quarantined":0|} h1;
+  check_contains "inflight reported" {|"inflight":|} h1;
+  check_contains "fresh cache" {|"misses":0|} h1;
+  check_contains "the compile between probes is visible" {|"misses":1|} h2;
+  Alcotest.(check int) "health probes counted apart" 2 stats.Server.health_probes;
+  (* the reconciliation invariant: health rides outside [requests] *)
+  Alcotest.(check int) "admitted = compile + shutdown" 2 stats.Server.requests
+
+let test_serve_rate_limited_flood () =
+  (* a refill rate of ~0 makes the outcome deterministic: exactly
+     [rate_burst] requests are admitted, the rest are overload-rejected
+     in order, and the connection stays open *)
+  let config =
+    { Server.default_serve_config with rate_limit = Some 0.001; rate_burst = 2 }
+  in
+  let reqs = List.init 5 (fun i -> Printf.sprintf "compile kernel=utma label=f%d" i) in
+  let lines, stats =
+    with_server ~config @@ fun socket ->
+    let fd = connect socket in
+    send_all fd (String.concat "\n" reqs ^ "\nhealth\nshutdown\n");
+    let lines = recv_lines fd 7 in
+    Unix.close fd;
+    lines
+  in
+  check_responses "under the burst" (List.filteri (fun i _ -> i < 2) reqs)
+    (List.filteri (fun i _ -> i < 2) lines);
+  List.iteri
+    (fun i line ->
+      if i >= 2 && i < 5 then begin
+        check_contains "over-rate rejection" {|"error":"rejected:overload"|} line;
+        check_contains "rejection keeps the request's op" {|"op":"compile"|} line;
+        check_contains "rejection keeps the request's label"
+          (Printf.sprintf {|"label":"f%d"|} i)
+          line
+      end)
+    lines;
+  check_contains "health is exempt from the limiter" {|"op":"health","status":"ok"|}
+    (List.nth lines 5);
+  check_contains "shutdown is exempt from the limiter" {|"op":"shutdown"|} (List.nth lines 6);
+  Alcotest.(check int) "throttled counted" 3 stats.Server.throttled;
+  Alcotest.(check int) "admitted = burst + shutdown" 3 stats.Server.requests;
+  Alcotest.(check int) "rejections are error responses" 3 stats.Server.error_responses;
+  Alcotest.(check int) "nothing dropped" 0 stats.Server.dropped
+
+let test_serve_per_client_cap_backpressure () =
+  (* a cap of 1 forces the loop to stop reading the flooding client
+     between requests: everything is still answered, in order, byte
+     for byte — backpressure, not errors *)
+  let config =
+    { Server.default_serve_config with max_inflight_per_client = 1; service_quantum = 1 }
+  in
+  let reqs = client_requests 0 @ client_requests 1 in
+  let lines, stats =
+    with_server ~config @@ fun socket ->
+    let fd = connect socket in
+    send_all fd (String.concat "\n" reqs ^ "\nshutdown\n");
+    let lines = recv_lines fd (List.length reqs + 1) in
+    Unix.close fd;
+    lines
+  in
+  check_responses "capped pipeline" reqs (List.filteri (fun i _ -> i < List.length reqs) lines);
+  Alcotest.(check int) "all admitted eventually" (List.length reqs + 1) stats.Server.requests;
+  Alcotest.(check int) "no errors" 0 stats.Server.error_responses;
+  Alcotest.(check int) "nothing dropped" 0 stats.Server.dropped
+
+(* protocol fuzz, unit level: the parser is total and the framer never
+   desyncs, whatever bytes arrive in whatever chunking *)
+
+let prop_parse_request_total =
+  QCheck.Test.make ~name:"protocol fuzz: parse_request is total" ~count:1000
+    QCheck.(string_gen QCheck.Gen.char)
+    (fun s -> match Server.parse_request s with Ok _ | Error _ -> true)
+
+let prop_framing_fuzz =
+  QCheck.Test.make ~name:"protocol fuzz: framer never raises or desyncs" ~count:500
+    QCheck.(pair (list (string_gen QCheck.Gen.char)) small_nat)
+    (fun (chunks, max_extra) ->
+      let max_line = 16 + max_extra in
+      let f = Framing.create ~max_line () in
+      let overflowed_once = ref false in
+      List.iter
+        (fun chunk ->
+          Framing.feed_string f chunk;
+          let rec drain () =
+            match Framing.pop f with
+            | `Line l ->
+              (* a popped line respects the bound and never contains a
+                 terminator *)
+              (* CRLF stripping may shed one byte past the bound; a
+                 lone CR is ordinary line content *)
+              if String.length l > max_line then failwith "line exceeds max_line";
+              if String.contains l '\n' then failwith "terminator inside a line";
+              drain ()
+            | `Overflow ->
+              overflowed_once := true;
+              ()
+            | `Pending -> ()
+          in
+          drain ();
+          if !overflowed_once && not (Framing.overflowed f) then
+            failwith "overflow is not terminal")
+        chunks;
+      true)
+
+(* protocol fuzz, e2e: nasty lines get exactly one structured error
+   each and the connection keeps working; an abrupt binary close
+   leaves the loop serving everyone else *)
+let test_serve_garbage_bytes () =
+  let (), stats =
+    with_server @@ fun socket ->
+    List.iter
+      (fun junk ->
+        let fd = connect socket in
+        send_all fd junk;
+        let line = List.hd (recv_lines fd 1) in
+        check_contains "structured error for junk" {|"status":"error"|} line;
+        (* the same connection still serves valid requests *)
+        send_all fd "compile kernel=utma label=after\n";
+        check_contains "connection survives the junk" {|"status":"ok"|}
+          (List.hd (recv_lines fd 1));
+        Unix.close fd)
+      [ "\x00\x01\x02garbage\n";
+        "exec kernel=\x7fnope\n";
+        "compile\n";
+        "health extra=1\n";
+        "exec kernel=utma n=\x00\n" ];
+    (* binary junk with no terminator, then an abrupt close *)
+    let fd = connect socket in
+    send_all fd "\xff\xfe\xfd";
+    Unix.close fd;
+    (* NUL/CRLF splices: CRLF frames like LF, lone CR stays in-line *)
+    let fd = connect socket in
+    send_all fd "compile kernel=utma label=crlf\r\ncompile\rkernel=x\n";
+    (match recv_lines fd 2 with
+    | [ ok_line; err_line ] ->
+      check_contains "CRLF framed as one request" {|"status":"ok"|} ok_line;
+      check_contains "lone CR stays in-line and fails parse" {|"status":"error"|} err_line
+    | _ -> Alcotest.fail "expected two responses to the CR/CRLF splice");
+    Unix.close fd;
+    let fd = connect socket in
+    send_all fd "shutdown\n";
+    ignore (recv_lines fd 1);
+    Unix.close fd
+  in
+  Alcotest.(check int) "nothing dropped" 0 stats.Server.dropped
+
 let suites =
   [ ( "serve.framing",
       qsuite [ prop_frame_rechunk_equals_split; prop_frame_chunking_invariant ]
@@ -637,5 +819,15 @@ let suites =
           test_serve_backlog_burst;
         Alcotest.test_case "serve_stats reconcile with obsv counters" `Quick
           test_serve_counters_reconcile
-      ] )
+      ] );
+    ( "serve.robustness",
+      [ Alcotest.test_case "health verb reports breaker + cache state" `Quick
+          test_serve_health_verb;
+        Alcotest.test_case "rate limiter rejects floods deterministically" `Quick
+          test_serve_rate_limited_flood;
+        Alcotest.test_case "per-client cap is backpressure, not errors" `Quick
+          test_serve_per_client_cap_backpressure;
+        Alcotest.test_case "garbage bytes get structured errors" `Quick test_serve_garbage_bytes
+      ]
+      @ qsuite [ prop_parse_request_total; prop_framing_fuzz ] )
   ]

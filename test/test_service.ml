@@ -425,6 +425,11 @@ let test_disk_roundtrip () =
   ignore (get_plan (Cache.find_or_compile ~compile:(counting_compile calls) reader nest));
   Alcotest.(check int) "promoted to memory" 0 !calls
 
+let read_entry path =
+  match Service.Envelope.unwrap (In_channel.with_open_bin path In_channel.input_all) with
+  | Ok payload -> Plan.decode payload
+  | Error `Corrupt -> Error "envelope failed to verify"
+
 let test_disk_corrupt_entry () =
   with_temp_dir @@ fun dir ->
   let nest = nest_of_seed 0 in
@@ -438,8 +443,15 @@ let test_disk_corrupt_entry () =
   Alcotest.(check int) "corrupt entry recompiled" 1 !calls;
   check_stats "corrupt" ~hits:0 ~disk_hits:0 ~misses:1 ~evictions:0 ~waits:0
     (Cache.stats cache);
+  (* the corrupt bytes were quarantined, not silently overwritten *)
+  Alcotest.(check int) "quarantine counted" 1 (Cache.stats cache).Cache.quarantined;
+  let bad = Filename.concat dir (Fp.hash nest ^ ".bad") in
+  Alcotest.(check bool) "corrupt bytes preserved in .bad" true (Sys.file_exists bad);
+  Alcotest.(check string)
+    "quarantined bytes are the planted ones" "total garbage, not a plan\n"
+    (In_channel.with_open_bin bad In_channel.input_all);
   (* the recompile overwrote the bad entry with a loadable one *)
-  (match Plan.decode (In_channel.with_open_bin path In_channel.input_all) with
+  (match read_entry path with
   | Ok p' -> Alcotest.(check bool) "overwritten with a valid plan" true (Plan.equal p p')
   | Error e -> Alcotest.failf "entry still corrupt after recompile: %s" e)
 
@@ -467,12 +479,15 @@ let test_disk_stale_version () =
         (String.length encoded - at - String.length current)
   in
   let oc = open_out (plan_file dir nest) in
-  output_string oc stale;
+  (* a well-formed envelope around a stale payload: this is the
+     old-format path (ordinary miss), not the corruption path *)
+  output_string oc (Service.Envelope.wrap stale);
   close_out oc;
   let cache = Cache.create ~capacity:4 ~dir:(Some dir) () in
   let calls = ref 0 in
   ignore (get_plan (Cache.find_or_compile ~compile:(counting_compile calls) cache nest));
-  Alcotest.(check int) "stale version treated as a miss" 1 !calls
+  Alcotest.(check int) "stale version treated as a miss" 1 !calls;
+  Alcotest.(check int) "stale version is not corruption" 0 (Cache.stats cache).Cache.quarantined
 
 let test_disk_wrong_fingerprint () =
   with_temp_dir @@ fun dir ->
@@ -480,13 +495,191 @@ let test_disk_wrong_fingerprint () =
   let nest_a = nest_of_seed 0 and nest_b = nest_of_seed 1 in
   let pa = compile_exn nest_a in
   let oc = open_out (plan_file dir nest_b) in
-  output_string oc (Plan.encode pa);
+  output_string oc (Service.Envelope.wrap (Plan.encode pa));
   close_out oc;
   let cache = Cache.create ~capacity:4 ~dir:(Some dir) () in
   let calls = ref 0 in
   let pb = get_plan (Cache.find_or_compile ~compile:(counting_compile calls) cache nest_b) in
   Alcotest.(check int) "mismatched entry recompiled" 1 !calls;
   Alcotest.(check bool) "got b's plan, not a's" false (Plan.equal pa pb)
+
+(* ---------------------------------------------------------------- *)
+(* Envelope: CRC-checksummed disk entries                            *)
+(* ---------------------------------------------------------------- *)
+
+module Env = Service.Envelope
+
+let prop_envelope_roundtrip =
+  QCheck.Test.make ~name:"envelope: wrap/unwrap round-trips any payload" ~count:500
+    QCheck.(string_gen QCheck.Gen.char)
+    (fun payload -> Env.unwrap (Env.wrap payload) = Ok payload)
+
+let prop_envelope_detects_flip =
+  (* flipping any single byte of the wrapped form must be caught:
+     header damage fails the parse, payload damage fails the CRC *)
+  QCheck.Test.make ~name:"envelope: any single-byte flip is corrupt" ~count:200
+    QCheck.(pair (string_gen QCheck.Gen.char) small_nat)
+    (fun (payload, at) ->
+      let wrapped = Env.wrap payload in
+      let at = at mod String.length wrapped in
+      let flipped =
+        String.mapi
+          (fun i c -> if i = at then Char.chr (Char.code c lxor 0x01) else c)
+          wrapped
+      in
+      flipped = wrapped || Env.unwrap flipped = Error `Corrupt)
+
+let test_envelope_truncation () =
+  let wrapped = Env.wrap "a plan-sized payload" in
+  for keep = 0 to String.length wrapped - 1 do
+    match Env.unwrap (String.sub wrapped 0 keep) with
+    | Error `Corrupt -> ()
+    | Ok _ -> Alcotest.failf "truncation to %d bytes unwrapped" keep
+  done;
+  (* trailing garbage (a torn second write) is also not a clean entry *)
+  match Env.unwrap (wrapped ^ "x") with
+  | Error `Corrupt -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage unwrapped"
+
+let test_envelope_foreign_bytes () =
+  List.iter
+    (fun s ->
+      match Env.unwrap s with
+      | Error `Corrupt -> ()
+      | Ok _ -> Alcotest.failf "foreign bytes unwrapped: %S" s)
+    [ ""; "\n"; "total garbage, not a plan\n"; "ompsim-entry\n"; "ompsim-entry 1 zzzzzzzz 0\n" ]
+
+(* ---------------------------------------------------------------- *)
+(* Startup janitor                                                  *)
+(* ---------------------------------------------------------------- *)
+
+(* a pid guaranteed dead: a reaped child's *)
+let dead_pid () =
+  let pid = Unix.create_process "/bin/sh" [| "/bin/sh"; "-c"; "exit 0" |] Unix.stdin Unix.stdout Unix.stderr in
+  ignore (Unix.waitpid [] pid);
+  pid
+
+let touch path =
+  let oc = open_out path in
+  close_out oc
+
+let test_janitor_sweep () =
+  with_temp_dir @@ fun dir ->
+  let dead = dead_pid () and live = Unix.getpid () in
+  let dead_tmp = Filename.concat dir (Printf.sprintf ".aaaa1111.%d.tmp" dead) in
+  let dead_src = Filename.concat dir (Printf.sprintf ".bbbb2222.%d.c" dead) in
+  let live_tmp = Filename.concat dir (Printf.sprintf ".aaaa1111.%d.tmp" live) in
+  let bad = Filename.concat dir "cccc3333.bad" in
+  let stale_lock = Filename.concat dir "dddd4444.lock" in
+  let published = Filename.concat dir "eeee5555.plan" in
+  List.iter touch [ dead_tmp; dead_src; live_tmp; bad; stale_lock ];
+  let oc = open_out published in
+  output_string oc (Env.wrap "payload");
+  close_out oc;
+  let cache = Cache.create ~capacity:4 ~dir:(Some dir) () in
+  Alcotest.(check int)
+    "dead temps + .bad + stale lock swept" 4 (Cache.stats cache).Cache.janitor_removed;
+  Alcotest.(check bool) "dead writer's .tmp gone" false (Sys.file_exists dead_tmp);
+  Alcotest.(check bool) "dead writer's .c gone" false (Sys.file_exists dead_src);
+  Alcotest.(check bool) ".bad reclaimed" false (Sys.file_exists bad);
+  Alcotest.(check bool) "stale .lock reclaimed" false (Sys.file_exists stale_lock);
+  Alcotest.(check bool) "live writer's temp kept" true (Sys.file_exists live_tmp);
+  Alcotest.(check bool) "published entry kept" true (Sys.file_exists published);
+  (* a second sweep finds nothing new *)
+  Alcotest.(check int) "sweep is idempotent" 0 (Cache.sweep cache)
+
+(* ---------------------------------------------------------------- *)
+(* Multi-process writers over one shared store                      *)
+(* ---------------------------------------------------------------- *)
+
+(* Child-process entry point, dispatched from Test_main before
+   Alcotest.run when argv.(1) = "--cache-child" (OCaml 5 cannot fork
+   once domains exist, so the test execs itself instead). Opens the
+   shared store, requests the one nest, prints the digest of the
+   encoded plan, exits 0. The compile override leaves a marker file so
+   the parent can count compiles across processes, and sleeps to
+   widen the race window the file lock must close. *)
+let cache_child_main argv =
+  let dir = argv.(0) in
+  let compile n =
+    touch (Filename.concat dir (Printf.sprintf "compiled.%d" (Unix.getpid ())));
+    Unix.sleepf 0.2;
+    Plan.compile n
+  in
+  let cache = Cache.create ~capacity:4 ~dir:(Some dir) () in
+  match Cache.find_or_compile ~compile cache (nest_of_seed 0) with
+  | Ok (plan, _) ->
+    (* own line with a marker: linked test modules may print to
+       stdout during init (qcheck's seed line) before we get here *)
+    Printf.printf "\ndigest=%s\n" (Digest.to_hex (Digest.string (Plan.encode plan)));
+    exit 0
+  | Error e ->
+    prerr_endline e;
+    exit 1
+
+let test_multiprocess_single_writer () =
+  with_temp_dir @@ fun dir ->
+  let exe = Sys.executable_name in
+  let spawn () =
+    let r, w = Unix.pipe () in
+    let pid = Unix.create_process exe [| exe; "--cache-child"; dir |] Unix.stdin w Unix.stderr in
+    Unix.close w;
+    (pid, r)
+  in
+  let a = spawn () in
+  let b = spawn () in
+  let harvest (pid, fd) =
+    let buf = Buffer.create 64 in
+    let bytes = Bytes.create 256 in
+    let rec go () =
+      match Unix.read fd bytes 0 256 with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes buf bytes 0 n;
+        go ()
+    in
+    go ();
+    Unix.close fd;
+    let _, status = Unix.waitpid [] pid in
+    let digest =
+      List.find_map
+        (fun line ->
+          if String.length line > 7 && String.sub line 0 7 = "digest=" then
+            Some (String.sub line 7 (String.length line - 7))
+          else None)
+        (String.split_on_char '\n' (Buffer.contents buf))
+    in
+    (status, Option.value ~default:"" digest)
+  in
+  let st_a, dig_a = harvest a in
+  let st_b, dig_b = harvest b in
+  (match (st_a, st_b) with
+  | Unix.WEXITED 0, Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "a cache child did not exit cleanly");
+  Alcotest.(check bool) "children got real digests" true (String.length dig_a = 32);
+  Alcotest.(check string) "byte-identical plans across processes" dig_a dig_b;
+  let markers, residue =
+    Array.fold_left
+      (fun (m, r) name ->
+        let is_prefix p = String.length name >= String.length p && String.sub name 0 (String.length p) = p in
+        if is_prefix "compiled." then (m + 1, r)
+        else if
+          name.[0] = '.'
+          || Filename.check_suffix name ".lock"
+          || Filename.check_suffix name ".bad"
+        then (m, name :: r)
+        else (m, r))
+      (0, []) (Sys.readdir dir)
+  in
+  Alcotest.(check int) "exactly one compile across both processes" 1 markers;
+  (match residue with
+  | [] -> ()
+  | files -> Alcotest.failf "store residue left behind: %s" (String.concat ", " files));
+  (* and the published entry is a clean envelope *)
+  let nest = nest_of_seed 0 in
+  match read_entry (plan_file dir nest) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "published entry unreadable: %s" e
 
 (* ---------------------------------------------------------------- *)
 (* Server: request parsing and handling                              *)
@@ -659,6 +852,10 @@ let suites =
       qsuite
         [ prop_rat_roundtrip; prop_poly_roundtrip; prop_expr_roundtrip; prop_plan_roundtrip ]
     );
+    ( "service.envelope",
+      [ Alcotest.test_case "every truncation is corrupt" `Quick test_envelope_truncation;
+        Alcotest.test_case "foreign bytes are corrupt" `Quick test_envelope_foreign_bytes ]
+      @ qsuite [ prop_envelope_roundtrip; prop_envelope_detects_flip ] );
     ( "service.fingerprint",
       [ Alcotest.test_case "alpha-renaming invariance" `Quick test_fp_alpha_invariant;
         Alcotest.test_case "bound term order invariance" `Quick test_fp_term_order_invariant;
@@ -681,6 +878,9 @@ let suites =
         Alcotest.test_case "corrupt entry = miss, recompile, overwrite" `Quick
           test_disk_corrupt_entry;
         Alcotest.test_case "stale format version = miss" `Quick test_disk_stale_version;
+        Alcotest.test_case "janitor sweeps orphans, keeps live state" `Quick test_janitor_sweep;
+        Alcotest.test_case "two processes, one compile, no residue" `Quick
+          test_multiprocess_single_writer;
         Alcotest.test_case "foreign plan under our name = miss" `Quick
           test_disk_wrong_fingerprint
       ] );
