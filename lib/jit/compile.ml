@@ -18,11 +18,14 @@ let stderr_excerpt s =
   let s = String.trim s in
   String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) s
 
-let breaker_prefix = "breaker:"
+let has_prefix prefix e =
+  String.length e >= String.length prefix && String.sub e 0 (String.length prefix) = prefix
 
-let is_breaker_rejection e =
-  String.length e >= String.length breaker_prefix
-  && String.sub e 0 (String.length breaker_prefix) = breaker_prefix
+let breaker_prefix = "breaker:"
+let is_breaker_rejection e = has_prefix breaker_prefix e
+
+let plan_prefix = "plan:"
+let is_plan_error e = has_prefix plan_prefix e
 
 (* gcc -O2 -shared -fPIC into a private temp object, then rename into
    place: concurrent readers see the old object or the new one, never
@@ -75,8 +78,12 @@ let fresh_compile ~dir ~fingerprint ~src =
 
 (* toolchain outcomes feed the breaker; emit errors do not — they are
    plan-shaped, and tripping the breaker on one odd nest would reject
-   compiles of healthy plans *)
-let run_gated ?breaker ~dir ~fingerprint inv =
+   compiles of healthy plans. [specialize] runs emission BEFORE the
+   breaker is consulted, so by the time this runs the source is in
+   hand and every outcome below is a toolchain verdict: a plan error
+   can neither trip the breaker nor consume (and leak) the half-open
+   probe slot the acquire handed out. *)
+let run_gated ?breaker ~dir ~fingerprint ~src () =
   let note ok =
     match breaker with
     | None -> ()
@@ -87,23 +94,20 @@ let run_gated ?breaker ~dir ~fingerprint inv =
     Error (Printf.sprintf "C compiler %S unavailable" (Abi.cc ()))
   end
   else begin
-    match Emit.source inv ~fingerprint with
-    | Error _ as e -> e
-    | Ok src -> (
-      match fresh_compile ~dir ~fingerprint ~src with
+    match fresh_compile ~dir ~fingerprint ~src with
+    | Error _ as e ->
+      note false;
+      e
+    | Ok path -> (
+      match Native.load ~path ~fingerprint with
+      | Ok _ as ok ->
+        note true;
+        ok
       | Error _ as e ->
+        (* the toolchain produced an unloadable object: that is a
+           toolchain failure, not a plan failure *)
         note false;
-        e
-      | Ok path -> (
-        match Native.load ~path ~fingerprint with
-        | Ok _ as ok ->
-          note true;
-          ok
-        | Error _ as e ->
-          (* the toolchain produced an unloadable object: that is a
-             toolchain failure, not a plan failure *)
-          note false;
-          e))
+        e)
   end
 
 let specialize ?dir ?breaker ~fingerprint inv =
@@ -128,10 +132,18 @@ let specialize ?dir ?breaker ~fingerprint inv =
   match warm with
   | Some h -> Ok h
   | None -> (
-    match breaker with
-    | Some b when not (Breaker.acquire b) ->
-      Error
-        (Printf.sprintf "%s compile circuit %s after %d consecutive failures" breaker_prefix
-           (Breaker.state_name (Breaker.state b))
-           (Breaker.failures b))
-    | _ -> run_gated ?breaker ~dir ~fingerprint inv)
+    (* emission is pure plan work: it runs before the breaker so a
+       plan-shaped failure never consumes an acquire — in particular
+       it can never take the single half-open probe slot and return
+       without settling it, which would wedge the breaker half-open
+       (and the native tier off) for the rest of the process *)
+    match Emit.source inv ~fingerprint with
+    | Error e -> Error (Printf.sprintf "%s %s" plan_prefix e)
+    | Ok src -> (
+      match breaker with
+      | Some b when not (Breaker.acquire b) ->
+        Error
+          (Printf.sprintf "%s compile circuit %s after %d consecutive failures" breaker_prefix
+             (Breaker.state_name (Breaker.state b))
+             (Breaker.failures b))
+      | _ -> run_gated ?breaker ~dir ~fingerprint ~src ()))

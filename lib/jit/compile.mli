@@ -23,6 +23,14 @@ val so_name : string -> string
     fingerprints pinned to the interpreted fallback forever. *)
 val is_breaker_rejection : string -> bool
 
+(** [is_plan_error e] is [true] when [e] is a plan-shaped failure
+    (the emitter rejected the inversion) rather than a toolchain
+    outcome. These are the only failures it is safe to cache per
+    fingerprint forever: the same plan will fail the same way on
+    every retry, whereas a toolchain failure (missing compiler,
+    timeout, crash) may clear up and must stay retryable. *)
+val is_plan_error : string -> bool
+
 (** [specialize ?dir ?breaker ~fingerprint inv] returns a validated
     handle to the specialized object for [inv] (a canonical plan
     inversion): loading the warm [.so] from [dir] when present and
@@ -37,7 +45,10 @@ val is_breaker_rejection : string -> bool
     {!is_breaker_rejection} without forking the compiler, and
     toolchain outcomes (compile success/failure/timeout, unloadable
     object, unavailable compiler) feed {!Breaker.success} /
-    {!Breaker.failure}. Warm loads and emit errors bypass the breaker.
+    {!Breaker.failure}. Warm loads and emit errors bypass the breaker
+    entirely — emission runs {e before} the acquire, so a plan the
+    emitter rejects (an [Error] recognized by {!is_plan_error}) never
+    consumes a half-open probe slot, and can never leak one.
 
     [Error] means the native tier is unavailable for this plan (no
     compiler, emit or compile failure, breaker open) — the caller

@@ -51,4 +51,11 @@ let pop t =
   | Some line -> `Line line
   | None -> if t.overflowed then `Overflow else `Pending
 
+let peek t =
+  match Queue.peek_opt t.lines with
+  | Some line -> `Line line
+  | None -> if t.overflowed then `Overflow else `Pending
+
+let drop t = ignore (Queue.take_opt t.lines)
+
 let has_line t = (not (Queue.is_empty t.lines)) || t.overflowed

@@ -47,6 +47,15 @@ val pop : t -> [ `Line of string | `Overflow | `Pending ]
     [`Pending] when more bytes are needed. After [`Overflow] every
     further pop is [`Overflow]. *)
 
+val peek : t -> [ `Line of string | `Overflow | `Pending ]
+(** [peek t] is {!pop} without consuming: the admission loop uses it
+    to classify the next line (control verbs are exempt from the
+    admission caps) before deciding whether to take it. *)
+
+val drop : t -> unit
+(** [drop t] discards the line {!peek} returned, if any — the
+    consume half of a peek-then-take. *)
+
 val has_line : t -> bool
 (** Whether {!pop} would return something other than [`Pending] right
     now — lets the serve loop poll readiness without consuming. *)

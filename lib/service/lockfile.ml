@@ -12,6 +12,31 @@ let default_timeout_ms () =
 
 let contended t = t.contended
 
+(* Paths locked (or mid-acquisition) by this process. POSIX record
+   locks have two same-process hazards the kernel will not arbitrate:
+   lockf never conflicts between threads of one process, and closing
+   ANY fd onto a locked file drops the whole process's lock. So a
+   second thread must not even open+trylock a path this process
+   holds — [acquire] and [try_clean] both reserve the path here
+   first, and back off if another thread already holds the
+   reservation. Paths are compared as strings: all callers build
+   them the same way (Filename.concat of the cache dir), so one dir
+   yields one spelling. *)
+let held : (string, unit) Hashtbl.t = Hashtbl.create 8
+let held_mutex = Mutex.create ()
+
+let reserve path =
+  Mutex.lock held_mutex;
+  let fresh = not (Hashtbl.mem held path) in
+  if fresh then Hashtbl.replace held path ();
+  Mutex.unlock held_mutex;
+  fresh
+
+let unreserve path =
+  Mutex.lock held_mutex;
+  Hashtbl.remove held path;
+  Mutex.unlock held_mutex
+
 (* Advisory cross-process lock via lockf (POSIX record locks): the
    kernel releases the lock when the holder dies, so a kill -9'd
    writer never wedges the cache — takeover of such a "stale" lock is
@@ -26,17 +51,28 @@ let contended t = t.contended
      — losing that race means it locked a file some other process
      already released and removed, and must retry on the fresh file.
    - lockf locks are per-process: two threads of one process never
-     conflict here. In-process exclusion is the single-flight table's
-     job; this lock only arbitrates between processes. *)
+     conflict in the kernel, and closing any fd onto the file drops
+     the process's lock. The [held] reservation table makes threads
+     of one process queue on the path instead of silently sharing
+     (or destroying) each other's kernel lock — though in-process
+     exclusion remains primarily the single-flight table's job. *)
 let acquire ?timeout_ms ?(poll_ms = 20) path =
   let timeout_ms = match timeout_ms with Some t -> t | None -> default_timeout_ms () in
   let deadline = Unix.gettimeofday () +. (float_of_int timeout_ms /. 1000.) in
   let contended = ref false in
   let rec attempt () =
-    match Unix.openfile path [ Unix.O_CREAT; Unix.O_RDWR; Unix.O_CLOEXEC ] 0o644 with
-    | exception Unix.Unix_error (e, _, _) ->
-      Error (`Unavailable (Unix.error_message e))
-    | fd -> try_lock fd
+    if not (reserve path) then begin
+      (* another thread of this process holds (or is acquiring) it *)
+      contended := true;
+      wait_retry ()
+    end
+    else begin
+      match Unix.openfile path [ Unix.O_CREAT; Unix.O_RDWR; Unix.O_CLOEXEC ] 0o644 with
+      | exception Unix.Unix_error (e, _, _) ->
+        unreserve path;
+        Error (`Unavailable (Unix.error_message e))
+      | fd -> try_lock fd
+    end
   and try_lock fd =
     match Unix.lockf fd Unix.F_TLOCK 0 with
     | () -> (
@@ -57,13 +93,16 @@ let acquire ?timeout_ms ?(poll_ms = 20) path =
         (* the file was released+unlinked under us: retry on the
            fresh path *)
         (try Unix.close fd with Unix.Unix_error _ -> ());
+        unreserve path;
         wait_retry ())
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
       contended := true;
       (try Unix.close fd with Unix.Unix_error _ -> ());
+      unreserve path;
       wait_retry ()
     | exception Unix.Unix_error (e, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
+      unreserve path;
       Error (`Unavailable (Unix.error_message e))
   and wait_retry () =
     if Unix.gettimeofday () >= deadline then Error `Timeout
@@ -82,20 +121,31 @@ let release t =
      ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
      Unix.lockf t.fd Unix.F_ULOCK 0
    with Unix.Unix_error _ -> ());
-  try Unix.close t.fd with Unix.Unix_error _ -> ()
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  unreserve t.path
 
 (* a lock file nobody holds is an orphan (crashed holder already lost
-   its kernel lock); one somebody holds is left alone *)
+   its kernel lock); one somebody holds is left alone. "Somebody"
+   includes this very process: lockf never conflicts within a
+   process, so the trylock below would succeed against our own live
+   lock and the unlink (plus the lock-dropping close) would destroy
+   another thread's cross-process exclusion. The reservation covers
+   that: a reserved path is live by definition, and holding the
+   reservation while probing keeps sibling threads from starting an
+   acquisition mid-sweep. *)
 let try_clean path =
-  match Unix.openfile path [ Unix.O_RDWR; Unix.O_CLOEXEC ] 0o644 with
-  | exception Unix.Unix_error _ -> false
-  | fd -> (
-    match Unix.lockf fd Unix.F_TLOCK 0 with
-    | () ->
-      (try Unix.unlink path with Unix.Unix_error _ -> ());
-      (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      true
-    | exception Unix.Unix_error _ ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      false)
+  if not (reserve path) then false
+  else
+    Fun.protect ~finally:(fun () -> unreserve path) @@ fun () ->
+    match Unix.openfile path [ Unix.O_RDWR; Unix.O_CLOEXEC ] 0o644 with
+    | exception Unix.Unix_error _ -> false
+    | fd -> (
+      match Unix.lockf fd Unix.F_TLOCK 0 with
+      | () ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        (try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        true
+      | exception Unix.Unix_error _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        false)

@@ -9,11 +9,17 @@
     lock, which the cache counts as a lock steal — safe, because entry
     publication is an atomic rename regardless of who holds the lock.
 
-    These locks arbitrate between {e processes} only: POSIX record
-    locks do not conflict within one process, where the single-flight
-    table already provides exclusion. Locks must be released by the
-    acquiring thread before the process forks grandchildren that
-    should not inherit them (fds are close-on-exec). *)
+    These locks arbitrate primarily between {e processes}; POSIX
+    record locks do not conflict within one process, where the
+    single-flight table already provides exclusion. An in-process
+    reservation table backstops the kernel's blind spot anyway: a
+    path locked by one thread of this process is treated as
+    contended by sibling [acquire]s, and {!try_clean} will never
+    mistake it for an orphan (a same-process trylock would succeed
+    against a live lock, and closing the probe fd would drop it).
+    Locks must be released by the acquiring thread before the
+    process forks grandchildren that should not inherit them (fds
+    are close-on-exec). *)
 
 type t
 
@@ -36,7 +42,8 @@ val contended : t -> bool
     the fd. Never raises. *)
 val release : t -> unit
 
-(** [try_clean path] removes [path] iff no live process holds it
-    locked; returns whether it was removed. Used by the startup
-    janitor to sweep orphaned [.lock] files. *)
+(** [try_clean path] removes [path] iff no live holder — in another
+    process {e or} a sibling thread of this one — has it locked;
+    returns whether it was removed. Used by the startup janitor to
+    sweep orphaned [.lock] files. *)
 val try_clean : string -> bool

@@ -31,13 +31,17 @@ let dir t = t.dir
 let breaker t = t.breaker
 
 (* one validated handle per fingerprint, single-flighted exactly like
-   plan compiles. Specialize failures ARE cached (unlike plan-compile
-   failures): a missing compiler would otherwise fork gcc once per
-   request, and the interpreted fallback is always available. The one
-   exception is a circuit-breaker rejection — that is the breaker
-   talking, not the toolchain, and caching it would pin the
-   fingerprint to the interpreted walk even after the breaker
-   re-closes. *)
+   plan compiles. Only plan-shaped failures (the emitter rejected the
+   inversion) are cached: those are deterministic, so retrying the
+   same fingerprint would fail identically forever. Toolchain
+   failures — missing compiler, wedged cc, compile timeout — are NOT
+   cached: they are transient, and pinning them would keep a
+   fingerprint on the interpreted walk even after the toolchain
+   recovers. Their retry cost is bounded by the circuit breaker (a
+   broken toolchain trips it within [threshold] attempts, after which
+   rejections are in-memory and free), and a breaker rejection itself
+   is likewise never cached — that is the breaker talking, not the
+   toolchain. *)
 let handle_for t fp inv =
   Mutex.lock t.mutex;
   match Hashtbl.find_opt t.tbl fp with
@@ -56,8 +60,9 @@ let handle_for t fp inv =
       let result = Jit.Compile.specialize ?dir:t.dir ~breaker:t.breaker ~fingerprint:fp inv in
       Mutex.lock t.mutex;
       (match result with
-      | Error e when Jit.Compile.is_breaker_rejection e -> ()
-      | result -> Hashtbl.replace t.tbl fp result);
+      | Ok _ -> Hashtbl.replace t.tbl fp result
+      | Error e when Jit.Compile.is_plan_error e -> Hashtbl.replace t.tbl fp result
+      | Error _ -> ());
       (match result with Error e -> t.last_error <- Some e | Ok _ -> ());
       Single_flight.publish t.flights fp fl result;
       Mutex.unlock t.mutex;

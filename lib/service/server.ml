@@ -1027,17 +1027,25 @@ let serve ?cache ?native ?(config = default_serve_config) ~socket () =
           c.work;
         Queue.clear c.work
       in
-      (* admit framed lines into the work queue while the admission
-         counter is under the cap — the cap is what stops this loop,
-         and the unread socket (plus at most one framer line burst) is
-         the backpressure buffer *)
+      (* admit framed lines into the work queue. Control lines —
+         health, shutdown, and anything unparseable, all answered
+         without occupying an execution slot — are consumed
+         regardless of the admission caps: the liveness probe must
+         work exactly when the server is saturated, so the caps may
+         gate only real work. Real requests are peeked first and only
+         consumed while the admission counter is under the caps — a
+         parked request line is what stops this loop (and, since
+         responses are answered in input order, legitimately parks
+         everything framed behind it on the same connection), while
+         the unread socket (plus at most one framer line burst) is
+         the backpressure buffer. *)
       let admit c =
+        let under_caps () =
+          !inflight < config.max_inflight && c.inflight < config.max_inflight_per_client
+        in
         let continue = ref true in
-        while
-          !continue && !inflight < config.max_inflight
-          && c.inflight < config.max_inflight_per_client
-        do
-          match Framing.pop c.framer with
+        while !continue do
+          match Framing.peek c.framer with
           | `Pending -> continue := false
           | `Overflow ->
             if not c.reject_sent then begin
@@ -1055,31 +1063,42 @@ let serve ?cache ?native ?(config = default_serve_config) ~socket () =
             continue := false
           | `Line line -> (
             match parse_request line with
-            | Ok None -> ()
-            | Error e -> Queue.push (Queued_response (error_json ~op:"parse" ~label:"-" e, false)) c.work
+            | Ok None -> Framing.drop c.framer
+            | Error e ->
+              Framing.drop c.framer;
+              Queue.push (Queued_response (error_json ~op:"parse" ~label:"-" e, false)) c.work
             | Ok (Some Health) ->
               (* liveness probe: answered at admit time with the live
-                 inflight depth, never admitted (it must work exactly
-                 when the server is saturated), never rate-limited,
-                 and not counted in [requests] — the cache-counter
+                 inflight depth, never admitted, exempt from the
+                 admission caps and the rate limiter (it must work
+                 exactly when the server is saturated), and not
+                 counted in [requests] — the cache-counter
                  reconciliation invariant covers admitted work only *)
+              Framing.drop c.framer;
               incr health_served;
               Queue.push
                 (Queued_response (health_json ~native:nt ~inflight:!inflight cache, true))
                 c.work
             | Ok (Some Shutdown) ->
-              (* the stop switch is exempt from rate limiting *)
+              (* the stop switch is exempt from rate limiting and the
+                 admission caps alike: a saturated server must still
+                 be stoppable *)
+              Framing.drop c.framer;
               note_admitted c;
               Queue.push (Queued_request Shutdown) c.work
             | Ok (Some req) ->
-              if rate_admit c then begin
-                note_admitted c;
-                Queue.push (Queued_request req) c.work
-              end
+              if not (under_caps ()) then continue := false
               else begin
-                incr throttled;
-                if obsv () then Obsv.Metrics.incr_here Stats.serve_throttled;
-                Queue.push (Queued_response (overload_json req, false)) c.work
+                Framing.drop c.framer;
+                if rate_admit c then begin
+                  note_admitted c;
+                  Queue.push (Queued_request req) c.work
+                end
+                else begin
+                  incr throttled;
+                  if obsv () then Obsv.Metrics.incr_here Stats.serve_throttled;
+                  Queue.push (Queued_response (overload_json req, false)) c.work
+                end
               end)
         done
       in
@@ -1204,12 +1223,20 @@ let serve ?cache ?native ?(config = default_serve_config) ~socket () =
           loop_running := false
         end
         else begin
+          (* at the admission caps a connection is still read as long
+             as it has no parked line: control verbs (health,
+             shutdown) must reach the admission loop even when the
+             server is saturated. A framed line that survived [admit]
+             is necessarily a real request the caps parked — only
+             then does reading stop, so the framer backlog stays
+             bounded by one scratch-read burst per connection. *)
           let readable_wanted c =
             (not !draining) && (not c.closing)
             && (not (Framing.overflowed c.framer))
-            && !inflight < config.max_inflight
-            && c.inflight < config.max_inflight_per_client
             && out_pending c < config.max_write_buffer
+            && ((not (Framing.has_line c.framer))
+               || (!inflight < config.max_inflight
+                  && c.inflight < config.max_inflight_per_client))
           in
           let read_fds =
             (if (not !draining) && List.length !conns < config.max_clients then [ fd ] else [])

@@ -136,15 +136,19 @@ type serve_config = {
           cap queues instead of bouncing *)
   max_inflight : int;
       (** admission cap: requests admitted (queued or executing)
-          across all connections (default 16). At the cap the loop
-          stops selecting readable fds — unread sockets are the
-          backpressure buffer. *)
+          across all connections (default 16). A connection whose
+          next framed line the cap parks stops being read — unread
+          sockets are the backpressure buffer. Control verbs
+          ([health], [shutdown]) are exempt: they are consumed and
+          answered even at the cap, so the liveness probe works
+          exactly when the server is saturated. *)
   max_inflight_per_client : int;
       (** per-connection admission cap (default 8): one pipelining
           client can hold at most this many of the [max_inflight]
           slots, so a flood cannot monopolize admission. At its cap a
-          connection simply stops being read (backpressure), it is
-          not sent errors. *)
+          connection with a parked request line simply stops being
+          read (backpressure), it is not sent errors; [health] and
+          [shutdown] remain exempt here too. *)
   rate_limit : float option;
       (** requests per second per connection (default [None] =
           unlimited), enforced by a token bucket of capacity

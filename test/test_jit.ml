@@ -344,6 +344,35 @@ let test_breaker_probe_failure_reopens () =
   Jit.Breaker.success b;
   Alcotest.(check bool) "recovers eventually" true (Jit.Breaker.state b = Jit.Breaker.Closed)
 
+(* regression: an unemittable plan arriving while the breaker is
+   cooling down must not consume the half-open probe slot. Emission is
+   plan work and runs before the breaker acquire; if it instead took
+   the probe and returned without settling it, [probing] would stay
+   set forever and every later acquire would be rejected — the native
+   tier silently wedged off for the rest of the process. *)
+let test_breaker_emit_error_keeps_probe_slot () =
+  let now = ref 0. in
+  let b = Jit.Breaker.create ~threshold:1 ~cooldown_ms:1000 ~now_ms:(fun () -> !now) () in
+  Jit.Breaker.failure b;
+  Alcotest.(check bool) "open after failure" true (Jit.Breaker.state b = Jit.Breaker.Open);
+  now := !now +. 1001.;
+  (* "int" is a fine symbolic parameter but not an emittable C
+     identifier, so Emit.source rejects the plan before any compile *)
+  let nest =
+    Trahrhe.Nest.make ~params:[ "int" ]
+      [ { var = "i"; lower = aff [] 0; upper = aff [ ("int", 1) ] 0 } ]
+  in
+  let inv = Trahrhe.Inversion.invert_exn nest in
+  (match Jit.Compile.specialize ~dir:(Lazy.force tmp_dir) ~breaker:b ~fingerprint:"emitfail" inv with
+  | Ok _ -> Alcotest.fail "unemittable plan specialized"
+  | Error e ->
+    Alcotest.(check bool)
+      (Printf.sprintf "plan-shaped error: %s" e)
+      true (Jit.Compile.is_plan_error e);
+    Alcotest.(check bool) "not a breaker rejection" false (Jit.Compile.is_breaker_rejection e));
+  Alcotest.(check bool)
+    "probe slot still available to a real compile" true (Jit.Breaker.acquire b)
+
 (* the supervised path end to end: a cc that answers --version but
    wedges on compile must fail within the deadline, not hang.
    OMPSIM_JIT_CC and OMPSIM_JIT_TIMEOUT_MS are re-read per call by
@@ -411,5 +440,7 @@ let suites =
           test_breaker_opens_at_threshold;
         Alcotest.test_case "success resets the streak" `Quick test_breaker_success_resets_streak;
         Alcotest.test_case "half-open grants one probe" `Quick test_breaker_half_open_probe;
-        Alcotest.test_case "probe failure re-opens" `Quick test_breaker_probe_failure_reopens ]
+        Alcotest.test_case "probe failure re-opens" `Quick test_breaker_probe_failure_reopens;
+        Alcotest.test_case "emit error cannot leak the probe slot" `Quick
+          test_breaker_emit_error_keeps_probe_slot ]
     ) ]

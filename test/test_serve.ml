@@ -689,6 +689,68 @@ let test_serve_rate_limited_flood () =
   Alcotest.(check int) "rejections are error responses" 3 stats.Server.error_responses;
   Alcotest.(check int) "nothing dropped" 0 stats.Server.dropped
 
+(* regression: the liveness probe must be answered from another
+   connection while a flood holds the admission cap. The flooder
+   pipelines slow requests (deadline-killed at 100ms each) well past
+   [max_inflight]; before the fix, both the admit loop and the
+   readable set gated health behind the same caps, so the probe
+   waited for the whole backlog to drain (~1s+ here, minutes with a
+   wedged toolchain). Now control lines are consumed regardless of
+   the caps, so the probe answers within roughly one loop turn. *)
+let test_serve_health_exempt_at_saturation () =
+  (* requests sized to a couple hundred ms each (the serial reference
+     dominates and is not deadlined), so a pipelined flood holds the
+     admission counter at the cap for ~2s of short loop turns. The
+     loop is single-threaded and requests execute inline, so even an
+     exempt probe waits out the request in flight when it arrives —
+     the discriminator is relative, not absolute: exempt health
+     answers within a couple of request-times, capped health waits
+     for nearly the whole backlog. *)
+  let slow = "exec params=N=2000 levels=i=0..N,j=i..N threads=2 label=slow" in
+  let nslow = 10 in
+  let config =
+    { Server.default_serve_config with
+      max_inflight = 4;
+      max_inflight_per_client = 4;
+      service_quantum = 1 }
+  in
+  let (health_at_ms, drain_ms, health_line), stats =
+    with_server ~config @@ fun socket ->
+    (* probe connects first: the serve loop prepends new connections,
+       so the flooder's admission runs first each turn and keeps the
+       counter at the cap when the probe's line is considered *)
+    let probe = connect socket in
+    let flood = connect socket in
+    (* warm the plan cache through the probe so no request in the
+       timed window pays the one-off symbolic compile *)
+    send_all probe (slow ^ "\n");
+    ignore (recv_lines probe 1);
+    let t0 = Unix.gettimeofday () in
+    send_all flood (String.concat "\n" (List.init nslow (fun _ -> slow)) ^ "\n");
+    (* let the server frame the flood before probing *)
+    Unix.sleepf 0.05;
+    send_all probe "health\n";
+    let h = List.hd (recv_lines probe 1) in
+    let health_at_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    ignore (recv_lines flood nslow);
+    let drain_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    Unix.close flood;
+    send_all probe "shutdown\n";
+    ignore (recv_lines probe 1);
+    Unix.close probe;
+    (health_at_ms, drain_ms, h)
+  in
+  check_contains "health answered" {|"op":"health","status":"ok"|} health_line;
+  (* both times share the flood's t0, so the ratio self-calibrates to
+     machine speed: exempt ~2/10 of the backlog, capped ~9/10 *)
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "probe answered while saturated, not after the backlog (health %.0fms, drain %.0fms)"
+       health_at_ms drain_ms)
+    true (health_at_ms < drain_ms /. 2.);
+  Alcotest.(check int) "health probes counted" 1 stats.Server.health_probes;
+  Alcotest.(check int) "nothing dropped" 0 stats.Server.dropped
+
 let test_serve_per_client_cap_backpressure () =
   (* a cap of 1 forces the loop to stop reading the flooding client
      between requests: everything is still answered, in order, byte
@@ -825,6 +887,8 @@ let suites =
           test_serve_health_verb;
         Alcotest.test_case "rate limiter rejects floods deterministically" `Quick
           test_serve_rate_limited_flood;
+        Alcotest.test_case "health is exempt from the admission caps" `Quick
+          test_serve_health_exempt_at_saturation;
         Alcotest.test_case "per-client cap is backpressure, not errors" `Quick
           test_serve_per_client_cap_backpressure;
         Alcotest.test_case "garbage bytes get structured errors" `Quick test_serve_garbage_bytes

@@ -588,6 +588,68 @@ let test_janitor_sweep () =
   (* a second sweep finds nothing new *)
   Alcotest.(check int) "sweep is idempotent" 0 (Cache.sweep cache)
 
+(* regression: POSIX record locks never conflict within one process,
+   so without the in-process reservation the janitor's trylock would
+   "win" against our own live lock, unlink it, and — because closing
+   any fd onto a locked file drops the process's lock — destroy the
+   holder's cross-process exclusion mid-compile *)
+let test_lockfile_same_process_live_lock () =
+  with_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "aaaa1111.lock" in
+  match Service.Lockfile.acquire ~timeout_ms:500 path with
+  | Error _ -> Alcotest.fail "first acquire failed"
+  | Ok lock ->
+    Alcotest.(check bool) "live lock not cleaned" false (Service.Lockfile.try_clean path);
+    Alcotest.(check bool) "lock file survives the sweep" true (Sys.file_exists path);
+    (* a sibling acquire in this process queues and times out instead
+       of silently sharing (and later destroying) the kernel lock *)
+    (match Service.Lockfile.acquire ~timeout_ms:80 ~poll_ms:10 path with
+    | Error `Timeout -> ()
+    | Error (`Unavailable e) -> Alcotest.failf "unexpected failure: %s" e
+    | Ok _ -> Alcotest.fail "second same-process acquire won a held lock");
+    Service.Lockfile.release lock;
+    Alcotest.(check bool) "release removes the file" false (Sys.file_exists path);
+    (* a genuinely orphaned file (no kernel holder anywhere) is still
+       reclaimable once the reservation is gone *)
+    touch path;
+    Alcotest.(check bool) "orphan reclaimed" true (Service.Lockfile.try_clean path);
+    Alcotest.(check bool) "orphan removed" false (Sys.file_exists path)
+
+(* ---------------------------------------------------------------- *)
+(* Native tier: failure caching policy                               *)
+(* ---------------------------------------------------------------- *)
+
+let with_env kvs f =
+  let saved = List.map (fun (k, _) -> (k, Option.value ~default:"" (Sys.getenv_opt k))) kvs in
+  List.iter (fun (k, v) -> Unix.putenv k v) kvs;
+  Fun.protect ~finally:(fun () -> List.iter (fun (k, v) -> Unix.putenv k v) saved) f
+
+(* regression: a specialize failure caused by the toolchain (here a
+   missing compiler) must not be pinned to the fingerprint forever —
+   once the toolchain recovers, the same plan must re-engage the
+   native tier. Only plan-shaped (emit) failures are cached; the
+   circuit breaker bounds the retry cost of transient ones. *)
+let test_native_transient_failure_not_pinned () =
+  if not (Jit.Abi.functional ()) then Alcotest.skip ();
+  with_temp_dir @@ fun dir ->
+  match Plan.compile (nest_of_seed 0) with
+  | Error e -> Alcotest.failf "plan compile failed: %s" e
+  | Ok plan ->
+    let tier = Service.Native.create ~dir:(Some dir) () in
+    let param _ = 8 in
+    with_env [ ("OMPSIM_JIT_CC", Filename.concat dir "no-such-cc") ] (fun () ->
+      match Service.Native.recovery_explain tier plan ~param with
+      | _, None -> Alcotest.fail "missing compiler still served native"
+      | _, Some _ -> ());
+    (* the toolchain "recovers" (env restored): same tier, same plan *)
+    (match Service.Native.recovery_explain tier plan ~param with
+    | _, Some e -> Alcotest.failf "recovered toolchain left pinned to fallback: %s" e
+    | _, None -> ());
+    let s = Service.Native.stats tier in
+    Alcotest.(check int) "served natively after recovery" 1 s.Service.Native.served;
+    Alcotest.(check int) "one fallback during the outage" 1 s.Service.Native.fallbacks;
+    Service.Native.clear tier
+
 (* ---------------------------------------------------------------- *)
 (* Multi-process writers over one shared store                      *)
 (* ---------------------------------------------------------------- *)
@@ -879,6 +941,10 @@ let suites =
           test_disk_corrupt_entry;
         Alcotest.test_case "stale format version = miss" `Quick test_disk_stale_version;
         Alcotest.test_case "janitor sweeps orphans, keeps live state" `Quick test_janitor_sweep;
+        Alcotest.test_case "janitor never breaks a same-process live lock" `Quick
+          test_lockfile_same_process_live_lock;
+        Alcotest.test_case "transient specialize failure is not pinned" `Quick
+          test_native_transient_failure_not_pinned;
         Alcotest.test_case "two processes, one compile, no residue" `Quick
           test_multiprocess_single_writer;
         Alcotest.test_case "foreign plan under our name = miss" `Quick
