@@ -28,6 +28,42 @@ let nest_of_input ~file ~kernel =
 
 let mode_name = function Symx.Cemit.Real -> "real" | Symx.Cemit.Complex -> "complex"
 
+(* per-level recovery kinds for the stderr accounting: which levels run
+   radical closed forms and which run the certified numeric search,
+   with the isolator's enclosure refinement counts on a mid-range probe *)
+let report_recovery_kinds (inv : Trahrhe.Inversion.t) rc =
+  let trip = Trahrhe.Recovery.trip_count rc in
+  if trip > 0 then begin
+    let pc = 1 + (trip / 2) in
+    let idx = Trahrhe.Recovery.recover_guarded rc pc in
+    let parts =
+      Array.to_list
+        (Array.mapi
+           (fun k r ->
+             match r with
+             | Trahrhe.Inversion.Root { var; mode; _ } ->
+               Printf.sprintf "%s=closed(%s)" var (mode_name mode)
+             | Trahrhe.Inversion.Last { var; _ } -> Printf.sprintf "%s=exact" var
+             | Trahrhe.Inversion.Numeric { var; _ } ->
+               let detail =
+                 match Trahrhe.Recovery.isolate_level rc idx ~pc ~level:k with
+                 | Some (Ok enc) ->
+                   Printf.sprintf "%d newton + %d bisect steps%s"
+                     enc.Rootsolve.Isolate.newton_steps enc.Rootsolve.Isolate.bisect_steps
+                     (if enc.Rootsolve.Isolate.exact then ", exact root" else "")
+                 | Some (Error e) -> Rootsolve.Isolate.error_to_string e
+                 | None -> "overflow-guarded bigint search"
+               in
+               Printf.sprintf "%s=numeric(%s)" var detail)
+           inv.Trahrhe.Inversion.recoveries)
+    in
+    Printf.eprintf "  recovery: %s\n%!" (String.concat "  " parts)
+  end;
+  if Obsv.Control.enabled () then
+    Printf.eprintf "  inversion counters: numeric=%d closed_form=%d\n%!"
+      (Trahrhe.Recovery.numeric_recoveries ())
+      (Trahrhe.Recovery.closed_form_recoveries ())
+
 (* ---- observability plumbing (--trace / --stats) ---- *)
 
 let trace_arg =
@@ -89,7 +125,12 @@ let info_run file kernel =
             Format.printf "%s = floor(%s)   [%s]@\n" var (Symx.Expr.to_string expr)
               (mode_name mode)
           | Trahrhe.Inversion.Last { var; poly } ->
-            Format.printf "%s = %s   [exact]@\n" var (Polymath.Polynomial.to_string poly))
+            Format.printf "%s = %s   [exact]@\n" var (Polymath.Polynomial.to_string poly)
+          | Trahrhe.Inversion.Numeric { var; r_sub_index } ->
+            Format.printf
+              "%s = numeric(r_sub_%d)   [certified root isolation: no radical closed form at \
+               this degree]@\n"
+              var r_sub_index)
         inv.Trahrhe.Inversion.recoveries;
       0)
 
@@ -436,6 +477,7 @@ let exec_run kernel size threads schedule lanes repeat native reduce faults retr
               (match native_reason with
               | None -> "engaged"
               | Some reason -> Printf.sprintf "interpreted fallback (%s)" reason);
+          report_recovery_kinds plan.Service.Plan.inversion rc;
           if Obsv.Control.enabled () then begin
             Printf.printf "  reduce: %d partials, %d combines\n"
               (Obsv.Metrics.total Ompsim.Stats.reduce_partials)
@@ -531,6 +573,7 @@ let exec_run kernel size threads schedule lanes repeat native reduce faults retr
             (match native_reason with
             | None -> "engaged"
             | Some reason -> Printf.sprintf "interpreted fallback (%s)" reason);
+        report_recovery_kinds plan.Service.Plan.inversion rc;
         if repeat > 1 then begin
           (* per-run wall times, not just the aggregate: min/median make
              warm-up effects and scheduling noise visible *)

@@ -30,7 +30,9 @@ let () =
       | Trahrhe.Inversion.Root { var; expr; _ } ->
         Printf.printf "%s = floor( %s )\n" var (Symx.Expr.to_string expr)
       | Trahrhe.Inversion.Last { var; poly } ->
-        Printf.printf "%s = %s\n" var (Polymath.Polynomial.to_string poly))
+        Printf.printf "%s = %s\n" var (Polymath.Polynomial.to_string poly)
+      | Trahrhe.Inversion.Numeric { var; r_sub_index } ->
+        Printf.printf "%s = numeric(r_sub_%d)\n" var r_sub_index)
     inv.Trahrhe.Inversion.recoveries;
 
   (* 3. check the whole pipeline exhaustively at a small size *)

@@ -33,7 +33,9 @@ let () =
           (match mode with Symx.Cemit.Real -> "real" | Complex -> "complex");
         Printf.printf "   %s = floor(%s)\n" var (Symx.Expr.to_string expr)
       | Trahrhe.Inversion.Last { var; poly } ->
-        Printf.printf "%s = %s   [exact]\n" var (P.to_string poly))
+        Printf.printf "%s = %s   [exact]\n" var (P.to_string poly)
+      | Trahrhe.Inversion.Numeric { var; r_sub_index } ->
+        Printf.printf "%s = numeric(r_sub_%d)   [certified root isolation]\n" var r_sub_index)
     inv.Trahrhe.Inversion.recoveries;
 
   (* Figure 8: the curves r(i,0,0) - pc — all parallel, so the number

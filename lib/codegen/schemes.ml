@@ -69,7 +69,42 @@ let recovery_stmts ?(config = default_config) (inv : Trahrhe.Inversion.t) =
                  guard_stmts ~ty inv k
                else [])
          | Trahrhe.Inversion.Last { var; poly } ->
-           [ Assign (var, Cemit.emit_poly_int poly ~ty) ])
+           [ Assign (var, Cemit.emit_poly_int poly ~ty) ]
+         | Trahrhe.Inversion.Numeric { var; r_sub_index } ->
+           (* no radical closed form at this degree: emit the bracketed
+              binary search over the monotone substituted ranking —
+              largest value with r_sub(prefix, v) <= pc. Exact by
+              construction, so the guarded config adds nothing. *)
+           let levels = nest_levels inv in
+           let l = levels.(r_sub_index) in
+           let pc = inv.Trahrhe.Inversion.pc_var in
+           let r_sub = inv.Trahrhe.Inversion.r_sub.(r_sub_index) in
+           let a = Printf.sprintf "nlo_%s" var
+           and b = Printf.sprintf "nhi_%s" var
+           and mid = Printf.sprintf "nmid_%s" var in
+           let r_at_mid = P.subst var (P.var mid) r_sub in
+           [ Comment
+               (Printf.sprintf "numeric recovery of %s: binary search on the monotone ranking"
+                  var);
+             Block
+               [ Decl { ty; name = a; init = Some (bound_expr ~ty l.Trahrhe.Nest.lower) };
+                 Decl
+                   { ty;
+                     name = b;
+                     init =
+                       Some (Printf.sprintf "(%s) - 1" (bound_expr ~ty l.Trahrhe.Nest.upper))
+                   };
+                 While
+                   { cond = Printf.sprintf "%s < %s" a b;
+                     body =
+                       [ Decl
+                           { ty;
+                             name = mid;
+                             init = Some (Printf.sprintf "%s + (%s - %s + 1) / 2" a b a) };
+                         Raw
+                           (Printf.sprintf "if (%s <= %s) %s = %s; else %s = %s - 1;"
+                              (Cemit.emit_poly_int r_at_mid ~ty) pc a mid b mid) ] };
+                 Raw (Printf.sprintf "%s = %s;" var a) ] ])
 
 let increment_stmts ?(config = default_config) (inv : Trahrhe.Inversion.t) =
   let ty = config.counter_ty in

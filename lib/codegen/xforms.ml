@@ -84,7 +84,12 @@ let fused ?(config = Schemes.default_config) (f : Trahrhe.Fusion.t) ~bodies =
                 Trahrhe.Inversion.Root
                   { var; expr = E.subst pc (E.of_poly local) expr; mode }
               | Trahrhe.Inversion.Last { var; poly } ->
-                Trahrhe.Inversion.Last { var; poly = P.subst pc local poly })
+                Trahrhe.Inversion.Last { var; poly = P.subst pc local poly }
+              | Trahrhe.Inversion.Numeric _ as r ->
+                (* the emitted binary search compares the offset-shifted
+                   r_sub below against the global pc directly:
+                   r + offset <= pc  <=>  r <= pc - offset *)
+                r)
             inv.Trahrhe.Inversion.recoveries;
         Trahrhe.Inversion.r_sub =
           (* guards compare local rank against r_sub: shift them too by

@@ -6,6 +6,7 @@ module E = Symx.Expr
 type level_recovery =
   | Root of { var : string; expr : E.t; mode : Symx.Cemit.mode }
   | Last of { var : string; poly : P.t }
+  | Numeric of { var : string; r_sub_index : int }
 
 type t = {
   nest : Nest.t;
@@ -110,9 +111,56 @@ let rec expr_size = function
   | E.Sum es | E.Prod es -> List.fold_left (fun a e -> a + expr_size e) 1 es
   | E.Pow (b, _) -> 1 + expr_size b
 
-let invert ?(pc_var = "pc") ?(sample_sizes = [ 3; 4; 6 ]) nest =
+(* Certify a numeric level on the sampled iterations: for a spread of
+   sampled (prefix, rank) pairs, isolate the root of
+   [r_sub.(k) - rank] over exact rationals and check the certified
+   enclosure lands in [ik, ik+1) — the continuous root of the monotone
+   substituted ranking always lives there when the level is sound. *)
+let numeric_valid nest ~pc_var ~k u levels samples =
+  let vars = Array.of_list (Nest.level_vars nest) in
+  Obsv.Trace.with_span "invert.isolate" @@ fun () ->
+  List.for_all
+    (fun { param; points; ranks } ->
+      let pairs = List.combine points ranks in
+      let stride = max 1 (List.length pairs / 32) in
+      List.for_all
+        (fun (n, (idx, rank)) ->
+          n mod stride <> 0
+          ||
+          let env x =
+            if x = pc_var then Q.of_int rank
+            else begin
+              let rec find j =
+                if j >= k then Q.of_int (param x)
+                else if vars.(j) = x then Q.of_int idx.(j)
+                else find (j + 1)
+              in
+              find 0
+            end
+          in
+          let p = Rootsolve.Isolate.of_univariate u ~env in
+          let lo = P.eval env (A.to_poly levels.(k).Nest.lower) in
+          let hi = P.eval env (A.to_poly levels.(k).Nest.upper) in
+          match Rootsolve.Isolate.isolate p ~lo ~hi with
+          | Error _ -> false
+          | Ok enc ->
+            let ik = Q.of_int idx.(k) and ik1 = Q.of_int (idx.(k) + 1) in
+            Q.compare enc.Rootsolve.Isolate.enc_lo ik1 <= 0
+            && Q.compare enc.Rootsolve.Isolate.enc_hi ik >= 0)
+        (List.mapi (fun n pr -> (n, pr)) pairs))
+    samples
+
+let force_numeric_default () =
+  match Sys.getenv_opt "OMPSIM_FORCE_NUMERIC" with
+  | Some "1" | Some "true" -> true
+  | _ -> false
+
+let invert ?(pc_var = "pc") ?(sample_sizes = [ 3; 4; 6 ]) ?force_numeric nest =
   if List.mem pc_var (Nest.level_vars nest) || List.mem pc_var nest.Nest.params then
     invalid_arg ("Inversion.invert: pc variable " ^ pc_var ^ " collides with the nest");
+  let force_numeric =
+    match force_numeric with Some b -> b | None -> force_numeric_default ()
+  in
   Obsv.Trace.with_span "pipeline.inversion" @@ fun () ->
   let ranking = Ranking.ranking nest in
   let trip_count = Ranking.trip_count nest in
@@ -120,54 +168,69 @@ let invert ?(pc_var = "pc") ?(sample_sizes = [ 3; 4; 6 ]) nest =
   let d = Nest.depth nest in
   let vars = Array.of_list (Nest.level_vars nest) in
   let levels = Array.of_list nest.Nest.levels in
-  let samples = build_samples nest ~sample_sizes in
-  if samples = [] then Error No_samples
-  else begin
-    let exception Fail of error in
-    try
-      let recoveries =
-        Array.init d (fun k ->
-            let var = vars.(k) in
-            if k = d - 1 then begin
-              (* ik = lb + pc - r(prefix, lb): exact integer polynomial *)
-              let lb = A.to_poly levels.(k).Nest.lower in
-              let rank_at_lb = P.subst var lb r_sub.(k) in
-              let poly = P.add lb (P.sub (P.var pc_var) rank_at_lb) in
-              Last { var; poly }
-            end
+  (* samples only matter where there is a candidate root to select or a
+     numeric certificate to check; deep nests whose domains are too
+     large to enumerate must still invert (their levels are all exact
+     or numeric, both certified at runtime) *)
+  let samples = lazy (build_samples nest ~sample_sizes) in
+  let exception Fail of error in
+  try
+    let recoveries =
+      Array.init d (fun k ->
+          let var = vars.(k) in
+          if k = d - 1 then begin
+            (* ik = lb + pc - r(prefix, lb): exact integer polynomial *)
+            let lb = A.to_poly levels.(k).Nest.lower in
+            let rank_at_lb = P.subst var lb r_sub.(k) in
+            let poly = P.add lb (P.sub (P.var pc_var) rank_at_lb) in
+            Last { var; poly }
+          end
+          else begin
+            let equation = P.sub r_sub.(k) (P.var pc_var) in
+            let u = Rootsolve.Solver.of_poly ~unknown:var equation in
+            let deg = Rootsolve.Solver.degree u in
+            if deg < 1 then raise (Fail (No_valid_root { var; candidates = 0 }));
+            let numeric () =
+              if not (numeric_valid nest ~pc_var ~k u levels (Lazy.force samples)) then
+                raise (Fail (No_valid_root { var; candidates = 0 }));
+              Numeric { var; r_sub_index = k }
+            in
+            if deg > 4 || force_numeric then numeric ()
             else begin
-              let equation = P.sub r_sub.(k) (P.var pc_var) in
-              let u = Rootsolve.Solver.of_poly ~unknown:var equation in
-              let deg = Rootsolve.Solver.degree u in
-              if deg > 4 then raise (Fail (Degree_too_high { var; degree = deg }));
-              if deg < 1 then raise (Fail (No_valid_root { var; candidates = 0 }));
-              let cands = Rootsolve.Solver.candidates u in
-              let valid =
-                List.filter (fun e -> candidate_valid nest ~pc_var ~k e samples) cands
-              in
-              match
-                List.sort
-                  (fun a b ->
-                    (* prefer real-emittable, then structurally smaller *)
-                    let ma = Symx.Cemit.classify a and mb = Symx.Cemit.classify b in
-                    if ma <> mb then if ma = Symx.Cemit.Real then -1 else 1
-                    else compare (expr_size a) (expr_size b))
-                  valid
-              with
-              | [] ->
-                raise (Fail (No_valid_root { var; candidates = List.length cands }))
-              | best :: _ ->
-                (* expand polynomial subtrees so the emitted C shows the
-                   flat discriminants the paper prints *)
-                let best = Symx.Simplify.normalize best in
-                Root { var; expr = best; mode = Symx.Cemit.classify best }
-            end)
-      in
-      Ok { nest; pc_var; ranking; trip_count; r_sub; recoveries }
-    with Fail e -> Error e
-  end
+              match Rootsolve.Solver.candidates u with
+              | exception Rootsolve.Solver.Unsupported_degree _ -> numeric ()
+              | cands -> begin
+                let samples =
+                  match Lazy.force samples with
+                  | [] -> raise (Fail No_samples)
+                  | s -> s
+                in
+                let valid =
+                  List.filter (fun e -> candidate_valid nest ~pc_var ~k e samples) cands
+                in
+                match
+                  List.sort
+                    (fun a b ->
+                      (* prefer real-emittable, then structurally smaller *)
+                      let ma = Symx.Cemit.classify a and mb = Symx.Cemit.classify b in
+                      if ma <> mb then if ma = Symx.Cemit.Real then -1 else 1
+                      else compare (expr_size a) (expr_size b))
+                    valid
+                with
+                | [] -> raise (Fail (No_valid_root { var; candidates = List.length cands }))
+                | best :: _ ->
+                  (* expand polynomial subtrees so the emitted C shows the
+                     flat discriminants the paper prints *)
+                  let best = Symx.Simplify.normalize best in
+                  Root { var; expr = best; mode = Symx.Cemit.classify best }
+              end
+            end
+          end)
+    in
+    Ok { nest; pc_var; ranking; trip_count; r_sub; recoveries }
+  with Fail e -> Error e
 
-let invert_exn ?pc_var ?sample_sizes nest =
-  match invert ?pc_var ?sample_sizes nest with
+let invert_exn ?pc_var ?sample_sizes ?force_numeric nest =
+  match invert ?pc_var ?sample_sizes ?force_numeric nest with
   | Ok t -> t
   | Error e -> failwith (error_to_string e)

@@ -4,11 +4,21 @@
     from the collapsed index [pc] by solving
     [r(i1,..,ik, lexmin tail) - pc = 0] symbolically: the trailing
     indices are set to their parametric lexicographic minima, making the
-    equation univariate in [ik] with degree <= 4 for the supported
-    nests. Among the symbolic candidate roots, the convenient one is
+    equation univariate in [ik]. Up to degree 4 the roots are radical
+    closed forms; among the symbolic candidates, the convenient one is
     selected by checking the values it produces on sampled concrete
     instances — never by its real/complex type (paper §IV-C) — and the
-    last index is recovered by an exact polynomial formula. *)
+    last index is recovered by an exact polynomial formula.
+
+    Above degree 4 there is no radical closed form, but there is also
+    no need for one: [r_sub.(k)] is strictly monotone in [ik] on the
+    iteration interval, so the level is marked {!Numeric} and recovered
+    at runtime by certified root isolation ({!Rootsolve.Isolate}) — a
+    float-Newton seed validated by exact integer probes of the same
+    monotone polynomial the binary-search fallback uses. Setting
+    [OMPSIM_FORCE_NUMERIC=1] (or [~force_numeric:true]) routes every
+    non-last level through the numeric path, for differential testing
+    against the closed forms. *)
 
 module P = Polymath.Polynomial
 
@@ -22,6 +32,11 @@ type level_recovery =
   | Last of { var : string; poly : P.t }
       (** innermost level: an exact integer polynomial in the prefix
           indices and [pc] *)
+  | Numeric of { var : string; r_sub_index : int }
+      (** no radical closed form (degree > 4, or forced): the index is
+          the largest [v] with [r_sub.(r_sub_index) (prefix, v) <= pc],
+          found by a seeded certified bracketing over the monotone
+          substituted ranking *)
 
 type t = {
   nest : Nest.t;
@@ -39,21 +54,39 @@ type t = {
 
 type error =
   | Degree_too_high of { var : string; degree : int }
-      (** more than 4 nested loops depend on this index (paper §IV-B) *)
+      (** kept for API stability: no longer produced by {!invert},
+          which now routes degree > 4 levels to {!Numeric} recovery *)
   | No_valid_root of { var : string; candidates : int }
-      (** no symbolic candidate reproduced the sampled iterations *)
+      (** no symbolic candidate reproduced the sampled iterations, or
+          a numeric level failed its isolation certificate *)
   | No_samples
-      (** every sampled parameter valuation gave an empty nest *)
+      (** every sampled parameter valuation gave an empty nest (only
+          reachable when a closed-form level needs samples to select
+          its root) *)
 
 val error_to_string : error -> string
 
-(** [invert ?pc_var ?sample_sizes nest] runs the full inversion.
-    [pc_var] (default ["pc"]) names the collapsed index;
+(** [force_numeric_default ()] is the environment default for
+    [?force_numeric]: true iff [OMPSIM_FORCE_NUMERIC] is ["1"] or
+    ["true"]. Tests that assert closed-form structure consult it to
+    stay meaningful under the forced-numeric CI shard. *)
+val force_numeric_default : unit -> bool
+
+(** [invert ?pc_var ?sample_sizes ?force_numeric nest] runs the full
+    inversion. [pc_var] (default ["pc"]) names the collapsed index;
     [sample_sizes] (default [[3; 4; 6]]) are the parameter values used
     to validate and select candidate roots (each sample assigns
-    parameter number [i] the value [size + 3*i]). *)
+    parameter number [i] the value [size + 3*i]). [force_numeric]
+    (default: [OMPSIM_FORCE_NUMERIC=1] in the environment) routes
+    every non-last level through {!Numeric} recovery regardless of
+    degree. *)
 val invert :
-  ?pc_var:string -> ?sample_sizes:int list -> Nest.t -> (t, error) result
+  ?pc_var:string ->
+  ?sample_sizes:int list ->
+  ?force_numeric:bool ->
+  Nest.t ->
+  (t, error) result
 
 (** [invert_exn] is {!invert}, raising [Failure] on error. *)
-val invert_exn : ?pc_var:string -> ?sample_sizes:int list -> Nest.t -> t
+val invert_exn :
+  ?pc_var:string -> ?sample_sizes:int list -> ?force_numeric:bool -> Nest.t -> t

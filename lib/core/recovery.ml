@@ -116,6 +116,15 @@ let c_bigint_fallback = Obsv.Metrics.create "recovery.bigint_fallback"
 (* walks and block fills served by a native (.so) backend *)
 let c_jit_hits = Obsv.Metrics.create "jit.hit"
 
+(* per-level recovery ledger: how many level recoveries went through a
+   closed-form/exact plan entry vs the certified numeric path (degree
+   > 4 rankings, or OMPSIM_FORCE_NUMERIC differential runs) *)
+let c_inv_closed = Obsv.Metrics.create "inversion.closed_form"
+let c_inv_numeric = Obsv.Metrics.create "inversion.numeric"
+
+let numeric_recoveries () = Obsv.Metrics.total c_inv_numeric
+let closed_form_recoveries () = Obsv.Metrics.total c_inv_closed
+
 type flat_lanes = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 
 type native = {
@@ -135,6 +144,18 @@ type reduce_comp = {
   cval : cpoly;
   bval : bpoly;
   hval : H.t;
+}
+
+(* compiled support for one Numeric level: the parameter-folded
+   substituted ranking scaled integral and split into the dense
+   ascending coefficients of its univariate form in the level
+   variable. [nl_seed] evaluates them to floats for the Newton seed;
+   [nl_univ] keeps the exact polynomials for certified isolation. *)
+type numeric_level = {
+  nl_scale : Q.t;  (** denominator lcm L: [nl_univ] holds [L * r_sub_k] *)
+  nl_scale_f : float;
+  nl_univ : P.t array;  (** vars = outer (prefix) levels only *)
+  nl_seed : int array -> float array;
 }
 
 type t = {
@@ -160,6 +181,8 @@ type t = {
   hup : H.t array;
   root_envs : (int array -> int -> string -> Complex.t) array;
       (** env builder for level k: takes idx prefix and pc *)
+  numeric : numeric_level option array;
+      (** [Some _] exactly at the [Inversion.Numeric] levels *)
   reduce : reduce_comp option;
       (** compiled reduction clause, when the nest declares one *)
   native : native option;
@@ -278,8 +301,43 @@ let make ?(compiled = true) (inv : Inversion.t) ~param =
           find 0
         end)
   in
+  let numeric =
+    Array.map
+      (function
+        | Inversion.Numeric { var; r_sub_index } ->
+          let folded = fold_params inv.Inversion.r_sub.(r_sub_index) in
+          (* scale by the denominator lcm: the univariate coefficients
+             of the scaled polynomial have integer coefficients, hence
+             integer values at the (integer) recovered prefixes, so the
+             native-int pipeline may evaluate them exactly *)
+          let lcm = P.denominator_lcm folded in
+          let scaled = P.scale (Q.of_bigint lcm) folded in
+          let u = P.as_univariate var scaled in
+          let dmax = List.fold_left (fun acc (e, _) -> max acc e) 0 u in
+          let univ = Array.make (dmax + 1) (P.const Q.zero) in
+          List.iter (fun (e, c) -> univ.(e) <- c) u;
+          let seed =
+            if safe then begin
+              (* overflow-guarded: the float image is only a seed, so
+                 lossy bigint-free evaluation is fine here *)
+              fun idx -> Array.map (P.eval_float (fun x -> float_of_int idx.(slot x))) univ
+            end
+            else begin
+              let cps = Array.map (compile_poly ~slot) univ in
+              fun idx ->
+                Array.map (fun cp -> float_of_int (eval_cpoly cp (fun s -> idx.(s)))) cps
+            end
+          in
+          Some
+            { nl_scale = Q.of_bigint lcm;
+              nl_scale_f = Zmath.Bigint.to_float lcm;
+              nl_univ = univ;
+              nl_seed = seed }
+        | Inversion.Root _ | Inversion.Last _ -> None)
+      inv.Inversion.recoveries
+  in
   { inv; d; param; trip; compiled; safe; crank; cr_sub; clo; cup; brank; br_sub; blo; bup;
-    hrank; hr_sub; hlo; hup; root_envs; reduce; native = None }
+    hrank; hr_sub; hlo; hup; root_envs; numeric; reduce; native = None }
 
 let depth t = t.d
 let trip_count t = t.trip
@@ -324,6 +382,54 @@ let upper_bound t ~level prefix =
 let rank_stepper t ~level ~start prefix =
   H.Stepper.make t.hr_sub.(level) ~slot:level ~start ~lookup:(fun s -> prefix.(s))
 
+(* largest v in [lo, hi] with rank_prefix v <= pc, probing outward
+   from a seed: the float-Newton enclosure is almost always within one
+   of the answer, so the exact certificate costs two monotone probes;
+   a bad seed degrades to doubling steps and a binary search over the
+   surviving bracket — never worse than the unseeded search *)
+let seeded_level_search t idx pc k ~lo ~hi ~seed =
+  let g v = rank_prefix t ~level:k v idx <= pc in
+  let s = max lo (min hi seed) in
+  let a = ref lo and b = ref hi in
+  if g s then begin
+    a := s;
+    let step = ref 1 in
+    let galloping = ref true in
+    while !galloping && !b > !a + !step do
+      if g (!a + !step) then begin
+        a := !a + !step;
+        step := !step * 2
+      end
+      else begin
+        b := !a + !step - 1;
+        galloping := false
+      end
+    done
+  end
+  else begin
+    b := s - 1;
+    let step = ref 1 in
+    let galloping = ref (!a < !b) in
+    while !galloping do
+      let v = !b - !step in
+      if v <= !a then galloping := false
+      else if g v then begin
+        a := v;
+        galloping := false
+      end
+      else begin
+        b := v - 1;
+        step := !step * 2;
+        galloping := !a < !b
+      end
+    done
+  end;
+  while !a < !b do
+    let mid = !a + ((!b - !a + 1) / 2) in
+    if g mid then a := mid else b := mid - 1
+  done;
+  !a
+
 let recover_level_raw t idx pc k =
   match t.inv.Inversion.recoveries.(k) with
   | Inversion.Last { poly = _; _ } ->
@@ -334,6 +440,25 @@ let recover_level_raw t idx pc k =
   | Inversion.Root { expr; _ } ->
     let z = E.eval_complex (t.root_envs.(k) idx pc) expr in
     int_of_float (Float.floor z.Complex.re)
+  | Inversion.Numeric _ ->
+    let lo = lower_bound t ~level:k idx in
+    let hi = upper_bound t ~level:k idx - 1 in
+    if hi <= lo then lo
+    else begin
+      let seed =
+        match t.numeric.(k) with
+        | None -> lo + ((hi - lo) / 2)
+        | Some nl ->
+          let c = nl.nl_seed idx in
+          c.(0) <- c.(0) -. (nl.nl_scale_f *. float_of_int pc);
+          let r =
+            Rootsolve.Isolate.float_root c ~lo:(float_of_int lo)
+              ~hi:(float_of_int hi +. 1.0)
+          in
+          int_of_float (Float.floor r)
+      in
+      seeded_level_search t idx pc k ~lo ~hi ~seed
+    end
 
 let recover t pc =
   let idx = Array.make t.d 0 in
@@ -375,9 +500,17 @@ let adjust_level t idx pc k =
   end;
   idx.(k) <- !v
 
+let count_level_kind t k =
+  if Obsv.Control.enabled () then begin
+    match t.inv.Inversion.recoveries.(k) with
+    | Inversion.Numeric _ -> Obsv.Metrics.incr_here c_inv_numeric
+    | Inversion.Root _ | Inversion.Last _ -> Obsv.Metrics.incr_here c_inv_closed
+  end
+
 let recover_binsearch t pc =
   let idx = Array.make t.d 0 in
   for k = 0 to t.d - 1 do
+    count_level_kind t k;
     let lo = lower_bound t ~level:k idx in
     let hi = upper_bound t ~level:k idx - 1 in
     (* largest v with rank_prefix v <= pc; rank_prefix is monotone in v *)
@@ -399,11 +532,41 @@ let recover_guarded t pc =
   else begin
     let idx = Array.make t.d 0 in
     for k = 0 to t.d - 1 do
-      idx.(k) <- recover_level_raw t idx pc k;
-      adjust_level t idx pc k
+      count_level_kind t k;
+      match t.inv.Inversion.recoveries.(k) with
+      | Inversion.Numeric _ ->
+        (* the seeded bracket search certifies the index with exact
+           monotone probes: it needs no adjustment pass *)
+        idx.(k) <- recover_level_raw t idx pc k
+      | Inversion.Root _ | Inversion.Last _ ->
+        idx.(k) <- recover_level_raw t idx pc k;
+        adjust_level t idx pc k
     done;
     idx
   end
+
+(* certified rational isolation of a numeric level's root: the exact
+   Isolate enclosure of r_sub_k(prefix, v) = pc over the level's
+   bounds. Diagnostic and bench surface — the hot path proves the same
+   fact with exact integer probes of the monotone ranking. *)
+let isolate_level ?max_width t idx ~pc ~level =
+  match t.numeric.(level) with
+  | None -> None
+  | Some nl ->
+    let vars = Array.of_list (Nest.level_vars t.inv.Inversion.nest) in
+    let env x =
+      let rec find j =
+        if j >= level then Q.of_int (t.param x)
+        else if vars.(j) = x then Q.of_int idx.(j)
+        else find (j + 1)
+      in
+      find 0
+    in
+    let p = Array.map (P.eval env) nl.nl_univ in
+    p.(0) <- Q.sub p.(0) (Q.mul nl.nl_scale (Q.of_int pc));
+    let lo = Q.of_int (lower_bound t ~level idx) in
+    let hi = Q.of_int (upper_bound t ~level idx) in
+    Some (Rootsolve.Isolate.isolate ?max_width p ~lo ~hi)
 
 let increment t idx =
   let rec go k =

@@ -119,20 +119,47 @@ val lower_bound : t -> level:int -> int array -> int
 val upper_bound : t -> level:int -> int array -> int
 
 (** [recover t pc] recovers all indices by the closed forms, writing
-    into a fresh array. Raw floating [floor] semantics, as in the
-    paper's generated C.
+    into a fresh array. Raw floating [floor] semantics for [Root]
+    levels, as in the paper's generated C; [Numeric] levels are always
+    recovered exactly (float-Newton seed certified by integer probes
+    of the monotone substituted ranking).
     @raise Failure if the inversion had no closed form for some level
     (use {!recover_binsearch}). *)
 val recover : t -> int -> int array
 
 (** [recover_guarded t pc] is {!recover} plus exact adjustment: each
     floored index is nudged until
-    [rank_prefix ik <= pc < rank_prefix (ik+1)]. *)
+    [rank_prefix ik <= pc < rank_prefix (ik+1)]. [Numeric] levels skip
+    the adjustment pass — their seeded bracket search already proves
+    that inequality. Bumps the [inversion.numeric] /
+    [inversion.closed_form] per-level counters when observability is
+    enabled. *)
 val recover_guarded : t -> int -> int array
 
 (** [recover_binsearch t pc] recovers indices exactly with binary
     search only. *)
 val recover_binsearch : t -> int -> int array
+
+(** [isolate_level t idx ~pc ~level] is the certified rational
+    enclosure of the level equation's root, [None] on levels that are
+    not [Numeric]. [idx] must hold the recovered prefix for levels
+    [< level]. Diagnostic and bench surface: the enclosure width and
+    iteration counts are what [exec --report] and [micro-invert]
+    print; the hot path proves the same index with integer probes. *)
+val isolate_level :
+  ?max_width:Zmath.Rat.t ->
+  t ->
+  int array ->
+  pc:int ->
+  level:int ->
+  (Rootsolve.Isolate.enclosure, Rootsolve.Isolate.error) result option
+
+(** Cumulative per-level recovery counters (all recoveries in this
+    process, across every plan), as recorded by the
+    [inversion.numeric] / [inversion.closed_form] metrics. *)
+val numeric_recoveries : unit -> int
+
+val closed_form_recoveries : unit -> int
 
 (** [increment t idx] advances [idx] in place to the next iteration in
     lexicographic order, recomputing inner lower bounds as the original

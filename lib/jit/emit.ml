@@ -142,7 +142,11 @@ let source (inv : Trahrhe.Inversion.t) ~fingerprint =
                  ];
                else_ = [] }));
     (* exact recovery: per-level binary search on the monotone prefix
-       rank, identical to Recovery.recover_binsearch *)
+       rank, identical to Recovery.recover_binsearch. Deliberately
+       independent of the plan's level_recovery kinds: Numeric levels
+       (degree > 4 rankings) specialize to exactly this bracketed
+       search, so numeric plans keep the native tier engaged with no
+       emitter dispatch at all. *)
     fn buf ~ret:"void" ~name:"ompsim_recover"
       ~args:(Printf.sprintf "const %s *omp_P, %s omp_pc, %s *omp_x" i64 i64 i64)
       (List.concat

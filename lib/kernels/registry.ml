@@ -11,7 +11,9 @@ let kernels =
     Triangular.utma;
     Triangular.ltmp;
     Reduce.correlation_reduce;
-    Reduce.covariance_reduce ]
+    Reduce.covariance_reduce;
+    Deep.simplex5;
+    Deep.simplex5_tiled ]
 
 let find name = List.find_opt (fun (k : Kernel.t) -> k.name = name) kernels
 let names = List.map (fun (k : Kernel.t) -> k.name) kernels

@@ -145,10 +145,12 @@ let quartic_roots u =
       resolvent_roots
   end
 
+exception Unsupported_degree of int
+
 let candidates u =
   match degree u with
   | 1 -> linear_roots u
   | 2 -> quadratic_roots u
   | 3 -> cubic_roots u
   | 4 -> quartic_roots u
-  | d -> invalid_arg (Printf.sprintf "Solver.candidates: unsupported degree %d" d)
+  | d -> raise (Unsupported_degree d)

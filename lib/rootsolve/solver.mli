@@ -29,8 +29,13 @@ val of_poly : unknown:string -> P.t -> univariate
     dropped; [-1] for the zero polynomial). *)
 val degree : univariate -> int
 
+(** Raised by {!candidates} when the degree is 0, negative, or > 4:
+    the paper's radical method (§IV-B) stops at Ferrari. Callers
+    dispatch on this structurally — [Inversion] falls back to the
+    certified numeric recovery built on {!Isolate} — instead of
+    string-matching an [Invalid_argument]. *)
+exception Unsupported_degree of int
+
 (** [candidates u] is the list of symbolic candidate roots.
-    @raise Invalid_argument when the degree is 0, negative, or > 4
-    (the paper's method does not apply; callers fall back to exact
-    binary-search recovery). *)
+    @raise Unsupported_degree when the degree is 0, negative, or > 4. *)
 val candidates : univariate -> Symx.Expr.t list

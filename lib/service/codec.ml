@@ -171,12 +171,16 @@ let of_recovery = function
     Sexp.List [ Sexp.Atom "root"; of_var var; of_expr expr; of_mode mode ]
   | Trahrhe.Inversion.Last { var; poly } ->
     Sexp.List [ Sexp.Atom "last"; of_var var; of_poly poly ]
+  | Trahrhe.Inversion.Numeric { var; r_sub_index } ->
+    Sexp.List [ Sexp.Atom "numeric"; of_var var; of_int_sexp r_sub_index ]
 
 let to_recovery s =
   match list s with
   | [ Sexp.Atom "root"; v; e; m ] ->
     Trahrhe.Inversion.Root { var = atom v; expr = to_expr e; mode = to_mode m }
   | [ Sexp.Atom "last"; v; p ] -> Trahrhe.Inversion.Last { var = atom v; poly = to_poly p }
+  | [ Sexp.Atom "numeric"; v; i ] ->
+    Trahrhe.Inversion.Numeric { var = atom v; r_sub_index = to_int_sexp i }
   | _ -> fail "bad level recovery"
 
 let of_inversion (inv : Trahrhe.Inversion.t) =

@@ -69,6 +69,9 @@ let recovery_equal a b =
   | ( Trahrhe.Inversion.Last { var = va; poly = pa },
       Trahrhe.Inversion.Last { var = vb; poly = pb } ) ->
     va = vb && P.equal pa pb
+  | ( Trahrhe.Inversion.Numeric { var = va; r_sub_index = ia },
+      Trahrhe.Inversion.Numeric { var = vb; r_sub_index = ib } ) ->
+    va = vb && ia = ib
   | _ -> false
 
 let array_for_all2 f a b =

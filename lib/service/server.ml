@@ -482,7 +482,7 @@ let health_json ?native ?(inflight = 0) cache =
   let s = Cache.stats cache in
   let ns = Native.stats nt in
   Printf.sprintf
-    {|{"op":"health","status":"ok","breaker":{"state":"%s","consecutive_failures":%d,"opens":%d,"rejections":%d,"probes":%d},"cache":{"hits":%d,"disk_hits":%d,"misses":%d,"evictions":%d,"singleflight_waits":%d,"quarantined":%d,"lock_waits":%d,"lock_steals":%d,"janitor_removed":%d},"native":{"served":%d,"fallbacks":%d%s},"inflight":%d}|}
+    {|{"op":"health","status":"ok","breaker":{"state":"%s","consecutive_failures":%d,"opens":%d,"rejections":%d,"probes":%d},"cache":{"hits":%d,"disk_hits":%d,"misses":%d,"evictions":%d,"singleflight_waits":%d,"quarantined":%d,"lock_waits":%d,"lock_steals":%d,"janitor_removed":%d},"native":{"served":%d,"fallbacks":%d%s},"inversion":{"numeric":%d,"closed_form":%d},"inflight":%d}|}
     (Jit.Breaker.state_name (Jit.Breaker.state b))
     (Jit.Breaker.failures b) (Jit.Breaker.opens b) (Jit.Breaker.rejections b)
     (Jit.Breaker.probes b) s.Cache.hits s.Cache.disk_hits s.Cache.misses s.Cache.evictions
@@ -491,7 +491,7 @@ let health_json ?native ?(inflight = 0) cache =
     (match Native.last_error nt with
     | None -> ""
     | Some e -> Printf.sprintf {|,"last_error":"%s"|} (json_escape e))
-    inflight
+    (R.numeric_recoveries ()) (R.closed_form_recoveries ()) inflight
 
 (* overload rejections answer with the request's own op/label so a
    pipelining client can still correlate responses to requests *)

@@ -8,8 +8,10 @@ open Codegen
 let aff terms c = A.make (List.map (fun (x, k) -> (x, Q.of_int k)) terms) (Q.of_int c)
 
 let correlation_inv =
+  (* the scheme tests assert closed-form recovery statements, so pin
+     past the forced-numeric shard *)
   lazy
-    (Trahrhe.Inversion.invert_exn
+    (Trahrhe.Inversion.invert_exn ~force_numeric:false
        (Trahrhe.Nest.make ~params:[ "N" ]
           [ { var = "i"; lower = aff [] 0; upper = aff [ ("N", 1) ] (-1) };
             { var = "j"; lower = aff [ ("i", 1) ] 1; upper = aff [ ("N", 1) ] 0 } ]))

@@ -12,7 +12,8 @@ module S = Codegen.Schemes
 let utma_inv =
   lazy
     (let k = Option.get (Kernels.Registry.find "utma") in
-     match Trahrhe.Inversion.invert k.Kernels.Kernel.nest with
+     (* goldens record closed-form C: pin past the forced-numeric shard *)
+     match Trahrhe.Inversion.invert ~force_numeric:false k.Kernels.Kernel.nest with
      | Ok inv -> inv
      | Error e -> Alcotest.failf "utma inversion failed: %s" (Trahrhe.Inversion.error_to_string e))
 

@@ -120,11 +120,14 @@ let test_fig6_complex_roots () =
         Cfront.Transform.transform_source ~options (template ~n:41 ~loop:loop_collapse)
       in
       Alcotest.(check int) "one region" 1 count;
-      Alcotest.(check bool) "uses complex recovery" true
-        (let rec contains i =
-           i + 4 <= String.length out && (String.sub out i 4 = "cpow" || contains (i + 1))
-         in
-         contains 0);
+      (* under the forced-numeric shard the recovery has no radicals at
+         all; the output-match below still holds either way *)
+      if not (Trahrhe.Inversion.force_numeric_default ()) then
+        Alcotest.(check bool) "uses complex recovery" true
+          (let rec contains i =
+             i + 4 <= String.length out && (String.sub out i 4 = "cpow" || contains (i + 1))
+           in
+           contains 0);
       let collapsed = compile_and_run dir "fig6_coll" out in
       Alcotest.(check string) "fig6 output matches" reference collapsed)
 

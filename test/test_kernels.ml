@@ -5,7 +5,7 @@
 module K = Kernels.Kernel
 
 let test_registry () =
-  Alcotest.(check int) "13 kernels (9 + utma + ltmp + 2 reduction kernels)" 13
+  Alcotest.(check int) "15 kernels (9 + utma + ltmp + 2 reduction + 2 deep kernels)" 15
     (List.length Kernels.Registry.kernels);
   Alcotest.(check bool) "names unique" true
     (let names = Kernels.Registry.names in

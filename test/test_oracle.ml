@@ -694,6 +694,242 @@ let test_native_store_recovery () =
   Alcotest.(check int) "tier fallbacks" 1 s.Service.Native.fallbacks;
   Service.Native.clear t2
 
+(* -------- Numeric inversion differentials (ISSUE 10) -------- *)
+
+(* Depth 5-7 simplicial nests and the deep registry kernels: the
+   outermost level equation has degree >= 5, past the radical cap, so
+   level 0 recovers through certified root isolation
+   (Inversion.Numeric). The collapsed walk must still reproduce the
+   exact lexicographic enumeration on every backend, schedule and lane
+   width — the same bar the closed-form nests clear. *)
+
+let simplex_nest depth =
+  let levels =
+    List.init depth (fun k ->
+        let lower =
+          if k = 0 then A.const Q.zero else A.var (Printf.sprintf "x%d" (k - 1))
+        in
+        { N.var = Printf.sprintf "x%d" k; lower; upper = A.var "N" })
+  in
+  N.make ~params:[ "N" ] levels
+
+(* degree-5 through products of dependent extents rather than depth *)
+let mixed5_nest () =
+  let dep v = { N.var = v; lower = A.const Q.zero; upper = A.make [ ("i", Q.one) ] Q.one } in
+  N.make ~params:[ "N" ]
+    [ { N.var = "i"; lower = A.const Q.zero; upper = A.var "N" };
+      dep "j"; dep "k"; dep "l"; dep "m" ]
+
+let registry_nest name =
+  match Kernels.Registry.find name with
+  | Some k -> k.Kernels.Kernel.nest
+  | None -> Alcotest.failf "kernel %s not registered" name
+
+let deep_cases () =
+  [ ("simplex depth 5", simplex_nest 5, 5);
+    ("simplex depth 6", simplex_nest 6, 4);
+    ("simplex depth 7", simplex_nest 7, 4);
+    ("mixed dependent depth 5", mixed5_nest (), 4);
+    ("simplex5 kernel", registry_nest "simplex5", 4);
+    ("simplex5_tiled kernel", registry_nest "simplex5_tiled", 3) ]
+
+let test_deep_numeric_walks () =
+  List.iter
+    (fun (name, nest, nval) ->
+      (match Trahrhe.Inversion.invert nest with
+      | Error e ->
+        Alcotest.failf "%s: inversion failed: %s" name (Trahrhe.Inversion.error_to_string e)
+      | Ok inv -> (
+        match inv.Trahrhe.Inversion.recoveries.(0) with
+        | Trahrhe.Inversion.Numeric _ -> ()
+        | _ -> Alcotest.failf "%s: expected numeric recovery at level 0" name));
+      ignore (check_case (nest, nval)))
+    (deep_cases ())
+
+(* OMPSIM_FORCE_NUMERIC parity: on nests the closed forms handle, a
+   forced-numeric inversion must recover bit-for-bit the same indices
+   — every rank, every strategy, and the chunked walk hash. *)
+let test_forced_numeric_matches_closed_form () =
+  List.iter
+    (fun (name, n) ->
+      let k = Option.get (Kernels.Registry.find name) in
+      let nest = k.Kernels.Kernel.nest in
+      let param = Kernels.Kernel.param_of k ~n in
+      let inv_c = Trahrhe.Inversion.invert_exn nest in
+      let inv_n = Trahrhe.Inversion.invert_exn ~force_numeric:true nest in
+      let depth = Array.length inv_n.Trahrhe.Inversion.recoveries in
+      Array.iteri
+        (fun lev r ->
+          match r with
+          | Trahrhe.Inversion.Root _ ->
+            Alcotest.failf "%s: closed form survived force_numeric at level %d" name lev
+          | Trahrhe.Inversion.Numeric _ ->
+            if lev = depth - 1 then Alcotest.failf "%s: last level went numeric" name
+          | Trahrhe.Inversion.Last _ ->
+            if lev <> depth - 1 then Alcotest.failf "%s: Last at level %d" name lev)
+        inv_n.Trahrhe.Inversion.recoveries;
+      let rc_c = Trahrhe.Recovery.make inv_c ~param in
+      let rc_n = Trahrhe.Recovery.make inv_n ~param in
+      let trip = Trahrhe.Recovery.trip_count rc_c in
+      Alcotest.(check int) (name ^ ": trip") trip (Trahrhe.Recovery.trip_count rc_n);
+      for pc = 1 to trip do
+        let a = Trahrhe.Recovery.recover_guarded rc_c pc in
+        let b = Trahrhe.Recovery.recover_guarded rc_n pc in
+        if a <> b then
+          Alcotest.failf "%s: pc=%d closed %s, forced numeric %s" name pc (idx_to_string a)
+            (idx_to_string b);
+        let bb = Trahrhe.Recovery.recover_binsearch rc_n pc in
+        if a <> bb then
+          Alcotest.failf "%s: pc=%d closed %s, numeric binsearch %s" name pc (idx_to_string a)
+            (idx_to_string bb)
+      done;
+      Alcotest.(check int)
+        (name ^ ": chunked walk hash")
+        (Trahrhe.Recovery.walk_hash rc_c ~pc:1 ~len:trip)
+        (Trahrhe.Recovery.walk_hash rc_n ~pc:1 ~len:trip))
+    [ ("correlation", 8); ("covariance", 6); ("symm", 6); ("dynprog", 6) ]
+
+(* Counter reconciliation: every recovery of a depth-5 plan with one
+   numeric level must bump inversion.numeric exactly once and
+   inversion.closed_form once per remaining level, on both recovery
+   strategies, and the per-level isolate_level diagnostic must return
+   a certificate enclosing the recovered index. *)
+let test_numeric_counter_soak () =
+  Obsv.Control.with_enabled true @@ fun () ->
+  let module R = Trahrhe.Recovery in
+  let k = Option.get (Kernels.Registry.find "simplex5") in
+  let rc = Kernels.Kernel.recovery k ~n:5 in
+  let trip = R.trip_count rc in
+  Alcotest.(check int) "simplex5 trip at n=5" 126 trip;
+  (* expected per-kind deltas follow the plan's actual level kinds, so
+     the reconciliation also holds under OMPSIM_FORCE_NUMERIC=1 *)
+  let levels = Array.length (Kernels.Kernel.inversion k).Trahrhe.Inversion.recoveries in
+  let numeric_levels =
+    Array.fold_left
+      (fun acc r -> match r with Trahrhe.Inversion.Numeric _ -> acc + 1 | _ -> acc)
+      0
+      (Kernels.Kernel.inversion k).Trahrhe.Inversion.recoveries
+  in
+  Alcotest.(check bool) "level 0 is numeric" true (numeric_levels >= 1);
+  let n0 = R.numeric_recoveries () and c0 = R.closed_form_recoveries () in
+  for pc = 1 to trip do
+    ignore (R.recover_guarded rc pc)
+  done;
+  Alcotest.(check int) "numeric = recoveries x numeric levels" (numeric_levels * trip)
+    (R.numeric_recoveries () - n0);
+  Alcotest.(check int)
+    "closed_form = recoveries x other levels"
+    ((levels - numeric_levels) * trip)
+    (R.closed_form_recoveries () - c0);
+  let n1 = R.numeric_recoveries () and c1 = R.closed_form_recoveries () in
+  for pc = 1 to trip do
+    ignore (R.recover_binsearch rc pc)
+  done;
+  Alcotest.(check int) "binsearch numeric accounting" (numeric_levels * trip)
+    (R.numeric_recoveries () - n1);
+  Alcotest.(check int) "binsearch closed-form accounting"
+    ((levels - numeric_levels) * trip)
+    (R.closed_form_recoveries () - c1);
+  (* the runtime certificate: enclosure brackets the recovered index *)
+  List.iter
+    (fun pc ->
+      let idx = R.recover_guarded rc pc in
+      (match R.isolate_level rc idx ~pc ~level:0 with
+      | Some (Ok e) ->
+        let lo = Q.to_float e.Rootsolve.Isolate.enc_lo
+        and hi = Q.to_float e.Rootsolve.Isolate.enc_hi in
+        if lo > float_of_int (idx.(0) + 1) || hi < float_of_int idx.(0) then
+          Alcotest.failf "pc=%d: enclosure [%f, %f] misses index %d" pc lo hi idx.(0)
+      | Some (Error e) ->
+        Alcotest.failf "pc=%d: isolation failed: %s" pc (Rootsolve.Isolate.error_to_string e)
+      | None -> Alcotest.failf "pc=%d: level 0 is not numeric?" pc);
+      (* closed-form levels carry no isolation diagnostic (level 1 is
+         only numeric under the forced shard) *)
+      match (Kernels.Kernel.inversion k).Trahrhe.Inversion.recoveries.(1) with
+      | Trahrhe.Inversion.Numeric _ ->
+        Alcotest.(check bool) "forced level 1 has a diagnostic" true
+          (R.isolate_level rc idx ~pc ~level:1 <> None)
+      | _ ->
+        Alcotest.(check bool) "level 1 has no isolation diagnostic" true
+          (R.isolate_level rc idx ~pc ~level:1 = None))
+    [ 1; 2; 63; 125; 126 ]
+
+(* A depth-5 nest the seed rejected: compiles to a plan, round-trips
+   the disk cache through the codec unchanged, drives the walk to the
+   exact enumeration, and engages the native JIT tier (the emitted
+   per-level bracketed search is recovery-kind agnostic). *)
+let test_deep_plan_roundtrip_native () =
+  let module R = Trahrhe.Recovery in
+  let nest = registry_nest "simplex5" in
+  let param _ = 4 in
+  let reference =
+    let buf = ref [] in
+    N.iterate nest ~param (fun idx -> buf := Array.copy idx :: !buf);
+    Array.of_list (List.rev !buf)
+  in
+  let canonical, _ = Service.Fingerprint.canonicalize nest in
+  let fresh =
+    match Service.Plan.compile canonical with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "deep plan compile failed: %s" e
+  in
+  (match fresh.Service.Plan.inversion.Trahrhe.Inversion.recoveries.(0) with
+  | Trahrhe.Inversion.Numeric _ -> ()
+  | _ -> Alcotest.fail "plan lost the numeric recovery");
+  (* the generated C recovers the numeric level by bracketed search *)
+  let c =
+    Codegen.C_print.to_string
+      (Codegen.Schemes.naive fresh.Service.Plan.inversion ~body:[ Codegen.C_ast.Raw "S();" ])
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "C emits the bracketed search" true (contains c "nlo_");
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ompsim-oracle-deep-%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  (match Service.Cache.find_or_compile (Service.Cache.create ~dir:(Some dir) ()) nest with
+  | Error e -> Alcotest.failf "disk populate failed: %s" e
+  | Ok _ -> ());
+  let cache2 = Service.Cache.create ~dir:(Some dir) () in
+  match Service.Cache.find_or_compile cache2 nest with
+  | Error e -> Alcotest.failf "disk reload failed: %s" e
+  | Ok (plan, rn) ->
+    Alcotest.(check int) "served from disk" 1 (Service.Cache.stats cache2).Service.Cache.disk_hits;
+    Alcotest.(check bool) "codec round-trip preserved the plan" true
+      (Service.Plan.equal fresh plan);
+    let cparam = Service.Fingerprint.canonical_param rn param in
+    let rc = Service.Plan.recovery plan ~param:cparam in
+    let trip = R.trip_count rc in
+    Alcotest.(check int) "trip = enumeration" (Array.length reference) trip;
+    check_against ~what:"deep disk-served walk" reference (walk_all rc trip);
+    (* native tier: numeric plans keep the compiled fast path *)
+    let tier = Service.Native.create ~dir:(Some dir) () in
+    let rc_n = Service.Native.recovery tier plan ~param:cparam in
+    Alcotest.(check bool) "native engages iff compiler present" (Jit.Abi.functional ())
+      (R.native_enabled rc_n);
+    check_against ~what:"deep native walk" reference (walk_all rc_n trip);
+    if Jit.Abi.functional () then begin
+      Alcotest.(check int) "hash parity native vs interpreted"
+        (R.walk_hash rc ~pc:1 ~len:trip)
+        (R.walk_hash rc_n ~pc:1 ~len:trip);
+      for pc = 1 to trip do
+        match R.native_recover rc_n pc with
+        | None -> Alcotest.failf "native_recover lost the backend at rank %d" pc
+        | Some idx ->
+          if idx <> reference.(pc - 1) then
+            Alcotest.failf "native recover: rank %d is %s, nest enumerates %s" pc
+              (idx_to_string idx)
+              (idx_to_string reference.(pc - 1))
+      done
+    end;
+    Service.Native.clear tier
+
 (* 200 random nests; each runs on both backends and all five
    schedules, plus the serial lane-walk at every width, so >= 200
    nests per backend as the issue requires. The seed is pinned:
@@ -719,4 +955,12 @@ let suites =
         QCheck_alcotest.to_alcotest ~rand prop_cached_plan_matches;
         QCheck_alcotest.to_alcotest ~rand prop_native_matches_interpreted;
         Alcotest.test_case "corrupt .so is a silent miss (recompile + fallback counters)" `Quick
-          test_native_store_recovery ] ) ]
+          test_native_store_recovery;
+        Alcotest.test_case "depth 5-7 numeric walks = enumeration (backends x schedules x lanes)"
+          `Quick test_deep_numeric_walks;
+        Alcotest.test_case "forced numeric = closed form bit-for-bit" `Quick
+          test_forced_numeric_matches_closed_form;
+        Alcotest.test_case "inversion counters reconcile + runtime certificates" `Quick
+          test_numeric_counter_soak;
+        Alcotest.test_case "deep plan: disk round-trip, exact walk, native JIT" `Quick
+          test_deep_plan_roundtrip_native ] ) ]

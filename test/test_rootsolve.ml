@@ -63,16 +63,16 @@ let test_quartic () =
     (candidates_contain (poly_of_roots 3 [ 0; 0; 3; 5 ]) [ 0; 3; 5 ])
 
 let test_unsupported_degree () =
-  Alcotest.(check bool) "degree 5 raises" true
+  Alcotest.(check bool) "degree 5 raises structured" true
     (try
        ignore (S.candidates (poly_of_roots 1 [ 1; 2; 3; 4; 5 ]));
        false
-     with Invalid_argument _ -> true);
-  Alcotest.(check bool) "degree 0 raises" true
+     with S.Unsupported_degree 5 -> true);
+  Alcotest.(check bool) "degree 0 raises structured" true
     (try
        ignore (S.candidates (S.of_poly ~unknown:"x" P.one));
        false
-     with Invalid_argument _ -> true)
+     with S.Unsupported_degree 0 -> true)
 
 (* symbolic coefficients: solve r(x, lexmin) - pc = 0 for the
    correlation ranking and check the root matches at sample points *)
@@ -102,6 +102,123 @@ let test_symbolic_coefficients () =
          Float.abs z.Complex.re < 1e-9 && Float.abs z.Complex.im < 1e-9)
        cands)
 
+(* -------- certified isolation (Isolate) -------- *)
+
+module I = Rootsolve.Isolate
+module B = Zmath.Bigint
+
+let qp l = Array.of_list (List.map Q.of_int l)
+
+(* the certificate every success must carry: an exact rational root or
+   a sign-change bracket narrower than [max_width] *)
+let check_certificate ?(max_width = Q.one) p (e : I.enclosure) =
+  Alcotest.(check bool) "lo <= hi" true (Q.compare e.I.enc_lo e.I.enc_hi <= 0);
+  if e.I.exact then begin
+    Alcotest.(check bool) "exact: lo = hi" true (Q.equal e.I.enc_lo e.I.enc_hi);
+    Alcotest.(check bool) "exact: p(root) = 0" true (Q.is_zero (I.eval p e.I.enc_lo))
+  end
+  else begin
+    let sl = Q.sign (I.eval p e.I.enc_lo) and sh = Q.sign (I.eval p e.I.enc_hi) in
+    Alcotest.(check bool) "endpoint signs differ" true (sl <> 0 && sh <> 0 && sl <> sh);
+    Alcotest.(check bool) "width < max_width" true
+      (Q.compare (Q.sub e.I.enc_hi e.I.enc_lo) max_width < 0)
+  end
+
+let test_isolate_exact_endpoint () =
+  (* (x - 3)(x - 7): lo landing on a root short-circuits to exact *)
+  let p = qp [ 21; -10; 1 ] in
+  match I.isolate p ~lo:(Q.of_int 3) ~hi:(Q.of_int 5) with
+  | Ok e ->
+    Alcotest.(check bool) "exact" true e.I.exact;
+    Alcotest.(check (option string)) "integer root 3" (Some "3")
+      (Option.map B.to_string (I.integer_root p e))
+  | Error err -> Alcotest.failf "isolate failed: %s" (I.error_to_string err)
+
+let test_isolate_quintic () =
+  (* x^5 - 33 on [0, 3]: root 33^(1/5) ~ 2.01, past the radical cap *)
+  let p = qp [ -33; 0; 0; 0; 0; 1 ] in
+  match I.isolate p ~lo:Q.zero ~hi:(Q.of_int 3) with
+  | Ok e ->
+    check_certificate p e;
+    Alcotest.(check (option string)) "integer below root" (Some "2")
+      (Option.map B.to_string (I.integer_root p e))
+  | Error err -> Alcotest.failf "isolate failed: %s" (I.error_to_string err)
+
+let test_isolate_max_width () =
+  let p = qp [ -2; 0; 1 ] in
+  let w = Q.of_ints 1 1024 in
+  match I.isolate ~max_width:w p ~lo:Q.zero ~hi:(Q.of_int 2) with
+  | Ok e ->
+    check_certificate ~max_width:w p e;
+    let mid = Q.mul Q.half (Q.add e.I.enc_lo e.I.enc_hi) in
+    Alcotest.(check bool) "sqrt(2) to 2^-10" true
+      (Float.abs (Q.to_float mid -. Float.sqrt 2.0) < 1.0 /. 1024.0)
+  | Error err -> Alcotest.failf "isolate failed: %s" (I.error_to_string err)
+
+let test_isolate_no_root () =
+  (* x^2 + 1 has no real roots: certified by a zero Descartes count *)
+  (match I.isolate (qp [ 1; 0; 1 ]) ~lo:Q.zero ~hi:(Q.of_int 5) with
+  | Error (I.No_root { variations = 0 }) -> ()
+  | Error err -> Alcotest.failf "wrong error: %s" (I.error_to_string err)
+  | Ok _ -> Alcotest.fail "expected No_root");
+  match I.isolate (qp []) ~lo:Q.zero ~hi:Q.one with
+  | Error I.Zero_polynomial -> ()
+  | Error err -> Alcotest.failf "wrong error: %s" (I.error_to_string err)
+  | Ok _ -> Alcotest.fail "expected Zero_polynomial"
+
+let test_variations_on () =
+  (* (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6 *)
+  let p = qp [ -6; 11; -6; 1 ] in
+  Alcotest.(check int) "three roots in (0,4)" 3
+    (I.variations_on p ~lo:Q.zero ~hi:(Q.of_int 4));
+  Alcotest.(check int) "one root in (0,3/2)" 1
+    (I.variations_on p ~lo:Q.zero ~hi:(Q.of_ints 3 2));
+  Alcotest.(check int) "no roots in (5,9)" 0
+    (I.variations_on p ~lo:(Q.of_int 5) ~hi:(Q.of_int 9));
+  Alcotest.(check int) "descartes on x^2 - 3x + 2" 2 (I.sign_variations (qp [ 2; -3; 1 ]))
+
+let test_float_root () =
+  let r = I.float_root [| -2.0; 0.0; 1.0 |] ~lo:0.0 ~hi:2.0 in
+  Alcotest.(check bool) "sqrt 2" true (Float.abs (r -. Float.sqrt 2.0) < 1e-9);
+  let r5 = I.float_root [| -33.0; 0.0; 0.0; 0.0; 0.0; 1.0 |] ~lo:0.0 ~hi:3.0 in
+  Alcotest.(check bool) "quintic root finite and bracketed" true
+    (Float.is_finite r5 && r5 >= 0.0 && r5 <= 3.0);
+  Alcotest.(check bool) "quintic root value" true (Float.abs ((r5 ** 5.0) -. 33.0) < 1e-6)
+
+(* random monotone polynomials of degree 2..7 (the shape the collapser
+   feeds us): isolate must certify, and integer_root must agree with a
+   direct integer scan for the largest v with p(v) <= 0 *)
+let prop_isolate_monotone =
+  QCheck.Test.make ~name:"isolate certifies monotone polynomials (deg 2-7)" ~count:200
+    (QCheck.triple (QCheck.int_range 2 7) (QCheck.int_range 1 5) (QCheck.int_range 0 400))
+    (fun (deg, slope, target) ->
+      (* p(x) = x^deg + slope*x - target: strictly increasing on x >= 0 *)
+      let p = Array.make (deg + 1) Q.zero in
+      p.(deg) <- Q.one;
+      p.(1) <- Q.add p.(1) (Q.of_int slope);
+      p.(0) <- Q.of_int (-target);
+      let hi = 20 in
+      let pv v = Q.sign (I.eval p (Q.of_int v)) in
+      QCheck.assume (pv 0 <= 0 && pv hi >= 0);
+      match I.isolate p ~lo:Q.zero ~hi:(Q.of_int hi) with
+      | Error _ -> false
+      | Ok e ->
+        let cert =
+          if e.I.exact then Q.is_zero (I.eval p e.I.enc_lo)
+          else
+            Q.sign (I.eval p e.I.enc_lo) <> Q.sign (I.eval p e.I.enc_hi)
+            && Q.compare (Q.sub e.I.enc_hi e.I.enc_lo) Q.one < 0
+        in
+        (* ground truth: largest integer v with p(v) <= 0 *)
+        let truth = ref 0 in
+        for v = 0 to hi do
+          if pv v <= 0 then truth := v
+        done;
+        cert
+        && (match I.integer_root p e with
+           | Some b -> B.to_string b = string_of_int !truth
+           | None -> false))
+
 let prop_random_roots =
   QCheck.Test.make ~name:"candidates contain all constructed roots (deg 1-4)" ~count:300
     (QCheck.pair
@@ -126,4 +243,12 @@ let suites =
         Alcotest.test_case "quartic (Descartes/Ferrari)" `Quick test_quartic;
         Alcotest.test_case "unsupported degrees" `Quick test_unsupported_degree;
         Alcotest.test_case "symbolic parametric coefficients" `Quick test_symbolic_coefficients ]
-      @ qsuite [ prop_random_roots ] ) ]
+      @ qsuite [ prop_random_roots ] );
+    ( "rootsolve.isolate",
+      [ Alcotest.test_case "exact endpoint root" `Quick test_isolate_exact_endpoint;
+        Alcotest.test_case "quintic enclosure" `Quick test_isolate_quintic;
+        Alcotest.test_case "max_width refinement" `Quick test_isolate_max_width;
+        Alcotest.test_case "certified root-free" `Quick test_isolate_no_root;
+        Alcotest.test_case "Descartes interval counts" `Quick test_variations_on;
+        Alcotest.test_case "float seed" `Quick test_float_root ]
+      @ qsuite [ prop_isolate_monotone ] ) ]

@@ -135,7 +135,8 @@ let test_rank_at () =
 (* -------- Inversion -------- *)
 
 let test_invert_correlation_modes () =
-  let inv = Trahrhe.Inversion.invert_exn (correlation_nest ()) in
+  (* asserts closed-form structure: pin past the forced-numeric shard *)
+  let inv = Trahrhe.Inversion.invert_exn ~force_numeric:false (correlation_nest ()) in
   (match inv.Trahrhe.Inversion.recoveries.(0) with
   | Trahrhe.Inversion.Root { var; mode; _ } ->
     Alcotest.(check string) "outer var" "i" var;
@@ -146,7 +147,7 @@ let test_invert_correlation_modes () =
   | _ -> Alcotest.fail "expected exact last level"
 
 let test_invert_fig6_complex () =
-  let inv = Trahrhe.Inversion.invert_exn (fig6_nest ()) in
+  let inv = Trahrhe.Inversion.invert_exn ~force_numeric:false (fig6_nest ()) in
   match inv.Trahrhe.Inversion.recoveries.(0) with
   | Trahrhe.Inversion.Root { mode; _ } ->
     Alcotest.(check bool) "cubic needs complex evaluation (paper §IV-C)" true
@@ -164,8 +165,10 @@ let test_invert_depth1 () =
   Alcotest.(check (array int)) "pc=1 -> i=3" [| 3 |] (Trahrhe.Recovery.recover_binsearch rc 1);
   Alcotest.(check (array int)) "pc=7 -> i=9" [| 9 |] (Trahrhe.Recovery.recover_binsearch rc 7)
 
-let test_invert_degree_too_high () =
-  (* 5 nested loops all depending on i: degree 5 > 4 *)
+let test_invert_degree5_numeric () =
+  (* 5 nested loops all depending on i: the level-0 prefix is a quintic,
+     past the radical cap — the seed rejected this with Degree_too_high;
+     it now inverts through certified numeric root isolation *)
   let dep v = { Trahrhe.Nest.var = v; lower = aff [] 0; upper = aff [ ("i", 1) ] 1 } in
   let nest =
     Trahrhe.Nest.make ~params:[ "N" ]
@@ -173,10 +176,21 @@ let test_invert_degree_too_high () =
         dep "j"; dep "k"; dep "l"; dep "m" ]
   in
   Alcotest.(check int) "dependence degree 5" 5 (Trahrhe.Nest.max_dependence_degree nest);
-  match Trahrhe.Inversion.invert nest with
-  | Error (Trahrhe.Inversion.Degree_too_high { var = "i"; degree = 5 }) -> ()
-  | Error e -> Alcotest.failf "wrong error: %s" (Trahrhe.Inversion.error_to_string e)
-  | Ok _ -> Alcotest.fail "expected Degree_too_high"
+  let inv = Trahrhe.Inversion.invert_exn nest in
+  (match inv.Trahrhe.Inversion.recoveries.(0) with
+  | Trahrhe.Inversion.Numeric { var; r_sub_index } ->
+    Alcotest.(check string) "numeric var" "i" var;
+    Alcotest.(check int) "r_sub index" 0 r_sub_index
+  | _ -> Alcotest.fail "expected numeric recovery for i");
+  (* inner levels still get closed forms / the exact last level *)
+  (match inv.Trahrhe.Inversion.recoveries.(4) with
+  | Trahrhe.Inversion.Last { var; _ } -> Alcotest.(check string) "last var" "m" var
+  | _ -> Alcotest.fail "expected exact last level for m");
+  (* exhaustive differential against lexicographic enumeration *)
+  let report = Trahrhe.Validate.check inv ~param:(fun _ -> 5) in
+  Alcotest.(check int) "trip at N=5" 979 report.Trahrhe.Validate.iterations;
+  if not (Trahrhe.Validate.all_ok report) then
+    Alcotest.failf "degree-5 numeric recovery:@\n%a" Trahrhe.Validate.pp report
 
 let test_invert_pc_collision () =
   let nest =
@@ -624,7 +638,7 @@ let suites =
       [ Alcotest.test_case "correlation root modes" `Quick test_invert_correlation_modes;
         Alcotest.test_case "fig6 needs complex" `Quick test_invert_fig6_complex;
         Alcotest.test_case "depth-1 nest" `Quick test_invert_depth1;
-        Alcotest.test_case "degree > 4 rejected" `Quick test_invert_degree_too_high;
+        Alcotest.test_case "degree > 4 goes numeric" `Quick test_invert_degree5_numeric;
         Alcotest.test_case "pc variable collision" `Quick test_invert_pc_collision ] );
     ( "trahrhe.recovery",
       [ Alcotest.test_case "paper anchor recoveries" `Quick test_recovery_paper_formulas;
